@@ -1,0 +1,190 @@
+// A1/A2 — Ablations of the paper's two consistency mechanisms.
+//
+// A1: reapplication to the originating device OFF (UM config).
+//     §4.4/§5.4 argue reapplication in queue order is what makes
+//     racing DDU + LDAP updates converge. With it off, the originating
+//     device can be left holding a value the rest of the system
+//     already replaced. We race DDUs against LDAP updates on the same
+//     entries and count entries on which device and directory disagree
+//     once quiet.
+//
+// A2: LTAP entry locking OFF (gateway config).
+//     §4.3's locks forbid updates to an entry during trigger
+//     processing. With them off, concurrent LDAP writers interleave
+//     with in-flight UM sequences; we count observed lost/contradicted
+//     updates.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench/workload.h"
+
+namespace metacomm::bench {
+namespace {
+
+constexpr size_t kPopulation = 32;
+constexpr int kRounds = 40;
+
+/// Runs racing LDAP/DDU rounds and reports how many entries ended up
+/// with device != directory. args: [0] = reapply_to_originator.
+void BM_ReapplicationAblation(benchmark::State& state) {
+  bool reapply = state.range(0) == 1;
+  int64_t divergent_total = 0;
+  int64_t rounds_total = 0;
+  for (auto _ : state) {
+    core::SystemConfig config;
+    config.um.threaded = true;
+    config.um.reapply_to_originator = reapply;
+    WorkloadGenerator gen(51);
+    std::vector<Person> population = gen.People(kPopulation);
+    auto system = BuildPopulatedSystem(population, config);
+    devices::DefinityPbx* pbx = system->pbx("pbx1");
+
+    for (int round = 0; round < kRounds; ++round) {
+      const Person& person = population[static_cast<size_t>(round) %
+                                        kPopulation];
+      std::string ldap_room = "L" + std::to_string(round);
+      std::string ddu_room = "D" + std::to_string(round);
+      // Race: LDAP client and device administrator write the same
+      // entry concurrently.
+      std::thread ldap_writer([&system, &person, &ldap_room] {
+        ldap::Client client = system->NewClient();
+        (void)client.Replace(person.dn, "roomNumber", ldap_room);
+      });
+      (void)pbx->ExecuteCommand("change station " + person.extension +
+                                " Room " + ddu_room);
+      ldap_writer.join();
+    }
+    // Let the queue drain, then compare repositories.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    system->update_manager().Stop();
+
+    ldap::Client client = system->NewClient();
+    int divergent = 0;
+    for (const Person& person : population) {
+      auto entry = client.Get(person.dn);
+      auto station = pbx->GetRecord(person.extension);
+      if (!entry.ok() || !station.ok()) {
+        ++divergent;
+        continue;
+      }
+      if (entry->GetFirst("roomNumber") != station->GetFirst("Room")) {
+        ++divergent;
+      }
+    }
+    divergent_total += divergent;
+    rounds_total += 1;
+  }
+  state.counters["divergent_entries_per_run"] =
+      rounds_total > 0
+          ? static_cast<double>(divergent_total) /
+                static_cast<double>(rounds_total)
+          : 0;
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_ReapplicationAblation)
+    ->ArgNames({"reapply"})
+    ->Arg(1)
+    ->Arg(0)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/// Concurrent writers on ONE hot entry with locking on/off. Locking
+/// (§4.3) forbids a second update to an entry while the first one's
+/// trigger processing is in flight; with it off, the UM's write-back
+/// of an older update can land AFTER a newer client write, so readers
+/// observe the entry's value going BACKWARDS. We count those
+/// regressions. An artificial UM processing delay widens the window
+/// so the effect is visible deterministically.
+/// args: [0] = locking_enabled.
+void BM_LockingAblation(benchmark::State& state) {
+  bool locking = state.range(0) == 1;
+  int64_t regressions_total = 0;
+  int64_t reads_total = 0;
+  int64_t runs = 0;
+  for (auto _ : state) {
+    core::SystemConfig config;
+    config.um.threaded = true;
+    config.gateway.locking_enabled = locking;
+    config.um.artificial_processing_delay_micros = 2000;
+    WorkloadGenerator gen(53);
+    std::vector<Person> population = gen.People(4);
+    auto system = BuildPopulatedSystem(population, config);
+    const Person& hot = population[0];
+
+    std::atomic<int> counter{0};
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> regressions{0};
+    std::atomic<int64_t> reads{0};
+
+    std::thread reader([&] {
+      ldap::Client client = system->NewClient();
+      int max_seen = 0;
+      while (!stop.load()) {
+        auto entry = client.Get(hot.dn);
+        if (entry.ok()) {
+          std::string value = entry->GetFirst("roomNumber");
+          if (value.size() > 1 && value[0] == 'V') {
+            int seen = std::atoi(value.c_str() + 1);
+            if (seen < max_seen) regressions.fetch_add(1);
+            if (seen > max_seen) max_seen = seen;
+            reads.fetch_add(1);
+          }
+        }
+      }
+    });
+
+    // One driver alternates the two update paths on the same entry:
+    // a DDU (whose propagation is asynchronous) followed immediately
+    // by an LDAP write. With locking, the DDU holds the entry lock
+    // from submission until its sequence completes, so the LDAP write
+    // waits and values only move forward. Without locking, the LDAP
+    // write lands first and the DDU's delayed write-back then drags
+    // the entry BACKWARDS before convergence.
+    std::thread driver([&system, &hot, &counter] {
+      ldap::Client client = system->NewClient();
+      client.set_session_id(700);
+      devices::DefinityPbx* pbx = system->pbx("pbx1");
+      for (int i = 0; i < 10; ++i) {
+        int ddu_value = counter.fetch_add(1) + 1;
+        (void)pbx->ExecuteCommand("change station " + hot.extension +
+                                  " Room V" + std::to_string(ddu_value));
+        int ldap_value = counter.fetch_add(1) + 1;
+        (void)client.Replace(hot.dn, "roomNumber",
+                             "V" + std::to_string(ldap_value));
+      }
+    });
+    driver.join();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+    reader.join();
+    system->update_manager().Stop();
+
+    regressions_total += regressions.load();
+    reads_total += reads.load();
+    ++runs;
+  }
+  state.counters["regressions_per_run"] =
+      runs > 0 ? static_cast<double>(regressions_total) /
+                     static_cast<double>(runs)
+               : 0;
+  state.counters["reads_per_run"] =
+      runs > 0
+          ? static_cast<double>(reads_total) / static_cast<double>(runs)
+          : 0;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockingAblation)
+    ->ArgNames({"locking"})
+    ->Arg(1)
+    ->Arg(0)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

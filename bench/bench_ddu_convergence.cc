@@ -1,0 +1,172 @@
+// E3 — Direct-device-update convergence (paper §4.4).
+//
+// MetaComm serializes DDUs through the UM's global queue and reapplies
+// them to the originating device; "brief inconsistencies between the
+// LDAP server and the device are sometimes created, but quickly
+// eliminated", and the technique "works because a small number of
+// DDUs are made against any given entry per day ... [it] would not
+// work well if some entries received frequent DDUs."
+//
+// We measure, with the UM running its coordinator thread:
+//   * convergence latency: device commit -> directory shows the value,
+//     as the burst size of back-to-back DDUs per entry grows;
+//   * reapplication counts per DDU;
+//   * racing LDAP updates against DDUs on the same entry.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bench/workload.h"
+#include "common/clock.h"
+
+namespace metacomm::bench {
+namespace {
+
+constexpr size_t kPopulation = 64;
+
+int64_t NowMicros() { return RealClock::Get()->NowMicros(); }
+
+/// Polls the directory until the person's roomNumber equals `value`.
+/// Returns the wait in microseconds (or -1 on timeout).
+int64_t AwaitRoom(core::MetaCommSystem& system, const Person& person,
+                  const std::string& value) {
+  ldap::Client client = system.NewClient();
+  int64_t start = NowMicros();
+  while (NowMicros() - start < 2'000'000) {
+    auto entry = client.Get(person.dn);
+    if (entry.ok() && entry->GetFirst("roomNumber") == value) {
+      return NowMicros() - start;
+    }
+    std::this_thread::yield();
+  }
+  return -1;
+}
+
+/// args: [0] = DDUs issued back-to-back against one entry per
+/// measurement (the "DDU frequency" axis).
+void BM_DduBurstConvergence(benchmark::State& state) {
+  core::SystemConfig config;
+  config.um.threaded = true;
+  WorkloadGenerator gen(5);
+  std::vector<Person> population = gen.People(kPopulation);
+  auto system = BuildPopulatedSystem(population, config);
+  devices::DefinityPbx* pbx = system->pbx("pbx1");
+
+  int64_t burst = state.range(0);
+  int64_t total_latency = 0;
+  int64_t measured = 0;
+  int seq = 0;
+  Random rng(9);
+  for (auto _ : state) {
+    const Person& person = population[rng.Uniform(kPopulation)];
+    std::string final_room;
+    for (int64_t i = 0; i < burst; ++i) {
+      final_room = "B" + std::to_string(seq++);
+      auto reply = pbx->ExecuteCommand("change station " +
+                                       person.extension + " Room " +
+                                       final_room);
+      if (!reply.ok()) {
+        state.SkipWithError(reply.status().ToString().c_str());
+        return;
+      }
+    }
+    int64_t latency = AwaitRoom(*system, person, final_room);
+    if (latency < 0) {
+      state.SkipWithError("directory did not converge within 2s");
+      return;
+    }
+    total_latency += latency;
+    ++measured;
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+  if (measured > 0) {
+    state.counters["convergence_us"] =
+        static_cast<double>(total_latency) / static_cast<double>(measured);
+  }
+  auto stats = system->update_manager().stats();
+  state.counters["reapplications_per_ddu"] =
+      stats.device_updates > 0
+          ? static_cast<double>(stats.reapplications) /
+                static_cast<double>(stats.device_updates)
+          : 0.0;
+  state.counters["errors"] = static_cast<double>(stats.errors);
+  system->update_manager().Stop();
+}
+BENCHMARK(BM_DduBurstConvergence)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// An LDAP update and a DDU race on the same entry; queue-order
+/// reapplication must still converge (the overlapping-update case the
+/// paper argues is rare but handled).
+void BM_RacingLdapAndDdu(benchmark::State& state) {
+  core::SystemConfig config;
+  config.um.threaded = true;
+  WorkloadGenerator gen(5);
+  std::vector<Person> population = gen.People(kPopulation);
+  auto system = BuildPopulatedSystem(population, config);
+  devices::DefinityPbx* pbx = system->pbx("pbx1");
+
+  int64_t total_latency = 0;
+  int seq = 0;
+  Random rng(13);
+  for (auto _ : state) {
+    const Person& person = population[rng.Uniform(kPopulation)];
+    std::string ldap_room = "L" + std::to_string(seq);
+    std::string ddu_room = "D" + std::to_string(seq);
+    ++seq;
+    std::thread ldap_writer([&system, &person, &ldap_room] {
+      ldap::Client client = system->NewClient();
+      (void)client.Replace(person.dn, "roomNumber", ldap_room);
+    });
+    auto reply = pbx->ExecuteCommand("change station " + person.extension +
+                                     " Room " + ddu_room);
+    ldap_writer.join();
+    if (!reply.ok()) {
+      state.SkipWithError(reply.status().ToString().c_str());
+      return;
+    }
+    // Whichever order the queue chose, directory and device must agree
+    // once quiet. Wait until they do.
+    int64_t start = NowMicros();
+    bool converged = false;
+    ldap::Client client = system->NewClient();
+    while (NowMicros() - start < 2'000'000) {
+      auto entry = client.Get(person.dn);
+      auto station = pbx->GetRecord(person.extension);
+      if (entry.ok() && station.ok() &&
+          entry->GetFirst("roomNumber") == station->GetFirst("Room") &&
+          !entry->GetFirst("roomNumber").empty()) {
+        converged = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (!converged) {
+      state.SkipWithError("device and directory did not agree within 2s");
+      return;
+    }
+    total_latency += NowMicros() - start;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["agree_us"] =
+      state.iterations() > 0
+          ? static_cast<double>(total_latency) /
+                static_cast<double>(state.iterations())
+          : 0;
+  system->update_manager().Stop();
+}
+BENCHMARK(BM_RacingLdapAndDdu)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

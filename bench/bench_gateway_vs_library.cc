@@ -1,0 +1,123 @@
+// E2 — Running LTAP as a gateway vs binding it into the UM as a
+// library (paper §5.5).
+//
+// "Since LDAP workloads are heavily read-oriented, this offers
+// substantial scalability advantages": with the gateway, reads bypass
+// the Update Manager entirely; library coupling forces the combined
+// LTAP/UM process to serve reads too, so reads serialize with update
+// processing. We model library coupling by routing reads through the
+// update-processing critical section.
+//
+// The benchmark runs N reader threads against a fixed background
+// update load and reports read throughput for both deployments.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "bench/workload.h"
+
+namespace metacomm::bench {
+namespace {
+
+constexpr size_t kPopulation = 200;
+
+/// Deployment under test, shared by all benchmark threads.
+struct Deployment {
+  std::unique_ptr<core::MetaCommSystem> system;
+  std::vector<Person> population;
+  /// The "library coupling" lock: in library mode every read takes it,
+  /// modeling the single LTAP+UM process doing read processing between
+  /// update sequences. Updates always take it (they run in the UM).
+  std::mutex um_process;
+  std::atomic<bool> stop{false};
+  std::thread updater;
+  std::atomic<uint64_t> updates_done{0};
+
+  void Start(bool updates_running) {
+    WorkloadGenerator gen(3);
+    population = gen.People(kPopulation);
+    system = BuildPopulatedSystem(population);
+    if (updates_running) {
+      updater = std::thread([this] {
+        ldap::Client client = system->NewClient();
+        Random rng(17);
+        int i = 0;
+        while (!stop.load()) {
+          const Person& person = population[rng.Uniform(kPopulation)];
+          std::lock_guard<std::mutex> lock(um_process);
+          Status status = client.Replace(person.dn, "roomNumber",
+                                         "U-" + std::to_string(i++));
+          (void)status;
+          updates_done.fetch_add(1);
+        }
+      });
+    }
+  }
+
+  void Stop() {
+    stop.store(true);
+    if (updater.joinable()) updater.join();
+    system.reset();
+  }
+};
+
+Deployment* g_deployment = nullptr;
+
+void DeploymentSetup(const benchmark::State& state) {
+  g_deployment = new Deployment;
+  g_deployment->Start(/*updates_running=*/state.range(1) == 1);
+}
+
+void DeploymentTeardown(const benchmark::State&) {
+  g_deployment->Stop();
+  delete g_deployment;
+  g_deployment = nullptr;
+}
+
+/// args: [0] = 1 when reads must pass through the UM process
+/// (library mode), 0 for gateway mode; [1] = background updates on.
+void BM_ReadThroughput(benchmark::State& state) {
+  bool library_mode = state.range(0) == 1;
+
+  ldap::Client client = g_deployment->system->NewClient();
+  Random rng(static_cast<uint64_t>(state.thread_index()) + 7);
+  for (auto _ : state) {
+    const Person& person =
+        g_deployment->population[rng.Uniform(kPopulation)];
+    if (library_mode) {
+      std::lock_guard<std::mutex> lock(g_deployment->um_process);
+      auto entry = client.Get(person.dn);
+      benchmark::DoNotOptimize(entry);
+    } else {
+      auto entry = client.Get(person.dn);
+      benchmark::DoNotOptimize(entry);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+
+  if (state.thread_index() == 0) {
+    state.counters["updates_during_run"] =
+        static_cast<double>(g_deployment->updates_done.load());
+  }
+}
+BENCHMARK(BM_ReadThroughput)
+    ->Setup(DeploymentSetup)
+    ->Teardown(DeploymentTeardown)
+    ->ArgNames({"library", "updates"})
+    // Gateway deployment: reads keep flowing even while updates run.
+    ->Args({0, 0})
+    ->Args({0, 1})
+    // Library deployment: reads serialize behind the UM process.
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,216 @@
+// E5 — lexpress compilation and translation cost (paper §4.2).
+//
+// "Experience with the language indicates that a few minutes are
+// sufficient to map a new source" — the human cost; here we price the
+// machine cost: compiling description files of growing size, mapping
+// records, routing updates through partitioning constraints, and the
+// transitive-closure engine as the dependency chain lengthens.
+
+#include <benchmark/benchmark.h>
+
+#include "core/mapping_gen.h"
+#include "lexpress/closure.h"
+#include "lexpress/mapping.h"
+
+namespace metacomm::bench {
+namespace {
+
+using lexpress::CompileMappings;
+using lexpress::Mapping;
+using lexpress::MappingSet;
+using lexpress::Record;
+using lexpress::UpdateDescriptor;
+
+/// Generates a mapping with `rules` map rules.
+std::string SyntheticMapping(int rules) {
+  std::string out = "mapping Big from src to dst {\n";
+  out += "  table T { \"a\" -> \"1\"; \"b\" -> \"2\"; default -> \"0\"; }\n";
+  out += "  key k -> k;\n";
+  for (int i = 0; i < rules; ++i) {
+    std::string n = std::to_string(i);
+    switch (i % 4) {
+      case 0:
+        out += "  map a" + n + " -> b" + n + ";\n";
+        break;
+      case 1:
+        out += "  map upper(trim(a" + n + ")) -> b" + n + ";\n";
+        break;
+      case 2:
+        out += "  map concat(\"x-\", a" + n + ") -> b" + n +
+               " when present(a" + n + ");\n";
+        break;
+      case 3:
+        out += "  map first(lookup(T, a" + n + ")) -> b" + n + ";\n";
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+void BM_CompileMapping(benchmark::State& state) {
+  std::string source = SyntheticMapping(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto mappings = CompileMappings(source);
+    if (!mappings.ok()) {
+      state.SkipWithError(mappings.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(mappings);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rules"] = static_cast<double>(state.range(0));
+  state.counters["source_bytes"] = static_cast<double>(source.size());
+}
+BENCHMARK(BM_CompileMapping)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CompileStandardPbxPair(benchmark::State& state) {
+  std::string source =
+      core::GeneratePbxMappings(core::PbxMappingParams{});
+  for (auto _ : state) {
+    auto mappings = CompileMappings(source);
+    if (!mappings.ok()) {
+      state.SkipWithError(mappings.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(mappings);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompileStandardPbxPair);
+
+void BM_MapRecord(benchmark::State& state) {
+  auto mappings = CompileMappings(
+      SyntheticMapping(static_cast<int>(state.range(0))));
+  if (!mappings.ok()) {
+    state.SkipWithError(mappings.status().ToString().c_str());
+    return;
+  }
+  Record record("src");
+  record.SetOne("k", "key-1");
+  for (int i = 0; i < state.range(0); ++i) {
+    record.SetOne("a" + std::to_string(i), "value " + std::to_string(i));
+  }
+  for (auto _ : state) {
+    auto mapped = (*mappings)[0].MapRecord(record);
+    if (!mapped.ok()) {
+      state.SkipWithError(mapped.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(mapped);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MapRecord)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TranslateWithPartitionRouting(benchmark::State& state) {
+  std::string source = core::GeneratePbxMappings(core::PbxMappingParams{
+      .name = "pbx9", .extension_prefix = "9"});
+  auto mappings = CompileMappings(source);
+  if (!mappings.ok()) {
+    state.SkipWithError(mappings.status().ToString().c_str());
+    return;
+  }
+  const Mapping& from_ldap = (*mappings)[1];
+
+  UpdateDescriptor update;
+  update.op = lexpress::DescriptorOp::kModify;
+  update.schema = "ldap";
+  update.old_record.SetOne("telephoneNumber", "+1 908 582 9000");
+  update.old_record.SetOne("cn", "John Doe");
+  update.new_record.SetOne("telephoneNumber", "+1 908 582 9111");
+  update.new_record.SetOne("cn", "John Doe");
+
+  for (auto _ : state) {
+    auto translated = from_ldap.Translate(update);
+    if (!translated.ok()) {
+      state.SkipWithError(translated.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(translated);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranslateWithPartitionRouting);
+
+/// Closure cost vs dependency-chain length: schema s0 -> s1 -> ... ->
+/// sN, each hop copying a value; the update enters at s0 and must
+/// reach sN.
+void BM_ClosureChainLength(benchmark::State& state) {
+  int hops = static_cast<int>(state.range(0));
+  std::string source;
+  for (int i = 0; i < hops; ++i) {
+    std::string a = "s" + std::to_string(i);
+    std::string b = "s" + std::to_string(i + 1);
+    source += "mapping " + a + "to" + b + " from " + a + " to " + b +
+              " { map v -> v; }\n";
+  }
+  MappingSet set;
+  Status status = set.AddSource(source);
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+  std::map<std::string, Record, CaseInsensitiveLess> base;
+  Record seed("s0");
+  seed.SetOne("v", "old");
+  base.emplace("s0", seed);
+  Record updated("s0");
+  updated.SetOne("v", "new");
+
+  int iterations_used = 0;
+  for (auto _ : state) {
+    auto result = set.Propagate(base, "s0", updated, {"v"},
+                                /*max_iterations=*/hops + 4);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    iterations_used = result->iterations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["closure_sweeps"] = iterations_used;
+}
+BENCHMARK(BM_ClosureChainLength)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/// The realistic three-repository closure (pbx + mp + ldap).
+void BM_ClosureStandardDeployment(benchmark::State& state) {
+  MappingSet set;
+  Status status = set.AddSource(
+      core::GeneratePbxMappings(core::PbxMappingParams{}));
+  if (status.ok()) {
+    status = set.AddSource(core::GenerateMpMappings(core::MpMappingParams{}));
+  }
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+  std::map<std::string, Record, CaseInsensitiveLess> base;
+  Record ldap_record("ldap");
+  ldap_record.SetOne("cn", "John Doe");
+  ldap_record.SetOne("telephoneNumber", "+1 908 582 9000");
+  ldap_record.SetOne("DefinityExtension", "9000");
+  ldap_record.SetOne("MpMailboxNumber", "9000");
+  base.emplace("ldap", ldap_record);
+
+  Record updated = ldap_record;
+  updated.SetOne("telephoneNumber", "+1 908 582 9111");
+
+  for (auto _ : state) {
+    auto result = set.Propagate(base, "ldap", updated,
+                                {"telephoneNumber"});
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClosureStandardDeployment);
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

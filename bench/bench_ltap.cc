@@ -1,0 +1,199 @@
+// E7 — LTAP trigger/locking overhead (paper §4.3).
+//
+// The gateway "does trigger processing in addition to servicing the
+// original LDAP command"; these benchmarks price that interposition:
+//   * read and write throughput with no gateway, a pass-through
+//     gateway, and a gateway with 1..16 registered (no-op) triggers;
+//   * lock acquisition cost, including contention on one hot entry.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench/workload.h"
+#include "core/integrated_schema.h"
+#include "ldap/client.h"
+#include "ldap/server.h"
+#include "ltap/gateway.h"
+
+namespace metacomm::bench {
+namespace {
+
+using ldap::Client;
+using ldap::Dn;
+using ldap::Entry;
+
+/// A trigger action server that does nothing (isolates LTAP's own
+/// dispatch cost from the Update Manager's work).
+class NoopActionServer : public ltap::TriggerActionServer {
+ public:
+  Status OnUpdate(const ltap::UpdateNotification&) override {
+    return Status::Ok();
+  }
+};
+
+std::unique_ptr<ldap::LdapServer> BuildServer() {
+  auto server = std::make_unique<ldap::LdapServer>(
+      core::BuildIntegratedSchema(),
+      ldap::ServerConfig{.allow_anonymous_writes = true});
+  auto add = [&server](const char* dn, const char* cls, const char* attr,
+                       const char* value) {
+    Entry entry(*Dn::Parse(dn));
+    entry.AddObjectClass("top");
+    entry.AddObjectClass(cls);
+    entry.SetOne(attr, value);
+    server->backend().Add(entry);
+  };
+  add("o=Lucent", "organization", "o", "Lucent");
+  add("ou=People,o=Lucent", "organizationalUnit", "ou", "People");
+  for (int i = 0; i < 100; ++i) {
+    std::string cn = "Person " + std::to_string(1000 + i);
+    Entry person(*Dn::Parse("cn=" + cn + ",ou=People,o=Lucent"));
+    person.Set("objectClass", {"top", "person", "organizationalPerson",
+                               "inetOrgPerson"});
+    person.SetOne("cn", cn);
+    person.SetOne("sn", "P");
+    server->backend().Add(person);
+  }
+  return server;
+}
+
+/// args: [0] = number of triggers, -1 meaning "no gateway at all".
+void BM_ModifyThroughGateway(benchmark::State& state) {
+  auto server = BuildServer();
+  NoopActionServer action;
+  std::unique_ptr<ltap::LtapGateway> gateway;
+  ldap::LdapService* service = server.get();
+  if (state.range(0) >= 0) {
+    gateway = std::make_unique<ltap::LtapGateway>(server.get());
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      ltap::TriggerSpec spec;
+      spec.name = "noop" + std::to_string(i);
+      spec.base = *Dn::Parse("o=Lucent");
+      spec.timing = ltap::TriggerTiming::kAfter;
+      spec.server = &action;
+      gateway->RegisterTrigger(std::move(spec));
+    }
+    service = gateway.get();
+  }
+  Client client(service);
+  int i = 0;
+  for (auto _ : state) {
+    Status status =
+        client.Replace("cn=Person 1050,ou=People,o=Lucent", "roomNumber",
+                       "R-" + std::to_string(i++));
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (gateway != nullptr) {
+    state.counters["triggers_fired"] =
+        static_cast<double>(gateway->stats().triggers_fired);
+  }
+}
+BENCHMARK(BM_ModifyThroughGateway)
+    ->Arg(-1)   // Bare server.
+    ->Arg(0)    // Gateway, no triggers.
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16);
+
+void BM_ReadThroughGateway(benchmark::State& state) {
+  auto server = BuildServer();
+  std::unique_ptr<ltap::LtapGateway> gateway;
+  ldap::LdapService* service = server.get();
+  NoopActionServer action;
+  if (state.range(0) >= 0) {
+    gateway = std::make_unique<ltap::LtapGateway>(server.get());
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      ltap::TriggerSpec spec;
+      spec.name = "noop" + std::to_string(i);
+      spec.base = *Dn::Parse("o=Lucent");
+      spec.server = &action;
+      gateway->RegisterTrigger(std::move(spec));
+    }
+    service = gateway.get();
+  }
+  Client client(service);
+  for (auto _ : state) {
+    auto entry = client.Get("cn=Person 1050,ou=People,o=Lucent");
+    if (!entry.ok()) state.SkipWithError(entry.status().ToString().c_str());
+    benchmark::DoNotOptimize(entry);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadThroughGateway)->Arg(-1)->Arg(0)->Arg(16);
+
+/// Shared deployment for the contention benchmarks; built/destroyed by
+/// the Setup/Teardown hooks, which google-benchmark runs exactly once
+/// per benchmark run with all worker threads quiescent.
+std::unique_ptr<ldap::LdapServer> g_server;
+std::unique_ptr<ltap::LtapGateway> g_gateway;
+
+void ContentionSetup(const benchmark::State&) {
+  g_server = BuildServer();
+  g_gateway = std::make_unique<ltap::LtapGateway>(g_server.get());
+}
+
+void ContentionTeardown(const benchmark::State&) {
+  g_gateway.reset();
+  g_server.reset();
+}
+
+/// Writers all hammer ONE entry: the per-entry lock serializes them.
+void BM_HotEntryContention(benchmark::State& state) {
+  Client client(g_gateway.get());
+  client.set_session_id(
+      static_cast<uint64_t>(state.thread_index()) + 100);
+  int i = 0;
+  for (auto _ : state) {
+    Status status =
+        client.Replace("cn=Person 1000,ou=People,o=Lucent", "roomNumber",
+                       "T" + std::to_string(state.thread_index()) + "-" +
+                           std::to_string(i++));
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["contended_locks"] = static_cast<double>(
+        g_gateway->lock_table().contended_acquisitions());
+  }
+}
+BENCHMARK(BM_HotEntryContention)
+    ->Setup(ContentionSetup)
+    ->Teardown(ContentionTeardown)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// Same write load spread over 100 entries: near-zero contention.
+void BM_SpreadEntryContention(benchmark::State& state) {
+  Client client(g_gateway.get());
+  client.set_session_id(
+      static_cast<uint64_t>(state.thread_index()) + 100);
+  Random rng(static_cast<uint64_t>(state.thread_index()) + 1);
+  int i = 0;
+  for (auto _ : state) {
+    std::string cn = "Person " + std::to_string(1000 + rng.Uniform(100));
+    Status status = client.Replace("cn=" + cn + ",ou=People,o=Lucent",
+                                   "roomNumber",
+                                   "S-" + std::to_string(i++));
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["contended_locks"] = static_cast<double>(
+        g_gateway->lock_table().contended_acquisitions());
+  }
+}
+BENCHMARK(BM_SpreadEntryContention)
+    ->Setup(ContentionSetup)
+    ->Teardown(ContentionTeardown)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

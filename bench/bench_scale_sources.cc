@@ -1,0 +1,118 @@
+// E6 — Scalability in the number of integrated data sources (paper
+// §7: "We are currently investigating its scalability by adding new
+// data sources").
+//
+// Deployments with 1..12 PBXs (disjoint dial-plan partitions) plus one
+// messaging platform. We measure:
+//   * per-update fan-out latency (modify of one person) — partition
+//     routing means non-owning switches are skipped, so cost should
+//     grow mildly with source count;
+//   * provisioning latency;
+//   * a partition-blind variant (every PBX accepts everything) as the
+//     contrast: fan-out then grows linearly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace metacomm::bench {
+namespace {
+
+core::SystemConfig MultiPbxConfig(int pbx_count, bool partitioned,
+                                  int extension_digits = 4) {
+  core::SystemConfig config;
+  config.pbxs.clear();
+  for (int i = 0; i < pbx_count; ++i) {
+    core::PbxMappingParams params;
+    params.name = "pbx" + std::to_string(i);
+    // Partitioned: each switch owns one leading digit (i mod 10).
+    // Unpartitioned: every switch claims everything.
+    params.extension_prefix =
+        partitioned ? std::to_string(i % 10) : std::string();
+    params.phone_prefix = "+1 908 582 ";
+    params.extension_digits = extension_digits;
+    config.pbxs.push_back(std::move(params));
+  }
+  for (auto& mp : config.mps) mp.mailbox_digits = extension_digits;
+  return config;
+}
+
+/// args: [0] = PBX count, [1] = partitioned.
+void BM_ModifyFanout(benchmark::State& state) {
+  int pbx_count = static_cast<int>(state.range(0));
+  bool partitioned = state.range(1) == 1;
+  // All people live on switch 0's partition (prefix "0" when
+  // partitioned), so the partitioned case always has exactly one
+  // owning switch.
+  WorkloadGenerator gen(31);
+  std::vector<Person> population =
+      gen.People(100, partitioned ? "0" : "4");
+  auto system =
+      BuildPopulatedSystem(population, MultiPbxConfig(pbx_count,
+                                                      partitioned));
+  ldap::Client client = system->NewClient();
+  Random rng(3);
+  int i = 0;
+  for (auto _ : state) {
+    const Person& person = population[rng.Uniform(population.size())];
+    Status status = client.Replace(person.dn, "roomNumber",
+                                   "R-" + std::to_string(i++));
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  auto stats = system->update_manager().stats();
+  state.counters["device_applies_per_update"] =
+      stats.ldap_updates > 0
+          ? static_cast<double>(stats.device_applies) /
+                static_cast<double>(stats.ldap_updates +
+                                    stats.device_updates)
+          : 0;
+  state.counters["errors"] = static_cast<double>(stats.errors);
+}
+BENCHMARK(BM_ModifyFanout)
+    ->ArgNames({"pbxs", "partitioned"})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({12, 1})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({12, 0});
+
+/// Provisioning a person as the source count grows (partitioned).
+/// 5-digit extensions give a 10k-person pool so long benchmark runs
+/// cannot exhaust it.
+void BM_ProvisionWithManySources(benchmark::State& state) {
+  int pbx_count = static_cast<int>(state.range(0));
+  auto system_or = core::MetaCommSystem::Create(
+      MultiPbxConfig(pbx_count, true, /*extension_digits=*/5));
+  if (!system_or.ok()) {
+    state.SkipWithError(system_or.status().ToString().c_str());
+    return;
+  }
+  auto& system = **system_or;
+  WorkloadGenerator gen(37);
+  std::vector<Person> pool = gen.People(10000, "0");
+  size_t next = 0;
+  for (auto _ : state) {
+    if (next >= pool.size()) {
+      state.SkipWithError("pool exhausted");
+      return;
+    }
+    const Person& person = pool[next++];
+    Status status = system.AddPerson(
+        person.cn,
+        {{"telephoneNumber", "+1 908 582 " + person.extension}});
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProvisionWithManySources)->Arg(1)->Arg(4)->Arg(12);
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

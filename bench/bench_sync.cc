@@ -1,0 +1,125 @@
+// E4 — Synchronization throughput (paper §4.4, §5.1).
+//
+// Synchronization recovers from disconnected operation and populates
+// the directory initially, under an LTAP quiesce window. We measure:
+//   * initial load: empty directory, N pre-existing stations;
+//   * no-op resync: both sides already consistent (the common case
+//     after a reconnect where little was lost);
+//   * incremental resync: a fraction of entries changed while
+//     disconnected;
+// each as a function of directory size — the quiesce window length IS
+// the full sync duration, which is why resync cost matters.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace metacomm::bench {
+namespace {
+
+/// args: [0] = population size.
+void BM_InitialLoad(benchmark::State& state) {
+  size_t population_size = static_cast<size_t>(state.range(0));
+  WorkloadGenerator gen(21);
+  std::vector<Person> population = gen.People(population_size);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto system = core::MetaCommSystem::Create(
+        ConfigForPopulation(population_size));
+    if (!system.ok()) {
+      state.SkipWithError(system.status().ToString().c_str());
+      return;
+    }
+    devices::DefinityPbx* pbx = (*system)->pbx("pbx1");
+    pbx->faults().set_drop_notifications(true);
+    for (const Person& person : population) {
+      auto reply = pbx->ExecuteCommand("add station " + person.extension +
+                                       " Name \"" + person.cn + "\"");
+      if (!reply.ok()) {
+        state.SkipWithError(reply.status().ToString().c_str());
+        return;
+      }
+    }
+    pbx->faults().set_drop_notifications(false);
+    state.ResumeTiming();
+
+    Status status = (*system)->update_manager().Synchronize("pbx1");
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(population_size));
+}
+BENCHMARK(BM_InitialLoad)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NoopResync(benchmark::State& state) {
+  size_t population_size = static_cast<size_t>(state.range(0));
+  WorkloadGenerator gen(22);
+  std::vector<Person> population = gen.People(population_size);
+  auto system = BuildPopulatedSystem(population,
+                                     ConfigForPopulation(population_size));
+  for (auto _ : state) {
+    Status status = system->update_manager().Synchronize("pbx1");
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(population_size));
+}
+BENCHMARK(BM_NoopResync)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+/// args: [0] = population; [1] = percent of entries changed while the
+/// link was down.
+void BM_IncrementalResync(benchmark::State& state) {
+  size_t population_size = static_cast<size_t>(state.range(0));
+  int percent_changed = static_cast<int>(state.range(1));
+  WorkloadGenerator gen(23);
+  std::vector<Person> population = gen.People(population_size);
+  auto system = BuildPopulatedSystem(population,
+                                     ConfigForPopulation(population_size));
+  devices::DefinityPbx* pbx = system->pbx("pbx1");
+  int round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Lose a batch of device updates.
+    pbx->faults().set_drop_notifications(true);
+    size_t changed = population_size *
+                     static_cast<size_t>(percent_changed) / 100;
+    for (size_t i = 0; i < changed; ++i) {
+      auto reply = pbx->ExecuteCommand(
+          "change station " + population[i].extension + " Room LOST-" +
+          std::to_string(round) + "-" + std::to_string(i));
+      if (!reply.ok()) {
+        state.SkipWithError(reply.status().ToString().c_str());
+        return;
+      }
+    }
+    pbx->faults().set_drop_notifications(false);
+    ++round;
+    state.ResumeTiming();
+
+    Status status = system->update_manager().Synchronize("pbx1");
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(population_size));
+}
+BENCHMARK(BM_IncrementalResync)
+    ->ArgNames({"population", "pct_changed"})
+    ->Args({200, 1})
+    ->Args({200, 10})
+    ->Args({200, 50})
+    ->Args({1000, 10})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,177 @@
+// E1 — "Preliminary experiments indicate that MetaComm has acceptable
+// performance" (paper §7).
+//
+// Measures the latency of every update path through the deployment:
+//   * raw LDAP modify against the bare server (floor);
+//   * LDAP modify through the LTAP gateway with no triggers (gateway
+//     interposition cost);
+//   * LDAP modify through full MetaComm (LTAP + UM + fan-out to both
+//     devices) — the paper's web-administration path;
+//   * direct device update with MetaComm attached (device + DDU
+//     propagation) vs the bare device (legacy administration floor);
+//   * full provisioning of a new person (add fan-out).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+#include "core/integrated_schema.h"
+#include "ldap/client.h"
+#include "ldap/server.h"
+
+namespace metacomm::bench {
+namespace {
+
+constexpr size_t kPopulation = 200;
+
+std::vector<Person>& Population() {
+  static auto* people =
+      new std::vector<Person>(WorkloadGenerator(42).People(kPopulation));
+  return *people;
+}
+
+void BM_RawLdapModify(benchmark::State& state) {
+  ldap::LdapServer server(
+      core::BuildIntegratedSchema(),
+      ldap::ServerConfig{.allow_anonymous_writes = true});
+  // Minimal tree + one person, written directly.
+  auto add = [&server](const char* dn, const char* cls, const char* attr,
+                       const char* value) {
+    ldap::Entry entry(*ldap::Dn::Parse(dn));
+    entry.AddObjectClass("top");
+    entry.AddObjectClass(cls);
+    entry.SetOne(attr, value);
+    server.backend().Add(entry);
+  };
+  add("o=Lucent", "organization", "o", "Lucent");
+  add("ou=People,o=Lucent", "organizationalUnit", "ou", "People");
+  ldap::Entry person(*ldap::Dn::Parse("cn=John Doe,ou=People,o=Lucent"));
+  person.Set("objectClass", {"top", "person", "organizationalPerson",
+                             "inetOrgPerson"});
+  person.SetOne("cn", "John Doe");
+  person.SetOne("sn", "Doe");
+  server.backend().Add(person);
+
+  ldap::Client client(&server);
+  int i = 0;
+  for (auto _ : state) {
+    Status status = client.Replace("cn=John Doe,ou=People,o=Lucent",
+                                   "roomNumber",
+                                   "R-" + std::to_string(i++));
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RawLdapModify);
+
+void BM_GatewayModifyNoTriggers(benchmark::State& state) {
+  core::SystemConfig config;
+  config.gateway.triggers_enabled = false;
+  auto system = BuildPopulatedSystem({Population()[0]}, config);
+  ldap::Client client = system->NewClient();
+  int i = 0;
+  for (auto _ : state) {
+    Status status = client.Replace(Population()[0].dn, "roomNumber",
+                                   "R-" + std::to_string(i++));
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GatewayModifyNoTriggers);
+
+void BM_MetaCommLdapModify(benchmark::State& state) {
+  auto system = BuildPopulatedSystem(Population());
+  ldap::Client client = system->NewClient();
+  WorkloadGenerator gen(7);
+  int i = 0;
+  for (auto _ : state) {
+    const Person& person = Population()[gen.rng().Uniform(kPopulation)];
+    Status status = client.Replace(person.dn, "roomNumber",
+                                   "R-" + std::to_string(i++));
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  auto stats = system->update_manager().stats();
+  state.counters["device_applies"] =
+      static_cast<double>(stats.device_applies);
+  state.counters["errors"] = static_cast<double>(stats.errors);
+}
+BENCHMARK(BM_MetaCommLdapModify);
+
+void BM_BareDeviceCommand(benchmark::State& state) {
+  devices::DefinityPbx pbx(devices::PbxConfig{.name = "pbx1"});
+  for (const Person& person : Population()) {
+    auto reply = pbx.ExecuteCommand("add station " + person.extension +
+                                    " Name \"" + person.cn + "\"");
+    if (!reply.ok()) {
+      state.SkipWithError(reply.status().ToString().c_str());
+      return;
+    }
+  }
+  WorkloadGenerator gen(7);
+  int i = 0;
+  for (auto _ : state) {
+    const Person& person = Population()[gen.rng().Uniform(kPopulation)];
+    auto reply = pbx.ExecuteCommand("change station " + person.extension +
+                                    " Room R-" + std::to_string(i++));
+    if (!reply.ok()) state.SkipWithError(reply.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BareDeviceCommand);
+
+void BM_MetaCommDeviceUpdate(benchmark::State& state) {
+  auto system = BuildPopulatedSystem(Population());
+  devices::DefinityPbx* pbx = system->pbx("pbx1");
+  WorkloadGenerator gen(7);
+  int i = 0;
+  for (auto _ : state) {
+    const Person& person = Population()[gen.rng().Uniform(kPopulation)];
+    auto reply = pbx->ExecuteCommand("change station " + person.extension +
+                                     " Room R-" + std::to_string(i++));
+    if (!reply.ok()) state.SkipWithError(reply.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  auto stats = system->update_manager().stats();
+  state.counters["reapplications"] =
+      static_cast<double>(stats.reapplications);
+}
+BENCHMARK(BM_MetaCommDeviceUpdate);
+
+void BM_MetaCommProvisionPerson(benchmark::State& state) {
+  auto system = BuildPopulatedSystem({}, ConfigForPopulation(10000));
+  WorkloadGenerator gen(11);
+  std::vector<Person> pool = gen.People(10000, "7");
+  size_t next = 0;
+  for (auto _ : state) {
+    if (next >= pool.size()) {
+      state.SkipWithError("person pool exhausted");
+      break;
+    }
+    const Person& person = pool[next++];
+    Status status = system->AddPerson(
+        person.cn,
+        {{"telephoneNumber", "+1 908 582 " + person.extension}});
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetaCommProvisionPerson);
+
+void BM_MetaCommLdapRead(benchmark::State& state) {
+  auto system = BuildPopulatedSystem(Population());
+  ldap::Client client = system->NewClient();
+  WorkloadGenerator gen(7);
+  for (auto _ : state) {
+    const Person& person = Population()[gen.rng().Uniform(kPopulation)];
+    auto entry = client.Get(person.dn);
+    if (!entry.ok()) state.SkipWithError(entry.status().ToString().c_str());
+    benchmark::DoNotOptimize(entry);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetaCommLdapRead);
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

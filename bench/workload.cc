@@ -1,0 +1,82 @@
+#include "bench/workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace metacomm::bench {
+
+namespace {
+
+const char* const kFirstNames[] = {
+    "Ada",   "Grace", "Edsger", "Barbara", "Donald", "Juliana",
+    "Daniel", "Joann", "Lalit",  "Gavin",   "Qian",   "Robert",
+};
+const char* const kLastNames[] = {
+    "Lovelace", "Hopper", "Dijkstra", "Liskov",  "Knuth",  "Freire",
+    "Lieuwen",  "Ordille", "Garg",     "Michael", "Ye",     "Arlein",
+};
+
+}  // namespace
+
+std::vector<Person> WorkloadGenerator::People(
+    size_t count, const std::string& extension_prefix) {
+  // Sequential tails keep extensions unique AND unique in their last
+  // ExtensionDigits digits (the voice-mailbox keyspace). Up to 1000
+  // people fit in 4-digit extensions; larger populations use 5 digits
+  // and need ConfigForPopulation() so the mappings slice accordingly.
+  std::vector<Person> people;
+  people.reserve(count);
+  int tail_width = count <= 1000 ? 3 : 4;
+  for (size_t i = 0; i < count; ++i) {
+    char tail[8];
+    std::snprintf(tail, sizeof(tail), "%0*zu", tail_width, i % 10000);
+    Person person;
+    person.extension = extension_prefix + tail;
+    person.cn = std::string(kFirstNames[rng_.Uniform(12)]) + " " +
+                kLastNames[rng_.Uniform(12)] + " " + person.extension;
+    person.dn = "cn=" + person.cn + ",ou=People,o=Lucent";
+    people.push_back(std::move(person));
+  }
+  return people;
+}
+
+int ExtensionDigits(size_t population) {
+  return population <= 1000 ? 4 : 5;
+}
+
+core::SystemConfig ConfigForPopulation(size_t population) {
+  core::SystemConfig config;
+  int digits = ExtensionDigits(population);
+  for (auto& pbx : config.pbxs) pbx.extension_digits = digits;
+  for (auto& mp : config.mps) mp.mailbox_digits = digits;
+  return config;
+}
+
+void Provision(core::MetaCommSystem& system,
+               const std::vector<Person>& population) {
+  for (const Person& person : population) {
+    Status status = system.AddPerson(
+        person.cn,
+        {{"telephoneNumber", "+1 908 582 " + person.extension}});
+    if (!status.ok()) {
+      std::fprintf(stderr, "workload provisioning failed for %s: %s\n",
+                   person.cn.c_str(), status.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+std::unique_ptr<core::MetaCommSystem> BuildPopulatedSystem(
+    const std::vector<Person>& population, core::SystemConfig config) {
+  auto system = core::MetaCommSystem::Create(std::move(config));
+  if (!system.ok()) {
+    std::fprintf(stderr, "system build failed: %s\n",
+                 system.status().ToString().c_str());
+    std::abort();
+  }
+  Provision(**system, population);
+  return std::move(*system);
+}
+
+}  // namespace metacomm::bench

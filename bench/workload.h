@@ -1,0 +1,60 @@
+#ifndef METACOMM_BENCH_WORKLOAD_H_
+#define METACOMM_BENCH_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/metacomm.h"
+
+namespace metacomm::bench {
+
+/// One synthetic employee.
+struct Person {
+  std::string cn;         // "Ada Lovelace 4123"
+  std::string extension;  // "4123"
+  std::string dn;         // cn=...,ou=People,o=Lucent
+};
+
+/// Deterministic population generator shared by all experiment
+/// binaries: unique 4-digit extensions with a fixed prefix, names
+/// drawn from a fixed pool, phone numbers in the paper's
+/// "+1 908 582 ..." block.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// Generates `count` distinct people with extensions prefixed by
+  /// `extension_prefix` (first digit of the 4-digit extension).
+  std::vector<Person> People(size_t count,
+                             const std::string& extension_prefix = "4");
+
+  Random& rng() { return rng_; }
+
+ private:
+  Random rng_;
+};
+
+/// Number of digits in the extensions People() generates for a
+/// population of this size (4 up to 1000 people, 5 beyond).
+int ExtensionDigits(size_t population);
+
+/// Default system configuration whose PBX/MP mappings slice telephone
+/// numbers with the right extension width for `population` people.
+core::SystemConfig ConfigForPopulation(size_t population);
+
+/// Builds a default single-PBX/single-MP MetaComm system and provisions
+/// `population` through the LDAP path. Aborts on failure (benchmarks
+/// must start from a healthy system).
+std::unique_ptr<core::MetaCommSystem> BuildPopulatedSystem(
+    const std::vector<Person>& population,
+    core::SystemConfig config = core::SystemConfig{});
+
+/// Provisions `population` into an existing system via LDAP.
+void Provision(core::MetaCommSystem& system,
+               const std::vector<Person>& population);
+
+}  // namespace metacomm::bench
+
+#endif  // METACOMM_BENCH_WORKLOAD_H_

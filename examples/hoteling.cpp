@@ -1,0 +1,175 @@
+// Hoteling — the application the paper cites as enabled by MetaComm
+// (§4.5): "shared workspaces that are reserved as needed". An
+// authorized program redirects a person's telephone extension to the
+// port in another room — which before MetaComm took a PBX
+// administrator, and with it is one LDAP modify.
+//
+// This example reserves hotel desks for visiting employees for a day:
+// each reservation points the person's station at the desk's port and
+// room, and checkout points it back. Everything happens through the
+// directory; the Definity and the messaging platform follow along.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metacomm.h"
+
+using metacomm::Status;
+using metacomm::core::MetaCommSystem;
+using metacomm::core::SystemConfig;
+
+namespace {
+
+/// One bookable desk: a room and the switch port wired to it.
+struct Desk {
+  std::string id;
+  std::string room;
+  std::string port;
+};
+
+/// The hoteling application: a thin, *directory-only* client. It
+/// never talks to the PBX — that is the point of the meta-directory.
+class HotelingApp {
+ public:
+  explicit HotelingApp(MetaCommSystem& system)
+      : system_(system), client_(system.NewClient()) {
+    desks_ = {
+        {"desk-A", "1F-100", "01A0101"},
+        {"desk-B", "1F-101", "01A0102"},
+        {"desk-C", "2F-200", "01A0201"},
+    };
+  }
+
+  /// Reserves a free desk for the person; their extension follows.
+  Status CheckIn(const std::string& cn) {
+    for (Desk& desk : desks_) {
+      if (occupied_.count(desk.id)) continue;
+      std::string dn = "cn=" + cn + ",ou=People,o=Lucent";
+      // Remember where they came from for checkout.
+      auto entry = client_.Get(dn);
+      if (!entry.ok()) return entry.status();
+      home_room_[cn] = entry->GetFirst("roomNumber");
+      home_port_[cn] = entry->GetFirst("DefinityPort");
+
+      std::vector<metacomm::ldap::Modification> mods;
+      metacomm::ldap::Modification room;
+      room.type = metacomm::ldap::Modification::Type::kReplace;
+      room.attribute = "roomNumber";
+      room.values = {desk.room};
+      mods.push_back(room);
+      metacomm::ldap::Modification port;
+      port.type = metacomm::ldap::Modification::Type::kReplace;
+      port.attribute = "DefinityPort";
+      port.values = {desk.port};
+      mods.push_back(port);
+      auto status = client_.Modify(dn, std::move(mods));
+      if (!status.ok()) return status;
+      occupied_[desk.id] = cn;
+      std::printf("checked %s into %s (room %s, port %s)\n", cn.c_str(),
+                  desk.id.c_str(), desk.room.c_str(), desk.port.c_str());
+      return Status::Ok();
+    }
+    return Status::Unavailable("no free desks");
+  }
+
+  /// Releases the person's desk and restores their home room/port.
+  Status CheckOut(const std::string& cn) {
+    for (auto it = occupied_.begin(); it != occupied_.end(); ++it) {
+      if (it->second != cn) continue;
+      std::string dn = "cn=" + cn + ",ou=People,o=Lucent";
+      std::vector<metacomm::ldap::Modification> mods;
+      metacomm::ldap::Modification room;
+      room.type = metacomm::ldap::Modification::Type::kReplace;
+      room.attribute = "roomNumber";
+      if (!home_room_[cn].empty()) room.values = {home_room_[cn]};
+      mods.push_back(room);
+      metacomm::ldap::Modification port;
+      port.type = metacomm::ldap::Modification::Type::kReplace;
+      port.attribute = "DefinityPort";
+      if (!home_port_[cn].empty()) port.values = {home_port_[cn]};
+      mods.push_back(port);
+      auto status = client_.Modify(dn, std::move(mods));
+      if (!status.ok()) return status;
+      std::printf("checked %s out of %s\n", cn.c_str(), it->first.c_str());
+      occupied_.erase(it);
+      return Status::Ok();
+    }
+    return Status::NotFound(cn + " holds no desk");
+  }
+
+ private:
+  MetaCommSystem& system_;
+  metacomm::ldap::Client client_;
+  std::vector<Desk> desks_;
+  std::map<std::string, std::string> occupied_;  // desk id -> cn
+  std::map<std::string, std::string> home_room_;
+  std::map<std::string, std::string> home_port_;
+};
+
+void ShowStation(MetaCommSystem& system, const std::string& extension) {
+  auto reply =
+      system.pbx("pbx1")->ExecuteCommand("display station " + extension);
+  std::printf("  [pbx1] station %s:\n", extension.c_str());
+  if (!reply.ok()) {
+    std::printf("    %s\n", reply.status().ToString().c_str());
+    return;
+  }
+  for (const std::string& line : metacomm::Split(*reply, '\n')) {
+    if (!line.empty()) std::printf("    %s\n", line.c_str());
+  }
+}
+
+int Run() {
+  auto system_or = MetaCommSystem::Create(SystemConfig{});
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  MetaCommSystem& system = **system_or;
+
+  // Two visiting employees with home offices elsewhere.
+  for (const auto& [cn, ext, room] :
+       std::vector<std::tuple<std::string, std::string, std::string>>{
+           {"Gavin Michael", "4701", "AU-12"},
+           {"Julian Orbach", "4702", "AU-14"}}) {
+    Status status = system.AddPerson(
+        cn, {{"telephoneNumber", "+1 908 582 " + ext},
+             {"roomNumber", room}});
+    if (!status.ok()) {
+      std::fprintf(stderr, "provisioning failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  HotelingApp hoteling(system);
+  std::printf("== before check-in\n");
+  ShowStation(system, "4701");
+
+  // Morning: both check in; the PBX follows the directory.
+  if (!hoteling.CheckIn("Gavin Michael").ok()) return 1;
+  if (!hoteling.CheckIn("Julian Orbach").ok()) return 1;
+  std::printf("== after check-in\n");
+  ShowStation(system, "4701");
+  ShowStation(system, "4702");
+
+  // Evening: checkout restores the home configuration.
+  if (!hoteling.CheckOut("Gavin Michael").ok()) return 1;
+  std::printf("== after check-out\n");
+  ShowStation(system, "4701");
+
+  auto stats = system.update_manager().stats();
+  std::printf("== %llu directory updates drove %llu device updates, "
+              "%llu errors\n",
+              (unsigned long long)stats.ldap_updates,
+              (unsigned long long)stats.device_applies,
+              (unsigned long long)stats.errors);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

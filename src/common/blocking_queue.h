@@ -1,0 +1,87 @@
+#ifndef METACOMM_COMMON_BLOCKING_QUEUE_H_
+#define METACOMM_COMMON_BLOCKING_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace metacomm {
+
+/// Unbounded MPMC FIFO used for the Update Manager's global update queue.
+///
+/// The queue is the serialization point of MetaComm: the order in which
+/// descriptors leave this queue *is* the global update order that the
+/// reapplication technique (paper §4.4) enforces on every repository.
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueues an item and wakes one waiter. Returns false (dropping
+  /// the item) when the queue is closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed.
+  /// Returns nullopt only when closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Marks the queue closed; Pop() drains remaining items then returns
+  /// nullopt. Push after Close is ignored.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace metacomm
+
+#endif  // METACOMM_COMMON_BLOCKING_QUEUE_H_

@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace metacomm {
+
+RealClock* RealClock::Get() {
+  static RealClock* clock = new RealClock;
+  return clock;
+}
+
+int64_t RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::SleepMicros(int64_t micros) {
+  if (micros <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace metacomm

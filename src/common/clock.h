@@ -1,0 +1,56 @@
+#ifndef METACOMM_COMMON_CLOCK_H_
+#define METACOMM_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace metacomm {
+
+/// Abstract time source.
+///
+/// Convergence experiments (EXPERIMENTS.md, E3) measure the delay between
+/// a direct device update and the instant all repositories agree again.
+/// Running those deterministically requires a simulated clock; production
+/// assembly uses RealClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks (or simulates blocking) for `micros` microseconds.
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  /// Returns a process-wide instance.
+  static RealClock* Get();
+
+  int64_t NowMicros() const override;
+  void SleepMicros(int64_t micros) override;
+};
+
+/// Deterministic, manually advanced clock for tests and simulations.
+/// Thread-safe: concurrent readers observe monotonic time.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_.load(); }
+
+  /// SleepMicros on a simulated clock advances time instead of blocking.
+  void SleepMicros(int64_t micros) override { Advance(micros); }
+
+  /// Moves time forward by `micros` (must be non-negative).
+  void Advance(int64_t micros) { now_.fetch_add(micros); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace metacomm
+
+#endif  // METACOMM_COMMON_CLOCK_H_

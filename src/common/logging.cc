@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace metacomm {
+
+namespace {
+std::mutex& LogMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger* logger = new Logger;
+  return *logger;
+}
+
+Logger::Logger() : min_level_(LogLevel::kWarning) {}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  sink_ = std::move(sink);
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < min_level_) return;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  if (sink_) {
+    sink_(level, message);
+  } else {
+    std::fprintf(stderr, "[metacomm %s] %s\n", LogLevelName(level),
+                 message.c_str());
+  }
+}
+
+}  // namespace metacomm

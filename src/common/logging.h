@@ -1,0 +1,73 @@
+#ifndef METACOMM_COMMON_LOGGING_H_
+#define METACOMM_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace metacomm {
+
+/// Severity levels for the MetaComm logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns a short name for `level` ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide logging configuration. The default sink writes to
+/// stderr; tests install a capturing sink, benchmarks raise the
+/// threshold to avoid measuring I/O.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Returns the process-wide logger.
+  static Logger& Get();
+
+  /// Drops messages below `level`.
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  /// Replaces the output sink. Passing nullptr restores stderr output.
+  void set_sink(Sink sink);
+
+  /// Emits one message (already formatted) at `level`.
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel min_level_;
+  Sink sink_;
+};
+
+namespace internal_logging {
+
+/// Stream-style message builder used by the METACOMM_LOG macro; emits on
+/// destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace metacomm
+
+/// Usage: METACOMM_LOG(kInfo) << "applied " << n << " updates";
+#define METACOMM_LOG(level)                  \
+  ::metacomm::internal_logging::LogMessage(  \
+      ::metacomm::LogLevel::level)
+
+#endif  // METACOMM_COMMON_LOGGING_H_

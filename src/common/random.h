@@ -1,0 +1,47 @@
+#ifndef METACOMM_COMMON_RANDOM_H_
+#define METACOMM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metacomm {
+
+/// Small deterministic PRNG (splitmix64 core) used by workload
+/// generators and property tests so every run is reproducible from a
+/// seed printed in the output.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) for bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Random ASCII digit string of `length` characters.
+  std::string DigitString(size_t length);
+
+  /// Picks a uniformly random element from a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace metacomm
+
+#endif  // METACOMM_COMMON_RANDOM_H_

@@ -1,0 +1,160 @@
+#ifndef METACOMM_COMMON_STATUS_H_
+#define METACOMM_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace metacomm {
+
+/// Canonical error space used throughout MetaComm.
+///
+/// The integrated repositories (LDAP server, PBX, messaging platform) each
+/// have their own error vocabularies; filters translate those into this
+/// canonical space so the Update Manager can make uniform decisions
+/// (retry, log-and-continue, abort).
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument was malformed (bad DN, bad filter, ...).
+  kInvalidArgument,
+  /// The referenced object does not exist (unknown DN, unknown extension).
+  kNotFound,
+  /// An object with the same key already exists (duplicate add).
+  kAlreadyExists,
+  /// The operation conflicts with concurrent activity (entry locked,
+  /// gateway quiesced, optimistic check failed).
+  kConflict,
+  /// The caller is not allowed to perform the operation.
+  kPermissionDenied,
+  /// A repository rejected the operation for schema reasons (objectclass
+  /// violation, unknown attribute, not-allowed-on-non-leaf).
+  kSchemaViolation,
+  /// The repository is unreachable (simulated network fault / disconnect).
+  kUnavailable,
+  /// The operation ran out of time or iterations (lexpress fixpoint cap,
+  /// lock wait timeout).
+  kDeadlineExceeded,
+  /// An internal invariant was violated; indicates a MetaComm bug.
+  kInternal,
+  /// The feature is recognized but not implemented by this repository.
+  kUnimplemented,
+};
+
+/// Returns a stable, human-readable name for `code` ("NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result, modeled after absl::Status.
+///
+/// MetaComm is built without exceptions (the subsystems it glues together
+/// have C-style error reporting, and half the interesting behaviour in the
+/// paper *is* error handling), so every fallible operation returns a
+/// Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error code.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status SchemaViolation(std::string msg) {
+    return Status(StatusCode::kSchemaViolation, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace metacomm
+
+/// Propagates a non-OK Status from the enclosing function.
+#define METACOMM_RETURN_IF_ERROR(expr)                \
+  do {                                                \
+    ::metacomm::Status _status = (expr);              \
+    if (!_status.ok()) return _status;                \
+  } while (false)
+
+#define METACOMM_STATUS_CONCAT_INNER_(x, y) x##y
+#define METACOMM_STATUS_CONCAT_(x, y) METACOMM_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a StatusOr<T>), propagating an error status, and
+/// otherwise move-assigns the value into `lhs`.
+#define METACOMM_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto METACOMM_STATUS_CONCAT_(_status_or_, __LINE__) = (rexpr);       \
+  if (!METACOMM_STATUS_CONCAT_(_status_or_, __LINE__).ok())            \
+    return METACOMM_STATUS_CONCAT_(_status_or_, __LINE__).status();    \
+  lhs = std::move(METACOMM_STATUS_CONCAT_(_status_or_, __LINE__)).value()
+
+#endif  // METACOMM_COMMON_STATUS_H_

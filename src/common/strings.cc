@@ -1,0 +1,213 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace metacomm {
+
+namespace {
+
+char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+char AsciiUpper(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), AsciiLower);
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), AsciiUpper);
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && IsSpace(s[begin])) ++begin;
+  while (end > begin && IsSpace(s[end - 1])) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+std::string NormalizeSpace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // Suppress leading spaces.
+  for (char c : s) {
+    if (IsSpace(c)) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (AsciiLower(a[i]) != AsciiLower(b[i])) return false;
+  }
+  return true;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         EqualsIgnoreCase(s.substr(0, prefix.size()), prefix);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(s.substr(start));
+      break;
+    }
+    pieces.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep) {
+  std::vector<std::string> pieces = Split(s, sep);
+  for (std::string& p : pieces) p = Trim(p);
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      break;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  return out;
+}
+
+std::string FormatPercentS(std::string_view fmt,
+                           const std::vector<std::string>& args) {
+  std::string out;
+  size_t next_arg = 0;
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] == '%' && i + 1 < fmt.size()) {
+      if (fmt[i + 1] == 's') {
+        if (next_arg < args.size()) out.append(args[next_arg]);
+        ++next_arg;
+        ++i;
+        continue;
+      }
+      if (fmt[i + 1] == '%') {
+        out.push_back('%');
+        ++i;
+        continue;
+      }
+    }
+    out.push_back(fmt[i]);
+  }
+  return out;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return c >= '0' && c <= '9';
+  });
+}
+
+namespace {
+
+bool GlobMatchImpl(std::string_view pattern, std::string_view text,
+                   bool fold_case) {
+  // Iterative matcher with single-star backtracking.
+  size_t p = 0, t = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  auto eq = [fold_case](char a, char b) {
+    return fold_case ? AsciiLower(a) == AsciiLower(b) : a == b;
+  };
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || eq(pattern[p], text[t]))) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  return GlobMatchImpl(pattern, text, /*fold_case=*/false);
+}
+
+bool GlobMatchIgnoreCase(std::string_view pattern, std::string_view text) {
+  return GlobMatchImpl(pattern, text, /*fold_case=*/true);
+}
+
+bool CaseInsensitiveLess::operator()(std::string_view a,
+                                     std::string_view b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    char ca = AsciiLower(a[i]);
+    char cb = AsciiLower(b[i]);
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace metacomm

@@ -1,0 +1,83 @@
+#ifndef METACOMM_COMMON_STRINGS_H_
+#define METACOMM_COMMON_STRINGS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metacomm {
+
+/// String helpers shared across the LDAP substrate, the lexpress VM and
+/// the device protocol parsers. LDAP attribute handling is pervasively
+/// case-insensitive (caseIgnoreMatch), so the case-folding helpers here
+/// define *the* canonical folding used for DN normalization, attribute
+/// name lookup and filter evaluation.
+
+/// Returns `s` with ASCII letters lower-cased.
+std::string ToLower(std::string_view s);
+
+/// Returns `s` with ASCII letters upper-cased.
+std::string ToUpper(std::string_view s);
+
+/// Returns `s` without leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Returns `s` with runs of internal whitespace collapsed to single
+/// spaces and leading/trailing whitespace removed. This is the
+/// "insignificant space" handling LDAP matching rules prescribe.
+std::string NormalizeSpace(std::string_view s);
+
+/// Case-insensitive equality over ASCII.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `s` begins with `prefix`, ignoring ASCII case.
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// Splits `s` on every occurrence of `sep`; an empty input yields one
+/// empty piece, matching the behaviour of most split utilities.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits and trims each piece; empty pieces are kept.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// printf-lite used by lexpress' format() builtin: each "%s" in `fmt` is
+/// replaced by the next element of `args`; "%%" yields a literal '%'.
+/// Surplus placeholders render as empty strings.
+std::string FormatPercentS(std::string_view fmt,
+                           const std::vector<std::string>& args);
+
+/// True if all characters of non-empty `s` are ASCII digits.
+bool IsAllDigits(std::string_view s);
+
+/// Simple glob match supporting '*' (any run) and '?' (any one char).
+/// Used by LDAP substring filters and lexpress patterns.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+/// Case-insensitive glob match.
+bool GlobMatchIgnoreCase(std::string_view pattern, std::string_view text);
+
+/// Functor pair for case-insensitive keyed containers
+/// (std::map<std::string, V, CaseInsensitiveLess>).
+struct CaseInsensitiveLess {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const;
+};
+
+}  // namespace metacomm
+
+#endif  // METACOMM_COMMON_STRINGS_H_

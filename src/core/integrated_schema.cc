@@ -1,0 +1,115 @@
+#include "core/integrated_schema.h"
+
+#include "common/strings.h"
+
+namespace metacomm::core {
+
+const char* const kDefinityAttributes[] = {
+    "DefinityExtension",    "DefinityCos",     "DefinityRoom",
+    "DefinityCoveragePath", "DefinitySetType", "DefinityPort",
+    "DefinityPbxName",
+};
+const size_t kDefinityAttributeCount =
+    sizeof(kDefinityAttributes) / sizeof(kDefinityAttributes[0]);
+
+const char* const kMpAttributes[] = {
+    "MpMailboxNumber", "MpSubscriberId", "MpPin",
+    "MpGreeting",      "MpPlatformName",
+};
+const size_t kMpAttributeCount =
+    sizeof(kMpAttributes) / sizeof(kMpAttributes[0]);
+
+ldap::Schema BuildIntegratedSchema() {
+  ldap::Schema schema = ldap::Schema::Standard();
+
+  auto attr = [&schema](std::string name, bool single = false) {
+    ldap::AttributeTypeDef def;
+    def.name = std::move(name);
+    def.syntax = ldap::AttributeSyntax::kDirectoryString;
+    def.single_valued = single;
+    Status s = schema.AddAttributeType(std::move(def));
+    (void)s;  // Definitions below are statically unique.
+  };
+
+  for (size_t i = 0; i < kDefinityAttributeCount; ++i) {
+    attr(kDefinityAttributes[i]);
+  }
+  for (size_t i = 0; i < kMpAttributeCount; ++i) {
+    attr(kMpAttributes[i]);
+  }
+  attr(kLastUpdaterAttr, /*single=*/true);
+  attr("errorText");
+  attr("errorOp", /*single=*/true);
+  attr("errorTarget", /*single=*/true);
+  attr("errorTime", /*single=*/true);
+  attr("monitorInfo");  // "counter=value" strings, cn=monitor subtree.
+
+  auto cls = [&schema](std::string name, ldap::ObjectClassKind kind,
+                       std::string superior,
+                       std::vector<std::string> must,
+                       std::vector<std::string> may) {
+    ldap::ObjectClassDef def;
+    def.name = std::move(name);
+    def.kind = kind;
+    def.superior = std::move(superior);
+    def.must = std::move(must);
+    def.may = std::move(may);
+    Status s = schema.AddObjectClass(std::move(def));
+    (void)s;
+  };
+
+  // Auxiliary classes MUST NOT declare mandatory attributes (§5.2) —
+  // Schema::AddObjectClass enforces it; everything is MAY.
+  {
+    std::vector<std::string> may(kDefinityAttributes,
+                                 kDefinityAttributes +
+                                     kDefinityAttributeCount);
+    cls(kDefinityUserClass, ldap::ObjectClassKind::kAuxiliary, "top", {},
+        std::move(may));
+  }
+  {
+    std::vector<std::string> may(kMpAttributes,
+                                 kMpAttributes + kMpAttributeCount);
+    cls(kMpUserClass, ldap::ObjectClassKind::kAuxiliary, "top", {},
+        std::move(may));
+  }
+  cls(kMetacommObjectClass, ldap::ObjectClassKind::kAuxiliary, "top", {},
+      {kLastUpdaterAttr});
+  cls(kMetacommErrorClass, ldap::ObjectClassKind::kStructural, "top",
+      {"cn"}, {"errorText", "errorOp", "errorTarget", "errorTime",
+               "description"});
+  cls("monitoredObject", ldap::ObjectClassKind::kStructural, "top",
+      {"cn"}, {"monitorInfo", "description"});
+  return schema;
+}
+
+std::vector<std::string> ApplyObjectClasses(ldap::Entry* entry) {
+  std::vector<std::string> added;
+  auto ensure = [entry, &added](const char* cls) {
+    if (!entry->HasObjectClass(cls)) {
+      entry->AddObjectClass(cls);
+      added.push_back(cls);
+    }
+  };
+  ensure("top");
+  ensure("person");
+  ensure("organizationalPerson");
+  ensure("inetOrgPerson");
+
+  bool has_definity = false;
+  for (size_t i = 0; i < kDefinityAttributeCount; ++i) {
+    if (entry->Has(kDefinityAttributes[i])) has_definity = true;
+  }
+  if (has_definity) ensure(kDefinityUserClass);
+
+  bool has_mp = false;
+  for (size_t i = 0; i < kMpAttributeCount; ++i) {
+    if (entry->Has(kMpAttributes[i])) has_mp = true;
+  }
+  if (has_mp) ensure(kMpUserClass);
+
+  if (entry->Has(kLastUpdaterAttr)) ensure(kMetacommObjectClass);
+  return added;
+}
+
+}  // namespace metacomm::core

@@ -1,0 +1,55 @@
+#ifndef METACOMM_CORE_INTEGRATED_SCHEMA_H_
+#define METACOMM_CORE_INTEGRATED_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "ldap/entry.h"
+#include "ldap/schema.h"
+
+namespace metacomm::core {
+
+/// Builds MetaComm's integrated directory schema (paper §5.2).
+///
+/// The design constraints the paper derives from LDAP's lack of
+/// transactions are all observed here:
+///  * everything about a person lives in ONE entry (no person/child
+///    split — parent+child updates cannot be made atomic);
+///  * each integrated device contributes an *auxiliary* object class
+///    (definityUser, mpUser) holding that device's user attributes;
+///  * attribute names are device-prefixed and unique (auxiliary class
+///    fields need unique names, §5.2 footnote);
+///  * auxiliary classes carry no mandatory attributes (LDAP forbids
+///    it), so "has objectclass definityUser" only means the person MAY
+///    use a PBX — code must test DefinityExtension to know (§5.2);
+///  * a metacommObject auxiliary class carries the LastUpdater
+///    bookkeeping attribute that drives conditional updates (§5.4).
+///
+/// Also defined: the metacommError structural class for the error-log
+/// entries the Update Manager writes on failed updates (§4.4).
+ldap::Schema BuildIntegratedSchema();
+
+/// Attributes contributed by the Definity auxiliary class.
+extern const char* const kDefinityAttributes[];
+extern const size_t kDefinityAttributeCount;
+
+/// Attributes contributed by the messaging-platform auxiliary class.
+extern const char* const kMpAttributes[];
+extern const size_t kMpAttributeCount;
+
+/// Object class names.
+inline constexpr char kDefinityUserClass[] = "definityUser";
+inline constexpr char kMpUserClass[] = "mpUser";
+inline constexpr char kMetacommObjectClass[] = "metacommObject";
+inline constexpr char kMetacommErrorClass[] = "metacommError";
+
+/// The LastUpdater attribute (paper §5.4).
+inline constexpr char kLastUpdaterAttr[] = "LastUpdater";
+
+/// Ensures `entry` carries the person structural chain plus whichever
+/// auxiliary classes its attributes require. Returns the classes added.
+std::vector<std::string> ApplyObjectClasses(ldap::Entry* entry);
+
+}  // namespace metacomm::core
+
+#endif  // METACOMM_CORE_INTEGRATED_SCHEMA_H_

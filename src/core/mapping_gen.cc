@@ -1,0 +1,121 @@
+#include "core/mapping_gen.h"
+
+namespace metacomm::core {
+
+std::string GeneratePbxMappings(const PbxMappingParams& params) {
+  const std::string& name = params.name;
+  const std::string d = std::to_string(params.extension_digits);
+  std::string out;
+
+  // Device -> directory. LastUpdater names this switch so the reverse
+  // mapping can detect reapplication (§5.4). The cycle between
+  // telephoneNumber and Extension composes transforms, so fixpoint
+  // detection is deferred to runtime (allow_cycles).
+  out += "mapping " + name + "ToLdap from pbx to ldap {\n";
+  out += "  option target_name = \"ldap\";\n";
+  out += "  option allow_cycles = true;\n";
+  out += "  table CosClass {\n";
+  out += "    \"0\" -> \"basic\";\n";
+  out += "    \"1\" -> \"standard\";\n";
+  out += "    \"2\" -> \"gold\";\n";
+  out += "    \"3\" -> \"executive\";\n";
+  out += "    default -> \"custom\";\n";
+  out += "  }\n";
+  out += "  key Extension -> DefinityExtension;\n";
+  out += "  map \"" + name + "\" -> LastUpdater;\n";
+  out += "  map concat(\"" + params.phone_prefix +
+         "\", Extension) -> telephoneNumber;\n";
+  out += "  map Name -> cn;\n";
+  out += "  map surname(Name) -> sn;\n";
+  out += "  map givenname(Name) -> givenName when contains(Name, \" \");\n";
+  out += "  map Room -> roomNumber;\n";
+  out += "  map Cos -> DefinityCos;\n";
+  out += "  map first(lookup(CosClass, Cos)) -> employeeType;\n";
+  out += "  map CoveragePath -> DefinityCoveragePath;\n";
+  out += "  map SetType -> DefinitySetType;\n";
+  out += "  map Port -> DefinityPort;\n";
+  out += "  map \"" + name + "\" -> DefinityPbxName;\n";
+  out += "}\n\n";
+
+  // Directory -> device. The partition constraint reproduces the
+  // paper's example: this switch "accepts updates for phone numbers
+  // beginning with" phone_prefix + extension_prefix.
+  out += "mapping LdapTo" + name + " from ldap to pbx {\n";
+  out += "  option target_name = \"" + name + "\";\n";
+  out += "  option originator = \"LastUpdater\";\n";
+  out += "  option allow_cycles = true;\n";
+  out += "  table ClassCos {\n";
+  out += "    \"basic\" -> \"0\";\n";
+  out += "    \"standard\" -> \"1\";\n";
+  out += "    \"gold\" -> \"2\";\n";
+  out += "    \"executive\" -> \"3\";\n";
+  out += "  }\n";
+  out += "  partition when prefix(DefinityExtension, \"" +
+         params.extension_prefix + "\") or prefix(telephoneNumber, \"" +
+         params.phone_prefix + params.extension_prefix + "\");\n";
+  // Alternate attribute mappings for Extension: the first satisfied
+  // rule wins — the paper's telephoneNumber-vs-DefinityExtension
+  // conflict resolution (§4.2).
+  out += "  key substr(digits(telephoneNumber), -" + d + ", " + d +
+         ") -> Extension;\n";
+  out += "  map DefinityExtension -> Extension;\n";
+  out += "  map cn -> Name;\n";
+  out += "  map roomNumber -> Room;\n";
+  out += "  map DefinityCos -> Cos;\n";
+  out += "  map first(lookup(ClassCos, employeeType)) -> Cos;\n";
+  out += "  map DefinityCoveragePath -> CoveragePath;\n";
+  out += "  map DefinitySetType -> SetType;\n";
+  out += "  map DefinityPort -> Port;\n";
+  out += "}\n";
+  return out;
+}
+
+std::string GenerateMpMappings(const MpMappingParams& params) {
+  const std::string& name = params.name;
+  const std::string d = std::to_string(params.mailbox_digits);
+  std::string out;
+
+  out += "mapping " + name + "ToLdap from mp to ldap {\n";
+  out += "  option target_name = \"ldap\";\n";
+  out += "  option allow_cycles = true;\n";
+  out += "  key MailboxNumber -> MpMailboxNumber;\n";
+  out += "  map \"" + name + "\" -> LastUpdater;\n";
+  // SubscriberId is device-generated (§5.5); this rule is how it
+  // reaches the directory after the platform assigns it.
+  out += "  map SubscriberId -> MpSubscriberId;\n";
+  out += "  map SubscriberName -> cn;\n";
+  out += "  map Pin -> MpPin;\n";
+  out += "  map Greeting -> MpGreeting;\n";
+  out += "  map \"" + name + "\" -> MpPlatformName;\n";
+  out += "}\n\n";
+
+  // The paper's chained example: "from the telephone number to a voice
+  // mailbox identifier in the voice messaging platform" — an extension
+  // change ripples PBX -> telephoneNumber -> MailboxNumber. The
+  // telephone-number rule comes first so it wins over a stale
+  // MpMailboxNumber (alternate attribute mappings, §4.2).
+  std::string from_phone = "substr(digits(telephoneNumber), -" + d + ", " +
+                           d + ")";
+  std::string mailbox_expr =
+      "default(" + from_phone + ", MpMailboxNumber)";
+  out += "mapping LdapTo" + name + " from ldap to mp {\n";
+  out += "  option target_name = \"" + name + "\";\n";
+  out += "  option originator = \"LastUpdater\";\n";
+  out += "  option allow_cycles = true;\n";
+  if (params.extension_prefix.empty()) {
+    out += "  partition when present(MpMailboxNumber) or "
+           "present(telephoneNumber);\n";
+  } else {
+    out += "  partition when prefix(" + mailbox_expr + ", \"" +
+           params.extension_prefix + "\");\n";
+  }
+  out += "  key " + from_phone + " -> MailboxNumber;\n";
+  out += "  map MpMailboxNumber -> MailboxNumber;\n";
+  out += "  map cn -> SubscriberName;\n";
+  out += "  map MpPin -> Pin;\n";
+  out += "  map MpGreeting -> Greeting;\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace metacomm::core

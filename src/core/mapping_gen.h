@@ -1,0 +1,47 @@
+#ifndef METACOMM_CORE_MAPPING_GEN_H_
+#define METACOMM_CORE_MAPPING_GEN_H_
+
+#include <string>
+
+namespace metacomm::core {
+
+/// Parameters for one Definity PBX's mapping pair.
+struct PbxMappingParams {
+  /// Device instance name; becomes LastUpdater / target_name ("pbx1").
+  std::string name = "pbx1";
+  /// Dial-plan prefix of extensions this switch owns ("9").
+  std::string extension_prefix;
+  /// Prefix turning an extension into a full telephone number
+  /// ("+1 908 582 "). telephoneNumber = phone_prefix + extension.
+  std::string phone_prefix = "+1 908 582 ";
+  /// Number of digits in an extension (used to slice telephoneNumber).
+  int extension_digits = 4;
+};
+
+/// Parameters for one messaging platform's mapping pair.
+struct MpMappingParams {
+  std::string name = "mp1";
+  /// Mailbox numbers equal the owner's extension: sliced from
+  /// telephoneNumber with this many digits.
+  int mailbox_digits = 4;
+  /// Optional extension prefix restricting which phones get mailboxes
+  /// on this platform (aligns a platform with a PBX's dial plan).
+  std::string extension_prefix;
+};
+
+/// Generates the lexpress source for a PBX's two mappings (device ->
+/// ldap and ldap -> device).
+///
+/// The paper found hand-writing closely related mappings "repetitive"
+/// and built a GUI generating the description files (§5.4); these
+/// generators are that component. The emitted text is ordinary
+/// lexpress — callers may also write mappings by hand.
+std::string GeneratePbxMappings(const PbxMappingParams& params);
+
+/// Generates the lexpress source for a messaging platform's two
+/// mappings.
+std::string GenerateMpMappings(const MpMappingParams& params);
+
+}  // namespace metacomm::core
+
+#endif  // METACOMM_CORE_MAPPING_GEN_H_

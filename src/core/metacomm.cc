@@ -1,0 +1,179 @@
+#include "core/metacomm.h"
+
+#include "core/integrated_schema.h"
+#include "lexpress/mapping.h"
+
+namespace metacomm::core {
+
+MetaCommSystem::MetaCommSystem(SystemConfig config)
+    : config_(std::move(config)), schema_(BuildIntegratedSchema()) {}
+
+MetaCommSystem::~MetaCommSystem() {
+  if (um_ != nullptr) um_->Stop();
+}
+
+StatusOr<std::unique_ptr<MetaCommSystem>> MetaCommSystem::Create(
+    SystemConfig config) {
+  std::unique_ptr<MetaCommSystem> system(
+      new MetaCommSystem(std::move(config)));
+  METACOMM_RETURN_IF_ERROR(system->Init());
+  return system;
+}
+
+Status MetaCommSystem::Init() {
+  // Directory server + gateway.
+  ldap::ServerConfig server_config;
+  server_config.allow_anonymous_writes = true;  // §7: simple security.
+  server_ = std::make_unique<ldap::LdapServer>(BuildIntegratedSchema(),
+                                               server_config);
+  gateway_ = std::make_unique<ltap::LtapGateway>(server_.get(),
+                                                 config_.gateway);
+
+  // Bootstrap the suffix entries (written directly to the backend —
+  // they exist before MetaComm starts).
+  auto add_container = [this](const std::string& dn_text,
+                              const std::string& object_class,
+                              const std::string& naming_attr,
+                              const std::string& naming_value) -> Status {
+    METACOMM_ASSIGN_OR_RETURN(ldap::Dn dn, ldap::Dn::Parse(dn_text));
+    ldap::Entry entry(std::move(dn));
+    entry.AddObjectClass("top");
+    entry.AddObjectClass(object_class);
+    entry.SetOne(naming_attr, naming_value);
+    Status status = server_->backend().Add(entry);
+    if (status.code() == StatusCode::kAlreadyExists) return Status::Ok();
+    return status;
+  };
+  {
+    METACOMM_ASSIGN_OR_RETURN(ldap::Dn suffix,
+                              ldap::Dn::Parse(config_.suffix));
+    const ldap::Ava& ava = suffix.leaf().avas().front();
+    std::string cls = EqualsIgnoreCase(ava.attribute, "ou")
+                          ? "organizationalUnit"
+                          : "organization";
+    METACOMM_RETURN_IF_ERROR(
+        add_container(config_.suffix, cls, ava.attribute, ava.value));
+  }
+  {
+    METACOMM_ASSIGN_OR_RETURN(ldap::Dn people,
+                              ldap::Dn::Parse(config_.people_base));
+    const ldap::Ava& ava = people.leaf().avas().front();
+    METACOMM_RETURN_IF_ERROR(add_container(
+        config_.people_base, "organizationalUnit", ava.attribute,
+        ava.value));
+  }
+  if (!config_.errors_base.empty()) {
+    METACOMM_ASSIGN_OR_RETURN(ldap::Dn errors,
+                              ldap::Dn::Parse(config_.errors_base));
+    const ldap::Ava& ava = errors.leaf().avas().front();
+    METACOMM_RETURN_IF_ERROR(add_container(
+        config_.errors_base, kMetacommErrorClass, ava.attribute,
+        ava.value));
+  }
+
+  // LDAP filter + Update Manager.
+  LdapFilterConfig filter_config;
+  filter_config.people_base = config_.people_base;
+  ldap_filter_ =
+      std::make_unique<LdapFilter>(gateway_.get(), filter_config);
+  UpdateManagerConfig um_config = config_.um;
+  um_config.error_base = config_.errors_base;
+  um_ = std::make_unique<UpdateManager>(gateway_.get(), ldap_filter_.get(),
+                                        um_config);
+
+  // Devices and their filters.
+  for (const PbxMappingParams& params : config_.pbxs) {
+    devices::PbxConfig pbx_config;
+    pbx_config.name = params.name;
+    if (!params.extension_prefix.empty()) {
+      pbx_config.extension_prefixes = {params.extension_prefix};
+    }
+    auto pbx = std::make_unique<devices::DefinityPbx>(pbx_config);
+
+    METACOMM_ASSIGN_OR_RETURN(
+        std::vector<lexpress::Mapping> mappings,
+        lexpress::CompileMappings(GeneratePbxMappings(params)));
+    if (mappings.size() != 2) {
+      return Status::Internal("expected a mapping pair for " + params.name);
+    }
+    auto filter = std::make_unique<DeviceFilter>(
+        pbx.get(),
+        std::make_unique<PbxProtocolConverter>(pbx.get()),
+        std::move(mappings[0]), std::move(mappings[1]), "Extension");
+    um_->AddDeviceFilter(filter.get());
+    pbxs_.push_back(std::move(pbx));
+    filters_.push_back(std::move(filter));
+  }
+  for (const MpMappingParams& params : config_.mps) {
+    devices::MpConfig mp_config;
+    mp_config.name = params.name;
+    auto mp = std::make_unique<devices::MessagingPlatform>(mp_config);
+
+    METACOMM_ASSIGN_OR_RETURN(
+        std::vector<lexpress::Mapping> mappings,
+        lexpress::CompileMappings(GenerateMpMappings(params)));
+    if (mappings.size() != 2) {
+      return Status::Internal("expected a mapping pair for " + params.name);
+    }
+    auto filter = std::make_unique<DeviceFilter>(
+        mp.get(), std::make_unique<MpProtocolConverter>(mp.get()),
+        std::move(mappings[0]), std::move(mappings[1]), "MailboxNumber");
+    um_->AddDeviceFilter(filter.get());
+    mps_.push_back(std::move(mp));
+    filters_.push_back(std::move(filter));
+  }
+
+  METACOMM_RETURN_IF_ERROR(um_->ValidateMappings());
+  METACOMM_RETURN_IF_ERROR(um_->InstallTrigger(config_.people_base));
+  monitor_ = std::make_unique<MonitorPublisher>(
+      server_.get(), gateway_.get(), um_.get(), config_.suffix);
+  if (config_.um.threaded) um_->Start();
+  return Status::Ok();
+}
+
+devices::DefinityPbx* MetaCommSystem::pbx(const std::string& name) {
+  for (auto& pbx : pbxs_) {
+    if (EqualsIgnoreCase(pbx->name(), name)) return pbx.get();
+  }
+  return nullptr;
+}
+
+devices::MessagingPlatform* MetaCommSystem::mp(const std::string& name) {
+  for (auto& mp : mps_) {
+    if (EqualsIgnoreCase(mp->name(), name)) return mp.get();
+  }
+  return nullptr;
+}
+
+DeviceFilter* MetaCommSystem::filter(const std::string& name) {
+  for (auto& filter : filters_) {
+    if (EqualsIgnoreCase(filter->name(), name)) return filter.get();
+  }
+  return nullptr;
+}
+
+ldap::Client MetaCommSystem::NewClient() {
+  ldap::Client client(gateway_.get());
+  client.set_session_id(gateway_->NewSession());
+  return client;
+}
+
+Status MetaCommSystem::AddPerson(
+    const std::string& cn,
+    const std::vector<std::pair<std::string, std::string>>& extra_attrs) {
+  ldap::Client client = NewClient();
+  METACOMM_ASSIGN_OR_RETURN(ldap::Dn base,
+                            ldap::Dn::Parse(config_.people_base));
+  ldap::Entry entry(base.Child(ldap::Rdn("cn", cn)));
+  entry.SetOne("cn", cn);
+  size_t space = cn.find_last_of(' ');
+  entry.SetOne("sn", space == std::string::npos ? cn
+                                                : cn.substr(space + 1));
+  for (const auto& [attr, value] : extra_attrs) {
+    entry.AddValue(attr, value);
+  }
+  ApplyObjectClasses(&entry);
+  return client.Add(entry);
+}
+
+}  // namespace metacomm::core

@@ -1,0 +1,106 @@
+#ifndef METACOMM_CORE_METACOMM_H_
+#define METACOMM_CORE_METACOMM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/device_filter.h"
+#include "core/ldap_filter.h"
+#include "core/mapping_gen.h"
+#include "core/monitor.h"
+#include "core/update_manager.h"
+#include "devices/definity_pbx.h"
+#include "devices/messaging_platform.h"
+#include "ldap/client.h"
+#include "ldap/server.h"
+#include "ltap/gateway.h"
+
+namespace metacomm::core {
+
+/// Deployment-level configuration of a MetaComm instance.
+struct SystemConfig {
+  /// Directory suffix and the standard containers beneath it.
+  std::string suffix = "o=Lucent";
+  std::string people_base = "ou=People,o=Lucent";
+  std::string errors_base = "cn=errors,o=Lucent";
+
+  /// PBXs to instantiate. Default: the paper's single Definity
+  /// ("pbx1", any extension, numbers under +1 908 582).
+  std::vector<PbxMappingParams> pbxs = {PbxMappingParams{}};
+  /// Messaging platforms to instantiate. Default: one platform "mp1".
+  std::vector<MpMappingParams> mps = {MpMappingParams{}};
+
+  /// Update Manager settings (threading, ablations, extensions).
+  UpdateManagerConfig um;
+  /// Gateway settings (lock/quiesce timeouts, ablations).
+  ltap::GatewayConfig gateway;
+};
+
+/// A fully assembled MetaComm deployment (paper Figure 1): LDAP server
+/// behind an LTAP gateway, one filter per device, and the Update
+/// Manager wiring them together. This is the top-level object the
+/// examples and benchmarks instantiate.
+///
+/// Clients administer everything through LDAP against gateway() — "any
+/// LDAP tool can contact LTAP to administer the telecom devices" (§4) —
+/// while device administrators keep using each device's proprietary
+/// command interface; MetaComm keeps both sides consistent.
+class MetaCommSystem {
+ public:
+  /// Builds and wires a full deployment; creates the suffix entries
+  /// and installs the UM trigger. Fails if the generated mappings do
+  /// not validate.
+  static StatusOr<std::unique_ptr<MetaCommSystem>> Create(
+      SystemConfig config);
+
+  ~MetaCommSystem();
+
+  /// The service clients should talk to (the LTAP gateway).
+  ltap::LtapGateway& gateway() { return *gateway_; }
+
+  /// The raw directory server (reads bypassing the gateway, tests).
+  ldap::LdapServer& server() { return *server_; }
+
+  UpdateManager& update_manager() { return *um_; }
+  LdapFilter& ldap_filter() { return *ldap_filter_; }
+
+  /// cn=monitor publisher; call Refresh() then browse via LDAP.
+  MonitorPublisher& monitor() { return *monitor_; }
+
+  /// Devices by name; nullptr when unknown.
+  devices::DefinityPbx* pbx(const std::string& name);
+  devices::MessagingPlatform* mp(const std::string& name);
+  DeviceFilter* filter(const std::string& name);
+
+  /// A new LDAP client session against the gateway (what the WBA and
+  /// other tools use). Each client gets its own LTAP session id.
+  ldap::Client NewClient();
+
+  /// Convenience: adds a person entry (inetOrgPerson under
+  /// people_base) through the gateway, triggering full propagation.
+  Status AddPerson(const std::string& cn,
+                   const std::vector<std::pair<std::string, std::string>>&
+                       extra_attrs = {});
+
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  explicit MetaCommSystem(SystemConfig config);
+  Status Init();
+
+  SystemConfig config_;
+  ldap::Schema schema_;
+  std::unique_ptr<ldap::LdapServer> server_;
+  std::unique_ptr<ltap::LtapGateway> gateway_;
+  std::unique_ptr<LdapFilter> ldap_filter_;
+  std::vector<std::unique_ptr<devices::DefinityPbx>> pbxs_;
+  std::vector<std::unique_ptr<devices::MessagingPlatform>> mps_;
+  std::vector<std::unique_ptr<DeviceFilter>> filters_;
+  std::unique_ptr<UpdateManager> um_;
+  std::unique_ptr<MonitorPublisher> monitor_;
+};
+
+}  // namespace metacomm::core
+
+#endif  // METACOMM_CORE_METACOMM_H_

@@ -1,0 +1,84 @@
+#include "core/monitor.h"
+
+namespace metacomm::core {
+
+MonitorPublisher::MonitorPublisher(ldap::LdapServer* server,
+                                   ltap::LtapGateway* gateway,
+                                   UpdateManager* update_manager,
+                                   std::string suffix)
+    : server_(server),
+      gateway_(gateway),
+      update_manager_(update_manager),
+      suffix_(std::move(suffix)) {}
+
+Status MonitorPublisher::Publish(
+    const std::string& name,
+    const std::vector<std::pair<std::string, uint64_t>>& counters) {
+  METACOMM_ASSIGN_OR_RETURN(ldap::Dn base, ldap::Dn::Parse(base_dn()));
+  ldap::Dn dn = base.Child(ldap::Rdn("cn", name));
+
+  std::vector<std::string> info;
+  info.reserve(counters.size());
+  for (const auto& [key, value] : counters) {
+    info.push_back(key + "=" + std::to_string(value));
+  }
+
+  if (server_->backend().Exists(dn)) {
+    ldap::Modification replace;
+    replace.type = ldap::Modification::Type::kReplace;
+    replace.attribute = "monitorInfo";
+    replace.values = std::move(info);
+    return server_->backend().Modify(dn, {std::move(replace)});
+  }
+  ldap::Entry entry(std::move(dn));
+  entry.AddObjectClass("top");
+  entry.AddObjectClass("monitoredObject");
+  entry.SetOne("cn", name);
+  entry.Set("monitorInfo", std::move(info));
+  return server_->backend().Add(entry);
+}
+
+Status MonitorPublisher::Refresh() {
+  // Container.
+  METACOMM_ASSIGN_OR_RETURN(ldap::Dn base, ldap::Dn::Parse(base_dn()));
+  if (!server_->backend().Exists(base)) {
+    ldap::Entry container(base);
+    container.AddObjectClass("top");
+    container.AddObjectClass("monitoredObject");
+    container.SetOne("cn", "monitor");
+    container.SetOne("description",
+                     "MetaComm runtime statistics; refresh to update");
+    METACOMM_RETURN_IF_ERROR(server_->backend().Add(container));
+  }
+
+  ltap::LtapGateway::Stats gateway_stats = gateway_->stats();
+  METACOMM_RETURN_IF_ERROR(Publish(
+      "gateway",
+      {{"updates", gateway_stats.updates},
+       {"reads", gateway_stats.reads},
+       {"internalOps", gateway_stats.internal_ops},
+       {"triggersFired", gateway_stats.triggers_fired},
+       {"vetoes", gateway_stats.vetoes},
+       {"quiesceWaits", gateway_stats.quiesce_waits},
+       {"contendedLocks",
+        gateway_->lock_table().contended_acquisitions()}}));
+
+  UpdateManager::Stats um_stats = update_manager_->stats();
+  METACOMM_RETURN_IF_ERROR(Publish(
+      "update-manager",
+      {{"ldapUpdates", um_stats.ldap_updates},
+       {"deviceUpdates", um_stats.device_updates},
+       {"deviceApplies", um_stats.device_applies},
+       {"reapplications", um_stats.reapplications},
+       {"generatedInfo", um_stats.generated_info},
+       {"errors", um_stats.errors},
+       {"undos", um_stats.undos},
+       {"closureIterations", um_stats.closure_iterations},
+       {"syncs", um_stats.syncs}}));
+
+  return Publish("directory",
+                 {{"entries", server_->backend().Size()},
+                  {"changes", server_->backend().ChangeCount()}});
+}
+
+}  // namespace metacomm::core

@@ -1,0 +1,54 @@
+#ifndef METACOMM_CORE_MONITOR_H_
+#define METACOMM_CORE_MONITOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/update_manager.h"
+#include "ldap/server.h"
+#include "ltap/gateway.h"
+
+namespace metacomm::core {
+
+/// Publishes MetaComm runtime statistics as directory entries under
+/// cn=monitor,<suffix> — the directory-native monitoring idiom (real
+/// servers expose cn=monitor the same way). Administrators browse the
+/// meta-directory's own health with the same LDAP tools they use for
+/// everything else.
+///
+/// Layout:
+///   cn=monitor,<suffix>                    (container)
+///   cn=gateway,cn=monitor,<suffix>         LTAP counters
+///   cn=update-manager,cn=monitor,<suffix>  UM counters
+///   cn=directory,cn=monitor,<suffix>       backend size/changes
+///
+/// Counters are point-in-time snapshots; call Refresh() to update.
+/// Writes go straight to the backend (monitor data is operational, not
+/// integrated user data — it must not trigger propagation).
+class MonitorPublisher {
+ public:
+  /// None of the pointers are owned; all must outlive the publisher.
+  MonitorPublisher(ldap::LdapServer* server, ltap::LtapGateway* gateway,
+                   UpdateManager* update_manager, std::string suffix);
+
+  /// Creates/updates the monitor entries with current counters.
+  Status Refresh();
+
+  /// DN of the monitor container.
+  std::string base_dn() const { return "cn=monitor," + suffix_; }
+
+ private:
+  /// Upserts one monitor entry with the given counter attributes.
+  Status Publish(const std::string& name,
+                 const std::vector<std::pair<std::string, uint64_t>>&
+                     counters);
+
+  ldap::LdapServer* server_;
+  ltap::LtapGateway* gateway_;
+  UpdateManager* update_manager_;
+  std::string suffix_;
+};
+
+}  // namespace metacomm::core
+
+#endif  // METACOMM_CORE_MONITOR_H_

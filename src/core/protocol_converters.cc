@@ -1,0 +1,195 @@
+#include "core/protocol_converters.h"
+
+#include "common/strings.h"
+
+namespace metacomm::core {
+
+namespace {
+
+/// Parses "Field: value" display output into a record.
+lexpress::Record ParseColonLines(const std::string& text,
+                                 const std::string& schema) {
+  lexpress::Record record(schema);
+  for (const std::string& line : Split(text, '\n')) {
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string field = Trim(line.substr(0, colon));
+    std::string value = Trim(line.substr(colon + 1));
+    if (!field.empty() && !value.empty()) record.SetOne(field, value);
+  }
+  return record;
+}
+
+/// Parses "Field=value" show output into a record.
+lexpress::Record ParseEqualsLines(const std::string& text,
+                                  const std::string& schema) {
+  lexpress::Record record(schema);
+  for (const std::string& line : Split(text, '\n')) {
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string field = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    if (!field.empty() && !value.empty()) record.SetOne(field, value);
+  }
+  return record;
+}
+
+}  // namespace
+
+std::string PbxProtocolConverter::RenderFields(
+    const lexpress::Record& record) {
+  std::string out;
+  for (const auto& [field, value] : record.attrs()) {
+    if (EqualsIgnoreCase(field, "Extension")) continue;
+    if (value.empty()) continue;
+    out += " " + field + " ";
+    const std::string& v = value.front();
+    if (v.find(' ') != std::string::npos) {
+      out += "\"" + v + "\"";
+    } else {
+      out += v;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::optional<lexpress::Record>> PbxProtocolConverter::Get(
+    const std::string& key) {
+  StatusOr<std::string> reply =
+      device_->ExecuteCommand("display station " + key);
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kNotFound) {
+      return std::optional<lexpress::Record>();
+    }
+    return reply.status();
+  }
+  return std::optional<lexpress::Record>(
+      ParseColonLines(*reply, device_->schema()));
+}
+
+Status PbxProtocolConverter::Add(const lexpress::Record& record) {
+  std::string command = "add station " + record.GetFirst("Extension") +
+                        RenderFields(record);
+  return device_->ExecuteCommand(command).status();
+}
+
+Status PbxProtocolConverter::Modify(const std::string& key,
+                                    const lexpress::Record& record) {
+  std::string command = "change station " + key + RenderFields(record);
+  // Modify carries the full desired image: fields the station holds
+  // but the image lacks are cleared (empty quoted value).
+  METACOMM_ASSIGN_OR_RETURN(std::optional<lexpress::Record> current,
+                            Get(key));
+  if (current.has_value()) {
+    for (const auto& [field, value] : current->attrs()) {
+      if (EqualsIgnoreCase(field, "Extension")) continue;
+      if (!record.Has(field)) command += " " + field + " \"\"";
+    }
+  }
+  // A key change rides along as an explicit Extension field.
+  std::string new_key = record.GetFirst("Extension");
+  if (!new_key.empty() && new_key != key) {
+    command += " Extension " + new_key;
+  }
+  return device_->ExecuteCommand(command).status();
+}
+
+Status PbxProtocolConverter::Delete(const std::string& key) {
+  return device_->ExecuteCommand("remove station " + key).status();
+}
+
+StatusOr<std::vector<lexpress::Record>> PbxProtocolConverter::DumpAll() {
+  METACOMM_ASSIGN_OR_RETURN(std::string listing,
+                            device_->ExecuteCommand("list station"));
+  std::vector<lexpress::Record> out;
+  for (const std::string& line : Split(listing, '\n')) {
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::string extension = Split(trimmed, ' ').front();
+    METACOMM_ASSIGN_OR_RETURN(std::optional<lexpress::Record> record,
+                              Get(extension));
+    if (record.has_value()) out.push_back(std::move(*record));
+  }
+  return out;
+}
+
+std::string MpProtocolConverter::RenderAssignments(
+    const lexpress::Record& record) {
+  std::string out;
+  for (const auto& [field, value] : record.attrs()) {
+    if (EqualsIgnoreCase(field, "MailboxNumber")) continue;
+    if (EqualsIgnoreCase(field, "SubscriberId")) continue;  // Generated.
+    if (value.empty()) continue;
+    const std::string& v = value.front();
+    out += " " + field + "=";
+    if (v.find(' ') != std::string::npos) {
+      out += "\"" + v + "\"";
+    } else {
+      out += v;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::optional<lexpress::Record>> MpProtocolConverter::Get(
+    const std::string& key) {
+  StatusOr<std::string> reply =
+      device_->ExecuteCommand("SHOW MAILBOX " + key);
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kNotFound) {
+      return std::optional<lexpress::Record>();
+    }
+    return reply.status();
+  }
+  return std::optional<lexpress::Record>(
+      ParseEqualsLines(*reply, device_->schema()));
+}
+
+Status MpProtocolConverter::Add(const lexpress::Record& record) {
+  std::string command = "ADD MAILBOX " + record.GetFirst("MailboxNumber") +
+                        RenderAssignments(record);
+  return device_->ExecuteCommand(command).status();
+}
+
+Status MpProtocolConverter::Modify(const std::string& key,
+                                   const lexpress::Record& record) {
+  std::string command = "MODIFY MAILBOX " + key +
+                        RenderAssignments(record);
+  METACOMM_ASSIGN_OR_RETURN(std::optional<lexpress::Record> current,
+                            Get(key));
+  if (current.has_value()) {
+    for (const auto& [field, value] : current->attrs()) {
+      if (EqualsIgnoreCase(field, "MailboxNumber") ||
+          EqualsIgnoreCase(field, "SubscriberId")) {
+        continue;
+      }
+      if (!record.Has(field)) command += " " + field + "=\"\"";
+    }
+  }
+  std::string new_key = record.GetFirst("MailboxNumber");
+  if (!new_key.empty() && new_key != key) {
+    command += " MailboxNumber=" + new_key;
+  }
+  return device_->ExecuteCommand(command).status();
+}
+
+Status MpProtocolConverter::Delete(const std::string& key) {
+  return device_->ExecuteCommand("DELETE MAILBOX " + key).status();
+}
+
+StatusOr<std::vector<lexpress::Record>> MpProtocolConverter::DumpAll() {
+  METACOMM_ASSIGN_OR_RETURN(std::string listing,
+                            device_->ExecuteCommand("LIST MAILBOXES"));
+  std::vector<lexpress::Record> out;
+  for (const std::string& line : Split(listing, '\n')) {
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::string number = Split(trimmed, ' ').front();
+    METACOMM_ASSIGN_OR_RETURN(std::optional<lexpress::Record> record,
+                              Get(number));
+    if (record.has_value()) out.push_back(std::move(*record));
+  }
+  return out;
+}
+
+}  // namespace metacomm::core

@@ -1,0 +1,86 @@
+#ifndef METACOMM_CORE_PROTOCOL_CONVERTERS_H_
+#define METACOMM_CORE_PROTOCOL_CONVERTERS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "devices/device.h"
+#include "lexpress/record.h"
+
+namespace metacomm::core {
+
+/// Protocol converter interface: "provides a unified API for all
+/// repositories" (paper §4.1) — get by key, add/modify/delete, full
+/// retrieval — while speaking each repository's proprietary protocol
+/// underneath.
+class ProtocolConverter {
+ public:
+  virtual ~ProtocolConverter() = default;
+
+  virtual StatusOr<std::optional<lexpress::Record>> Get(
+      const std::string& key) = 0;
+  virtual Status Add(const lexpress::Record& record) = 0;
+
+  /// Makes the repository's record match `record` exactly: fields in
+  /// the record are set, fields the repository holds but the record
+  /// lacks are cleared (device-generated fields excepted). The mapper
+  /// always produces full images, so Modify is image replacement, not
+  /// a merge — attribute removals must propagate (a checked-out hotel
+  /// desk's port must leave the station).
+  virtual Status Modify(const std::string& key,
+                        const lexpress::Record& record) = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  virtual StatusOr<std::vector<lexpress::Record>> DumpAll() = 0;
+};
+
+/// Speaks the Definity's OSSI-style line protocol ("add station ...").
+/// All mutations go through Device::ExecuteCommand — the same interface
+/// a human administrator's terminal uses — so MetaComm exercises the
+/// legacy path rather than a privileged backdoor.
+class PbxProtocolConverter : public ProtocolConverter {
+ public:
+  /// `device` is not owned and must outlive the converter.
+  explicit PbxProtocolConverter(devices::Device* device)
+      : device_(device) {}
+
+  StatusOr<std::optional<lexpress::Record>> Get(
+      const std::string& key) override;
+  Status Add(const lexpress::Record& record) override;
+  Status Modify(const std::string& key,
+                const lexpress::Record& record) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<std::vector<lexpress::Record>> DumpAll() override;
+
+ private:
+  /// Renders "Field value" pairs with quoting for the OSSI line.
+  static std::string RenderFields(const lexpress::Record& record);
+
+  devices::Device* device_;
+};
+
+/// Speaks the messaging platform's keyword protocol
+/// ("ADD MAILBOX 4567 SubscriberName=...").
+class MpProtocolConverter : public ProtocolConverter {
+ public:
+  explicit MpProtocolConverter(devices::Device* device)
+      : device_(device) {}
+
+  StatusOr<std::optional<lexpress::Record>> Get(
+      const std::string& key) override;
+  Status Add(const lexpress::Record& record) override;
+  Status Modify(const std::string& key,
+                const lexpress::Record& record) override;
+  Status Delete(const std::string& key) override;
+  StatusOr<std::vector<lexpress::Record>> DumpAll() override;
+
+ private:
+  static std::string RenderAssignments(const lexpress::Record& record);
+
+  devices::Device* device_;
+};
+
+}  // namespace metacomm::core
+
+#endif  // METACOMM_CORE_PROTOCOL_CONVERTERS_H_

@@ -1,0 +1,62 @@
+#ifndef METACOMM_CORE_REPOSITORY_FILTER_H_
+#define METACOMM_CORE_REPOSITORY_FILTER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lexpress/mapping.h"
+#include "lexpress/record.h"
+
+namespace metacomm::core {
+
+/// A MetaComm filter: the per-repository wrapper combining a *protocol
+/// converter* (speaks the repository's native interface) and a *mapper*
+/// (the pair of lexpress mappings between the repository schema and the
+/// integrated LDAP schema) — paper §4.1.
+///
+/// "This separation between protocol and mapping allows
+/// protocol-specific software to be reused with varying schema": the
+/// converter classes know nothing about mappings, and the mappings are
+/// plain lexpress text swapped per instance.
+class RepositoryFilter {
+ public:
+  virtual ~RepositoryFilter() = default;
+
+  /// Repository instance name ("pbx1", "mp1"); doubles as the lexpress
+  /// update source and LastUpdater value.
+  virtual const std::string& name() const = 0;
+
+  /// lexpress schema of this repository's records.
+  virtual const std::string& schema() const = 0;
+
+  /// Mapping repository-schema -> integrated LDAP schema.
+  virtual const lexpress::Mapping& to_ldap() const = 0;
+
+  /// Mapping integrated LDAP schema -> repository schema.
+  virtual const lexpress::Mapping& from_ldap() const = 0;
+
+  /// Applies a translated update descriptor (already in this
+  /// repository's schema) through the protocol converter, honoring the
+  /// descriptor's conditional flag (§5.4 reapply semantics). Returns
+  /// the repository's resulting record — which may contain
+  /// device-generated information the Update Manager must propagate
+  /// (§5.5); returns an empty record for deletes.
+  virtual StatusOr<lexpress::Record> Apply(
+      const lexpress::UpdateDescriptor& update) = 0;
+
+  /// Fetches the record with the given key value; nullopt when absent.
+  virtual StatusOr<std::optional<lexpress::Record>> Fetch(
+      const std::string& key) = 0;
+
+  /// Full dump for synchronization (§4.1).
+  virtual StatusOr<std::vector<lexpress::Record>> DumpAll() = 0;
+
+  /// Name of the key attribute in this repository's schema.
+  virtual const std::string& key_attr() const = 0;
+};
+
+}  // namespace metacomm::core
+
+#endif  // METACOMM_CORE_REPOSITORY_FILTER_H_

@@ -1,0 +1,761 @@
+#include "core/update_manager.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "core/device_filter.h"
+#include "core/integrated_schema.h"
+
+namespace metacomm::core {
+
+namespace {
+
+/// Merges `overlay`'s attributes onto `base` (overlay wins).
+lexpress::Record MergeRecords(const lexpress::Record& base,
+                              const lexpress::Record& overlay) {
+  lexpress::Record out = base;
+  out.set_schema(base.schema().empty() ? overlay.schema() : base.schema());
+  for (const auto& [attr, value] : overlay.attrs()) {
+    out.Set(attr, value);
+  }
+  return out;
+}
+
+}  // namespace
+
+UpdateManager::UpdateManager(ltap::LtapGateway* gateway,
+                             LdapFilter* ldap_filter,
+                             UpdateManagerConfig config)
+    : gateway_(gateway), ldap_filter_(ldap_filter), config_(config) {
+  um_session_ = gateway_->NewSession();
+}
+
+UpdateManager::~UpdateManager() { Stop(); }
+
+void UpdateManager::AddDeviceFilter(RepositoryFilter* filter) {
+  filters_.push_back(filter);
+  mappings_.Add(filter->to_ldap());
+  mappings_.Add(filter->from_ldap());
+  if (auto* device_filter = dynamic_cast<DeviceFilter*>(filter)) {
+    device_filter->SetDduHandler(
+        [this](lexpress::UpdateDescriptor update) {
+          SubmitDeviceUpdate(std::move(update));
+        });
+  }
+}
+
+Status UpdateManager::ValidateMappings() const {
+  return mappings_.Validate();
+}
+
+Status UpdateManager::InstallTrigger(const std::string& base_dn) {
+  METACOMM_ASSIGN_OR_RETURN(ldap::Dn base, ldap::Dn::Parse(base_dn));
+  ltap::TriggerSpec spec;
+  spec.name = "metacomm-um";
+  spec.base = std::move(base);
+  spec.ops = ltap::kTriggerAll;
+  spec.timing = ltap::TriggerTiming::kAfter;
+  spec.server = this;
+  gateway_->RegisterTrigger(std::move(spec));
+  return Status::Ok();
+}
+
+void UpdateManager::Start() {
+  if (!config_.threaded || running_.load()) return;
+  running_.store(true);
+  coordinator_ = std::thread([this] { CoordinatorLoop(); });
+}
+
+void UpdateManager::Stop() {
+  if (!running_.load()) return;
+  running_.store(false);
+  queue_.Close();
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+void UpdateManager::CoordinatorLoop() {
+  // "The main thread of the UM, the coordinator, iterates through the
+  // global update queue" (§4.4).
+  while (true) {
+    std::optional<WorkItem> item = queue_.Pop();
+    if (!item.has_value()) return;  // Closed and drained.
+    Status status = ProcessItem(*item);
+    if (item->done) item->done->set_value(status);
+  }
+}
+
+size_t UpdateManager::Pump() {
+  size_t processed = 0;
+  while (true) {
+    std::optional<WorkItem> item = queue_.TryPop();
+    if (!item.has_value()) break;
+    Status status = ProcessItem(*item);
+    if (item->done) item->done->set_value(status);
+    ++processed;
+  }
+  return processed;
+}
+
+void UpdateManager::SubmitDeviceUpdate(lexpress::UpdateDescriptor update) {
+  if (config_.threaded) {
+    // Translate and lock on THIS thread (the device's notification
+    // thread) so the coordinator never blocks on entry locks; the
+    // device administrator's command stalls instead, exactly as a DDU
+    // stalls at LTAP in the paper's design (§4.4).
+    StatusOr<std::optional<WorkItem>> prepared =
+        PrepareDeviceUpdate(update);
+    if (!prepared.ok()) {
+      HandleError(prepared.status(), update);
+      return;
+    }
+    if (!prepared->has_value()) return;  // Routed nowhere.
+    WorkItem item = std::move(**prepared);
+    std::vector<ldap::Dn> locked = item.locked;
+    if (!queue_.Push(std::move(item))) {
+      // Coordinator already stopped (UM shutdown/crash): the update is
+      // lost until resynchronization — the §4.4 recovery story.
+      ReleaseLocks(locked);
+    }
+    return;
+  }
+  // Synchronous mode: the device notification thread carries the
+  // propagation to completion before the administrator's command
+  // returns.
+  WorkItem item;
+  item.descriptor = std::move(update);
+  Status status = ProcessItem(item);
+  (void)status;  // Failures were logged/notified by ProcessItem.
+}
+
+Status UpdateManager::OnUpdate(
+    const ltap::UpdateNotification& notification) {
+  if (notification.timing == ltap::TriggerTiming::kBefore) {
+    return Status::Ok();
+  }
+  if (notification.session_id == um_session_) {
+    return Status::Ok();  // Our own writes need no re-processing.
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.ldap_updates;
+  }
+  StatusOr<lexpress::UpdateDescriptor> descriptor =
+      DescriptorFromNotification(notification);
+  if (!descriptor.ok()) return descriptor.status();
+
+  if (!config_.threaded) {
+    WorkItem item;
+    item.descriptor = std::move(descriptor).value();
+    return ProcessItem(item);
+  }
+  // Threaded: enqueue and wait — LTAP must not reply to the client
+  // until the UM "completes the update sequence and notifies LTAP"
+  // (§4.4).
+  WorkItem item;
+  item.descriptor = std::move(descriptor).value();
+  item.done = std::make_shared<std::promise<Status>>();
+  std::future<Status> done = item.done->get_future();
+  if (!queue_.Push(std::move(item))) {
+    return Status::Unavailable("update manager is shut down");
+  }
+  return done.get();
+}
+
+StatusOr<lexpress::UpdateDescriptor>
+UpdateManager::DescriptorFromNotification(
+    const ltap::UpdateNotification& notification) const {
+  lexpress::UpdateDescriptor desc;
+  desc.schema = "ldap";
+  desc.source = "ldap";
+  switch (notification.op) {
+    case ldap::UpdateOp::kAdd:
+      desc.op = lexpress::DescriptorOp::kAdd;
+      break;
+    case ldap::UpdateOp::kDelete:
+      desc.op = lexpress::DescriptorOp::kDelete;
+      break;
+    case ldap::UpdateOp::kModify:
+    case ldap::UpdateOp::kModifyRdn:
+      desc.op = lexpress::DescriptorOp::kModify;
+      break;
+  }
+  if (notification.old_entry.has_value()) {
+    desc.old_record = ldap_filter_->ToRecord(*notification.old_entry);
+  }
+  if (notification.new_entry.has_value()) {
+    desc.new_record = ldap_filter_->ToRecord(*notification.new_entry);
+  }
+  desc.old_record.set_schema("ldap");
+  desc.new_record.set_schema("ldap");
+
+  switch (desc.op) {
+    case lexpress::DescriptorOp::kAdd:
+      for (const auto& [attr, value] : desc.new_record.attrs()) {
+        desc.explicit_attrs.insert(attr);
+      }
+      break;
+    case lexpress::DescriptorOp::kModify:
+      if (notification.op == ldap::UpdateOp::kModifyRdn) {
+        desc.explicit_attrs.insert(ldap_filter_->key_attr());
+      }
+      for (const ldap::Modification& mod : notification.mods) {
+        desc.explicit_attrs.insert(mod.attribute);
+      }
+      break;
+    case lexpress::DescriptorOp::kDelete:
+      break;
+  }
+  // This update's origin is the directory; record it so device-side
+  // Originator detection (§5.4) sees a non-device source.
+  if (desc.op != lexpress::DescriptorOp::kDelete) {
+    desc.new_record.SetOne(kLastUpdaterAttr, "ldap");
+    desc.explicit_attrs.erase(kLastUpdaterAttr);
+  }
+  return desc;
+}
+
+RepositoryFilter* UpdateManager::FindFilter(const std::string& name) const {
+  for (RepositoryFilter* filter : filters_) {
+    if (EqualsIgnoreCase(filter->name(), name)) return filter;
+  }
+  return nullptr;
+}
+
+Status UpdateManager::ProcessItem(const WorkItem& item) {
+  if (item.prepared) return FinishDeviceUpdate(item);
+  if (EqualsIgnoreCase(item.descriptor.schema, "ldap")) {
+    return ProcessLdapOriginated(item.descriptor);
+  }
+  return ProcessDeviceOriginated(item.descriptor);
+}
+
+Status UpdateManager::ProcessLdapOriginated(
+    const lexpress::UpdateDescriptor& update) {
+  // LTAP already applied the client's operation and holds the entry
+  // lock for the duration of this call.
+  return Propagate(update, /*ldap_current=*/true);
+}
+
+StatusOr<std::optional<UpdateManager::WorkItem>>
+UpdateManager::PrepareDeviceUpdate(
+    const lexpress::UpdateDescriptor& update) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.device_updates;
+  }
+  RepositoryFilter* filter = FindFilter(update.source);
+  if (filter == nullptr) {
+    return Status::Internal("no filter for device: " + update.source);
+  }
+
+  // Translate into the integrated schema. The device->ldap mapping
+  // stamps LastUpdater with the device's name (§5.4).
+  METACOMM_ASSIGN_OR_RETURN(
+      std::optional<lexpress::UpdateDescriptor> translated,
+      filter->to_ldap().Translate(update));
+  if (!translated.has_value()) {
+    return std::optional<WorkItem>();  // Routed nowhere.
+  }
+  lexpress::UpdateDescriptor ldap_update = std::move(*translated);
+
+  // The device administrator's changes are "explicit" at the
+  // directory level: the closure must not overwrite them.
+  for (const auto& [attr, value] : ldap_update.new_record.attrs()) {
+    if (!(ldap_update.old_record.Get(attr) == value)) {
+      ldap_update.explicit_attrs.insert(attr);
+    }
+  }
+  ldap_update.explicit_attrs.erase(kLastUpdaterAttr);
+
+  // "LTAP is used to obtain locks" (§4.4): take the entry lock(s)
+  // before the update enters the global queue so conflicting LDAP
+  // client updates serialize behind this DDU. Locks are taken in
+  // normalized-DN order so concurrent renames cannot deadlock.
+  const std::string& key_attr = ldap_filter_->key_attr();
+  std::vector<ldap::Dn> to_lock;
+  for (const std::string& key :
+       {ldap_update.old_record.GetFirst(key_attr),
+        ldap_update.new_record.GetFirst(key_attr)}) {
+    if (key.empty()) continue;
+    METACOMM_ASSIGN_OR_RETURN(ldap::Dn dn, ldap_filter_->DnForKey(key));
+    bool duplicate = false;
+    for (const ldap::Dn& held : to_lock) {
+      if (held == dn) duplicate = true;
+    }
+    if (!duplicate) to_lock.push_back(std::move(dn));
+  }
+  std::sort(to_lock.begin(), to_lock.end(),
+            [](const ldap::Dn& a, const ldap::Dn& b) {
+              return a.Normalized() < b.Normalized();
+            });
+
+  WorkItem item;
+  item.descriptor = std::move(ldap_update);
+  item.prepared = true;
+  for (const ldap::Dn& dn : to_lock) {
+    Status status = gateway_->LockEntry(dn, um_session_);
+    if (!status.ok()) {
+      ReleaseLocks(item.locked);
+      return status;
+    }
+    item.locked.push_back(dn);
+  }
+  return std::optional<WorkItem>(std::move(item));
+}
+
+void UpdateManager::ReleaseLocks(const std::vector<ldap::Dn>& locked) {
+  for (auto it = locked.rbegin(); it != locked.rend(); ++it) {
+    gateway_->UnlockEntry(*it, um_session_);
+  }
+}
+
+Status UpdateManager::FinishDeviceUpdate(const WorkItem& item) {
+  Status status = Propagate(item.descriptor, /*ldap_current=*/false);
+  ReleaseLocks(item.locked);
+  return status;
+}
+
+Status UpdateManager::ProcessDeviceOriginated(
+    const lexpress::UpdateDescriptor& update) {
+  StatusOr<std::optional<WorkItem>> prepared = PrepareDeviceUpdate(update);
+  if (!prepared.ok()) {
+    HandleError(prepared.status(), update);
+    return prepared.status();
+  }
+  if (!prepared->has_value()) return Status::Ok();
+  return FinishDeviceUpdate(**prepared);
+}
+
+std::string UpdatePlan::ToString() const {
+  std::string out;
+  for (const PlannedOp& op : ops) {
+    if (!out.empty()) out += " -> ";
+    out += std::string(lexpress::DescriptorOpName(op.update.op)) + "@" +
+           op.repository;
+    if (op.update.conditional) out += "?";
+  }
+  return out;
+}
+
+StatusOr<UpdatePlan> UpdateManager::PlanUpdate(
+    const lexpress::UpdateDescriptor& ldap_update, bool ldap_current) {
+  UpdatePlan plan;
+
+  if (ldap_update.op == lexpress::DescriptorOp::kDelete) {
+    if (!ldap_current) {
+      PlannedOp directory_delete;
+      directory_delete.repository = "ldap";
+      directory_delete.update = ldap_update;
+      directory_delete.update.conditional = true;  // Idempotent view op.
+      plan.ops.push_back(std::move(directory_delete));
+    }
+    for (RepositoryFilter* filter : filters_) {
+      METACOMM_ASSIGN_OR_RETURN(
+          std::optional<lexpress::UpdateDescriptor> translated,
+          filter->from_ldap().Translate(ldap_update));
+      if (!translated.has_value()) continue;
+      PlannedOp device_delete;
+      device_delete.repository = filter->name();
+      device_delete.update = std::move(*translated);
+      plan.ops.push_back(std::move(device_delete));
+    }
+    plan.final_ldap = lexpress::Record("ldap");
+    return plan;
+  }
+
+  // ---- Add / Modify ----
+  // Base images for the closure: the directory's old image plus each
+  // device schema's derived old image.
+  std::map<std::string, lexpress::Record, CaseInsensitiveLess> base;
+  base.emplace("ldap", ldap_update.old_record);
+  for (RepositoryFilter* filter : filters_) {
+    if (base.count(filter->schema()) > 0) continue;
+    StatusOr<bool> in_partition =
+        filter->from_ldap().PartitionAccepts(ldap_update.old_record);
+    if (!in_partition.ok() || !*in_partition) continue;
+    StatusOr<lexpress::Record> derived =
+        filter->from_ldap().MapRecord(ldap_update.old_record);
+    if (derived.ok()) base.emplace(filter->schema(), std::move(*derived));
+  }
+
+  METACOMM_ASSIGN_OR_RETURN(
+      lexpress::ClosureResult closure,
+      mappings_.Propagate(base, "ldap", ldap_update.new_record,
+                          ldap_update.explicit_attrs,
+                          config_.closure_max_iterations));
+  plan.closure_iterations = closure.iterations;
+  plan.final_ldap = closure.records["ldap"];
+  plan.final_ldap.set_schema("ldap");
+
+  // The directory write comes first: the materialized view is the
+  // system of record, and device translation reads its final image.
+  PlannedOp directory_op;
+  directory_op.repository = "ldap";
+  directory_op.update = ldap_update;
+  directory_op.update.new_record = plan.final_ldap;
+  directory_op.update.conditional = ldap_current || ldap_update.conditional;
+  plan.ops.push_back(std::move(directory_op));
+
+  lexpress::UpdateDescriptor fanout = ldap_update;
+  fanout.new_record = plan.final_ldap;
+  for (RepositoryFilter* filter : filters_) {
+    METACOMM_ASSIGN_OR_RETURN(
+        std::optional<lexpress::UpdateDescriptor> translated,
+        filter->from_ldap().Translate(fanout));
+    if (!translated.has_value()) continue;
+    PlannedOp device_op;
+    device_op.repository = filter->name();
+    device_op.update = std::move(*translated);
+    plan.ops.push_back(std::move(device_op));
+  }
+  return plan;
+}
+
+Status UpdateManager::Propagate(
+    const lexpress::UpdateDescriptor& ldap_update, bool ldap_current) {
+  StatusOr<UpdatePlan> plan = PlanUpdate(ldap_update, ldap_current);
+  if (!plan.ok()) {
+    // Closure fixpoint failure (runtime cycle detection, §4.2) or a
+    // mapping evaluation error.
+    HandleError(plan.status(), ldap_update);
+    return plan.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.closure_iterations +=
+        static_cast<uint64_t>(plan->closure_iterations);
+  }
+
+  if (config_.artificial_processing_delay_micros > 0) {
+    RealClock::Get()->SleepMicros(
+        config_.artificial_processing_delay_micros);
+  }
+
+  Status first_error = Status::Ok();
+  std::vector<std::pair<RepositoryFilter*, lexpress::UpdateDescriptor>>
+      applied_for_undo;
+  struct DeviceResult {
+    RepositoryFilter* filter;
+    lexpress::Record sent;    // The image we asked the device to hold.
+    lexpress::Record result;  // What the device actually holds now.
+  };
+  std::vector<DeviceResult> results;
+  bool aborted = false;
+
+  for (const PlannedOp& op : plan->ops) {
+    if (aborted) break;
+    if (EqualsIgnoreCase(op.repository, "ldap")) {
+      StatusOr<lexpress::Record> applied = ldap_filter_->Apply(op.update);
+      if (!applied.ok()) {
+        // The view write failed: abort the sequence (§4.4).
+        HandleError(applied.status(), op.update);
+        return applied.status();
+      }
+      continue;
+    }
+
+    RepositoryFilter* filter = FindFilter(op.repository);
+    if (filter == nullptr) {
+      Status error = Status::Internal("plan names unknown repository: " +
+                                      op.repository);
+      HandleError(error, op.update);
+      if (first_error.ok()) first_error = error;
+      continue;
+    }
+    if (op.update.conditional) {
+      // This is the reapplication to the originating device that
+      // enforces write-write convergence (§4.4, §5.4).
+      if (!config_.reapply_to_originator) continue;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.reapplications;
+    }
+
+    // Remember the pre-update image for saga undo.
+    std::optional<lexpress::Record> prior;
+    if (config_.saga_undo) {
+      std::string prior_key =
+          op.update.old_record.GetFirst(filter->key_attr());
+      if (prior_key.empty()) {
+        prior_key = op.update.new_record.GetFirst(filter->key_attr());
+      }
+      StatusOr<std::optional<lexpress::Record>> fetched =
+          filter->Fetch(prior_key);
+      if (fetched.ok()) prior = *fetched;
+    }
+
+    StatusOr<lexpress::Record> applied = filter->Apply(op.update);
+    if (!applied.ok()) {
+      HandleError(applied.status(), op.update);
+      if (first_error.ok()) first_error = applied.status();
+      if (config_.saga_undo) {
+        // Compensate the devices already updated in this sequence,
+        // then stop fanning out. The failure itself was logged and the
+        // administrator notified; the client's directory write stands
+        // (§4.4: errors are repaired out-of-band).
+        UndoApplied(applied_for_undo);
+        aborted = true;
+      }
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.device_applies;
+    }
+    if (op.update.op != lexpress::DescriptorOp::kDelete) {
+      results.push_back(DeviceResult{filter, op.update.new_record,
+                                     std::move(*applied)});
+    }
+
+    if (config_.saga_undo) {
+      lexpress::UpdateDescriptor inverse;
+      inverse.schema = op.update.schema;
+      inverse.source = "metacomm-undo";
+      inverse.conditional = true;
+      switch (op.update.op) {
+        case lexpress::DescriptorOp::kAdd:
+          inverse.op = lexpress::DescriptorOp::kDelete;
+          inverse.old_record = op.update.new_record;
+          break;
+        case lexpress::DescriptorOp::kModify:
+          if (prior.has_value()) {
+            inverse.op = lexpress::DescriptorOp::kModify;
+            inverse.old_record = op.update.new_record;
+            inverse.new_record = *prior;
+          } else {
+            inverse.op = lexpress::DescriptorOp::kDelete;
+            inverse.old_record = op.update.new_record;
+          }
+          break;
+        case lexpress::DescriptorOp::kDelete:
+          inverse.op = lexpress::DescriptorOp::kAdd;
+          if (prior.has_value()) inverse.new_record = *prior;
+          break;
+      }
+      applied_for_undo.emplace_back(filter, std::move(inverse));
+    }
+  }
+
+  if (ldap_update.op == lexpress::DescriptorOp::kDelete) {
+    // Deletes mint no device-generated information.
+    (void)first_error;
+    return Status::Ok();
+  }
+
+  // Device-generated information (§5.5): after all other devices are
+  // updated, fold anything the devices MINTED (e.g. the messaging
+  // platform's SubscriberId) back into the directory. Minted means it
+  // differs from the image we sent — an echo of a value the device was
+  // given is not generated information, and must never overwrite
+  // explicitly set directory attributes (§4.2's conflict rule).
+  lexpress::Record generated("ldap");
+  for (const DeviceResult& device : results) {
+    StatusOr<lexpress::Record> result_mapped =
+        device.filter->to_ldap().MapRecord(device.result);
+    if (!result_mapped.ok()) continue;
+    StatusOr<lexpress::Record> sent_mapped =
+        device.filter->to_ldap().MapRecord(device.sent);
+    for (const auto& [attr, value] : result_mapped->attrs()) {
+      if (EqualsIgnoreCase(attr, kLastUpdaterAttr)) continue;
+      if (ldap_update.explicit_attrs.count(attr) > 0) continue;
+      if (sent_mapped.ok() && sent_mapped->Get(attr) == value) {
+        continue;  // Echo of what we sent, not device-generated.
+      }
+      if (!(plan->final_ldap.Get(attr) == value)) {
+        generated.Set(attr, value);
+      }
+    }
+  }
+  if (!generated.empty()) {
+    lexpress::UpdateDescriptor backfill;
+    backfill.op = lexpress::DescriptorOp::kModify;
+    backfill.schema = "ldap";
+    backfill.source = ldap_update.source;
+    backfill.conditional = true;
+    backfill.old_record = plan->final_ldap;
+    backfill.new_record = MergeRecords(plan->final_ldap, generated);
+    StatusOr<lexpress::Record> applied = ldap_filter_->Apply(backfill);
+    if (applied.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.generated_info;
+    } else {
+      HandleError(applied.status(), backfill);
+      if (first_error.ok()) first_error = applied.status();
+    }
+  }
+  // Device-side failures were logged and the administrator notified
+  // (§4.4); they do not fail the originating client operation.
+  (void)first_error;
+  return Status::Ok();
+}
+
+void UpdateManager::UndoApplied(
+    const std::vector<std::pair<RepositoryFilter*,
+                                lexpress::UpdateDescriptor>>& applied) {
+  // Compensate in reverse order, saga-style (§4.4's planned "later
+  // version", built as an extension here).
+  for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+    StatusOr<lexpress::Record> status = it->first->Apply(it->second);
+    if (!status.ok()) {
+      METACOMM_LOG(kWarning) << "saga undo failed at " << it->first->name()
+                             << ": " << status.status().ToString();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.undos;
+  }
+}
+
+void UpdateManager::HandleError(const Status& error,
+                                const lexpress::UpdateDescriptor& update) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.errors;
+  }
+  METACOMM_LOG(kWarning) << "update failed: " << error.ToString() << " ("
+                         << update.ToString() << ")";
+  // "an error is logged into the directory, and a notification is sent
+  // to the administrator. The administrator can browse through the
+  // errors and manually fix the resulting inconsistencies" (§4.4).
+  if (!config_.error_base.empty()) {
+    uint64_t seq = error_sequence_.fetch_add(1) + 1;
+    StatusOr<ldap::Dn> base = ldap::Dn::Parse(config_.error_base);
+    if (base.ok()) {
+      ldap::Entry entry(
+          base->Child(ldap::Rdn("cn", "error-" + std::to_string(seq))));
+      entry.AddObjectClass("top");
+      entry.AddObjectClass(kMetacommErrorClass);
+      entry.SetOne("cn", "error-" + std::to_string(seq));
+      entry.SetOne("errorText", error.ToString());
+      entry.SetOne("errorOp", lexpress::DescriptorOpName(update.op));
+      entry.SetOne("errorTarget", update.schema);
+      entry.SetOne("description", update.ToString());
+      ldap::OpContext ctx;
+      ctx.principal = "cn=metacomm";
+      ctx.internal = true;
+      Status logged = gateway_->Add(ctx, ldap::AddRequest{entry});
+      if (!logged.ok()) {
+        METACOMM_LOG(kWarning) << "error-log write failed: "
+                               << logged.ToString();
+      }
+    }
+  }
+  if (admin_callback_) admin_callback_(error, update);
+}
+
+Status UpdateManager::Synchronize(const std::string& device_name) {
+  std::lock_guard<std::mutex> sync_lock(sync_mutex_);
+  RepositoryFilter* filter = FindFilter(device_name);
+  if (filter == nullptr) {
+    return Status::NotFound("no filter for device: " + device_name);
+  }
+
+  // Quiesce: synchronization "must be applied in isolation" (§5.1).
+  METACOMM_RETURN_IF_ERROR(gateway_->Quiesce(um_session_));
+  struct Unquiesce {
+    ltap::LtapGateway* gateway;
+    uint64_t session;
+    ~Unquiesce() { gateway->Unquiesce(session); }
+  } unquiesce{gateway_, um_session_};
+
+  StatusOr<std::vector<lexpress::Record>> dump = filter->DumpAll();
+  if (!dump.ok()) return dump.status();
+
+  const std::string& device_key_attr = filter->key_attr();
+  const std::string& ldap_key_of_device =
+      filter->to_ldap().key_target_attr();
+
+  // Device -> directory (and, through Propagate, to other devices that
+  // share the data being synchronized).
+  std::set<std::string> device_keys;
+  Status first_error = Status::Ok();
+  for (const lexpress::Record& record : *dump) {
+    device_keys.insert(record.GetFirst(device_key_attr));
+
+    lexpress::UpdateDescriptor as_add;
+    as_add.op = lexpress::DescriptorOp::kAdd;
+    as_add.schema = filter->schema();
+    as_add.source = filter->name();
+    as_add.new_record = record;
+    StatusOr<std::optional<lexpress::UpdateDescriptor>> translated =
+        filter->to_ldap().Translate(as_add);
+    if (!translated.ok() || !translated->has_value()) continue;
+    lexpress::Record mapped = (*translated)->new_record;
+
+    // Locate the existing directory entry via the device's key.
+    std::optional<ldap::Entry> existing;
+    if (!ldap_key_of_device.empty()) {
+      StatusOr<std::optional<ldap::Entry>> found =
+          ldap_filter_->FindByAttr(ldap_key_of_device,
+                                   mapped.GetFirst(ldap_key_of_device));
+      if (found.ok()) existing = *found;
+    }
+
+    lexpress::UpdateDescriptor upsert;
+    upsert.schema = "ldap";
+    upsert.source = filter->name();
+    upsert.conditional = true;
+    if (existing.has_value()) {
+      upsert.op = lexpress::DescriptorOp::kModify;
+      upsert.old_record = ldap_filter_->ToRecord(*existing);
+      upsert.new_record = MergeRecords(upsert.old_record, mapped);
+    } else {
+      upsert.op = lexpress::DescriptorOp::kAdd;
+      upsert.new_record = mapped;
+    }
+    for (const auto& [attr, value] : mapped.attrs()) {
+      upsert.explicit_attrs.insert(attr);
+    }
+    upsert.explicit_attrs.erase(kLastUpdaterAttr);
+    Status status = Propagate(upsert, /*ldap_current=*/false);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+
+  // Directory -> device: entries in this device's partition that the
+  // device lost (disconnected operation, §4.4) are pushed back.
+  StatusOr<std::vector<lexpress::Record>> directory =
+      ldap_filter_->DumpAll();
+  if (!directory.ok()) return directory.status();
+  for (const lexpress::Record& ldap_record : *directory) {
+    lexpress::UpdateDescriptor as_add;
+    as_add.op = lexpress::DescriptorOp::kAdd;
+    as_add.schema = "ldap";
+    as_add.source = "ldap";
+    as_add.new_record = ldap_record;
+    StatusOr<std::optional<lexpress::UpdateDescriptor>> translated =
+        filter->from_ldap().Translate(as_add);
+    if (!translated.ok() || !translated->has_value()) continue;
+    lexpress::UpdateDescriptor device_add = std::move(**translated);
+    std::string key = device_add.new_record.GetFirst(device_key_attr);
+    if (key.empty() || device_keys.count(key) > 0) continue;
+    device_add.conditional = true;  // Upsert semantics.
+    StatusOr<lexpress::Record> applied = filter->Apply(device_add);
+    if (!applied.ok()) {
+      HandleError(applied.status(), device_add);
+      if (first_error.ok()) first_error = applied.status();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.syncs;
+  }
+  return first_error;
+}
+
+Status UpdateManager::SynchronizeAll() {
+  Status first_error = Status::Ok();
+  for (RepositoryFilter* filter : filters_) {
+    Status status = Synchronize(filter->name());
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+UpdateManager::Stats UpdateManager::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace metacomm::core

@@ -1,0 +1,246 @@
+#ifndef METACOMM_CORE_UPDATE_MANAGER_H_
+#define METACOMM_CORE_UPDATE_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "core/ldap_filter.h"
+#include "core/repository_filter.h"
+#include "lexpress/closure.h"
+#include "ltap/gateway.h"
+
+namespace metacomm::core {
+
+/// Update Manager tuning.
+struct UpdateManagerConfig {
+  /// true: a coordinator thread drains the global queue (production
+  /// shape). false: callers drive processing synchronously — trigger
+  /// notifications process inline and Pump() drains queued DDUs —
+  /// which is what the deterministic tests and benches use.
+  bool threaded = false;
+  /// lexpress closure fixpoint cap (runtime cycle detection, §4.2).
+  int closure_max_iterations = 16;
+  /// Ablation switch (EXPERIMENTS.md A1): when false, updates are NOT
+  /// reapplied to their originating device, so the write-write
+  /// convergence of §4.4/§5.4 is lost under racing updates.
+  bool reapply_to_originator = true;
+  /// The saga-style undo of §4.4's "later version": on a failed device
+  /// update, already-applied device updates of the same sequence are
+  /// compensated using pre-update information.
+  bool saga_undo = false;
+  /// Where error-log entries are written ("cn=errors,o=Lucent");
+  /// empty disables directory error logging.
+  std::string error_base = "cn=errors,o=Lucent";
+  /// Experiment instrumentation: sleep this long between computing an
+  /// update's closure and writing it back, widening the window in
+  /// which concurrent updates can interleave. Used by the locking
+  /// ablation (EXPERIMENTS.md A2); zero in production.
+  int64_t artificial_processing_delay_micros = 0;
+};
+
+/// One step of an update execution plan: a canonical update aimed at a
+/// named repository ("ldap" or a device instance).
+struct PlannedOp {
+  std::string repository;
+  lexpress::UpdateDescriptor update;
+};
+
+/// "An update execution plan is generated, determining in which order
+/// the updates to the various data sources should be applied" (paper
+/// §6). The plan is: the directory write first (the materialized view
+/// is the system of record), then each routed device update — with
+/// conditional reapplication to the originator — and finally, outside
+/// the static plan, the device-generated-information backfill (§5.5),
+/// which depends on the devices' results.
+struct UpdatePlan {
+  std::vector<PlannedOp> ops;
+  /// The closure-extended directory image the plan drives toward.
+  lexpress::Record final_ldap;
+  int closure_iterations = 0;
+
+  /// "modify@ldap -> delete@pbx9 -> add@pbx5" for logs and tests.
+  std::string ToString() const;
+};
+
+/// The Update Manager (paper §4.4): MetaComm's coordinator.
+///
+/// Responsibilities reproduced:
+///  * receives LDAP-originated updates from LTAP trigger processing
+///    (OnUpdate) while LTAP holds the entry lock;
+///  * receives direct device updates (DDUs) from device filters,
+///    obtains LTAP entry locks itself, and serializes everything
+///    through the global update queue;
+///  * computes the lexpress transitive closure and writes derived
+///    attribute changes back to the directory;
+///  * propagates translated updates to every relevant device filter,
+///    reapplying to the originating device with conditional semantics
+///    for write-write convergence (§5.4);
+///  * propagates device-generated information to the LDAP server after
+///    all other devices are updated (§5.5);
+///  * on failure: aborts, writes an error entry into the directory,
+///    and notifies the administrator (§4.4) — optionally undoing
+///    already-applied device updates (saga extension);
+///  * synchronizes repositories under an LTAP quiesce window (§5.1).
+class UpdateManager : public ltap::TriggerActionServer {
+ public:
+  /// Callback invoked when an update fails and is logged.
+  using AdminCallback = std::function<void(
+      const Status& error, const lexpress::UpdateDescriptor& update)>;
+
+  /// `gateway` and `ldap_filter` are not owned and must outlive the UM.
+  UpdateManager(ltap::LtapGateway* gateway, LdapFilter* ldap_filter,
+                UpdateManagerConfig config = {});
+  ~UpdateManager() override;
+
+  /// Registers a device filter (not owned) and wires its DDU handler.
+  /// Both of the filter's mappings join the closure mapping set.
+  void AddDeviceFilter(RepositoryFilter* filter);
+
+  /// Validates the assembled mapping set (compile-time cycle check).
+  Status ValidateMappings() const;
+
+  /// Registers this UM's after-trigger on the gateway for the given
+  /// subtree. Call once after all filters are added.
+  Status InstallTrigger(const std::string& base_dn);
+
+  /// Starts/stops the coordinator thread (threaded mode only).
+  void Start();
+  void Stop();
+
+  /// Synchronous mode: processes queued DDUs inline; returns how many.
+  size_t Pump();
+
+  /// Direct device update intake (wired to DeviceFilter::SetDduHandler
+  /// by AddDeviceFilter, public for tests and custom filters).
+  void SubmitDeviceUpdate(lexpress::UpdateDescriptor update);
+
+  /// Synchronizes one device with the directory under quiesce (§4.4,
+  /// §5.1): device records are upserted into the directory, and
+  /// directory entries in the device's partition but missing from the
+  /// device are pushed to it. Also serves as initial directory
+  /// population.
+  Status Synchronize(const std::string& device_name);
+
+  /// Synchronizes every registered device.
+  Status SynchronizeAll();
+
+  /// Builds (without executing) the execution plan for an update in
+  /// the integrated schema. `ldap_current` marks the directory as
+  /// already reflecting the update's explicit changes (Path A).
+  /// Exposed so tests and tools can inspect routing decisions.
+  StatusOr<UpdatePlan> PlanUpdate(
+      const lexpress::UpdateDescriptor& ldap_update, bool ldap_current);
+
+  void set_admin_callback(AdminCallback callback) {
+    admin_callback_ = std::move(callback);
+  }
+
+  const lexpress::MappingSet& mappings() const { return mappings_; }
+
+  /// Counters for the experiment harnesses.
+  struct Stats {
+    uint64_t ldap_updates = 0;       // Path A: via LTAP triggers.
+    uint64_t device_updates = 0;     // Path B: DDUs processed.
+    uint64_t device_applies = 0;     // Updates pushed to devices.
+    uint64_t reapplications = 0;     // Conditional reapplies (§5.4).
+    uint64_t generated_info = 0;     // §5.5 post-propagation LDAP fixes.
+    uint64_t errors = 0;
+    uint64_t undos = 0;              // Saga compensations.
+    uint64_t closure_iterations = 0;
+    uint64_t syncs = 0;
+  };
+  Stats stats() const;
+
+  // ltap::TriggerActionServer:
+  Status OnUpdate(const ltap::UpdateNotification& notification) override;
+
+ private:
+  struct WorkItem {
+    lexpress::UpdateDescriptor descriptor;
+    /// Entry locks already held for this item (by um_session_). Taken
+    /// on the submitting thread, BEFORE the item enters the queue — if
+    /// the coordinator itself blocked on entry locks, a client whose
+    /// trigger is waiting in the queue could deadlock against it.
+    std::vector<ldap::Dn> locked;
+    /// True when `descriptor` is already translated to the ldap schema
+    /// and `locked` is populated (prepared device update).
+    bool prepared = false;
+    /// Set when a completion needs to be signalled (threaded Path A).
+    std::shared_ptr<std::promise<Status>> done;
+  };
+
+  /// Translates a device update to the integrated schema and takes the
+  /// LTAP entry locks ("LTAP is used to obtain locks", §4.4). Returns
+  /// nullopt when the update routes nowhere. Runs on the submitting
+  /// (device notification) thread.
+  StatusOr<std::optional<WorkItem>> PrepareDeviceUpdate(
+      const lexpress::UpdateDescriptor& update);
+
+  /// Propagates a prepared device update and releases its locks.
+  Status FinishDeviceUpdate(const WorkItem& item);
+
+  void ReleaseLocks(const std::vector<ldap::Dn>& locked);
+
+  /// Builds the canonical descriptor for an LDAP-originated update.
+  StatusOr<lexpress::UpdateDescriptor> DescriptorFromNotification(
+      const ltap::UpdateNotification& notification) const;
+
+  /// Processes one queued item (dispatches on descriptor schema).
+  Status ProcessItem(const WorkItem& item);
+
+  /// Path A tail: descriptor is in the "ldap" schema and the directory
+  /// already reflects the client's operation.
+  Status ProcessLdapOriginated(const lexpress::UpdateDescriptor& update);
+
+  /// Path B: descriptor is in a device schema; takes the LTAP entry
+  /// lock, applies to the directory, propagates (§4.4).
+  Status ProcessDeviceOriginated(const lexpress::UpdateDescriptor& update);
+
+  /// Shared propagation tail: closure, directory diff, device fan-out,
+  /// generated-information round. `ldap_current` tells whether the
+  /// directory already reflects update.new_record's explicit changes.
+  Status Propagate(const lexpress::UpdateDescriptor& ldap_update,
+                   bool ldap_current);
+
+  /// Writes an error entry and notifies the administrator.
+  void HandleError(const Status& error,
+                   const lexpress::UpdateDescriptor& update);
+
+  /// Reverts already-applied device updates (saga extension).
+  void UndoApplied(
+      const std::vector<std::pair<RepositoryFilter*,
+                                  lexpress::UpdateDescriptor>>& applied);
+
+  RepositoryFilter* FindFilter(const std::string& name) const;
+
+  void CoordinatorLoop();
+
+  ltap::LtapGateway* gateway_;
+  LdapFilter* ldap_filter_;
+  UpdateManagerConfig config_;
+  std::vector<RepositoryFilter*> filters_;
+  lexpress::MappingSet mappings_;
+  uint64_t um_session_ = 0;
+
+  BlockingQueue<WorkItem> queue_;
+  std::thread coordinator_;
+  std::atomic<bool> running_{false};
+
+  AdminCallback admin_callback_;
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+  std::atomic<uint64_t> error_sequence_{0};
+  std::mutex sync_mutex_;  // One synchronization at a time.
+};
+
+}  // namespace metacomm::core
+
+#endif  // METACOMM_CORE_UPDATE_MANAGER_H_

@@ -1,0 +1,319 @@
+#include "devices/definity_pbx.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace metacomm::devices {
+
+namespace {
+
+/// Station fields the switch understands, beyond the Extension key.
+const char* const kStationFields[] = {"Name",         "Room", "Cos",
+                                      "CoveragePath", "SetType", "Port"};
+
+bool IsStationField(std::string_view field) {
+  for (const char* known : kStationFields) {
+    if (EqualsIgnoreCase(field, known)) return true;
+  }
+  return false;
+}
+
+/// Splits an OSSI command line into words; double quotes group words.
+StatusOr<std::vector<std::string>> TokenizeCommand(
+    const std::string& command) {
+  std::vector<std::string> words;
+  std::string current;
+  bool in_quotes = false;
+  bool have_word = false;
+  for (char c : command) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      have_word = true;
+      continue;
+    }
+    if (!in_quotes && (c == ' ' || c == '\t')) {
+      if (have_word) {
+        words.push_back(current);
+        current.clear();
+        have_word = false;
+      }
+      continue;
+    }
+    current.push_back(c);
+    have_word = true;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unbalanced quotes in command");
+  }
+  if (have_word) words.push_back(current);
+  return words;
+}
+
+}  // namespace
+
+DefinityPbx::DefinityPbx(PbxConfig config) : config_(std::move(config)) {}
+
+bool DefinityPbx::AcceptsExtension(const std::string& extension) const {
+  if (config_.extension_prefixes.empty()) return true;
+  return std::any_of(config_.extension_prefixes.begin(),
+                     config_.extension_prefixes.end(),
+                     [&extension](const std::string& prefix) {
+                       return StartsWith(extension, prefix);
+                     });
+}
+
+Status DefinityPbx::CheckMutationAllowed() {
+  if (faults_.disconnected()) {
+    return Status::Unavailable(config_.name + ": link down");
+  }
+  if (faults_.ConsumeFailure()) {
+    return Status::Internal(config_.name + ": translation error (injected)");
+  }
+  return Status::Ok();
+}
+
+Status DefinityPbx::ValidateStation(const lexpress::Record& record) const {
+  std::string extension = record.GetFirst("Extension");
+  if (extension.empty()) {
+    return Status::InvalidArgument(config_.name +
+                                   ": station requires Extension");
+  }
+  if (!IsAllDigits(extension) || extension.size() < 3 ||
+      extension.size() > 6) {
+    return Status::InvalidArgument(config_.name + ": bad extension '" +
+                                   extension + "' (3-6 digits)");
+  }
+  if (!AcceptsExtension(extension)) {
+    return Status::InvalidArgument(config_.name + ": extension " +
+                                   extension + " outside dial plan");
+  }
+  if (record.GetFirst("Name").empty()) {
+    return Status::InvalidArgument(config_.name +
+                                   ": station requires Name");
+  }
+  std::string cos = record.GetFirst("Cos");
+  if (!cos.empty()) {
+    if (!IsAllDigits(cos) || cos.size() > 1 || cos[0] > '7') {
+      return Status::InvalidArgument(config_.name + ": bad Cos '" + cos +
+                                     "' (0-7)");
+    }
+  }
+  for (const auto& [field, value] : record.attrs()) {
+    if (!EqualsIgnoreCase(field, "Extension") && !IsStationField(field)) {
+      return Status::InvalidArgument(config_.name + ": unknown field '" +
+                                     field + "'");
+    }
+    if (value.size() > 1) {
+      return Status::InvalidArgument(config_.name + ": field '" + field +
+                                     "' cannot hold multiple values");
+    }
+  }
+  return Status::Ok();
+}
+
+void DefinityPbx::Notify(lexpress::DescriptorOp op,
+                         lexpress::Record old_record,
+                         lexpress::Record new_record) {
+  if (faults_.drop_notifications()) return;
+  NotificationHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handler = handler_;
+  }
+  if (!handler) return;
+  DeviceNotification notification;
+  notification.op = op;
+  notification.old_record = std::move(old_record);
+  notification.new_record = std::move(new_record);
+  notification.device_name = config_.name;
+  handler(notification);
+}
+
+Status DefinityPbx::AddRecord(const lexpress::Record& record) {
+  METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
+  lexpress::Record station = record;
+  station.set_schema(schema_);
+  if (station.GetFirst("Cos").empty()) station.SetOne("Cos", "1");
+  METACOMM_RETURN_IF_ERROR(ValidateStation(station));
+  std::string extension = station.GetFirst("Extension");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stations_.count(extension) > 0) {
+      return Status::AlreadyExists(config_.name + ": extension " +
+                                   extension + " already administered");
+    }
+    stations_.emplace(extension, station);
+  }
+  Notify(lexpress::DescriptorOp::kAdd, lexpress::Record(schema_), station);
+  return Status::Ok();
+}
+
+Status DefinityPbx::ModifyRecord(
+    const std::string& key, const lexpress::Record& record,
+    const std::vector<std::string>& clear_fields) {
+  METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
+  lexpress::Record old_record(schema_);
+  lexpress::Record new_record = record;
+  new_record.set_schema(schema_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stations_.find(key);
+    if (it == stations_.end()) {
+      return Status::NotFound(config_.name + ": extension " + key +
+                              " not administered");
+    }
+    old_record = it->second;
+    // Merge: fields absent from the request keep their old values
+    // (change-station semantics touch only listed fields), except
+    // fields explicitly cleared with an empty value.
+    for (const auto& [field, value] : old_record.attrs()) {
+      if (!new_record.Has(field)) new_record.Set(field, value);
+    }
+    for (const std::string& field : clear_fields) {
+      if (EqualsIgnoreCase(field, "Extension")) continue;
+      new_record.Remove(field);
+    }
+    if (new_record.GetFirst("Extension").empty()) {
+      new_record.SetOne("Extension", key);
+    }
+    METACOMM_RETURN_IF_ERROR(ValidateStation(new_record));
+    std::string new_key = new_record.GetFirst("Extension");
+    if (new_key != key && stations_.count(new_key) > 0) {
+      return Status::AlreadyExists(config_.name + ": extension " + new_key +
+                                   " already administered");
+    }
+    stations_.erase(it);
+    stations_.emplace(new_key, new_record);
+  }
+  Notify(lexpress::DescriptorOp::kModify, old_record, new_record);
+  return Status::Ok();
+}
+
+Status DefinityPbx::DeleteRecord(const std::string& key) {
+  METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
+  lexpress::Record old_record(schema_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stations_.find(key);
+    if (it == stations_.end()) {
+      return Status::NotFound(config_.name + ": extension " + key +
+                              " not administered");
+    }
+    old_record = it->second;
+    stations_.erase(it);
+  }
+  Notify(lexpress::DescriptorOp::kDelete, old_record,
+         lexpress::Record(schema_));
+  return Status::Ok();
+}
+
+StatusOr<lexpress::Record> DefinityPbx::GetRecord(const std::string& key) {
+  if (faults_.disconnected()) {
+    return Status::Unavailable(config_.name + ": link down");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = stations_.find(key);
+  if (it == stations_.end()) {
+    return Status::NotFound(config_.name + ": extension " + key +
+                            " not administered");
+  }
+  return it->second;
+}
+
+StatusOr<std::vector<lexpress::Record>> DefinityPbx::DumpAll() {
+  if (faults_.disconnected()) {
+    return Status::Unavailable(config_.name + ": link down");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<lexpress::Record> out;
+  out.reserve(stations_.size());
+  for (const auto& [key, record] : stations_) out.push_back(record);
+  return out;
+}
+
+void DefinityPbx::SetNotificationHandler(NotificationHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handler_ = std::move(handler);
+}
+
+size_t DefinityPbx::StationCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stations_.size();
+}
+
+StatusOr<std::string> DefinityPbx::ExecuteCommand(
+    const std::string& command) {
+  METACOMM_ASSIGN_OR_RETURN(std::vector<std::string> words,
+                            TokenizeCommand(command));
+  if (words.empty()) {
+    return Status::InvalidArgument(config_.name + ": empty command");
+  }
+  const std::string& verb = words[0];
+
+  if (EqualsIgnoreCase(verb, "list")) {
+    if (words.size() < 2 || !EqualsIgnoreCase(words[1], "station")) {
+      return Status::InvalidArgument(config_.name + ": usage: list station");
+    }
+    if (faults_.disconnected()) {
+      return Status::Unavailable(config_.name + ": link down");
+    }
+    std::string out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, record] : stations_) {
+      out += key + " " + record.GetFirst("Name") + "\n";
+    }
+    return out;
+  }
+
+  if (words.size() < 3 || !EqualsIgnoreCase(words[1], "station")) {
+    return Status::InvalidArgument(
+        config_.name + ": usage: <add|change|remove|display> station <ext>");
+  }
+  const std::string& extension = words[2];
+
+  if (EqualsIgnoreCase(verb, "display")) {
+    METACOMM_ASSIGN_OR_RETURN(lexpress::Record record,
+                              GetRecord(extension));
+    std::string out;
+    for (const auto& [field, value] : record.attrs()) {
+      out += field + ": " + (value.empty() ? "" : value.front()) + "\n";
+    }
+    return out;
+  }
+
+  if (EqualsIgnoreCase(verb, "remove")) {
+    METACOMM_RETURN_IF_ERROR(DeleteRecord(extension));
+    return std::string("command successfully completed");
+  }
+
+  // add / change take "Field value" pairs; an empty quoted value
+  // ("") on change clears the field.
+  lexpress::Record record(schema_);
+  record.SetOne("Extension", extension);
+  std::vector<std::string> clears;
+  for (size_t i = 3; i + 1 < words.size(); i += 2) {
+    if (words[i + 1].empty()) {
+      clears.push_back(words[i]);
+    } else {
+      record.SetOne(words[i], words[i + 1]);
+    }
+  }
+  if ((words.size() - 3) % 2 != 0) {
+    return Status::InvalidArgument(config_.name +
+                                   ": field without value in command");
+  }
+
+  if (EqualsIgnoreCase(verb, "add")) {
+    METACOMM_RETURN_IF_ERROR(AddRecord(record));
+    return std::string("command successfully completed");
+  }
+  if (EqualsIgnoreCase(verb, "change")) {
+    METACOMM_RETURN_IF_ERROR(ModifyRecord(extension, record, clears));
+    return std::string("command successfully completed");
+  }
+  return Status::InvalidArgument(config_.name + ": unknown command verb '" +
+                                 verb + "'");
+}
+
+}  // namespace metacomm::devices

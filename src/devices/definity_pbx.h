@@ -1,0 +1,87 @@
+#ifndef METACOMM_DEVICES_DEFINITY_PBX_H_
+#define METACOMM_DEVICES_DEFINITY_PBX_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "devices/device.h"
+
+namespace metacomm::devices {
+
+/// Configuration of one simulated Definity PBX.
+struct PbxConfig {
+  /// Instance name, e.g. "pbx1".
+  std::string name = "pbx1";
+  /// Extension prefixes this switch manages; empty accepts any
+  /// extension. Mirrors the paper's example of a PBX that "accepts
+  /// updates for phone numbers beginning with +1 908-582-9..." — the
+  /// device itself enforces its dial-plan partition.
+  std::vector<std::string> extension_prefixes;
+};
+
+/// Simulated Lucent Definity PBX.
+///
+/// Station records live in the "pbx" lexpress schema with fields:
+///   Extension  (key; 3-6 digit dial-plan number)
+///   Name       (display name; required)
+///   Room       (optional)
+///   Cos        (class of service, integer 0..7; default "1")
+///   CoveragePath, SetType, Port (optional)
+///
+/// The administration surface is an OSSI-flavored line protocol:
+///   add station 4567 Name "John Doe" Room 2C-401
+///   change station 4567 Room 2C-402
+///   remove station 4567
+///   display station 4567
+///   list station
+/// Field values with spaces are double-quoted. Every command is atomic;
+/// there are no transactions, triggers, or typed columns beyond the
+/// per-field checks above — the weaknesses §5.1 works around.
+class DefinityPbx : public Device {
+ public:
+  explicit DefinityPbx(PbxConfig config);
+
+  const std::string& name() const override { return config_.name; }
+  const std::string& schema() const override { return schema_; }
+
+  StatusOr<std::string> ExecuteCommand(const std::string& command) override;
+  StatusOr<lexpress::Record> GetRecord(const std::string& key) override;
+  Status AddRecord(const lexpress::Record& record) override;
+  Status ModifyRecord(const std::string& key,
+                      const lexpress::Record& record,
+                      const std::vector<std::string>& clear_fields)
+      override;
+  Status DeleteRecord(const std::string& key) override;
+  StatusOr<std::vector<lexpress::Record>> DumpAll() override;
+  void SetNotificationHandler(NotificationHandler handler) override;
+  FaultInjector& faults() override { return faults_; }
+
+  /// Number of stations configured.
+  size_t StationCount() const;
+
+  /// True if the extension falls inside this switch's dial plan.
+  bool AcceptsExtension(const std::string& extension) const;
+
+ private:
+  /// Checks connectivity and injected failures for a mutating command.
+  Status CheckMutationAllowed();
+
+  /// Field-level validation (the only "typing" the device has).
+  Status ValidateStation(const lexpress::Record& record) const;
+
+  void Notify(lexpress::DescriptorOp op, lexpress::Record old_record,
+              lexpress::Record new_record);
+
+  PbxConfig config_;
+  std::string schema_ = "pbx";
+  mutable std::mutex mutex_;
+  std::map<std::string, lexpress::Record> stations_;  // by Extension
+  NotificationHandler handler_;
+  FaultInjector faults_;
+};
+
+}  // namespace metacomm::devices
+
+#endif  // METACOMM_DEVICES_DEFINITY_PBX_H_

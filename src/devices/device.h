@@ -1,0 +1,123 @@
+#ifndef METACOMM_DEVICES_DEVICE_H_
+#define METACOMM_DEVICES_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lexpress/record.h"
+
+namespace metacomm::devices {
+
+/// A change committed at a device, reported to whoever registered for
+/// notifications (normally the device's MetaComm filter).
+///
+/// "The update is noted during transaction commit at the device and a
+/// notification is sent to the appropriate device filter" (paper §4.4).
+/// Old and new record images are included because partitioning
+/// constraints need both sides (§4.2).
+struct DeviceNotification {
+  lexpress::DescriptorOp op = lexpress::DescriptorOp::kModify;
+  /// Schema-tagged images in the device's native schema.
+  lexpress::Record old_record;
+  lexpress::Record new_record;
+  /// Name of the device instance emitting the notification.
+  std::string device_name;
+};
+
+/// Simulated fault state shared by the device simulators. MetaComm's
+/// recovery story (resynchronization after "catastrophic communication
+/// or storage errors", §4) is exercised by flipping these switches.
+class FaultInjector {
+ public:
+  /// Device unreachable: every command fails with kUnavailable.
+  void set_disconnected(bool disconnected) {
+    disconnected_.store(disconnected);
+  }
+  bool disconnected() const { return disconnected_.load(); }
+
+  /// Notifications silently dropped (models lost change callbacks —
+  /// the reason the Update Manager needs resync, §4.4).
+  void set_drop_notifications(bool drop) { drop_notifications_.store(drop); }
+  bool drop_notifications() const { return drop_notifications_.load(); }
+
+  /// The next `n` mutating commands fail with kInternal (models
+  /// transient device errors that abort an update mid-sequence).
+  void FailNext(int n) { fail_next_.store(n); }
+
+  /// Consumes one pending injected failure; true if one fired.
+  bool ConsumeFailure() {
+    int current = fail_next_.load();
+    while (current > 0) {
+      if (fail_next_.compare_exchange_weak(current, current - 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<bool> disconnected_{false};
+  std::atomic<bool> drop_notifications_{false};
+  std::atomic<int> fail_next_{0};
+};
+
+/// Common interface over the simulated legacy devices.
+///
+/// Devices have two faces:
+///  * a *proprietary command interface* (ExecuteCommand) — the path a
+///    device administrator uses, producing direct device updates;
+///  * typed record accessors used by the filter's protocol converter
+///    and by the synchronizer's full dumps.
+/// Both converge on the same internal store and both emit
+/// notifications, exactly because "the devices must be usable with or
+/// without MetaComm" (§4.4).
+class Device {
+ public:
+  using NotificationHandler =
+      std::function<void(const DeviceNotification&)>;
+
+  virtual ~Device() = default;
+
+  /// Instance name, e.g. "pbx1". Used as the lexpress update source
+  /// and as the LastUpdater value.
+  virtual const std::string& name() const = 0;
+
+  /// lexpress schema this device's records use, e.g. "pbx".
+  virtual const std::string& schema() const = 0;
+
+  /// Runs one proprietary command; returns the device's textual reply.
+  virtual StatusOr<std::string> ExecuteCommand(const std::string& command) = 0;
+
+  /// Fetches the record with the given key value.
+  virtual StatusOr<lexpress::Record> GetRecord(const std::string& key) = 0;
+
+  /// Typed mutations used by the filter's protocol converter.
+  virtual Status AddRecord(const lexpress::Record& record) = 0;
+
+  /// Change-command semantics: fields present in `record` are set,
+  /// fields named in `clear_fields` are removed, all other fields
+  /// keep their values (legacy merge behaviour).
+  virtual Status ModifyRecord(const std::string& key,
+                              const lexpress::Record& record,
+                              const std::vector<std::string>&
+                                  clear_fields) = 0;
+  virtual Status DeleteRecord(const std::string& key) = 0;
+
+  /// Every record; "if a repository is to be synchronized ... the API
+  /// must also provide a method to retrieve all relevant data" (§4.1).
+  virtual StatusOr<std::vector<lexpress::Record>> DumpAll() = 0;
+
+  /// Registers the change-notification callback (one per device).
+  virtual void SetNotificationHandler(NotificationHandler handler) = 0;
+
+  /// Fault-injection controls.
+  virtual FaultInjector& faults() = 0;
+};
+
+}  // namespace metacomm::devices
+
+#endif  // METACOMM_DEVICES_DEVICE_H_

@@ -1,0 +1,323 @@
+#include "devices/messaging_platform.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace metacomm::devices {
+
+namespace {
+
+const char* const kMailboxFields[] = {"SubscriberName", "Pin", "Greeting",
+                                      "EmailAddress"};
+
+bool IsMailboxField(std::string_view field) {
+  for (const char* known : kMailboxFields) {
+    if (EqualsIgnoreCase(field, known)) return true;
+  }
+  return false;
+}
+
+/// Parses `Key="quoted value"` / `Key=value` assignments after the
+/// first `skip` words of a command line.
+StatusOr<lexpress::Record> ParseAssignments(const std::string& command,
+                                            size_t start_pos,
+                                            const std::string& schema) {
+  lexpress::Record record(schema);
+  size_t i = start_pos;
+  while (i < command.size()) {
+    while (i < command.size() && command[i] == ' ') ++i;
+    if (i >= command.size()) break;
+    size_t eq = command.find('=', i);
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected Key=value at: " +
+                                     command.substr(i));
+    }
+    std::string key = Trim(command.substr(i, eq - i));
+    std::string value;
+    i = eq + 1;
+    if (i < command.size() && command[i] == '"') {
+      ++i;
+      size_t close = command.find('"', i);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unterminated quoted value");
+      }
+      value = command.substr(i, close - i);
+      i = close + 1;
+    } else {
+      size_t end = command.find(' ', i);
+      if (end == std::string::npos) end = command.size();
+      value = command.substr(i, end - i);
+      i = end;
+    }
+    record.SetOne(key, value);
+  }
+  return record;
+}
+
+}  // namespace
+
+MessagingPlatform::MessagingPlatform(MpConfig config)
+    : config_(std::move(config)) {}
+
+Status MessagingPlatform::CheckMutationAllowed() {
+  if (faults_.disconnected()) {
+    return Status::Unavailable(config_.name + ": platform unreachable");
+  }
+  if (faults_.ConsumeFailure()) {
+    return Status::Internal(config_.name + ": disk error (injected)");
+  }
+  return Status::Ok();
+}
+
+Status MessagingPlatform::ValidateMailbox(
+    const lexpress::Record& record) const {
+  std::string number = record.GetFirst("MailboxNumber");
+  if (number.empty() || !IsAllDigits(number)) {
+    return Status::InvalidArgument(config_.name +
+                                   ": MailboxNumber must be digits");
+  }
+  if (record.GetFirst("SubscriberName").empty()) {
+    return Status::InvalidArgument(config_.name +
+                                   ": mailbox requires SubscriberName");
+  }
+  std::string pin = record.GetFirst("Pin");
+  if (!pin.empty() && (!IsAllDigits(pin) || pin.size() < 4)) {
+    return Status::InvalidArgument(config_.name +
+                                   ": Pin must be at least 4 digits");
+  }
+  for (const auto& [field, value] : record.attrs()) {
+    if (EqualsIgnoreCase(field, "MailboxNumber") ||
+        EqualsIgnoreCase(field, "SubscriberId") ||
+        IsMailboxField(field)) {
+      continue;
+    }
+    return Status::InvalidArgument(config_.name + ": unknown field '" +
+                                   field + "'");
+  }
+  return Status::Ok();
+}
+
+std::string MessagingPlatform::GenerateSubscriberId() {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06llu",
+                config_.subscriber_id_prefix.c_str(),
+                static_cast<unsigned long long>(next_subscriber_++));
+  return buf;
+}
+
+void MessagingPlatform::Notify(lexpress::DescriptorOp op,
+                               lexpress::Record old_record,
+                               lexpress::Record new_record) {
+  if (faults_.drop_notifications()) return;
+  NotificationHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handler = handler_;
+  }
+  if (!handler) return;
+  DeviceNotification notification;
+  notification.op = op;
+  notification.old_record = std::move(old_record);
+  notification.new_record = std::move(new_record);
+  notification.device_name = config_.name;
+  handler(notification);
+}
+
+Status MessagingPlatform::AddRecord(const lexpress::Record& record) {
+  METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
+  lexpress::Record mailbox = record;
+  mailbox.set_schema(schema_);
+  METACOMM_RETURN_IF_ERROR(ValidateMailbox(mailbox));
+  std::string number = mailbox.GetFirst("MailboxNumber");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (mailboxes_.count(number) > 0) {
+      return Status::AlreadyExists(config_.name + ": mailbox " + number +
+                                   " exists");
+    }
+    // The platform owns subscriber ids; caller-supplied values are
+    // discarded (device-generated information, §5.5).
+    mailbox.SetOne("SubscriberId", GenerateSubscriberId());
+    mailboxes_.emplace(number, mailbox);
+  }
+  Notify(lexpress::DescriptorOp::kAdd, lexpress::Record(schema_), mailbox);
+  return Status::Ok();
+}
+
+Status MessagingPlatform::ModifyRecord(
+    const std::string& key, const lexpress::Record& record,
+    const std::vector<std::string>& clear_fields) {
+  METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
+  lexpress::Record old_record(schema_);
+  lexpress::Record new_record = record;
+  new_record.set_schema(schema_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(key);
+    if (it == mailboxes_.end()) {
+      return Status::NotFound(config_.name + ": mailbox " + key +
+                              " not found");
+    }
+    old_record = it->second;
+    for (const auto& [field, value] : old_record.attrs()) {
+      if (!new_record.Has(field)) new_record.Set(field, value);
+    }
+    for (const std::string& field : clear_fields) {
+      if (EqualsIgnoreCase(field, "MailboxNumber") ||
+          EqualsIgnoreCase(field, "SubscriberId")) {
+        continue;
+      }
+      new_record.Remove(field);
+    }
+    if (new_record.GetFirst("MailboxNumber").empty()) {
+      new_record.SetOne("MailboxNumber", key);
+    }
+    // SubscriberId is immutable.
+    new_record.Set("SubscriberId", old_record.Get("SubscriberId"));
+    METACOMM_RETURN_IF_ERROR(ValidateMailbox(new_record));
+    std::string new_key = new_record.GetFirst("MailboxNumber");
+    if (new_key != key && mailboxes_.count(new_key) > 0) {
+      return Status::AlreadyExists(config_.name + ": mailbox " + new_key +
+                                   " exists");
+    }
+    mailboxes_.erase(it);
+    mailboxes_.emplace(new_key, new_record);
+  }
+  Notify(lexpress::DescriptorOp::kModify, old_record, new_record);
+  return Status::Ok();
+}
+
+Status MessagingPlatform::DeleteRecord(const std::string& key) {
+  METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
+  lexpress::Record old_record(schema_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(key);
+    if (it == mailboxes_.end()) {
+      return Status::NotFound(config_.name + ": mailbox " + key +
+                              " not found");
+    }
+    old_record = it->second;
+    mailboxes_.erase(it);
+  }
+  Notify(lexpress::DescriptorOp::kDelete, old_record,
+         lexpress::Record(schema_));
+  return Status::Ok();
+}
+
+StatusOr<lexpress::Record> MessagingPlatform::GetRecord(
+    const std::string& key) {
+  if (faults_.disconnected()) {
+    return Status::Unavailable(config_.name + ": platform unreachable");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = mailboxes_.find(key);
+  if (it == mailboxes_.end()) {
+    return Status::NotFound(config_.name + ": mailbox " + key +
+                            " not found");
+  }
+  return it->second;
+}
+
+StatusOr<std::vector<lexpress::Record>> MessagingPlatform::DumpAll() {
+  if (faults_.disconnected()) {
+    return Status::Unavailable(config_.name + ": platform unreachable");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<lexpress::Record> out;
+  out.reserve(mailboxes_.size());
+  for (const auto& [key, record] : mailboxes_) out.push_back(record);
+  return out;
+}
+
+void MessagingPlatform::SetNotificationHandler(NotificationHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handler_ = std::move(handler);
+}
+
+size_t MessagingPlatform::MailboxCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mailboxes_.size();
+}
+
+StatusOr<std::string> MessagingPlatform::ExecuteCommand(
+    const std::string& command) {
+  std::string trimmed = Trim(command);
+  std::vector<std::string> head = Split(trimmed, ' ');
+  if (head.size() < 2) {
+    return Status::InvalidArgument(config_.name + ": bad command");
+  }
+  const std::string& verb = head[0];
+
+  if (EqualsIgnoreCase(verb, "LIST")) {
+    if (faults_.disconnected()) {
+      return Status::Unavailable(config_.name + ": platform unreachable");
+    }
+    std::string out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, record] : mailboxes_) {
+      out += key + " " + record.GetFirst("SubscriberId") + " " +
+             record.GetFirst("SubscriberName") + "\n";
+    }
+    return out;
+  }
+
+  if (!EqualsIgnoreCase(head[1], "MAILBOX") || head.size() < 3) {
+    return Status::InvalidArgument(
+        config_.name + ": usage: <ADD|MODIFY|DELETE|SHOW> MAILBOX <num>");
+  }
+  const std::string& number = head[2];
+
+  // Offset of the text after "<VERB> MAILBOX <num>".
+  size_t after = verb.size() + 1 + head[1].size() + 1 + number.size();
+
+  if (EqualsIgnoreCase(verb, "SHOW")) {
+    METACOMM_ASSIGN_OR_RETURN(lexpress::Record record, GetRecord(number));
+    std::string out;
+    for (const auto& [field, value] : record.attrs()) {
+      out += field + "=" + (value.empty() ? "" : value.front()) + "\n";
+    }
+    return out;
+  }
+  if (EqualsIgnoreCase(verb, "DELETE")) {
+    METACOMM_RETURN_IF_ERROR(DeleteRecord(number));
+    return std::string("OK");
+  }
+
+  METACOMM_ASSIGN_OR_RETURN(
+      lexpress::Record record,
+      ParseAssignments(trimmed, std::min(after, trimmed.size()), schema_));
+  // The addressed mailbox is the record's number unless the command
+  // explicitly renumbers it (MODIFY ... MailboxNumber=<new>).
+  if (record.GetFirst("MailboxNumber").empty()) {
+    record.SetOne("MailboxNumber", number);
+  }
+
+  // An assignment with an empty value ("Greeting=") clears the field.
+  std::vector<std::string> clears;
+  std::vector<std::string> to_remove;
+  for (const auto& [field, value] : record.attrs()) {
+    if (!value.empty() && value.front().empty()) {
+      clears.push_back(field);
+      to_remove.push_back(field);
+    }
+  }
+  for (const std::string& field : to_remove) record.Remove(field);
+
+  if (EqualsIgnoreCase(verb, "ADD")) {
+    METACOMM_RETURN_IF_ERROR(AddRecord(record));
+    // Reply carries the generated id, like the real platform's
+    // confirmation screen.
+    METACOMM_ASSIGN_OR_RETURN(lexpress::Record stored, GetRecord(number));
+    return "OK SubscriberId=" + stored.GetFirst("SubscriberId");
+  }
+  if (EqualsIgnoreCase(verb, "MODIFY")) {
+    METACOMM_RETURN_IF_ERROR(ModifyRecord(number, record, clears));
+    return std::string("OK");
+  }
+  return Status::InvalidArgument(config_.name + ": unknown verb '" + verb +
+                                 "'");
+}
+
+}  // namespace metacomm::devices

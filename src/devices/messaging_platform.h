@@ -1,0 +1,84 @@
+#ifndef METACOMM_DEVICES_MESSAGING_PLATFORM_H_
+#define METACOMM_DEVICES_MESSAGING_PLATFORM_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "devices/device.h"
+
+namespace metacomm::devices {
+
+/// Configuration of one simulated voice Messaging Platform.
+struct MpConfig {
+  /// Instance name, e.g. "mp1".
+  std::string name = "mp1";
+  /// Prefix of generated subscriber ids ("SUB" -> SUB000001, ...).
+  std::string subscriber_id_prefix = "SUB";
+};
+
+/// Simulated voice messaging platform (Octel/Intuity style).
+///
+/// Mailbox records live in the "mp" lexpress schema with fields:
+///   MailboxNumber   (key; digits — normally the phone extension)
+///   SubscriberName  (required)
+///   SubscriberId    (device-GENERATED unique id; cannot be set by the
+///                    caller — this is the "device-generated
+///                    information" of paper §5.5 that must flow back
+///                    into the directory after the add)
+///   Pin, Greeting, EmailAddress (optional)
+///
+/// The administration surface is a keyword protocol, deliberately
+/// unlike the PBX's OSSI (heterogeneity is the point):
+///   ADD MAILBOX 4567 SubscriberName="John Doe" Pin=0000
+///   MODIFY MAILBOX 4567 Greeting="standard"
+///   DELETE MAILBOX 4567
+///   SHOW MAILBOX 4567
+///   LIST MAILBOXES
+class MessagingPlatform : public Device {
+ public:
+  explicit MessagingPlatform(MpConfig config);
+
+  const std::string& name() const override { return config_.name; }
+  const std::string& schema() const override { return schema_; }
+
+  StatusOr<std::string> ExecuteCommand(const std::string& command) override;
+  StatusOr<lexpress::Record> GetRecord(const std::string& key) override;
+
+  /// Adds a mailbox; any caller-supplied SubscriberId is ignored and a
+  /// fresh one generated. The notification's new_record carries the
+  /// generated id so MetaComm can propagate it.
+  Status AddRecord(const lexpress::Record& record) override;
+
+  Status ModifyRecord(const std::string& key,
+                      const lexpress::Record& record,
+                      const std::vector<std::string>& clear_fields)
+      override;
+  Status DeleteRecord(const std::string& key) override;
+  StatusOr<std::vector<lexpress::Record>> DumpAll() override;
+  void SetNotificationHandler(NotificationHandler handler) override;
+  FaultInjector& faults() override { return faults_; }
+
+  size_t MailboxCount() const;
+
+ private:
+  Status CheckMutationAllowed();
+  Status ValidateMailbox(const lexpress::Record& record) const;
+  void Notify(lexpress::DescriptorOp op, lexpress::Record old_record,
+              lexpress::Record new_record);
+  std::string GenerateSubscriberId();
+
+  MpConfig config_;
+  std::string schema_ = "mp";
+  mutable std::mutex mutex_;
+  std::map<std::string, lexpress::Record> mailboxes_;  // by MailboxNumber
+  NotificationHandler handler_;
+  FaultInjector faults_;
+  uint64_t next_subscriber_ = 1;
+};
+
+}  // namespace metacomm::devices
+
+#endif  // METACOMM_DEVICES_MESSAGING_PLATFORM_H_

@@ -1,0 +1,50 @@
+#include "ldap/access.h"
+
+namespace metacomm::ldap {
+
+void AccessControl::AddRule(AccessRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+AccessRule AccessControl::Grant(AccessLevel level, AccessSubject subject,
+                                Dn target, Dn subject_dn) {
+  AccessRule rule;
+  rule.level = level;
+  rule.subject = subject;
+  rule.target = std::move(target);
+  rule.subject_dn = std::move(subject_dn);
+  return rule;
+}
+
+AccessLevel AccessControl::LevelFor(const std::string& principal,
+                                    const Dn& entry_dn) const {
+  StatusOr<Dn> principal_dn = Dn::Parse(principal);
+  for (const AccessRule& rule : rules_) {
+    if (!entry_dn.IsWithin(rule.target)) continue;
+    bool matches = false;
+    switch (rule.subject) {
+      case AccessSubject::kAnyone:
+        matches = true;
+        break;
+      case AccessSubject::kAuthenticated:
+        matches = !principal.empty();
+        break;
+      case AccessSubject::kSelf:
+        matches = principal_dn.ok() && !principal.empty() &&
+                  *principal_dn == entry_dn;
+        break;
+      case AccessSubject::kDn:
+        matches = principal_dn.ok() && !principal.empty() &&
+                  *principal_dn == rule.subject_dn;
+        break;
+      case AccessSubject::kSubtree:
+        matches = principal_dn.ok() && !principal.empty() &&
+                  principal_dn->IsWithin(rule.subject_dn);
+        break;
+    }
+    if (matches) return rule.level;
+  }
+  return default_level_;
+}
+
+}  // namespace metacomm::ldap

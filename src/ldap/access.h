@@ -1,0 +1,86 @@
+#ifndef METACOMM_LDAP_ACCESS_H_
+#define METACOMM_LDAP_ACCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "ldap/dn.h"
+
+namespace metacomm::ldap {
+
+/// Access levels, ordered: each level implies the ones below it.
+enum class AccessLevel {
+  kNone = 0,
+  kCompare = 1,  // Compare assertions only.
+  kRead = 2,     // Search/read entries.
+  kWrite = 3,    // Add/modify/rename/delete.
+};
+
+/// Who a rule applies to.
+enum class AccessSubject {
+  kAnyone,         // Including anonymous.
+  kAuthenticated,  // Any non-empty principal.
+  kSelf,           // Principal whose DN equals the target entry.
+  kDn,             // A specific principal DN.
+  kSubtree,        // Principals under a DN (groups-by-location).
+};
+
+/// One access rule: grant `level` on the subtree at `target` to
+/// `subject`. First matching rule wins (OpenLDAP-style ACI ordering,
+/// most specific first by convention).
+struct AccessRule {
+  Dn target;  // Root DN means "the whole directory".
+  AccessSubject subject = AccessSubject::kAnyone;
+  /// Meaningful for kDn (exact) and kSubtree (ancestor).
+  Dn subject_dn;
+  AccessLevel level = AccessLevel::kRead;
+};
+
+/// Subtree-scoped access control for the directory server — the
+/// "more sophisticated security model" the paper lists as future work
+/// (§7; the shipped system used LTAP's very simple model, which in
+/// this codebase is the bind-required-for-writes check).
+///
+/// Evaluation: the FIRST rule whose target contains the entry and
+/// whose subject matches the principal decides. With no matching rule
+/// the default applies (deny unless default_level says otherwise).
+class AccessControl {
+ public:
+  AccessControl() = default;
+
+  /// Appends a rule (ordered evaluation).
+  void AddRule(AccessRule rule);
+
+  /// Convenience constructors for common policies.
+  static AccessRule Grant(AccessLevel level, AccessSubject subject,
+                          Dn target, Dn subject_dn = Dn());
+
+  void set_default_level(AccessLevel level) { default_level_ = level; }
+  AccessLevel default_level() const { return default_level_; }
+
+  /// Highest level `principal` (a DN string; empty = anonymous) holds
+  /// on `entry_dn`.
+  AccessLevel LevelFor(const std::string& principal,
+                       const Dn& entry_dn) const;
+
+  bool CanRead(const std::string& principal, const Dn& entry_dn) const {
+    return LevelFor(principal, entry_dn) >= AccessLevel::kRead;
+  }
+  bool CanWrite(const std::string& principal, const Dn& entry_dn) const {
+    return LevelFor(principal, entry_dn) >= AccessLevel::kWrite;
+  }
+  bool CanCompare(const std::string& principal,
+                  const Dn& entry_dn) const {
+    return LevelFor(principal, entry_dn) >= AccessLevel::kCompare;
+  }
+
+  bool empty() const { return rules_.empty(); }
+
+ private:
+  std::vector<AccessRule> rules_;
+  AccessLevel default_level_ = AccessLevel::kNone;
+};
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_ACCESS_H_

@@ -1,0 +1,53 @@
+#include "ldap/attribute.h"
+
+namespace metacomm::ldap {
+
+Attribute::Attribute(std::string name, std::vector<std::string> values)
+    : name_(std::move(name)) {
+  for (std::string& v : values) AddValue(std::move(v));
+}
+
+const std::string& Attribute::FirstValue() const {
+  static const std::string* empty = new std::string;
+  return values_.empty() ? *empty : values_.front();
+}
+
+bool Attribute::HasValue(std::string_view value) const {
+  for (const std::string& v : values_) {
+    if (EqualsIgnoreCase(v, value)) return true;
+  }
+  return false;
+}
+
+bool Attribute::AddValue(std::string value) {
+  if (HasValue(value)) return false;
+  values_.push_back(std::move(value));
+  return true;
+}
+
+bool Attribute::RemoveValue(std::string_view value) {
+  for (auto it = values_.begin(); it != values_.end(); ++it) {
+    if (EqualsIgnoreCase(*it, value)) {
+      values_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Attribute::SetValues(std::vector<std::string> values) {
+  values_.clear();
+  for (std::string& v : values) AddValue(std::move(v));
+}
+
+bool operator==(const Attribute& a, const Attribute& b) {
+  if (!EqualsIgnoreCase(a.name_, b.name_)) return false;
+  if (a.values_.size() != b.values_.size()) return false;
+  // Set semantics: order-insensitive comparison.
+  for (const std::string& v : a.values_) {
+    if (!b.HasValue(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace metacomm::ldap

@@ -1,0 +1,61 @@
+#ifndef METACOMM_LDAP_ATTRIBUTE_H_
+#define METACOMM_LDAP_ATTRIBUTE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace metacomm::ldap {
+
+/// A named, set-valued LDAP attribute.
+///
+/// LDAP attributes are weakly typed (every value is a string here, as in
+/// the directory the paper integrates with) and set-valued: duplicate
+/// values — compared case-insensitively, per caseIgnoreMatch — are not
+/// allowed. The paper (§5.3) complains that sets of *atomic* values
+/// cannot correlate related fields; we reproduce exactly that
+/// limitation.
+class Attribute {
+ public:
+  Attribute() = default;
+  explicit Attribute(std::string name) : name_(std::move(name)) {}
+  Attribute(std::string name, std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& values() const { return values_; }
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+
+  /// First value, or empty string if none. LDAP imposes no value order;
+  /// we preserve insertion order and "first" is a MetaComm convention
+  /// used when a single-valued view of the attribute is needed.
+  const std::string& FirstValue() const;
+
+  /// True if `value` is present (case-insensitive).
+  bool HasValue(std::string_view value) const;
+
+  /// Adds `value`; returns false (and does nothing) if already present.
+  bool AddValue(std::string value);
+
+  /// Removes `value` (case-insensitive); returns false if absent.
+  bool RemoveValue(std::string_view value);
+
+  /// Replaces all values.
+  void SetValues(std::vector<std::string> values);
+
+  friend bool operator==(const Attribute& a, const Attribute& b);
+
+ private:
+  std::string name_;
+  std::vector<std::string> values_;
+};
+
+/// Attribute container keyed case-insensitively by attribute name.
+using AttributeMap = std::map<std::string, Attribute, CaseInsensitiveLess>;
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_ATTRIBUTE_H_

@@ -1,0 +1,457 @@
+#include "ldap/backend.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/strings.h"
+
+namespace metacomm::ldap {
+
+namespace {
+
+/// Normalized index key for one attribute value.
+std::string IndexValueKey(std::string_view value) {
+  return ToLower(NormalizeSpace(value));
+}
+
+}  // namespace
+
+Backend::Node* Backend::FindNode(const Dn& dn) const {
+  // Walk from the root; DN rdns are leaf-first, so iterate backwards.
+  const Node* node = &root_;
+  const auto& rdns = dn.rdns();
+  for (auto it = rdns.rbegin(); it != rdns.rend(); ++it) {
+    auto child = node->children.find(it->Normalized());
+    if (child == node->children.end()) return nullptr;
+    node = child->second.get();
+  }
+  return const_cast<Node*>(node);
+}
+
+Status Backend::Add(const Entry& entry) {
+  if (entry.dn().IsRoot()) {
+    return Status::InvalidArgument("cannot add the root DSE");
+  }
+  if (schema_ != nullptr) {
+    METACOMM_RETURN_IF_ERROR(schema_->ValidateEntry(entry));
+  }
+  std::unique_lock lock(mutex_);
+  Node* parent = FindNode(entry.dn().Parent());
+  if (parent == nullptr) {
+    return Status::NotFound("parent does not exist: " +
+                            entry.dn().Parent().ToString());
+  }
+  std::string key = entry.dn().leaf().Normalized();
+  if (parent->children.count(key) > 0) {
+    return Status::AlreadyExists("entry already exists: " +
+                                 entry.dn().ToString());
+  }
+  auto node = std::make_unique<Node>();
+  node->entry = entry;
+  parent->children.emplace(key, std::move(node));
+  IndexEntry(entry, /*insert=*/true);
+
+  ChangeRecord record;
+  record.sequence = ++sequence_;
+  record.op = UpdateOp::kAdd;
+  record.dn = entry.dn();
+  record.new_entry = entry;
+  Notify(std::move(record));
+  return Status::Ok();
+}
+
+Status Backend::Delete(const Dn& dn) {
+  if (dn.IsRoot()) {
+    return Status::InvalidArgument("cannot delete the root DSE");
+  }
+  std::unique_lock lock(mutex_);
+  Node* parent = FindNode(dn.Parent());
+  if (parent == nullptr) {
+    return Status::NotFound("no such object: " + dn.ToString());
+  }
+  auto it = parent->children.find(dn.leaf().Normalized());
+  if (it == parent->children.end()) {
+    return Status::NotFound("no such object: " + dn.ToString());
+  }
+  if (!it->second->children.empty()) {
+    return Status::SchemaViolation("not allowed on non-leaf: " +
+                                   dn.ToString());
+  }
+  Entry old_entry = it->second->entry;
+  IndexEntry(old_entry, /*insert=*/false);
+  parent->children.erase(it);
+
+  ChangeRecord record;
+  record.sequence = ++sequence_;
+  record.op = UpdateOp::kDelete;
+  record.dn = dn;
+  record.old_entry = std::move(old_entry);
+  Notify(std::move(record));
+  return Status::Ok();
+}
+
+Status Backend::ApplyMods(const Rdn& rdn,
+                          const std::vector<Modification>& mods,
+                          Entry* entry) const {
+  for (const Modification& mod : mods) {
+    // RDN attribute protection: an operation may not remove or replace
+    // a value that names the entry. (Adding extra values is fine.)
+    bool is_rdn_attr = false;
+    std::string rdn_value;
+    for (const Ava& ava : rdn.avas()) {
+      if (EqualsIgnoreCase(ava.attribute, mod.attribute)) {
+        is_rdn_attr = true;
+        rdn_value = ava.value;
+      }
+    }
+    switch (mod.type) {
+      case Modification::Type::kAdd:
+        if (mod.values.empty()) {
+          return Status::InvalidArgument("modify/add with no values: " +
+                                         mod.attribute);
+        }
+        for (const std::string& v : mod.values) {
+          entry->AddValue(mod.attribute, v);
+        }
+        break;
+      case Modification::Type::kDelete:
+        if (mod.values.empty()) {
+          if (is_rdn_attr) {
+            return Status::SchemaViolation("not allowed on RDN: " +
+                                           mod.attribute);
+          }
+          if (!entry->Remove(mod.attribute)) {
+            return Status::NotFound("no such attribute: " + mod.attribute);
+          }
+        } else {
+          for (const std::string& v : mod.values) {
+            if (is_rdn_attr && EqualsIgnoreCase(v, rdn_value)) {
+              return Status::SchemaViolation("not allowed on RDN: " +
+                                             mod.attribute + "=" + v);
+            }
+            if (!entry->RemoveValue(mod.attribute, v)) {
+              return Status::NotFound("no such value: " + mod.attribute +
+                                      "=" + v);
+            }
+          }
+        }
+        break;
+      case Modification::Type::kReplace: {
+        if (is_rdn_attr) {
+          // Replacement must retain the RDN value.
+          bool keeps = std::any_of(
+              mod.values.begin(), mod.values.end(),
+              [&rdn_value](const std::string& v) {
+                return EqualsIgnoreCase(v, rdn_value);
+              });
+          if (!keeps) {
+            return Status::SchemaViolation("not allowed on RDN: " +
+                                           mod.attribute);
+          }
+        }
+        entry->Set(mod.attribute, mod.values);
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Backend::Modify(const Dn& dn, const std::vector<Modification>& mods) {
+  std::unique_lock lock(mutex_);
+  Node* node = FindNode(dn);
+  if (node == nullptr) {
+    return Status::NotFound("no such object: " + dn.ToString());
+  }
+  Entry updated = node->entry;
+  METACOMM_RETURN_IF_ERROR(ApplyMods(dn.leaf(), mods, &updated));
+  if (schema_ != nullptr) {
+    METACOMM_RETURN_IF_ERROR(schema_->ValidateEntry(updated));
+  }
+  Entry old_entry = node->entry;
+  IndexEntry(old_entry, /*insert=*/false);
+  node->entry = updated;
+  IndexEntry(node->entry, /*insert=*/true);
+
+  ChangeRecord record;
+  record.sequence = ++sequence_;
+  record.op = UpdateOp::kModify;
+  record.dn = dn;
+  record.old_entry = std::move(old_entry);
+  record.new_entry = node->entry;
+  Notify(std::move(record));
+  return Status::Ok();
+}
+
+Status Backend::ModifyRdn(const Dn& dn, const Rdn& new_rdn,
+                          bool delete_old_rdn) {
+  if (dn.IsRoot()) {
+    return Status::InvalidArgument("cannot rename the root DSE");
+  }
+  std::unique_lock lock(mutex_);
+  Node* parent = FindNode(dn.Parent());
+  if (parent == nullptr) {
+    return Status::NotFound("no such object: " + dn.ToString());
+  }
+  auto it = parent->children.find(dn.leaf().Normalized());
+  if (it == parent->children.end()) {
+    return Status::NotFound("no such object: " + dn.ToString());
+  }
+  std::string new_key = new_rdn.Normalized();
+  if (new_key != dn.leaf().Normalized() &&
+      parent->children.count(new_key) > 0) {
+    return Status::AlreadyExists("sibling already exists: " +
+                                 new_rdn.ToString());
+  }
+
+  // Build the post-rename entry.
+  Node* node = it->second.get();
+  Entry updated = node->entry;
+  Dn new_dn = dn.WithLeaf(new_rdn);
+  updated.set_dn(new_dn);
+  for (const Ava& ava : new_rdn.avas()) {
+    updated.AddValue(ava.attribute, ava.value);
+  }
+  if (delete_old_rdn) {
+    for (const Ava& old_ava : dn.leaf().avas()) {
+      // Keep values that also appear in the new RDN.
+      bool kept = std::any_of(new_rdn.avas().begin(), new_rdn.avas().end(),
+                              [&old_ava](const Ava& n) {
+                                return EqualsIgnoreCase(n.attribute,
+                                                        old_ava.attribute) &&
+                                       EqualsIgnoreCase(n.value,
+                                                        old_ava.value);
+                              });
+      if (!kept) updated.RemoveValue(old_ava.attribute, old_ava.value);
+    }
+  }
+  if (schema_ != nullptr) {
+    METACOMM_RETURN_IF_ERROR(schema_->ValidateEntry(updated));
+  }
+
+  Entry old_entry = node->entry;
+
+  // De-index the whole subtree (descendant DNs change too).
+  ReindexSubtree(node, /*insert=*/false);
+  node->entry = updated;
+  RewriteDns(node, new_dn);
+  ReindexSubtree(node, /*insert=*/true);
+
+  // Re-key under the parent.
+  std::unique_ptr<Node> owned = std::move(it->second);
+  parent->children.erase(it);
+  parent->children.emplace(new_key, std::move(owned));
+
+  ChangeRecord record;
+  record.sequence = ++sequence_;
+  record.op = UpdateOp::kModifyRdn;
+  record.dn = dn;
+  record.new_dn = new_dn;
+  record.old_entry = std::move(old_entry);
+  record.new_entry = updated;
+  Notify(std::move(record));
+  return Status::Ok();
+}
+
+void Backend::RewriteDns(Node* node, const Dn& new_dn) {
+  node->entry.set_dn(new_dn);
+  for (auto& [key, child] : node->children) {
+    RewriteDns(child.get(), new_dn.Child(child->entry.dn().leaf()));
+  }
+}
+
+StatusOr<Entry> Backend::Get(const Dn& dn) const {
+  std::shared_lock lock(mutex_);
+  Node* node = FindNode(dn);
+  if (node == nullptr || dn.IsRoot()) {
+    return Status::NotFound("no such object: " + dn.ToString());
+  }
+  return node->entry;
+}
+
+bool Backend::Exists(const Dn& dn) const {
+  std::shared_lock lock(mutex_);
+  return !dn.IsRoot() && FindNode(dn) != nullptr;
+}
+
+size_t Backend::Size() const {
+  std::shared_lock lock(mutex_);
+  size_t count = 0;
+  // Iterative DFS over the tree.
+  std::vector<const Node*> stack{&root_};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const auto& [key, child] : node->children) {
+      ++count;
+      stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+Entry Backend::Project(const Entry& entry,
+                       const std::vector<std::string>& attributes) {
+  if (attributes.empty()) return entry;
+  Entry out(entry.dn());
+  for (const std::string& name : attributes) {
+    auto it = entry.attributes().find(name);
+    if (it != entry.attributes().end()) {
+      out.Set(it->second.name(), it->second.values());
+    }
+  }
+  return out;
+}
+
+void Backend::CollectMatches(const Node* node, const SearchRequest& request,
+                             size_t depth_remaining,
+                             std::vector<Entry>* out,
+                             Status* limit_status) const {
+  if (!limit_status->ok()) return;
+  if (request.size_limit > 0 && out->size() >= request.size_limit) {
+    *limit_status = Status::DeadlineExceeded("size limit exceeded");
+    return;
+  }
+  if (request.filter.Matches(node->entry)) {
+    out->push_back(Project(node->entry, request.attributes));
+  }
+  if (depth_remaining == 0) return;
+  for (const auto& [key, child] : node->children) {
+    CollectMatches(child.get(), request, depth_remaining - 1, out,
+                   limit_status);
+  }
+}
+
+StatusOr<SearchResult> Backend::Search(const SearchRequest& request) const {
+  std::shared_lock lock(mutex_);
+  Node* base = FindNode(request.base);
+  if (base == nullptr) {
+    return Status::NotFound("no such object: " + request.base.ToString());
+  }
+  SearchResult result;
+  Status limit_status = Status::Ok();
+
+  // Fast path: subtree search with a top-level equality filter uses the
+  // equality index.
+  if (request.scope == Scope::kSubtree &&
+      request.filter.kind() == Filter::Kind::kEquality) {
+    auto attr_it = index_.find(ToLower(request.filter.attribute()));
+    if (attr_it != index_.end()) {
+      auto value_it =
+          attr_it->second.find(IndexValueKey(request.filter.value()));
+      if (value_it != attr_it->second.end()) {
+        for (const auto& [norm_dn, dn] : value_it->second) {
+          if (!dn.IsWithin(request.base)) continue;
+          Node* node = FindNode(dn);
+          if (node != nullptr && request.filter.Matches(node->entry)) {
+            if (request.size_limit > 0 &&
+                result.entries.size() >= request.size_limit) {
+              return Status::DeadlineExceeded("size limit exceeded");
+            }
+            result.entries.push_back(
+                Project(node->entry, request.attributes));
+          }
+        }
+      }
+      return result;
+    }
+  }
+
+  switch (request.scope) {
+    case Scope::kBase:
+      if (!request.base.IsRoot() && request.filter.Matches(base->entry)) {
+        result.entries.push_back(Project(base->entry, request.attributes));
+      }
+      break;
+    case Scope::kOneLevel:
+      for (const auto& [key, child] : base->children) {
+        if (request.filter.Matches(child->entry)) {
+          if (request.size_limit > 0 &&
+              result.entries.size() >= request.size_limit) {
+            return Status::DeadlineExceeded("size limit exceeded");
+          }
+          result.entries.push_back(
+              Project(child->entry, request.attributes));
+        }
+      }
+      break;
+    case Scope::kSubtree: {
+      if (request.base.IsRoot()) {
+        // The virtual root is not a real entry: search its subtrees.
+        for (const auto& [key, child] : base->children) {
+          CollectMatches(child.get(), request, SIZE_MAX - 1, &result.entries,
+                         &limit_status);
+        }
+      } else {
+        CollectMatches(base, request, SIZE_MAX - 1, &result.entries,
+                       &limit_status);
+      }
+      if (!limit_status.ok()) return limit_status;
+      break;
+    }
+  }
+  return result;
+}
+
+void Backend::IndexEntry(const Entry& entry, bool insert) {
+  std::string norm_dn = entry.dn().Normalized();
+  for (const auto& [name, attr] : entry.attributes()) {
+    std::string attr_key = ToLower(name);
+    for (const std::string& value : attr.values()) {
+      std::string value_key = IndexValueKey(value);
+      if (insert) {
+        index_[attr_key][value_key].emplace(norm_dn, entry.dn());
+      } else {
+        auto attr_it = index_.find(attr_key);
+        if (attr_it == index_.end()) continue;
+        auto value_it = attr_it->second.find(value_key);
+        if (value_it == attr_it->second.end()) continue;
+        value_it->second.erase(norm_dn);
+        if (value_it->second.empty()) attr_it->second.erase(value_it);
+      }
+    }
+  }
+}
+
+void Backend::ReindexSubtree(Node* node, bool insert) {
+  IndexEntry(node->entry, insert);
+  for (auto& [key, child] : node->children) {
+    ReindexSubtree(child.get(), insert);
+  }
+}
+
+void Backend::AddListener(Listener listener) {
+  std::unique_lock lock(mutex_);
+  listeners_.push_back(std::move(listener));
+}
+
+void Backend::Notify(ChangeRecord record) {
+  for (const Listener& listener : listeners_) {
+    listener(record);
+  }
+}
+
+std::vector<Entry> Backend::DumpAll() const {
+  std::shared_lock lock(mutex_);
+  std::vector<Entry> out;
+  // BFS guarantees parents precede children.
+  std::vector<const Node*> frontier{&root_};
+  while (!frontier.empty()) {
+    std::vector<const Node*> next;
+    for (const Node* node : frontier) {
+      for (const auto& [key, child] : node->children) {
+        out.push_back(child->entry);
+        next.push_back(child.get());
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+uint64_t Backend::ChangeCount() const {
+  std::shared_lock lock(mutex_);
+  return sequence_;
+}
+
+}  // namespace metacomm::ldap

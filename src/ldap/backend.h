@@ -1,0 +1,141 @@
+#ifndef METACOMM_LDAP_BACKEND_H_
+#define METACOMM_LDAP_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ldap/entry.h"
+#include "ldap/operations.h"
+#include "ldap/schema.h"
+
+namespace metacomm::ldap {
+
+/// A committed change, as observed by backend listeners (the
+/// replication changelog and test instrumentation).
+struct ChangeRecord {
+  uint64_t sequence = 0;
+  UpdateOp op = UpdateOp::kAdd;
+  Dn dn;                          // DN before the change.
+  std::optional<Dn> new_dn;       // For kModifyRdn: DN after rename.
+  std::optional<Entry> old_entry; // Absent for kAdd.
+  std::optional<Entry> new_entry; // Absent for kDelete.
+};
+
+/// In-memory Directory Information Tree with LDAP update semantics.
+///
+/// The backend enforces exactly the directory behaviour MetaComm has to
+/// cope with (paper §2, §5.1, §5.3):
+///  * every update touches a single entry and is atomic;
+///  * there is no way to group updates into a transaction;
+///  * Modify cannot touch RDN attribute values — that needs ModifyRDN,
+///    so "rename + change extension" is inherently two operations;
+///  * deletes apply to leaves only.
+///
+/// A per-attribute equality index accelerates subtree searches; the
+/// whole tree is guarded by a readers-writer lock, so the heavily
+/// read-oriented LDAP workloads the paper mentions scale across reader
+/// threads.
+class Backend {
+ public:
+  using Listener = std::function<void(const ChangeRecord&)>;
+
+  /// `schema` may be nullptr to run schema-less (some unit tests and
+  /// the raw-directory baselines do this); when set, every resulting
+  /// entry is validated before commit. The schema must outlive the
+  /// backend.
+  explicit Backend(const Schema* schema = nullptr) : schema_(schema) {}
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  /// Adds a leaf entry. The parent must exist, except for depth-1
+  /// entries which act as directory suffixes.
+  Status Add(const Entry& entry);
+
+  /// Deletes a leaf entry.
+  Status Delete(const Dn& dn);
+
+  /// Applies a modification sequence to one entry atomically. Rejects
+  /// changes that would remove an RDN attribute value
+  /// (kNotAllowedOnRdn semantics).
+  Status Modify(const Dn& dn, const std::vector<Modification>& mods);
+
+  /// Renames a leaf entry. Descendant DNs are rewritten.
+  Status ModifyRdn(const Dn& dn, const Rdn& new_rdn, bool delete_old_rdn);
+
+  /// Returns a copy of the entry at `dn`.
+  StatusOr<Entry> Get(const Dn& dn) const;
+
+  /// True if an entry exists at `dn`.
+  bool Exists(const Dn& dn) const;
+
+  /// Search over the tree.
+  StatusOr<SearchResult> Search(const SearchRequest& request) const;
+
+  /// Number of entries.
+  size_t Size() const;
+
+  /// Registers a post-commit listener. Listeners run under the
+  /// backend's exclusive lock (so they observe changes in commit
+  /// order) and must not call back into the backend.
+  void AddListener(Listener listener);
+
+  /// Snapshot of every entry, parents before children (suitable for
+  /// reloading via Add).
+  std::vector<Entry> DumpAll() const;
+
+  /// Number of committed changes so far.
+  uint64_t ChangeCount() const;
+
+ private:
+  struct Node {
+    Entry entry;
+    // Normalized child RDN -> node. Ordered map gives deterministic
+    // iteration (stable search results, stable dumps).
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  /// Finds the node for `dn`; nullptr when absent. Caller holds lock.
+  Node* FindNode(const Dn& dn) const;
+
+  /// Applies `mods` to `entry` (already a copy). Also enforces
+  /// RDN-attribute protection using `rdn`.
+  Status ApplyMods(const Rdn& rdn, const std::vector<Modification>& mods,
+                   Entry* entry) const;
+
+  void IndexEntry(const Entry& entry, bool insert);
+  void ReindexSubtree(Node* node, bool insert);
+
+  /// Rewrites the DNs of `node` and descendants to live under
+  /// `new_parent_dn`. Caller handles indexes.
+  void RewriteDns(Node* node, const Dn& new_dn);
+
+  void CollectMatches(const Node* node, const SearchRequest& request,
+                      size_t depth_remaining, std::vector<Entry>* out,
+                      Status* limit_status) const;
+
+  void Notify(ChangeRecord record);
+
+  static Entry Project(const Entry& entry,
+                       const std::vector<std::string>& attributes);
+
+  const Schema* schema_;
+  mutable std::shared_mutex mutex_;
+  Node root_;  // Virtual root; root_.entry has the empty DN.
+  // Equality index: lower(attr) -> normalized value -> normalized DNs.
+  std::map<std::string, std::map<std::string, std::map<std::string, Dn>>>
+      index_;
+  std::vector<Listener> listeners_;
+  uint64_t sequence_ = 0;
+};
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_BACKEND_H_

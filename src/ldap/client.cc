@@ -1,0 +1,111 @@
+#include "ldap/client.h"
+
+namespace metacomm::ldap {
+
+Status Client::Bind(std::string_view dn, std::string password) {
+  METACOMM_ASSIGN_OR_RETURN(Dn parsed, Dn::Parse(dn));
+  BindRequest request{std::move(parsed), std::move(password)};
+  METACOMM_ASSIGN_OR_RETURN(std::string principal,
+                            service_->Bind(request));
+  context_.principal = std::move(principal);
+  return Status::Ok();
+}
+
+void Client::Unbind() { context_.principal.clear(); }
+
+Status Client::Add(
+    std::string_view dn,
+    const std::vector<std::pair<std::string, std::string>>& avas) {
+  METACOMM_ASSIGN_OR_RETURN(Dn parsed, Dn::Parse(dn));
+  Entry entry(std::move(parsed));
+  for (const auto& [attribute, value] : avas) {
+    entry.AddValue(attribute, value);
+  }
+  return Add(entry);
+}
+
+Status Client::Add(const Entry& entry) {
+  return service_->Add(context_, AddRequest{entry});
+}
+
+Status Client::Delete(std::string_view dn) {
+  METACOMM_ASSIGN_OR_RETURN(Dn parsed, Dn::Parse(dn));
+  return service_->Delete(context_, DeleteRequest{std::move(parsed)});
+}
+
+Status Client::Replace(std::string_view dn, std::string_view attribute,
+                       std::string value) {
+  return ReplaceAll(dn, attribute, {std::move(value)});
+}
+
+Status Client::ReplaceAll(std::string_view dn, std::string_view attribute,
+                          std::vector<std::string> values) {
+  Modification mod;
+  mod.type = Modification::Type::kReplace;
+  mod.attribute = std::string(attribute);
+  mod.values = std::move(values);
+  return Modify(dn, {std::move(mod)});
+}
+
+Status Client::Modify(std::string_view dn, std::vector<Modification> mods) {
+  METACOMM_ASSIGN_OR_RETURN(Dn parsed, Dn::Parse(dn));
+  return service_->Modify(context_,
+                          ModifyRequest{std::move(parsed), std::move(mods)});
+}
+
+Status Client::ModifyRdn(std::string_view dn, std::string_view new_rdn,
+                         bool delete_old_rdn) {
+  METACOMM_ASSIGN_OR_RETURN(Dn parsed, Dn::Parse(dn));
+  METACOMM_ASSIGN_OR_RETURN(Rdn rdn, Rdn::Parse(new_rdn));
+  ModifyRdnRequest request;
+  request.dn = std::move(parsed);
+  request.new_rdn = std::move(rdn);
+  request.delete_old_rdn = delete_old_rdn;
+  return service_->ModifyRdn(context_, request);
+}
+
+StatusOr<Entry> Client::Get(std::string_view dn) {
+  METACOMM_ASSIGN_OR_RETURN(Dn parsed, Dn::Parse(dn));
+  SearchRequest request;
+  request.base = std::move(parsed);
+  request.scope = Scope::kBase;
+  METACOMM_ASSIGN_OR_RETURN(SearchResult result,
+                            service_->Search(context_, request));
+  if (result.entries.empty()) {
+    return Status::NotFound("no such object: " + std::string(dn));
+  }
+  return result.entries.front();
+}
+
+StatusOr<std::vector<Entry>> Client::Search(std::string_view base,
+                                            std::string_view filter,
+                                            Scope scope) {
+  METACOMM_ASSIGN_OR_RETURN(Dn parsed, Dn::Parse(base));
+  METACOMM_ASSIGN_OR_RETURN(Filter parsed_filter, Filter::Parse(filter));
+  SearchRequest request;
+  request.base = std::move(parsed);
+  request.scope = scope;
+  request.filter = std::move(parsed_filter);
+  METACOMM_ASSIGN_OR_RETURN(SearchResult result,
+                            service_->Search(context_, request));
+  return std::move(result.entries);
+}
+
+StatusOr<bool> Client::Compare(std::string_view dn,
+                               std::string_view attribute,
+                               std::string_view value) {
+  METACOMM_ASSIGN_OR_RETURN(Dn parsed, Dn::Parse(dn));
+  CompareRequest request;
+  request.dn = std::move(parsed);
+  request.attribute = std::string(attribute);
+  request.value = std::string(value);
+  Status status = service_->Compare(context_, request);
+  if (status.ok()) return true;
+  if (status.code() == StatusCode::kNotFound &&
+      status.message() == "compare false") {
+    return false;
+  }
+  return status;
+}
+
+}  // namespace metacomm::ldap

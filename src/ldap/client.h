@@ -1,0 +1,80 @@
+#ifndef METACOMM_LDAP_CLIENT_H_
+#define METACOMM_LDAP_CLIENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ldap/service.h"
+
+namespace metacomm::ldap {
+
+/// Ergonomic client over any LdapService (server or LTAP gateway).
+///
+/// This is what "any tool that can perform LDAP updates" looks like in
+/// this codebase: the Web-Based Administration stand-ins in examples/
+/// are built on it, and so is the LDAP filter's protocol converter.
+class Client {
+ public:
+  /// `service` must outlive the client.
+  explicit Client(LdapService* service) : service_(service) {}
+
+  /// Simple bind; subsequent operations carry the bound principal.
+  Status Bind(std::string_view dn, std::string password);
+
+  /// Resets to anonymous.
+  void Unbind();
+
+  /// Marks this client's operations as UM-internal (bypasses LTAP
+  /// trigger processing; see OpContext::internal).
+  void set_internal(bool internal) { context_.internal = internal; }
+
+  void set_session_id(uint64_t id) { context_.session_id = id; }
+  const OpContext& context() const { return context_; }
+
+  /// Adds an entry built from `dn` and (attribute, value) pairs;
+  /// repeated attribute names accumulate values.
+  Status Add(std::string_view dn,
+             const std::vector<std::pair<std::string, std::string>>& avas);
+
+  /// Adds a fully formed entry.
+  Status Add(const Entry& entry);
+
+  Status Delete(std::string_view dn);
+
+  /// Replaces one attribute with a single value.
+  Status Replace(std::string_view dn, std::string_view attribute,
+                 std::string value);
+
+  /// Replaces one attribute with a value set (empty removes it).
+  Status ReplaceAll(std::string_view dn, std::string_view attribute,
+                    std::vector<std::string> values);
+
+  /// General modify.
+  Status Modify(std::string_view dn, std::vector<Modification> mods);
+
+  /// Renames the entry's RDN, e.g. new_rdn = "cn=Pat Smith".
+  Status ModifyRdn(std::string_view dn, std::string_view new_rdn,
+                   bool delete_old_rdn = true);
+
+  /// Fetches one entry by DN.
+  StatusOr<Entry> Get(std::string_view dn);
+
+  /// Subtree search from `base` with an RFC 2254 filter string.
+  StatusOr<std::vector<Entry>> Search(std::string_view base,
+                                      std::string_view filter,
+                                      Scope scope = Scope::kSubtree);
+
+  /// LDAP Compare.
+  StatusOr<bool> Compare(std::string_view dn, std::string_view attribute,
+                         std::string_view value);
+
+ private:
+  LdapService* service_;
+  OpContext context_;
+};
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_CLIENT_H_

@@ -1,0 +1,75 @@
+#ifndef METACOMM_LDAP_FILTER_H_
+#define METACOMM_LDAP_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ldap/entry.h"
+
+namespace metacomm::ldap {
+
+/// An LDAP search filter (RFC 2254 string representation), e.g.
+///   (&(objectClass=inetOrgPerson)(telephoneNumber=+1 908 582 9*))
+///
+/// Supported constructs: and &, or |, not !, equality =, substring
+/// (with * wildcards), presence =*, >=, <=, and approximate ~= (folded
+/// to a space/case-insensitive equality here).
+class Filter {
+ public:
+  enum class Kind {
+    kAnd,
+    kOr,
+    kNot,
+    kEquality,
+    kSubstring,
+    kPresent,
+    kGreaterOrEqual,
+    kLessOrEqual,
+    kApprox,
+  };
+
+  /// Parses an RFC 2254 filter string.
+  static StatusOr<Filter> Parse(std::string_view text);
+
+  /// Leaf constructors.
+  static Filter Equality(std::string attribute, std::string value);
+  static Filter Present(std::string attribute);
+  static Filter Substring(std::string attribute, std::string pattern);
+  static Filter GreaterOrEqual(std::string attribute, std::string value);
+  static Filter LessOrEqual(std::string attribute, std::string value);
+  static Filter Approx(std::string attribute, std::string value);
+
+  /// Composite constructors.
+  static Filter And(std::vector<Filter> children);
+  static Filter Or(std::vector<Filter> children);
+  static Filter Not(Filter child);
+
+  /// Matches every entry: (objectClass=*).
+  static Filter MatchAll();
+
+  Kind kind() const { return kind_; }
+  const std::string& attribute() const { return attribute_; }
+  const std::string& value() const { return value_; }
+  const std::vector<Filter>& children() const { return children_; }
+
+  /// Evaluates the filter against `entry`.
+  bool Matches(const Entry& entry) const;
+
+  /// Serializes back to RFC 2254 text.
+  std::string ToString() const;
+
+ private:
+  Filter() = default;
+
+  Kind kind_ = Kind::kPresent;
+  std::string attribute_;
+  std::string value_;  // For kSubstring this is the glob pattern.
+  std::vector<Filter> children_;
+};
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_FILTER_H_

@@ -1,0 +1,62 @@
+#include "ldap/persistence.h"
+
+#include <cstdio>
+
+#include "ldap/ldif.h"
+
+namespace metacomm::ldap {
+
+std::string ExportLdif(const Backend& backend) {
+  return ToLdif(backend.DumpAll());
+}
+
+StatusOr<size_t> ImportLdif(Backend* backend, const std::string& text) {
+  METACOMM_ASSIGN_OR_RETURN(std::vector<LdifRecord> records,
+                            ParseLdif(text));
+  size_t loaded = 0;
+  for (const LdifRecord& record : records) {
+    if (record.op != UpdateOp::kAdd) {
+      return Status::InvalidArgument(
+          "directory files hold content records only; found changetype " +
+          std::string(UpdateOpName(record.op)) + " for " +
+          record.dn.ToString());
+    }
+    Status status = backend->Add(record.entry);
+    if (status.code() == StatusCode::kAlreadyExists) continue;
+    METACOMM_RETURN_IF_ERROR(status);
+    ++loaded;
+  }
+  return loaded;
+}
+
+Status SaveToLdifFile(const Backend& backend, const std::string& path) {
+  std::string text = ExportLdif(backend);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  int close_result = std::fclose(file);
+  if (written != text.size() || close_result != 0) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> LoadFromLdifFile(Backend* backend,
+                                  const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+  return ImportLdif(backend, text);
+}
+
+}  // namespace metacomm::ldap

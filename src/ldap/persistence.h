@@ -1,0 +1,35 @@
+#ifndef METACOMM_LDAP_PERSISTENCE_H_
+#define METACOMM_LDAP_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ldap/backend.h"
+
+namespace metacomm::ldap {
+
+/// LDIF-file persistence for the in-memory directory.
+///
+/// The 2000-era deployment pattern (and still OpenLDAP's bootstrap
+/// path): the DIT is exported to and re-imported from LDIF. MetaComm
+/// uses this for the UM-crash story — after a restart, the directory
+/// is reloaded and Synchronize() reconciles it with the devices
+/// (paper §4.4/§5.1).
+
+/// Writes every entry of `backend` (parents before children) to
+/// `path` as LDIF content records.
+Status SaveToLdifFile(const Backend& backend, const std::string& path);
+
+/// Loads LDIF content records from `path` into `backend` via Add, in
+/// file order. Entries that already exist are skipped (idempotent
+/// reload); change records are rejected.
+StatusOr<size_t> LoadFromLdifFile(Backend* backend,
+                                  const std::string& path);
+
+/// In-memory variants (exposed for tests and tooling).
+std::string ExportLdif(const Backend& backend);
+StatusOr<size_t> ImportLdif(Backend* backend, const std::string& text);
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_PERSISTENCE_H_

@@ -1,0 +1,121 @@
+#include "ldap/replication.h"
+
+namespace metacomm::ldap {
+
+void Changelog::Attach(Backend* backend) {
+  backend->AddListener([this](const ChangeRecord& record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(record);
+  });
+}
+
+std::vector<ChangeRecord> Changelog::ChangesAfter(
+    uint64_t after_sequence) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ChangeRecord> out;
+  for (const ChangeRecord& record : records_) {
+    if (record.sequence > after_sequence) out.push_back(record);
+  }
+  return out;
+}
+
+uint64_t Changelog::LastSequence() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.empty() ? 0 : records_.back().sequence;
+}
+
+void Changelog::TrimThrough(uint64_t sequence) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!records_.empty() && records_.front().sequence <= sequence) {
+    records_.pop_front();
+  }
+}
+
+size_t Changelog::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+Status ReplicationConsumer::ApplyRecord(const ChangeRecord& record) {
+  switch (record.op) {
+    case UpdateOp::kAdd: {
+      Status status = replica_->Add(*record.new_entry);
+      if (status.code() == StatusCode::kAlreadyExists) {
+        // Converge by overwriting: replace all attributes.
+        std::vector<Modification> mods;
+        for (const auto& [name, attr] : record.new_entry->attributes()) {
+          Modification mod;
+          mod.type = Modification::Type::kReplace;
+          mod.attribute = name;
+          mod.values = attr.values();
+          mods.push_back(std::move(mod));
+        }
+        return replica_->Modify(record.dn, mods);
+      }
+      return status;
+    }
+    case UpdateOp::kDelete: {
+      Status status = replica_->Delete(record.dn);
+      if (status.code() == StatusCode::kNotFound) return Status::Ok();
+      return status;
+    }
+    case UpdateOp::kModify: {
+      // Replay as full replacement of the new image's attributes to
+      // stay convergent even if the replica diverged.
+      if (!record.new_entry.has_value()) {
+        return Status::Internal("modify record without new entry");
+      }
+      if (!replica_->Exists(record.dn)) {
+        return replica_->Add(*record.new_entry);
+      }
+      std::vector<Modification> mods;
+      for (const auto& [name, attr] : record.new_entry->attributes()) {
+        Modification mod;
+        mod.type = Modification::Type::kReplace;
+        mod.attribute = name;
+        mod.values = attr.values();
+        mods.push_back(std::move(mod));
+      }
+      // Remove attributes that vanished.
+      StatusOr<Entry> current = replica_->Get(record.dn);
+      if (current.ok()) {
+        for (const auto& [name, attr] : current->attributes()) {
+          if (record.new_entry->attributes().find(name) ==
+              record.new_entry->attributes().end()) {
+            Modification mod;
+            mod.type = Modification::Type::kReplace;
+            mod.attribute = name;
+            mods.push_back(std::move(mod));
+          }
+        }
+      }
+      return replica_->Modify(record.dn, mods);
+    }
+    case UpdateOp::kModifyRdn: {
+      if (!record.new_dn.has_value()) {
+        return Status::Internal("modifyrdn record without new dn");
+      }
+      Status status = replica_->ModifyRdn(
+          record.dn, record.new_dn->leaf(), /*delete_old_rdn=*/true);
+      if (status.code() == StatusCode::kNotFound &&
+          record.new_entry.has_value()) {
+        return replica_->Add(*record.new_entry);
+      }
+      return status;
+    }
+  }
+  return Status::Internal("unknown change op");
+}
+
+StatusOr<size_t> ReplicationConsumer::PullFrom(const Changelog& changelog) {
+  std::vector<ChangeRecord> changes = changelog.ChangesAfter(cookie_);
+  size_t applied = 0;
+  for (const ChangeRecord& record : changes) {
+    METACOMM_RETURN_IF_ERROR(ApplyRecord(record));
+    cookie_ = record.sequence;
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace metacomm::ldap

@@ -1,0 +1,70 @@
+#ifndef METACOMM_LDAP_REPLICATION_H_
+#define METACOMM_LDAP_REPLICATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "ldap/backend.h"
+
+namespace metacomm::ldap {
+
+/// Supplier-side changelog for LDAP replication.
+///
+/// "LDAP servers make extensive use of replication to make directory
+/// information highly available" (paper §2) with relaxed write-write
+/// consistency: replicas converge to the same attribute values after a
+/// delay. This changelog records committed backend changes; consumers
+/// pull everything after their cookie and apply it in order.
+class Changelog {
+ public:
+  /// Attaches to `backend`, recording every subsequent change.
+  /// The changelog must outlive the backend's use of the listener.
+  void Attach(Backend* backend);
+
+  /// Changes with sequence strictly greater than `after_sequence`.
+  std::vector<ChangeRecord> ChangesAfter(uint64_t after_sequence) const;
+
+  /// Highest recorded sequence (0 when empty).
+  uint64_t LastSequence() const;
+
+  /// Drops records up to and including `sequence` (log trimming).
+  void TrimThrough(uint64_t sequence);
+
+  size_t Size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<ChangeRecord> records_;
+};
+
+/// Consumer: applies supplier changes to a replica backend.
+///
+/// Apply is idempotent in the epidemic-replication sense (paper cites
+/// Demers et al.): re-applied adds become overwrites, deletes of
+/// missing entries succeed — so replaying an overlapping window still
+/// converges.
+class ReplicationConsumer {
+ public:
+  /// `replica` must outlive the consumer.
+  explicit ReplicationConsumer(Backend* replica) : replica_(replica) {}
+
+  /// Pulls from `changelog` everything after the stored cookie and
+  /// applies it. Returns the number of records applied.
+  StatusOr<size_t> PullFrom(const Changelog& changelog);
+
+  /// Applies a single change record (exposed for tests).
+  Status ApplyRecord(const ChangeRecord& record);
+
+  uint64_t cookie() const { return cookie_; }
+
+ private:
+  Backend* replica_;
+  uint64_t cookie_ = 0;
+};
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_REPLICATION_H_

@@ -1,0 +1,106 @@
+#ifndef METACOMM_LDAP_RESULT_H_
+#define METACOMM_LDAP_RESULT_H_
+
+#include "common/status.h"
+
+namespace metacomm::ldap {
+
+/// LDAPv3 result codes (RFC 2251 §4.1.10) — the subset our server emits.
+/// The numeric values match the protocol so traces read like real LDAP.
+enum class ResultCode {
+  kSuccess = 0,
+  kOperationsError = 1,
+  kProtocolError = 2,
+  kTimeLimitExceeded = 3,
+  kSizeLimitExceeded = 4,
+  kCompareFalse = 5,
+  kCompareTrue = 6,
+  kNoSuchAttribute = 16,
+  kUndefinedAttributeType = 17,
+  kConstraintViolation = 19,
+  kAttributeOrValueExists = 20,
+  kNoSuchObject = 32,
+  kInvalidDnSyntax = 34,
+  kInvalidCredentials = 49,
+  kInsufficientAccessRights = 50,
+  kBusy = 51,
+  kUnavailable = 52,
+  kUnwillingToPerform = 53,
+  kNamingViolation = 64,
+  kObjectClassViolation = 65,
+  kNotAllowedOnNonLeaf = 66,
+  kNotAllowedOnRdn = 67,
+  kEntryAlreadyExists = 68,
+  kOther = 80,
+};
+
+/// Maps an LDAP result code into MetaComm's canonical Status space.
+inline Status ResultToStatus(ResultCode code, std::string message) {
+  switch (code) {
+    case ResultCode::kSuccess:
+    case ResultCode::kCompareTrue:
+    case ResultCode::kCompareFalse:
+      return Status::Ok();
+    case ResultCode::kNoSuchObject:
+    case ResultCode::kNoSuchAttribute:
+      return Status::NotFound(std::move(message));
+    case ResultCode::kEntryAlreadyExists:
+    case ResultCode::kAttributeOrValueExists:
+      return Status::AlreadyExists(std::move(message));
+    case ResultCode::kInvalidDnSyntax:
+    case ResultCode::kProtocolError:
+    case ResultCode::kUndefinedAttributeType:
+      return Status::InvalidArgument(std::move(message));
+    case ResultCode::kObjectClassViolation:
+    case ResultCode::kNamingViolation:
+    case ResultCode::kConstraintViolation:
+    case ResultCode::kNotAllowedOnNonLeaf:
+    case ResultCode::kNotAllowedOnRdn:
+      return Status::SchemaViolation(std::move(message));
+    case ResultCode::kInvalidCredentials:
+    case ResultCode::kInsufficientAccessRights:
+      return Status::PermissionDenied(std::move(message));
+    case ResultCode::kBusy:
+      return Status::Conflict(std::move(message));
+    case ResultCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case ResultCode::kTimeLimitExceeded:
+    case ResultCode::kSizeLimitExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    default:
+      return Status::Internal(std::move(message));
+  }
+}
+
+/// Maps a canonical Status back onto the closest LDAP result code —
+/// the inverse direction, used by the wire protocol.
+inline ResultCode StatusToResult(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return ResultCode::kSuccess;
+    case StatusCode::kInvalidArgument:
+      return ResultCode::kProtocolError;
+    case StatusCode::kNotFound:
+      return ResultCode::kNoSuchObject;
+    case StatusCode::kAlreadyExists:
+      return ResultCode::kEntryAlreadyExists;
+    case StatusCode::kConflict:
+      return ResultCode::kBusy;
+    case StatusCode::kPermissionDenied:
+      return ResultCode::kInsufficientAccessRights;
+    case StatusCode::kSchemaViolation:
+      return ResultCode::kObjectClassViolation;
+    case StatusCode::kUnavailable:
+      return ResultCode::kUnavailable;
+    case StatusCode::kDeadlineExceeded:
+      return ResultCode::kTimeLimitExceeded;
+    case StatusCode::kInternal:
+    case StatusCode::kUnimplemented:
+      return ResultCode::kOther;
+  }
+  return ResultCode::kOther;
+}
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_RESULT_H_

@@ -1,0 +1,342 @@
+#include "ldap/schema.h"
+
+#include <algorithm>
+
+#include "ldap/dn.h"
+
+namespace metacomm::ldap {
+
+Status Schema::AddAttributeType(AttributeTypeDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("attribute type needs a name");
+  }
+  if (attributes_.count(def.name) || aliases_.count(def.name)) {
+    return Status::AlreadyExists("attribute type exists: " + def.name);
+  }
+  for (const std::string& alias : def.aliases) {
+    if (attributes_.count(alias) || aliases_.count(alias)) {
+      return Status::AlreadyExists("attribute alias exists: " + alias);
+    }
+  }
+  std::string name = def.name;
+  for (const std::string& alias : def.aliases) {
+    aliases_.emplace(alias, name);
+  }
+  attributes_.emplace(name, std::move(def));
+  return Status::Ok();
+}
+
+Status Schema::AddObjectClass(ObjectClassDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("object class needs a name");
+  }
+  if (classes_.count(def.name)) {
+    return Status::AlreadyExists("object class exists: " + def.name);
+  }
+  if (!def.superior.empty() && !classes_.count(def.superior)) {
+    return Status::NotFound("unknown superior class: " + def.superior);
+  }
+  if (def.superior.empty() && !EqualsIgnoreCase(def.name, "top")) {
+    return Status::InvalidArgument("only 'top' may lack a superior: " +
+                                   def.name);
+  }
+  // Paper §5.2: auxiliary classes cannot have mandatory attributes.
+  if (def.kind == ObjectClassKind::kAuxiliary && !def.must.empty()) {
+    return Status::SchemaViolation(
+        "auxiliary class may not declare MUST attributes: " + def.name);
+  }
+  for (const std::string& attr : def.must) {
+    if (FindAttribute(attr) == nullptr) {
+      return Status::NotFound("MUST references unknown attribute: " + attr);
+    }
+  }
+  for (const std::string& attr : def.may) {
+    if (FindAttribute(attr) == nullptr) {
+      return Status::NotFound("MAY references unknown attribute: " + attr);
+    }
+  }
+  classes_.emplace(def.name, std::move(def));
+  return Status::Ok();
+}
+
+const AttributeTypeDef* Schema::FindAttribute(std::string_view name) const {
+  auto it = attributes_.find(name);
+  if (it != attributes_.end()) return &it->second;
+  auto alias_it = aliases_.find(name);
+  if (alias_it != aliases_.end()) {
+    auto canon = attributes_.find(alias_it->second);
+    if (canon != attributes_.end()) return &canon->second;
+  }
+  return nullptr;
+}
+
+const ObjectClassDef* Schema::FindObjectClass(std::string_view name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+Status Schema::ValidateValue(const AttributeTypeDef& def,
+                             std::string_view value) const {
+  switch (def.syntax) {
+    case AttributeSyntax::kDirectoryString:
+      if (value.empty()) {
+        return Status::SchemaViolation("empty value for " + def.name);
+      }
+      return Status::Ok();
+    case AttributeSyntax::kInteger: {
+      std::string_view digits = value;
+      if (!digits.empty() && (digits[0] == '-' || digits[0] == '+')) {
+        digits.remove_prefix(1);
+      }
+      if (!IsAllDigits(digits)) {
+        return Status::SchemaViolation("not an integer value for " +
+                                       def.name + ": " + std::string(value));
+      }
+      return Status::Ok();
+    }
+    case AttributeSyntax::kBoolean:
+      if (EqualsIgnoreCase(value, "TRUE") ||
+          EqualsIgnoreCase(value, "FALSE")) {
+        return Status::Ok();
+      }
+      return Status::SchemaViolation("not a boolean value for " + def.name);
+    case AttributeSyntax::kTelephoneNumber: {
+      if (value.empty()) {
+        return Status::SchemaViolation("empty telephone number");
+      }
+      bool has_digit = false;
+      for (char c : value) {
+        if (c >= '0' && c <= '9') {
+          has_digit = true;
+        } else if (c != '+' && c != '-' && c != ' ' && c != '(' &&
+                   c != ')' && c != '.') {
+          return Status::SchemaViolation(
+              "bad telephoneNumber character in " + std::string(value));
+        }
+      }
+      if (!has_digit) {
+        return Status::SchemaViolation("telephoneNumber without digits");
+      }
+      return Status::Ok();
+    }
+    case AttributeSyntax::kDn: {
+      StatusOr<Dn> dn = Dn::Parse(value);
+      if (!dn.ok()) return Status::SchemaViolation("bad DN value");
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown syntax");
+}
+
+Status Schema::CollectConstraints(const Entry& entry,
+                                  std::vector<std::string>* must,
+                                  std::vector<std::string>* may) const {
+  std::vector<std::string> classes = entry.GetAll("objectClass");
+  if (classes.empty()) {
+    return Status::SchemaViolation("entry has no objectClass: " +
+                                   entry.dn().ToString());
+  }
+  for (const std::string& cls : classes) {
+    const ObjectClassDef* def = FindObjectClass(cls);
+    if (def == nullptr) {
+      return Status::SchemaViolation("unknown object class: " + cls);
+    }
+    // Walk the superior chain, accumulating constraints.
+    while (def != nullptr) {
+      must->insert(must->end(), def->must.begin(), def->must.end());
+      may->insert(may->end(), def->may.begin(), def->may.end());
+      def = def->superior.empty() ? nullptr
+                                  : FindObjectClass(def->superior);
+    }
+  }
+  return Status::Ok();
+}
+
+bool Schema::Allows(const std::vector<std::string>& allowed,
+                    std::string_view attribute) {
+  return std::any_of(allowed.begin(), allowed.end(),
+                     [attribute](const std::string& a) {
+                       return EqualsIgnoreCase(a, attribute);
+                     });
+}
+
+Status Schema::ValidateEntry(const Entry& entry) const {
+  std::vector<std::string> classes = entry.GetAll("objectClass");
+  if (classes.empty()) {
+    return Status::SchemaViolation("entry has no objectClass: " +
+                                   entry.dn().ToString());
+  }
+  // Exactly one structural chain: at least one structural class, and
+  // all structural classes must lie on one superior chain.
+  std::vector<const ObjectClassDef*> structural;
+  for (const std::string& cls : classes) {
+    const ObjectClassDef* def = FindObjectClass(cls);
+    if (def == nullptr) {
+      return Status::SchemaViolation("unknown object class: " + cls);
+    }
+    if (def->kind == ObjectClassKind::kStructural) {
+      structural.push_back(def);
+    }
+  }
+  if (structural.empty()) {
+    return Status::SchemaViolation("entry has no structural class: " +
+                                   entry.dn().ToString());
+  }
+  for (const ObjectClassDef* a : structural) {
+    for (const ObjectClassDef* b : structural) {
+      if (a == b) continue;
+      // One must be an ancestor of the other.
+      bool related = false;
+      for (const ObjectClassDef* cur = a; cur != nullptr;
+           cur = cur->superior.empty() ? nullptr
+                                       : FindObjectClass(cur->superior)) {
+        if (EqualsIgnoreCase(cur->name, b->name)) {
+          related = true;
+          break;
+        }
+      }
+      for (const ObjectClassDef* cur = b; !related && cur != nullptr;
+           cur = cur->superior.empty() ? nullptr
+                                       : FindObjectClass(cur->superior)) {
+        if (EqualsIgnoreCase(cur->name, a->name)) related = true;
+      }
+      if (!related) {
+        return Status::SchemaViolation(
+            "entry mixes unrelated structural classes: " + a->name +
+            " and " + b->name);
+      }
+    }
+  }
+
+  std::vector<std::string> must, may;
+  METACOMM_RETURN_IF_ERROR(CollectConstraints(entry, &must, &may));
+
+  // Every MUST attribute present.
+  for (const std::string& m : must) {
+    if (!entry.Has(m)) {
+      return Status::SchemaViolation("missing mandatory attribute '" + m +
+                                     "' in " + entry.dn().ToString());
+    }
+  }
+
+  // Every attribute allowed and syntax-valid.
+  for (const auto& [name, attr] : entry.attributes()) {
+    if (EqualsIgnoreCase(name, "objectClass")) continue;
+    const AttributeTypeDef* def = FindAttribute(name);
+    if (def == nullptr) {
+      return Status::SchemaViolation("undefined attribute type: " + name);
+    }
+    if (!Allows(must, def->name) && !Allows(may, def->name)) {
+      // Also check aliases: constraints may reference an alias.
+      bool allowed = false;
+      for (const std::string& alias : def->aliases) {
+        if (Allows(must, alias) || Allows(may, alias)) allowed = true;
+      }
+      if (!allowed) {
+        return Status::SchemaViolation(
+            "attribute '" + name + "' not allowed by object classes of " +
+            entry.dn().ToString());
+      }
+    }
+    if (def->single_valued && attr.size() > 1) {
+      return Status::SchemaViolation("attribute '" + name +
+                                     "' is single-valued");
+    }
+    for (const std::string& value : attr.values()) {
+      METACOMM_RETURN_IF_ERROR(ValidateValue(*def, value));
+    }
+  }
+
+  // RDN attributes must appear in the entry with the RDN value.
+  if (!entry.dn().IsRoot()) {
+    for (const Ava& ava : entry.dn().leaf().avas()) {
+      auto it = entry.attributes().find(ava.attribute);
+      if (it == entry.attributes().end() ||
+          !it->second.HasValue(ava.value)) {
+        return Status::SchemaViolation(
+            "RDN attribute/value not present in entry: " + ava.attribute +
+            "=" + ava.value);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Schema Schema::Standard() {
+  Schema schema;
+  auto attr = [&schema](std::string name, AttributeSyntax syntax,
+                        bool single, std::vector<std::string> aliases =
+                                         {}) {
+    AttributeTypeDef def;
+    def.name = std::move(name);
+    def.syntax = syntax;
+    def.single_valued = single;
+    def.aliases = std::move(aliases);
+    Status s = schema.AddAttributeType(std::move(def));
+    (void)s;  // Standard() definitions are statically correct.
+  };
+
+  const auto kStr = AttributeSyntax::kDirectoryString;
+  const auto kTel = AttributeSyntax::kTelephoneNumber;
+
+  attr("objectClass", kStr, false);
+  attr("cn", kStr, false, {"commonName"});
+  attr("sn", kStr, false, {"surname"});
+  attr("givenName", kStr, false);
+  attr("uid", kStr, false, {"userid"});
+  attr("mail", kStr, false, {"rfc822Mailbox"});
+  attr("o", kStr, false, {"organizationName"});
+  attr("ou", kStr, false, {"organizationalUnitName"});
+  attr("title", kStr, false);
+  attr("description", kStr, false);
+  attr("telephoneNumber", kTel, false);
+  attr("facsimileTelephoneNumber", kTel, false);
+  attr("roomNumber", kStr, false);
+  attr("employeeNumber", kStr, true);
+  attr("employeeType", kStr, false);
+  attr("departmentNumber", kStr, false);
+  attr("displayName", kStr, true);
+  attr("userPassword", kStr, false);
+  attr("seeAlso", AttributeSyntax::kDn, false);
+  attr("postalAddress", kStr, false);
+  attr("l", kStr, false, {"localityName"});
+  attr("st", kStr, false, {"stateOrProvinceName"});
+  attr("street", kStr, false, {"streetAddress"});
+  attr("creatorsName", kStr, true);
+  attr("createTimestamp", kStr, true);
+  attr("modifyTimestamp", kStr, true);
+
+  auto cls = [&schema](std::string name, ObjectClassKind kind,
+                       std::string superior,
+                       std::vector<std::string> must,
+                       std::vector<std::string> may) {
+    ObjectClassDef def;
+    def.name = std::move(name);
+    def.kind = kind;
+    def.superior = std::move(superior);
+    def.must = std::move(must);
+    def.may = std::move(may);
+    Status s = schema.AddObjectClass(std::move(def));
+    (void)s;
+  };
+
+  cls("top", ObjectClassKind::kAbstract, "", {"objectClass"}, {});
+  cls("organization", ObjectClassKind::kStructural, "top", {"o"},
+      {"description", "telephoneNumber", "postalAddress", "l", "st",
+       "street"});
+  cls("organizationalUnit", ObjectClassKind::kStructural, "top", {"ou"},
+      {"description", "telephoneNumber", "postalAddress", "l", "st",
+       "street"});
+  cls("person", ObjectClassKind::kStructural, "top", {"cn", "sn"},
+      {"userPassword", "telephoneNumber", "seeAlso", "description"});
+  cls("organizationalPerson", ObjectClassKind::kStructural, "person", {},
+      {"title", "ou", "roomNumber", "postalAddress", "l", "st", "street",
+       "facsimileTelephoneNumber"});
+  cls("inetOrgPerson", ObjectClassKind::kStructural,
+      "organizationalPerson", {},
+      {"givenName", "uid", "mail", "employeeNumber", "employeeType",
+       "departmentNumber", "displayName"});
+  return schema;
+}
+
+}  // namespace metacomm::ldap

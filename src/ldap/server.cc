@@ -1,0 +1,103 @@
+#include "ldap/server.h"
+
+namespace metacomm::ldap {
+
+LdapServer::LdapServer(Schema schema, ServerConfig config)
+    : schema_(std::move(schema)),
+      config_(config),
+      backend_(&schema_) {}
+
+void LdapServer::AddUser(const Dn& dn, std::string password) {
+  std::lock_guard<std::mutex> lock(users_mutex_);
+  users_[dn.Normalized()] = std::move(password);
+}
+
+Status LdapServer::CheckWriteAccess(const OpContext& ctx,
+                                    const Dn& target) const {
+  if (ctx.internal) return Status::Ok();  // The Update Manager.
+  if (config_.acl.has_value()) {
+    if (!config_.acl->CanWrite(ctx.principal, target)) {
+      return Status::PermissionDenied("insufficient access to " +
+                                      target.ToString());
+    }
+    return Status::Ok();
+  }
+  if (config_.allow_anonymous_writes) return Status::Ok();
+  if (ctx.principal.empty()) {
+    return Status::PermissionDenied("writes require an authenticated bind");
+  }
+  return Status::Ok();
+}
+
+Status LdapServer::Add(const OpContext& ctx, const AddRequest& request) {
+  METACOMM_RETURN_IF_ERROR(CheckWriteAccess(ctx, request.entry.dn()));
+  return backend_.Add(request.entry);
+}
+
+Status LdapServer::Delete(const OpContext& ctx,
+                          const DeleteRequest& request) {
+  METACOMM_RETURN_IF_ERROR(CheckWriteAccess(ctx, request.dn));
+  return backend_.Delete(request.dn);
+}
+
+Status LdapServer::Modify(const OpContext& ctx,
+                          const ModifyRequest& request) {
+  METACOMM_RETURN_IF_ERROR(CheckWriteAccess(ctx, request.dn));
+  return backend_.Modify(request.dn, request.mods);
+}
+
+Status LdapServer::ModifyRdn(const OpContext& ctx,
+                             const ModifyRdnRequest& request) {
+  METACOMM_RETURN_IF_ERROR(CheckWriteAccess(ctx, request.dn));
+  return backend_.ModifyRdn(request.dn, request.new_rdn,
+                            request.delete_old_rdn);
+}
+
+StatusOr<SearchResult> LdapServer::Search(const OpContext& ctx,
+                                          const SearchRequest& request) {
+  METACOMM_ASSIGN_OR_RETURN(SearchResult result,
+                            backend_.Search(request));
+  // With ACLs, entries the principal may not read silently drop out
+  // of the result, like production directory servers behave.
+  if (config_.acl.has_value() && !ctx.internal) {
+    std::vector<Entry> visible;
+    visible.reserve(result.entries.size());
+    for (Entry& entry : result.entries) {
+      if (config_.acl->CanRead(ctx.principal, entry.dn())) {
+        visible.push_back(std::move(entry));
+      }
+    }
+    result.entries = std::move(visible);
+  }
+  return result;
+}
+
+Status LdapServer::Compare(const OpContext& ctx,
+                           const CompareRequest& request) {
+  if (config_.acl.has_value() && !ctx.internal &&
+      !config_.acl->CanCompare(ctx.principal, request.dn)) {
+    return Status::PermissionDenied("insufficient access to " +
+                                    request.dn.ToString());
+  }
+  METACOMM_ASSIGN_OR_RETURN(Entry entry, backend_.Get(request.dn));
+  auto it = entry.attributes().find(request.attribute);
+  if (it == entry.attributes().end()) {
+    return Status::NotFound("no such attribute: " + request.attribute);
+  }
+  if (it->second.HasValue(request.value)) return Status::Ok();
+  return Status::NotFound("compare false");
+}
+
+StatusOr<std::string> LdapServer::Bind(const BindRequest& request) {
+  if (request.dn.IsRoot() && request.password.empty()) {
+    return std::string();  // Anonymous bind.
+  }
+  std::lock_guard<std::mutex> lock(users_mutex_);
+  auto it = users_.find(request.dn.Normalized());
+  if (it == users_.end() || it->second != request.password) {
+    return Status::PermissionDenied("invalid credentials");
+  }
+  return request.dn.ToString();
+}
+
+}  // namespace metacomm::ldap

@@ -1,0 +1,52 @@
+#ifndef METACOMM_LDAP_SERVICE_H_
+#define METACOMM_LDAP_SERVICE_H_
+
+#include "common/status.h"
+#include "ldap/operations.h"
+
+namespace metacomm::ldap {
+
+/// The LDAP service interface: everything a client (or the LTAP
+/// gateway) can ask of a directory.
+///
+/// Both LdapServer and ltap::LtapGateway implement this interface —
+/// LTAP "works as a gateway that pretends to be an LDAP server" (paper
+/// §4.3), so any code written against LdapService can be pointed at
+/// either without change. That interchangeability is load-bearing: the
+/// WBA, the LDAP filter and all examples talk to whichever service the
+/// deployment wires in.
+class LdapService {
+ public:
+  virtual ~LdapService() = default;
+
+  /// Creates a new leaf entry.
+  virtual Status Add(const OpContext& ctx, const AddRequest& request) = 0;
+
+  /// Deletes a leaf entry.
+  virtual Status Delete(const OpContext& ctx,
+                        const DeleteRequest& request) = 0;
+
+  /// Modifies non-RDN attributes of one entry, atomically.
+  virtual Status Modify(const OpContext& ctx,
+                        const ModifyRequest& request) = 0;
+
+  /// Renames an entry (leaf RDN change).
+  virtual Status ModifyRdn(const OpContext& ctx,
+                           const ModifyRdnRequest& request) = 0;
+
+  /// Runs a search.
+  virtual StatusOr<SearchResult> Search(const OpContext& ctx,
+                                        const SearchRequest& request) = 0;
+
+  /// Compares one attribute value. OK means "true"; kCompareFalse maps
+  /// to a NotFound status with message "compare false".
+  virtual Status Compare(const OpContext& ctx,
+                         const CompareRequest& request) = 0;
+
+  /// Authenticates; on success fills ctx-style principal via return.
+  virtual StatusOr<std::string> Bind(const BindRequest& request) = 0;
+};
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_SERVICE_H_

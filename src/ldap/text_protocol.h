@@ -1,0 +1,85 @@
+#ifndef METACOMM_LDAP_TEXT_PROTOCOL_H_
+#define METACOMM_LDAP_TEXT_PROTOCOL_H_
+
+#include <functional>
+#include <string>
+
+#include "ldap/service.h"
+
+namespace metacomm::ldap {
+
+/// A textual LDAP wire protocol (LDIF-flavoured, one request per
+/// message) so that clients can reach the directory over an actual
+/// protocol boundary — just as the device simulators are driven over
+/// their proprietary command protocols. LDAPv3 proper is BER-encoded;
+/// this carries the same operations with the same result codes in a
+/// readable form.
+///
+/// Requests:
+///   BIND dn: <dn>\npassword: <pw>
+///   UNBIND
+///   ADD\n<LDIF content record>
+///   DELETE dn: <dn>
+///   MODIFY\n<LDIF changetype:modify record>
+///   MODRDN dn: <dn>\nnewrdn: <rdn>\ndeleteoldrdn: 0|1
+///   SEARCH base: <dn>\nscope: base|one|sub\nfilter: <rfc2254>
+///     [\nattrs: a,b,c][\nlimit: N]
+///   COMPARE dn: <dn>\nattr: <name>\nvalue: <value>
+///
+/// Responses:
+///   RESULT <numeric ldap code> <message>
+/// followed, for SEARCH, by one LDIF block per entry separated by
+/// blank lines, and for COMPARE by "TRUE"/"FALSE" on its own line.
+
+/// Server side: parses requests, runs them against a wrapped
+/// LdapService (normally the LTAP gateway), serializes responses.
+/// One handler instance per connection — it carries the bind state.
+class TextProtocolHandler {
+ public:
+  /// `service` is not owned and must outlive the handler.
+  explicit TextProtocolHandler(LdapService* service);
+
+  /// Handles one request message, returns the response message.
+  std::string Handle(const std::string& request);
+
+  const OpContext& context() const { return context_; }
+
+ private:
+  LdapService* service_;
+  OpContext context_;
+};
+
+/// Client side: an LdapService implementation that serializes every
+/// operation, pushes it through `transport` (any function carrying a
+/// request message to a handler and returning the response — an
+/// in-process channel here, a socket in a networked deployment), and
+/// parses the reply.
+class TextProtocolClient : public LdapService {
+ public:
+  using Transport = std::function<std::string(const std::string&)>;
+
+  explicit TextProtocolClient(Transport transport);
+
+  Status Add(const OpContext& ctx, const AddRequest& request) override;
+  Status Delete(const OpContext& ctx,
+                const DeleteRequest& request) override;
+  Status Modify(const OpContext& ctx,
+                const ModifyRequest& request) override;
+  Status ModifyRdn(const OpContext& ctx,
+                   const ModifyRdnRequest& request) override;
+  StatusOr<SearchResult> Search(const OpContext& ctx,
+                                const SearchRequest& request) override;
+  Status Compare(const OpContext& ctx,
+                 const CompareRequest& request) override;
+  StatusOr<std::string> Bind(const BindRequest& request) override;
+
+ private:
+  /// Sends and splits the reply into the RESULT line and the body.
+  StatusOr<std::string> Roundtrip(const std::string& request);
+
+  Transport transport_;
+};
+
+}  // namespace metacomm::ldap
+
+#endif  // METACOMM_LDAP_TEXT_PROTOCOL_H_

@@ -1,0 +1,90 @@
+#ifndef METACOMM_LEXPRESS_AST_H_
+#define METACOMM_LEXPRESS_AST_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace metacomm::lexpress {
+
+/// Expression AST. Predicates are expressions too: boolean builtins
+/// (and/or/not/present/prefix/matches/==/!=) return the strings "true"
+/// or "false", and a guard holds when its expression is truthy. One
+/// node kind keeps the compiler and VM small.
+struct Expr {
+  enum class Kind {
+    kLiteral,  // String or integer literal; `text` is the value.
+    kAttrRef,  // Reference to a source attribute; `text` is its name.
+    kCall,     // Builtin call; `text` is the function name.
+  };
+
+  Kind kind = Kind::kLiteral;
+  std::string text;
+  std::vector<Expr> args;  // Only for kCall.
+
+  static Expr Literal(std::string value) {
+    Expr e;
+    e.kind = Kind::kLiteral;
+    e.text = std::move(value);
+    return e;
+  }
+  static Expr AttrRef(std::string name) {
+    Expr e;
+    e.kind = Kind::kAttrRef;
+    e.text = std::move(name);
+    return e;
+  }
+  static Expr Call(std::string function, std::vector<Expr> args) {
+    Expr e;
+    e.kind = Kind::kCall;
+    e.text = std::move(function);
+    e.args = std::move(args);
+    return e;
+  }
+};
+
+/// One `map`/`key` rule: evaluate `expr` over the source record and
+/// store it into `target_attr`, if the optional `when` guard holds.
+/// Multiple rules for one target attribute are "alternate attribute
+/// mappings" (paper §4.2): the first applicable rule wins.
+struct MapRule {
+  bool is_key = false;
+  Expr expr;
+  std::string target_attr;
+  std::optional<Expr> guard;
+  int line = 0;
+};
+
+/// A `table` block: the "table translations of attributes" of §4.2.
+struct TableDef {
+  std::string name;
+  std::map<std::string, std::string, CaseInsensitiveLess> entries;
+  std::optional<std::string> default_value;
+};
+
+/// One parsed `mapping` block.
+struct MappingDecl {
+  std::string name;
+  std::string source_schema;
+  std::string target_schema;
+  /// option <name> = <value>; — recognized options:
+  ///   target_name: repository instance the mapping feeds ("pbx1");
+  ///   originator:  source attribute naming the update's origin
+  ///                (paper §5.4's Originator characteristic);
+  ///   allow_cycles: "true" defers cycle errors to runtime fixpoint
+  ///                detection.
+  std::map<std::string, std::string, CaseInsensitiveLess> options;
+  /// partition when <pred>; — evaluated over old and new source
+  /// records to route the update (add/modify/delete/skip, §4.2).
+  std::optional<Expr> partition;
+  std::vector<TableDef> tables;
+  std::vector<MapRule> rules;
+  int line = 0;
+};
+
+}  // namespace metacomm::lexpress
+
+#endif  // METACOMM_LEXPRESS_AST_H_

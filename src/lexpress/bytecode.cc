@@ -1,0 +1,69 @@
+#include "lexpress/bytecode.h"
+
+namespace metacomm::lexpress {
+
+const char* BuiltinName(Builtin builtin) {
+  switch (builtin) {
+    case Builtin::kAnd:
+      return "and";
+    case Builtin::kOr:
+      return "or";
+    case Builtin::kNot:
+      return "not";
+    case Builtin::kEq:
+      return "eq";
+    case Builtin::kNe:
+      return "ne";
+    case Builtin::kPresent:
+      return "present";
+    case Builtin::kAbsent:
+      return "absent";
+    case Builtin::kPrefix:
+      return "prefix";
+    case Builtin::kSuffix:
+      return "suffix";
+    case Builtin::kMatches:
+      return "matches";
+    case Builtin::kContains:
+      return "contains";
+    case Builtin::kUpper:
+      return "upper";
+    case Builtin::kLower:
+      return "lower";
+    case Builtin::kTrim:
+      return "trim";
+    case Builtin::kNormalize:
+      return "normalize";
+    case Builtin::kDigits:
+      return "digits";
+    case Builtin::kSurname:
+      return "surname";
+    case Builtin::kGivenName:
+      return "givenname";
+    case Builtin::kSubstr:
+      return "substr";
+    case Builtin::kReplace:
+      return "replace";
+    case Builtin::kSplit:
+      return "split";
+    case Builtin::kConcat:
+      return "concat";
+    case Builtin::kFormat:
+      return "format";
+    case Builtin::kFirst:
+      return "first";
+    case Builtin::kLast:
+      return "last";
+    case Builtin::kJoin:
+      return "join";
+    case Builtin::kCount:
+      return "count";
+    case Builtin::kDefault:
+      return "default";
+    case Builtin::kIfElse:
+      return "ifelse";
+  }
+  return "?";
+}
+
+}  // namespace metacomm::lexpress

@@ -1,0 +1,283 @@
+#include "lexpress/closure.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace metacomm::lexpress {
+
+std::string AttrNode(std::string_view schema, std::string_view attr) {
+  return ToLower(schema) + ":" + ToLower(attr);
+}
+
+void MappingSet::Add(Mapping mapping) {
+  mappings_.push_back(std::move(mapping));
+}
+
+Status MappingSet::AddSource(std::string_view source) {
+  METACOMM_ASSIGN_OR_RETURN(std::vector<Mapping> mappings,
+                            CompileMappings(source));
+  for (Mapping& mapping : mappings) Add(std::move(mapping));
+  return Status::Ok();
+}
+
+std::vector<const Mapping*> MappingSet::From(std::string_view schema) const {
+  std::vector<const Mapping*> out;
+  for (const Mapping& mapping : mappings_) {
+    if (EqualsIgnoreCase(mapping.source_schema(), schema)) {
+      out.push_back(&mapping);
+    }
+  }
+  return out;
+}
+
+std::vector<const Mapping*> MappingSet::Into(std::string_view schema) const {
+  std::vector<const Mapping*> out;
+  for (const Mapping& mapping : mappings_) {
+    if (EqualsIgnoreCase(mapping.target_schema(), schema)) {
+      out.push_back(&mapping);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One dependency edge: source attribute node -> target attribute node.
+struct Edge {
+  std::string from;
+  std::string to;
+  bool identity = false;
+  const Mapping* mapping = nullptr;
+};
+
+std::vector<Edge> BuildEdges(const std::vector<Mapping>& mappings) {
+  std::vector<Edge> edges;
+  for (const Mapping& mapping : mappings) {
+    for (const CompiledRule& rule : mapping.rules()) {
+      for (const std::string& src : rule.source_attrs) {
+        Edge edge;
+        edge.from = AttrNode(mapping.source_schema(), src);
+        edge.to = AttrNode(mapping.target_schema(), rule.target_attr);
+        edge.identity = rule.identity;
+        edge.mapping = &mapping;
+        edges.push_back(std::move(edge));
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<CycleWarning> MappingSet::AnalyzeCycles() const {
+  std::vector<Edge> edges = BuildEdges(mappings_);
+
+  // Collect nodes and adjacency.
+  std::map<std::string, std::vector<size_t>> adjacency;  // node -> edge idx
+  std::set<std::string> nodes;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    nodes.insert(edges[i].from);
+    nodes.insert(edges[i].to);
+    adjacency[edges[i].from].push_back(i);
+  }
+
+  // Tarjan's strongly connected components.
+  std::map<std::string, int> index, lowlink;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+  std::vector<std::vector<std::string>> sccs;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+        for (size_t ei : adjacency[v]) {
+          const std::string& w = edges[ei].to;
+          if (index.find(w) == index.end()) {
+            strongconnect(w);
+            lowlink[v] = std::min(lowlink[v], lowlink[w]);
+          } else if (on_stack[w]) {
+            lowlink[v] = std::min(lowlink[v], index[w]);
+          }
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<std::string> scc;
+          while (true) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          sccs.push_back(std::move(scc));
+        }
+      };
+  for (const std::string& node : nodes) {
+    if (index.find(node) == index.end()) strongconnect(node);
+  }
+
+  std::vector<CycleWarning> warnings;
+  for (const std::vector<std::string>& scc : sccs) {
+    std::set<std::string> members(scc.begin(), scc.end());
+    bool is_cycle = scc.size() > 1;
+    bool all_identity = true;
+    for (const Edge& edge : edges) {
+      if (members.count(edge.from) == 0 || members.count(edge.to) == 0) {
+        continue;
+      }
+      if (scc.size() == 1 && edge.from == edge.to) is_cycle = true;
+      if (scc.size() > 1 || edge.from == edge.to) {
+        if (!edge.identity) all_identity = false;
+      }
+    }
+    if (!is_cycle) continue;
+    CycleWarning warning;
+    warning.nodes = scc;
+    std::sort(warning.nodes.begin(), warning.nodes.end());
+    warning.convergent = all_identity;
+    warnings.push_back(std::move(warning));
+  }
+  return warnings;
+}
+
+Status MappingSet::Validate() const {
+  std::vector<CycleWarning> warnings = AnalyzeCycles();
+  std::vector<Edge> edges = BuildEdges(mappings_);
+  for (const CycleWarning& warning : warnings) {
+    if (warning.convergent) continue;
+    // A non-convergent cycle is a compile-time error unless every
+    // mapping contributing a transforming edge opted into runtime
+    // fixpoint detection.
+    std::set<std::string> members(warning.nodes.begin(),
+                                  warning.nodes.end());
+    for (const Edge& edge : edges) {
+      if (members.count(edge.from) == 0 || members.count(edge.to) == 0) {
+        continue;
+      }
+      if (!edge.identity && !edge.mapping->allow_cycles()) {
+        std::string cycle;
+        for (const std::string& node : warning.nodes) {
+          if (!cycle.empty()) cycle += " -> ";
+          cycle += node;
+        }
+        return Status::InvalidArgument(
+            "lexpress: mapping cycle may never reach a fixpoint (" +
+            cycle + "); transform in mapping '" + edge.mapping->name() +
+            "' — set 'option allow_cycles = true;' to defer to runtime "
+            "detection");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<ClosureResult> MappingSet::Propagate(
+    const std::map<std::string, Record, CaseInsensitiveLess>& base_images,
+    const std::string& updated_schema, const Record& new_record,
+    const std::set<std::string, CaseInsensitiveLess>& explicit_attrs,
+    int max_iterations) const {
+  ClosureResult result;
+  result.records = base_images;
+  for (auto& [schema, record] : result.records) {
+    record.set_schema(schema);
+  }
+
+  // Seed: install the updated image and mark its changed attributes.
+  Record base_updated;
+  auto base_it = base_images.find(updated_schema);
+  if (base_it != base_images.end()) base_updated = base_it->second;
+
+  auto& seed_changed = result.changed[updated_schema];
+  for (const auto& [attr, value] : new_record.attrs()) {
+    if (!(base_updated.Get(attr) == value)) seed_changed.insert(attr);
+  }
+  for (const auto& [attr, value] : base_updated.attrs()) {
+    if (!new_record.Has(attr)) seed_changed.insert(attr);
+  }
+  for (const std::string& attr : explicit_attrs) seed_changed.insert(attr);
+  Record installed = new_record;
+  installed.set_schema(updated_schema);
+  result.records[updated_schema] = std::move(installed);
+
+  // First-mapping-wins bookkeeping: which mapping first set each
+  // target attribute node during this closure.
+  std::map<std::string, const Mapping*> setter;
+
+  auto values_equal = [](const Value& a, const Value& b) {
+    if (a.size() != b.size()) return false;
+    for (const std::string& va : a) {
+      bool found = std::any_of(b.begin(), b.end(),
+                               [&va](const std::string& vb) {
+                                 return EqualsIgnoreCase(va, vb);
+                               });
+      if (!found) return false;
+    }
+    return true;
+  };
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    bool any_change = false;
+    for (const Mapping& mapping : mappings_) {
+      auto changed_it = result.changed.find(mapping.source_schema());
+      if (changed_it == result.changed.end() || changed_it->second.empty()) {
+        continue;  // Nothing in this mapping's source has moved.
+      }
+      const auto& changed_src = changed_it->second;
+
+      auto src_it = result.records.find(mapping.source_schema());
+      Record source(mapping.source_schema());
+      if (src_it != result.records.end()) source = src_it->second;
+      source.set_schema(mapping.source_schema());
+
+      METACOMM_ASSIGN_OR_RETURN(Record computed, mapping.MapRecord(source));
+
+      Record& target =
+          result.records
+              .try_emplace(mapping.target_schema(),
+                           Record(mapping.target_schema()))
+              .first->second;
+      target.set_schema(mapping.target_schema());
+
+      // Candidate target attributes: those depending on a changed
+      // source attribute.
+      for (const CompiledRule& rule : mapping.rules()) {
+        bool affected = std::any_of(
+            rule.source_attrs.begin(), rule.source_attrs.end(),
+            [&changed_src](const std::string& s) {
+              return changed_src.count(s) > 0;
+            });
+        if (!affected) continue;
+        const std::string& attr = rule.target_attr;
+        const Value& new_value = computed.Get(attr);
+        const Value& current = target.Get(attr);
+        if (values_equal(new_value, current)) continue;
+
+        // Conflict rule (§4.2): explicitly set attributes keep their
+        // values; otherwise the first mapping to set an attribute in
+        // this closure owns it.
+        bool is_explicit =
+            EqualsIgnoreCase(mapping.target_schema(), updated_schema) &&
+            explicit_attrs.count(attr) > 0;
+        if (is_explicit) continue;
+        std::string node = AttrNode(mapping.target_schema(), attr);
+        auto setter_it = setter.find(node);
+        if (setter_it != setter.end() && setter_it->second != &mapping) {
+          continue;
+        }
+        setter[node] = &mapping;
+        target.Set(attr, new_value);
+        result.changed[mapping.target_schema()].insert(attr);
+        any_change = true;
+      }
+    }
+    ++result.iterations;
+    if (!any_change) return result;
+  }
+  return Status::DeadlineExceeded(
+      "lexpress: closure did not reach a fixpoint in " +
+      std::to_string(max_iterations) + " iterations");
+}
+
+}  // namespace metacomm::lexpress

@@ -1,0 +1,103 @@
+#ifndef METACOMM_LEXPRESS_CLOSURE_H_
+#define METACOMM_LEXPRESS_CLOSURE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lexpress/mapping.h"
+#include "lexpress/record.h"
+
+namespace metacomm::lexpress {
+
+/// A node in the attribute dependency graph: schema-qualified
+/// attribute name, e.g. "ldap:telephoneNumber".
+std::string AttrNode(std::string_view schema, std::string_view attr);
+
+/// One cycle found by compile-time analysis.
+struct CycleWarning {
+  /// The attribute nodes on the cycle, in order.
+  std::vector<std::string> nodes;
+  /// True when every edge on the cycle is an identity copy — such a
+  /// cycle always reaches a fixpoint (values just flow around
+  /// unchanged); false means the cycle composes transforms and may
+  /// never converge.
+  bool convergent = false;
+};
+
+/// Outcome of closure propagation.
+struct ClosureResult {
+  /// Final full image per schema after propagation.
+  std::map<std::string, Record, CaseInsensitiveLess> records;
+  /// Attributes changed per schema relative to the inputs.
+  std::map<std::string, std::set<std::string, CaseInsensitiveLess>,
+           CaseInsensitiveLess>
+      changed;
+  /// Number of propagation sweeps until fixpoint.
+  int iterations = 0;
+};
+
+/// A registry of compiled mappings plus the transitive-closure engine.
+///
+/// "Since setting one attribute may affect a set of related
+/// attributes, lexpress calculates the transitive closure of the
+/// attribute mappings" (§4.2), including across repositories: a PBX
+/// extension change updates the LDAP telephone number, which in turn
+/// updates the voice mailbox id on the messaging platform.
+class MappingSet {
+ public:
+  /// Registers a mapping. Mappings may be added to a running program
+  /// (dynamic description loading, §4.2).
+  void Add(Mapping mapping);
+
+  /// Compiles source text and registers every mapping in it.
+  Status AddSource(std::string_view source);
+
+  const std::vector<Mapping>& mappings() const { return mappings_; }
+
+  /// Mappings whose source schema is `schema`.
+  std::vector<const Mapping*> From(std::string_view schema) const;
+
+  /// Mappings whose target schema is `schema`.
+  std::vector<const Mapping*> Into(std::string_view schema) const;
+
+  /// Compile-time cycle analysis over the attribute dependency graph
+  /// of all registered mappings. Returns every elementary-ish cycle
+  /// found (deduplicated by node set).
+  std::vector<CycleWarning> AnalyzeCycles() const;
+
+  /// Returns an error when a non-convergent cycle exists through any
+  /// mapping that did not opt into runtime detection
+  /// (option allow_cycles = true). "At compile time (if a fixpoint can
+  /// never be reached)" — §4.2.
+  Status Validate() const;
+
+  /// Propagates one update through the closure of all mappings.
+  ///
+  /// `base_images` holds the current full record per schema (the state
+  /// *before* the update); `updated_schema`/`new_record` is the
+  /// post-update image at the originating repository;
+  /// `explicit_attrs` are the attributes the client set explicitly in
+  /// the updated schema — the conflict rule (§4.2) guarantees the
+  /// closure never overwrites them, and the first mapping to derive a
+  /// value for any other attribute wins.
+  ///
+  /// Fails with kDeadlineExceeded when no fixpoint is reached within
+  /// `max_iterations` sweeps ("at execution time (if a fixpoint will
+  /// not be reached for a current update)").
+  StatusOr<ClosureResult> Propagate(
+      const std::map<std::string, Record, CaseInsensitiveLess>&
+          base_images,
+      const std::string& updated_schema, const Record& new_record,
+      const std::set<std::string, CaseInsensitiveLess>& explicit_attrs,
+      int max_iterations = 16) const;
+
+ private:
+  std::vector<Mapping> mappings_;
+};
+
+}  // namespace metacomm::lexpress
+
+#endif  // METACOMM_LEXPRESS_CLOSURE_H_

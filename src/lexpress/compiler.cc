@@ -1,0 +1,175 @@
+#include "lexpress/compiler.h"
+
+#include <map>
+
+namespace metacomm::lexpress {
+
+namespace {
+
+struct BuiltinInfo {
+  Builtin builtin;
+  int min_argc;
+  int max_argc;  // -1 = unbounded
+};
+
+const std::map<std::string, BuiltinInfo, CaseInsensitiveLess>&
+BuiltinTable() {
+  static const auto* table =
+      new std::map<std::string, BuiltinInfo, CaseInsensitiveLess>{
+          {"and", {Builtin::kAnd, 2, 2}},
+          {"or", {Builtin::kOr, 2, 2}},
+          {"not", {Builtin::kNot, 1, 1}},
+          {"eq", {Builtin::kEq, 2, 2}},
+          {"ne", {Builtin::kNe, 2, 2}},
+          {"present", {Builtin::kPresent, 1, 1}},
+          {"absent", {Builtin::kAbsent, 1, 1}},
+          {"prefix", {Builtin::kPrefix, 2, 2}},
+          {"suffix", {Builtin::kSuffix, 2, 2}},
+          {"matches", {Builtin::kMatches, 2, 2}},
+          {"contains", {Builtin::kContains, 2, 2}},
+          {"upper", {Builtin::kUpper, 1, 1}},
+          {"lower", {Builtin::kLower, 1, 1}},
+          {"trim", {Builtin::kTrim, 1, 1}},
+          {"normalize", {Builtin::kNormalize, 1, 1}},
+          {"digits", {Builtin::kDigits, 1, 1}},
+          {"surname", {Builtin::kSurname, 1, 1}},
+          {"givenname", {Builtin::kGivenName, 1, 1}},
+          {"substr", {Builtin::kSubstr, 3, 3}},
+          {"replace", {Builtin::kReplace, 3, 3}},
+          {"split", {Builtin::kSplit, 3, 3}},
+          {"concat", {Builtin::kConcat, 1, -1}},
+          {"format", {Builtin::kFormat, 1, -1}},
+          {"first", {Builtin::kFirst, 1, 1}},
+          {"last", {Builtin::kLast, 1, 1}},
+          {"join", {Builtin::kJoin, 2, 2}},
+          {"count", {Builtin::kCount, 1, 1}},
+          {"default", {Builtin::kDefault, 2, 2}},
+          {"ifelse", {Builtin::kIfElse, 3, 3}},
+      };
+  return *table;
+}
+
+/// Emits instructions for `expr` into `program`.
+Status Emit(const Expr& expr, const std::vector<TableDef>& tables,
+            Program* program) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral: {
+      program->constants.push_back(Value{expr.text});
+      Instruction inst;
+      inst.op = OpCode::kPushConst;
+      inst.a = static_cast<uint32_t>(program->constants.size() - 1);
+      program->code.push_back(inst);
+      return Status::Ok();
+    }
+    case Expr::Kind::kAttrRef: {
+      program->attr_names.push_back(expr.text);
+      Instruction inst;
+      inst.op = OpCode::kLoadAttr;
+      inst.a = static_cast<uint32_t>(program->attr_names.size() - 1);
+      program->code.push_back(inst);
+      return Status::Ok();
+    }
+    case Expr::Kind::kCall: {
+      // lookup(Table, expr) gets its own opcode: the table is a
+      // compile-time reference, not a runtime value.
+      if (EqualsIgnoreCase(expr.text, "lookup")) {
+        if (expr.args.size() != 2 ||
+            expr.args[0].kind != Expr::Kind::kAttrRef) {
+          return Status::InvalidArgument(
+              "lexpress: lookup(Table, expr) requires a table name and "
+              "one argument");
+        }
+        const std::string& table_name = expr.args[0].text;
+        uint32_t table_index = 0;
+        bool found = false;
+        for (size_t i = 0; i < tables.size(); ++i) {
+          if (EqualsIgnoreCase(tables[i].name, table_name)) {
+            table_index = static_cast<uint32_t>(i);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::NotFound("lexpress: unknown table: " + table_name);
+        }
+        METACOMM_RETURN_IF_ERROR(Emit(expr.args[1], tables, program));
+        Instruction inst;
+        inst.op = OpCode::kLookup;
+        inst.a = table_index;
+        program->code.push_back(inst);
+        return Status::Ok();
+      }
+
+      auto it = BuiltinTable().find(expr.text);
+      if (it == BuiltinTable().end()) {
+        return Status::NotFound("lexpress: unknown function: " + expr.text);
+      }
+      const BuiltinInfo& info = it->second;
+      int argc = static_cast<int>(expr.args.size());
+      if (argc < info.min_argc ||
+          (info.max_argc >= 0 && argc > info.max_argc)) {
+        return Status::InvalidArgument(
+            "lexpress: wrong argument count for " + expr.text + ": got " +
+            std::to_string(argc));
+      }
+      for (const Expr& arg : expr.args) {
+        METACOMM_RETURN_IF_ERROR(Emit(arg, tables, program));
+      }
+      Instruction inst;
+      inst.op = OpCode::kCall;
+      inst.a = static_cast<uint32_t>(info.builtin);
+      inst.b = static_cast<uint32_t>(argc);
+      program->code.push_back(inst);
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("lexpress: bad expression node");
+}
+
+}  // namespace
+
+void CollectAttrRefs(const Expr& expr,
+                     std::set<std::string, CaseInsensitiveLess>* out) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return;
+    case Expr::Kind::kAttrRef:
+      out->insert(expr.text);
+      return;
+    case Expr::Kind::kCall:
+      // The first argument of lookup() names a table, not an attribute.
+      for (size_t i = 0; i < expr.args.size(); ++i) {
+        if (i == 0 && EqualsIgnoreCase(expr.text, "lookup")) continue;
+        CollectAttrRefs(expr.args[i], out);
+      }
+      return;
+  }
+}
+
+StatusOr<Program> CompileExpr(const Expr& expr,
+                              const std::vector<TableDef>& tables) {
+  Program program;
+  METACOMM_RETURN_IF_ERROR(Emit(expr, tables, &program));
+  return program;
+}
+
+StatusOr<CompiledRule> CompileRule(const MapRule& rule,
+                                   const std::vector<TableDef>& tables) {
+  CompiledRule compiled;
+  compiled.is_key = rule.is_key;
+  compiled.target_attr = rule.target_attr;
+  compiled.line = rule.line;
+  METACOMM_ASSIGN_OR_RETURN(compiled.value,
+                            CompileExpr(rule.expr, tables));
+  CollectAttrRefs(rule.expr, &compiled.source_attrs);
+  if (rule.guard.has_value()) {
+    METACOMM_ASSIGN_OR_RETURN(compiled.guard,
+                              CompileExpr(*rule.guard, tables));
+    CollectAttrRefs(*rule.guard, &compiled.source_attrs);
+  }
+  compiled.identity =
+      !rule.guard.has_value() && rule.expr.kind == Expr::Kind::kAttrRef;
+  return compiled;
+}
+
+}  // namespace metacomm::lexpress

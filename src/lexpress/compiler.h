@@ -1,0 +1,47 @@
+#ifndef METACOMM_LEXPRESS_COMPILER_H_
+#define METACOMM_LEXPRESS_COMPILER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lexpress/ast.h"
+#include "lexpress/bytecode.h"
+
+namespace metacomm::lexpress {
+
+/// A compiled `map`/`key` rule.
+struct CompiledRule {
+  bool is_key = false;
+  std::string target_attr;
+  /// Guard program; empty means unconditional.
+  Program guard;
+  /// Value program; never empty.
+  Program value;
+  /// Source attributes the rule reads (guard + value). Drives the
+  /// dependency graph for transitive closure and cycle analysis.
+  std::set<std::string, CaseInsensitiveLess> source_attrs;
+  /// True when the rule is a plain unguarded copy of one attribute —
+  /// such edges always converge in cycles (the attribute just gets
+  /// copied back unchanged), so cycle analysis treats them as benign.
+  bool identity = false;
+  int line = 0;
+};
+
+/// Compiles one expression (exposed for tests and for compiling
+/// partition predicates).
+StatusOr<Program> CompileExpr(const Expr& expr,
+                              const std::vector<TableDef>& tables);
+
+/// Collects the attribute names an expression reads.
+void CollectAttrRefs(const Expr& expr,
+                     std::set<std::string, CaseInsensitiveLess>* out);
+
+/// Compiles one rule against the mapping's tables.
+StatusOr<CompiledRule> CompileRule(const MapRule& rule,
+                                   const std::vector<TableDef>& tables);
+
+}  // namespace metacomm::lexpress
+
+#endif  // METACOMM_LEXPRESS_COMPILER_H_

@@ -1,0 +1,222 @@
+#include "lexpress/lexer.h"
+
+namespace metacomm::lexpress {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || (c >= '0' && c <= '9') || c == '.';
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kLeftBrace:
+      return "'{'";
+    case TokenKind::kRightBrace:
+      return "'}'";
+    case TokenKind::kLeftParen:
+      return "'('";
+    case TokenKind::kRightParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kEqualsEquals:
+      return "'=='";
+    case TokenKind::kNotEquals:
+      return "'!='";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+
+  auto make = [&line, &column](TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  auto error = [&line, &column](const std::string& message) {
+    return Status::InvalidArgument("lexpress lex error at " +
+                                   std::to_string(line) + ":" +
+                                   std::to_string(column) + ": " + message);
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '>') {
+      tokens.push_back(make(TokenKind::kArrow, "->"));
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (c == '=' && i + 1 < source.size() && source[i + 1] == '=') {
+      tokens.push_back(make(TokenKind::kEqualsEquals, "=="));
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (c == '!' && i + 1 < source.size() && source[i + 1] == '=') {
+      tokens.push_back(make(TokenKind::kNotEquals, "!="));
+      i += 2;
+      column += 2;
+      continue;
+    }
+    switch (c) {
+      case '{':
+        tokens.push_back(make(TokenKind::kLeftBrace, "{"));
+        ++i;
+        ++column;
+        continue;
+      case '}':
+        tokens.push_back(make(TokenKind::kRightBrace, "}"));
+        ++i;
+        ++column;
+        continue;
+      case '(':
+        tokens.push_back(make(TokenKind::kLeftParen, "("));
+        ++i;
+        ++column;
+        continue;
+      case ')':
+        tokens.push_back(make(TokenKind::kRightParen, ")"));
+        ++i;
+        ++column;
+        continue;
+      case ',':
+        tokens.push_back(make(TokenKind::kComma, ","));
+        ++i;
+        ++column;
+        continue;
+      case ';':
+        tokens.push_back(make(TokenKind::kSemicolon, ";"));
+        ++i;
+        ++column;
+        continue;
+      case '=':
+        tokens.push_back(make(TokenKind::kEquals, "="));
+        ++i;
+        ++column;
+        continue;
+      default:
+        break;
+    }
+    if (c == '"') {
+      std::string text;
+      size_t start_column = column;
+      ++i;
+      ++column;
+      bool closed = false;
+      while (i < source.size()) {
+        char sc = source[i];
+        if (sc == '\\' && i + 1 < source.size()) {
+          char next = source[i + 1];
+          if (next == '"' || next == '\\') {
+            text.push_back(next);
+            i += 2;
+            column += 2;
+            continue;
+          }
+          if (next == 'n') {
+            text.push_back('\n');
+            i += 2;
+            column += 2;
+            continue;
+          }
+        }
+        if (sc == '"') {
+          closed = true;
+          ++i;
+          ++column;
+          break;
+        }
+        if (sc == '\n') break;  // Unterminated.
+        text.push_back(sc);
+        ++i;
+        ++column;
+      }
+      if (!closed) {
+        column = static_cast<int>(start_column);
+        return error("unterminated string literal");
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.line = line;
+      t.column = static_cast<int>(start_column);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if ((c >= '0' && c <= '9') ||
+        (c == '-' && i + 1 < source.size() && source[i + 1] >= '0' &&
+         source[i + 1] <= '9')) {
+      std::string text;
+      text.push_back(c);
+      ++i;
+      ++column;
+      while (i < source.size() && source[i] >= '0' && source[i] <= '9') {
+        text.push_back(source[i]);
+        ++i;
+        ++column;
+      }
+      tokens.push_back(make(TokenKind::kInteger, std::move(text)));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < source.size() && IsIdentChar(source[i])) {
+        text.push_back(source[i]);
+        ++i;
+        ++column;
+      }
+      tokens.push_back(make(TokenKind::kIdentifier, std::move(text)));
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back(make(TokenKind::kEnd, ""));
+  return tokens;
+}
+
+}  // namespace metacomm::lexpress

@@ -1,0 +1,49 @@
+#ifndef METACOMM_LEXPRESS_LEXER_H_
+#define METACOMM_LEXPRESS_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace metacomm::lexpress {
+
+/// Token kinds of the lexpress mapping language.
+enum class TokenKind {
+  kIdentifier,   // mapping, key, attribute names, function names, ...
+  kString,       // "double-quoted", with \" and \\ escapes
+  kInteger,      // [-]digits
+  kArrow,        // ->
+  kLeftBrace,    // {
+  kRightBrace,   // }
+  kLeftParen,    // (
+  kRightParen,   // )
+  kComma,        // ,
+  kSemicolon,    // ;
+  kEquals,       // =
+  kEqualsEquals, // ==
+  kNotEquals,    // !=
+  kEnd,          // end of input
+};
+
+/// One token with source position for error messages.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // Identifier/string content or literal spelling.
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes lexpress source. Comments run from '#' to end of line.
+/// Keywords are not distinguished here — the parser matches identifier
+/// text, so mapping names may reuse words like "table" freely where
+/// unambiguous.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+/// Returns a printable name for a token kind (for diagnostics).
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace metacomm::lexpress
+
+#endif  // METACOMM_LEXPRESS_LEXER_H_

@@ -1,0 +1,190 @@
+#include "lexpress/mapping.h"
+
+#include "lexpress/parser.h"
+#include "lexpress/vm.h"
+
+namespace metacomm::lexpress {
+
+const char* RouteActionName(RouteAction action) {
+  switch (action) {
+    case RouteAction::kAdd:
+      return "add";
+    case RouteAction::kModify:
+      return "modify";
+    case RouteAction::kDelete:
+      return "delete";
+    case RouteAction::kSkip:
+      return "skip";
+  }
+  return "?";
+}
+
+StatusOr<Mapping> Mapping::Compile(const MappingDecl& decl) {
+  Mapping mapping;
+  mapping.name_ = decl.name;
+  mapping.source_schema_ = decl.source_schema;
+  mapping.target_schema_ = decl.target_schema;
+  mapping.tables_ = decl.tables;
+
+  auto option = [&decl](std::string_view name) -> std::string {
+    auto it = decl.options.find(name);
+    return it == decl.options.end() ? "" : it->second;
+  };
+  mapping.target_name_ = option("target_name");
+  mapping.originator_attr_ = option("originator");
+  mapping.allow_cycles_ = EqualsIgnoreCase(option("allow_cycles"), "true");
+
+  for (const auto& [key, value] : decl.options) {
+    if (!EqualsIgnoreCase(key, "target_name") &&
+        !EqualsIgnoreCase(key, "originator") &&
+        !EqualsIgnoreCase(key, "allow_cycles")) {
+      return Status::InvalidArgument("lexpress: unknown option '" + key +
+                                     "' in mapping " + decl.name);
+    }
+  }
+
+  if (decl.rules.empty()) {
+    return Status::InvalidArgument("lexpress: mapping " + decl.name +
+                                   " has no rules");
+  }
+  for (const MapRule& rule : decl.rules) {
+    METACOMM_ASSIGN_OR_RETURN(CompiledRule compiled,
+                              CompileRule(rule, mapping.tables_));
+    if (compiled.is_key && mapping.key_target_attr_.empty()) {
+      mapping.key_target_attr_ = compiled.target_attr;
+    }
+    mapping.rules_.push_back(std::move(compiled));
+  }
+  if (decl.partition.has_value()) {
+    METACOMM_ASSIGN_OR_RETURN(mapping.partition_,
+                              CompileExpr(*decl.partition, mapping.tables_));
+  }
+  return mapping;
+}
+
+StatusOr<Record> Mapping::MapRecord(const Record& source) const {
+  Record target(target_schema_);
+  for (const CompiledRule& rule : rules_) {
+    if (target.Has(rule.target_attr)) continue;  // First rule wins.
+    METACOMM_ASSIGN_OR_RETURN(bool guard_ok,
+                              Vm::ExecuteGuard(rule.guard, tables_, source));
+    if (!guard_ok) continue;
+    METACOMM_ASSIGN_OR_RETURN(Value value,
+                              Vm::Execute(rule.value, tables_, source));
+    if (value.empty()) continue;  // Let an alternate mapping supply it.
+    target.Set(rule.target_attr, std::move(value));
+  }
+  return target;
+}
+
+StatusOr<bool> Mapping::PartitionAccepts(const Record& source) const {
+  if (partition_.empty()) return true;
+  if (source.empty()) return false;
+  return Vm::ExecuteGuard(partition_, tables_, source);
+}
+
+StatusOr<RouteAction> Mapping::Route(const UpdateDescriptor& update) const {
+  // "lexpress checks the partitioning constraints against both the old
+  // and new attributes of the object" (§4.2).
+  switch (update.op) {
+    case DescriptorOp::kAdd: {
+      METACOMM_ASSIGN_OR_RETURN(bool new_ok,
+                                PartitionAccepts(update.new_record));
+      return new_ok ? RouteAction::kAdd : RouteAction::kSkip;
+    }
+    case DescriptorOp::kDelete: {
+      METACOMM_ASSIGN_OR_RETURN(bool old_ok,
+                                PartitionAccepts(update.old_record));
+      return old_ok ? RouteAction::kDelete : RouteAction::kSkip;
+    }
+    case DescriptorOp::kModify: {
+      METACOMM_ASSIGN_OR_RETURN(bool old_ok,
+                                PartitionAccepts(update.old_record));
+      METACOMM_ASSIGN_OR_RETURN(bool new_ok,
+                                PartitionAccepts(update.new_record));
+      if (old_ok && new_ok) return RouteAction::kModify;
+      if (!old_ok && new_ok) return RouteAction::kAdd;
+      if (old_ok && !new_ok) return RouteAction::kDelete;
+      return RouteAction::kSkip;
+    }
+  }
+  return Status::Internal("lexpress: bad descriptor op");
+}
+
+StatusOr<std::optional<UpdateDescriptor>> Mapping::Translate(
+    const UpdateDescriptor& update) const {
+  if (!EqualsIgnoreCase(update.schema, source_schema_)) {
+    return Status::InvalidArgument(
+        "lexpress: update in schema '" + update.schema +
+        "' given to mapping from '" + source_schema_ + "'");
+  }
+  METACOMM_ASSIGN_OR_RETURN(RouteAction action, Route(update));
+  if (action == RouteAction::kSkip) {
+    return std::optional<UpdateDescriptor>();
+  }
+
+  UpdateDescriptor out;
+  out.schema = target_schema_;
+  out.source = update.source;
+
+  // Conditional-update detection (§5.4): if the source record says the
+  // update originated at this mapping's target, the target has already
+  // seen it — mark it so the filter reapplies with recovery semantics.
+  if (!originator_attr_.empty() && !target_name_.empty()) {
+    const Record& effective = update.EffectiveRecord();
+    for (const std::string& origin : effective.Get(originator_attr_)) {
+      if (EqualsIgnoreCase(origin, target_name_)) out.conditional = true;
+    }
+  }
+
+  switch (action) {
+    case RouteAction::kAdd: {
+      out.op = DescriptorOp::kAdd;
+      METACOMM_ASSIGN_OR_RETURN(out.new_record,
+                                MapRecord(update.new_record));
+      break;
+    }
+    case RouteAction::kDelete: {
+      out.op = DescriptorOp::kDelete;
+      METACOMM_ASSIGN_OR_RETURN(out.old_record,
+                                MapRecord(update.old_record));
+      break;
+    }
+    case RouteAction::kModify: {
+      out.op = DescriptorOp::kModify;
+      METACOMM_ASSIGN_OR_RETURN(out.old_record,
+                                MapRecord(update.old_record));
+      METACOMM_ASSIGN_OR_RETURN(out.new_record,
+                                MapRecord(update.new_record));
+      break;
+    }
+    case RouteAction::kSkip:
+      return std::optional<UpdateDescriptor>();
+  }
+  return std::optional<UpdateDescriptor>(std::move(out));
+}
+
+std::set<std::string, CaseInsensitiveLess> Mapping::SourcesOf(
+    std::string_view target_attr) const {
+  std::set<std::string, CaseInsensitiveLess> out;
+  for (const CompiledRule& rule : rules_) {
+    if (EqualsIgnoreCase(rule.target_attr, target_attr)) {
+      out.insert(rule.source_attrs.begin(), rule.source_attrs.end());
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<Mapping>> CompileMappings(std::string_view source) {
+  METACOMM_ASSIGN_OR_RETURN(std::vector<MappingDecl> decls,
+                            ParseMappings(source));
+  std::vector<Mapping> mappings;
+  mappings.reserve(decls.size());
+  for (const MappingDecl& decl : decls) {
+    METACOMM_ASSIGN_OR_RETURN(Mapping mapping, Mapping::Compile(decl));
+    mappings.push_back(std::move(mapping));
+  }
+  return mappings;
+}
+
+}  // namespace metacomm::lexpress

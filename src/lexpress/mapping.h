@@ -1,0 +1,112 @@
+#ifndef METACOMM_LEXPRESS_MAPPING_H_
+#define METACOMM_LEXPRESS_MAPPING_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lexpress/ast.h"
+#include "lexpress/compiler.h"
+#include "lexpress/record.h"
+
+namespace metacomm::lexpress {
+
+/// How a translated update should be applied at the target, derived
+/// from the partitioning constraints (paper §4.2):
+///   old sat. | new sat. | action
+///   ---------+----------+---------
+///      no    |   yes    | Add      (object newly managed by target)
+///      yes   |   yes    | Modify
+///      yes   |   no     | Delete   (object left the target's partition)
+///      no    |   no     | Skip
+enum class RouteAction { kAdd, kModify, kDelete, kSkip };
+
+/// Returns "add"/"modify"/"delete"/"skip".
+const char* RouteActionName(RouteAction action);
+
+/// A compiled lexpress mapping from one schema to another.
+///
+/// "Mappings are specified from a source schema to a target schema, so
+/// two lexpress mappings are specified for each schema pair" (§4.2).
+class Mapping {
+ public:
+  /// Compiles a parsed declaration. Fails on unknown functions, bad
+  /// arity, unknown tables, or a mapping without rules.
+  static StatusOr<Mapping> Compile(const MappingDecl& decl);
+
+  const std::string& name() const { return name_; }
+  const std::string& source_schema() const { return source_schema_; }
+  const std::string& target_schema() const { return target_schema_; }
+
+  /// Name of the repository instance this mapping feeds (option
+  /// target_name); empty when the mapping targets a schema in general.
+  const std::string& target_name() const { return target_name_; }
+
+  /// Source attribute that names an update's origin (option
+  /// originator, §5.4); empty disables conditional-update detection.
+  const std::string& originator_attr() const { return originator_attr_; }
+
+  /// True when cycles through this mapping defer to runtime fixpoint
+  /// detection (option allow_cycles = true).
+  bool allow_cycles() const { return allow_cycles_; }
+
+  const std::vector<CompiledRule>& rules() const { return rules_; }
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+  /// Target attribute of the first `key` rule; empty if none declared.
+  const std::string& key_target_attr() const { return key_target_attr_; }
+
+  /// Maps a full source record to a target record: runs every rule in
+  /// declaration order; for each target attribute the first rule whose
+  /// guard holds and whose value is non-empty wins (alternate attribute
+  /// mappings, §4.2).
+  StatusOr<Record> MapRecord(const Record& source) const;
+
+  /// Evaluates the partition predicate over a source record; mappings
+  /// without a partition clause accept everything.
+  StatusOr<bool> PartitionAccepts(const Record& source) const;
+
+  /// Routing decision for an update (see RouteAction).
+  StatusOr<RouteAction> Route(const UpdateDescriptor& update) const;
+
+  /// Translates a canonical update in the source schema into a
+  /// canonical update against the target, or nullopt when the target
+  /// is not involved (RouteAction::kSkip).
+  ///
+  /// Sets `conditional` on the result when the update is headed back
+  /// to the repository it originated from: the originator attribute of
+  /// the source record names this mapping's target_name (§5.4).
+  StatusOr<std::optional<UpdateDescriptor>> Translate(
+      const UpdateDescriptor& update) const;
+
+  /// Source attributes read by any rule mapping into `target_attr`.
+  std::set<std::string, CaseInsensitiveLess> SourcesOf(
+      std::string_view target_attr) const;
+
+ private:
+  Mapping() = default;
+
+  std::string name_;
+  std::string source_schema_;
+  std::string target_schema_;
+  std::string target_name_;
+  std::string originator_attr_;
+  bool allow_cycles_ = false;
+  std::vector<TableDef> tables_;
+  std::vector<CompiledRule> rules_;
+  Program partition_;  // Empty = accept all.
+  std::string key_target_attr_;
+};
+
+/// Compiles every mapping in a lexpress source file. This is the
+/// "compile at run-time using the appropriate lexpress routine" entry
+/// point (§4.2): description files can be added to a running program.
+StatusOr<std::vector<Mapping>> CompileMappings(std::string_view source);
+
+}  // namespace metacomm::lexpress
+
+#endif  // METACOMM_LEXPRESS_MAPPING_H_

@@ -1,0 +1,276 @@
+#include "lexpress/parser.h"
+
+#include "lexpress/lexer.h"
+
+namespace metacomm::lexpress {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::vector<MappingDecl>> ParseFile() {
+    std::vector<MappingDecl> mappings;
+    while (!AtEnd()) {
+      METACOMM_ASSIGN_OR_RETURN(MappingDecl decl, ParseMapping());
+      mappings.push_back(std::move(decl));
+    }
+    if (mappings.empty()) {
+      return Status::InvalidArgument("lexpress source declares no mappings");
+    }
+    return mappings;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool CheckIdent(std::string_view word) const {
+    return Peek().kind == TokenKind::kIdentifier &&
+           EqualsIgnoreCase(Peek().text, word);
+  }
+
+  bool MatchIdent(std::string_view word) {
+    if (!CheckIdent(word)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ErrorHere(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::InvalidArgument(
+        "lexpress parse error at " + std::to_string(t.line) + ":" +
+        std::to_string(t.column) + ": " + message + " (found " +
+        TokenKindName(t.kind) +
+        (t.text.empty() ? "" : " '" + t.text + "'") + ")");
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return ErrorHere(std::string("expected ") + TokenKindName(kind));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  StatusOr<std::string> ExpectString() {
+    if (Peek().kind != TokenKind::kString) {
+      return ErrorHere("expected string literal");
+    }
+    return Advance().text;
+  }
+
+  StatusOr<MappingDecl> ParseMapping() {
+    MappingDecl decl;
+    decl.line = Peek().line;
+    if (!MatchIdent("mapping")) return ErrorHere("expected 'mapping'");
+    METACOMM_ASSIGN_OR_RETURN(decl.name, ExpectIdent());
+    if (!MatchIdent("from")) return ErrorHere("expected 'from'");
+    METACOMM_ASSIGN_OR_RETURN(decl.source_schema, ExpectIdent());
+    if (!MatchIdent("to")) return ErrorHere("expected 'to'");
+    METACOMM_ASSIGN_OR_RETURN(decl.target_schema, ExpectIdent());
+    METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kLeftBrace));
+
+    while (Peek().kind != TokenKind::kRightBrace) {
+      if (AtEnd()) return ErrorHere("unterminated mapping block");
+      if (CheckIdent("option")) {
+        METACOMM_RETURN_IF_ERROR(ParseOption(&decl));
+      } else if (CheckIdent("partition")) {
+        METACOMM_RETURN_IF_ERROR(ParsePartition(&decl));
+      } else if (CheckIdent("table")) {
+        METACOMM_RETURN_IF_ERROR(ParseTable(&decl));
+      } else if (CheckIdent("map") || CheckIdent("key")) {
+        METACOMM_RETURN_IF_ERROR(ParseRule(&decl));
+      } else {
+        return ErrorHere(
+            "expected 'option', 'partition', 'table', 'map' or 'key'");
+      }
+    }
+    METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kRightBrace));
+    return decl;
+  }
+
+  Status ParseOption(MappingDecl* decl) {
+    Advance();  // 'option'
+    METACOMM_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kEquals));
+    const Token& value = Peek();
+    if (value.kind != TokenKind::kString &&
+        value.kind != TokenKind::kIdentifier &&
+        value.kind != TokenKind::kInteger) {
+      return ErrorHere("expected option value");
+    }
+    decl->options[name] = Advance().text;
+    return Expect(TokenKind::kSemicolon);
+  }
+
+  Status ParsePartition(MappingDecl* decl) {
+    Advance();  // 'partition'
+    if (!MatchIdent("when")) return ErrorHere("expected 'when'");
+    METACOMM_ASSIGN_OR_RETURN(Expr pred, ParsePred());
+    if (decl->partition.has_value()) {
+      // Multiple partition clauses AND together.
+      decl->partition =
+          Expr::Call("and", {*std::move(decl->partition), std::move(pred)});
+    } else {
+      decl->partition = std::move(pred);
+    }
+    return Expect(TokenKind::kSemicolon);
+  }
+
+  Status ParseTable(MappingDecl* decl) {
+    Advance();  // 'table'
+    TableDef table;
+    METACOMM_ASSIGN_OR_RETURN(table.name, ExpectIdent());
+    METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kLeftBrace));
+    while (Peek().kind != TokenKind::kRightBrace) {
+      if (AtEnd()) return ErrorHere("unterminated table block");
+      if (MatchIdent("default")) {
+        METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+        METACOMM_ASSIGN_OR_RETURN(std::string value, ExpectString());
+        table.default_value = std::move(value);
+      } else {
+        METACOMM_ASSIGN_OR_RETURN(std::string from, ExpectString());
+        METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+        METACOMM_ASSIGN_OR_RETURN(std::string to, ExpectString());
+        table.entries[from] = std::move(to);
+      }
+      METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    }
+    METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kRightBrace));
+    decl->tables.push_back(std::move(table));
+    return Status::Ok();
+  }
+
+  Status ParseRule(MappingDecl* decl) {
+    MapRule rule;
+    rule.line = Peek().line;
+    rule.is_key = CheckIdent("key");
+    Advance();  // 'map' or 'key'
+    // Full predicate grammar is allowed on the value side too, so
+    // boolean-valued rules like `map present(x) -> flag` work.
+    METACOMM_ASSIGN_OR_RETURN(rule.expr, ParsePred());
+    METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+    METACOMM_ASSIGN_OR_RETURN(rule.target_attr, ExpectIdent());
+    if (MatchIdent("when")) {
+      METACOMM_ASSIGN_OR_RETURN(Expr guard, ParsePred());
+      rule.guard = std::move(guard);
+    }
+    METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+    decl->rules.push_back(std::move(rule));
+    return Status::Ok();
+  }
+
+  // pred := andp ('or' andp)*
+  StatusOr<Expr> ParsePred() {
+    // Depth guard against pathological nesting ("(((((...").
+    if (++depth_ > kMaxDepth) {
+      return Status::InvalidArgument(
+          "lexpress: expression nesting too deep");
+    }
+    struct DepthGuard {
+      int* depth;
+      ~DepthGuard() { --*depth; }
+    } guard{&depth_};
+    METACOMM_ASSIGN_OR_RETURN(Expr left, ParseAnd());
+    while (MatchIdent("or")) {
+      METACOMM_ASSIGN_OR_RETURN(Expr right, ParseAnd());
+      left = Expr::Call("or", {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  StatusOr<Expr> ParseAnd() {
+    METACOMM_ASSIGN_OR_RETURN(Expr left, ParseNot());
+    while (MatchIdent("and")) {
+      METACOMM_ASSIGN_OR_RETURN(Expr right, ParseNot());
+      left = Expr::Call("and", {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  StatusOr<Expr> ParseNot() {
+    if (MatchIdent("not")) {
+      METACOMM_ASSIGN_OR_RETURN(Expr inner, ParseNot());
+      return Expr::Call("not", {std::move(inner)});
+    }
+    return ParseCompare();
+  }
+
+  StatusOr<Expr> ParseCompare() {
+    METACOMM_ASSIGN_OR_RETURN(Expr left, ParseExpr());
+    if (Peek().kind == TokenKind::kEqualsEquals) {
+      Advance();
+      METACOMM_ASSIGN_OR_RETURN(Expr right, ParseExpr());
+      return Expr::Call("eq", {std::move(left), std::move(right)});
+    }
+    if (Peek().kind == TokenKind::kNotEquals) {
+      Advance();
+      METACOMM_ASSIGN_OR_RETURN(Expr right, ParseExpr());
+      return Expr::Call("ne", {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  StatusOr<Expr> ParseExpr() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kString:
+      case TokenKind::kInteger:
+        return Expr::Literal(Advance().text);
+      case TokenKind::kLeftParen: {
+        Advance();
+        METACOMM_ASSIGN_OR_RETURN(Expr inner, ParsePred());
+        METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kRightParen));
+        return inner;
+      }
+      case TokenKind::kIdentifier: {
+        std::string name = Advance().text;
+        if (Peek().kind == TokenKind::kLeftParen) {
+          Advance();
+          std::vector<Expr> args;
+          if (Peek().kind != TokenKind::kRightParen) {
+            while (true) {
+              METACOMM_ASSIGN_OR_RETURN(Expr arg, ParsePred());
+              args.push_back(std::move(arg));
+              if (Peek().kind == TokenKind::kComma) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+          }
+          METACOMM_RETURN_IF_ERROR(Expect(TokenKind::kRightParen));
+          return Expr::Call(std::move(name), std::move(args));
+        }
+        return Expr::AttrRef(std::move(name));
+      }
+      default:
+        return ErrorHere("expected expression");
+    }
+  }
+
+  static constexpr int kMaxDepth = 128;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<MappingDecl>> ParseMappings(std::string_view source) {
+  METACOMM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseFile();
+}
+
+}  // namespace metacomm::lexpress

@@ -1,0 +1,37 @@
+#ifndef METACOMM_LEXPRESS_PARSER_H_
+#define METACOMM_LEXPRESS_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lexpress/ast.h"
+
+namespace metacomm::lexpress {
+
+/// Parses lexpress source into mapping declarations.
+///
+/// Grammar (EBNF; '#' starts a comment):
+///
+///   file      := mapping*
+///   mapping   := 'mapping' IDENT 'from' IDENT 'to' IDENT '{' item* '}'
+///   item      := option | partition | table | rule
+///   option    := 'option' IDENT '=' (STRING | IDENT | INT) ';'
+///   partition := 'partition' 'when' pred ';'
+///   table     := 'table' IDENT '{' (STRING '->' STRING ';')*
+///                ('default' '->' STRING ';')? '}'
+///   rule      := ('map' | 'key') expr '->' IDENT ('when' pred)? ';'
+///   pred      := orp
+///   orp       := andp ('or' andp)*
+///   andp      := notp ('and' notp)*
+///   notp      := 'not' notp | cmp
+///   cmp       := expr (('==' | '!=') expr)?
+///   expr      := STRING | INT
+///              | IDENT                          -- attribute reference
+///              | IDENT '(' [expr (',' expr)*] ')' -- builtin call
+///              | '(' pred ')'
+StatusOr<std::vector<MappingDecl>> ParseMappings(std::string_view source);
+
+}  // namespace metacomm::lexpress
+
+#endif  // METACOMM_LEXPRESS_PARSER_H_

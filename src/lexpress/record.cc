@@ -1,0 +1,100 @@
+#include "lexpress/record.h"
+
+#include <algorithm>
+
+namespace metacomm::lexpress {
+
+bool Record::Has(std::string_view attr) const {
+  auto it = attrs_.find(attr);
+  return it != attrs_.end() && !it->second.empty();
+}
+
+const Value& Record::Get(std::string_view attr) const {
+  static const Value* empty = new Value;
+  auto it = attrs_.find(attr);
+  return it == attrs_.end() ? *empty : it->second;
+}
+
+std::string Record::GetFirst(std::string_view attr) const {
+  const Value& v = Get(attr);
+  return v.empty() ? "" : v.front();
+}
+
+void Record::Set(std::string_view attr, Value value) {
+  if (value.empty()) {
+    Remove(attr);
+    return;
+  }
+  attrs_[std::string(attr)] = std::move(value);
+}
+
+void Record::SetOne(std::string_view attr, std::string value) {
+  Set(attr, Value{std::move(value)});
+}
+
+void Record::Remove(std::string_view attr) {
+  auto it = attrs_.find(attr);
+  if (it != attrs_.end()) attrs_.erase(it);
+}
+
+namespace {
+
+bool ValueSetsEqual(const Value& a, const Value& b) {
+  if (a.size() != b.size()) return false;
+  for (const std::string& va : a) {
+    bool found = std::any_of(b.begin(), b.end(), [&va](const std::string& vb) {
+      return EqualsIgnoreCase(va, vb);
+    });
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool operator==(const Record& a, const Record& b) {
+  if (!EqualsIgnoreCase(a.schema_, b.schema_)) return false;
+  if (a.attrs_.size() != b.attrs_.size()) return false;
+  for (const auto& [name, value] : a.attrs_) {
+    auto it = b.attrs_.find(name);
+    if (it == b.attrs_.end() || !ValueSetsEqual(value, it->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Record::ToString() const {
+  std::string out = schema_ + "{";
+  bool first = true;
+  for (const auto& [name, value] : attrs_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + "=[" + Join(value, ",") + "]";
+  }
+  out += "}";
+  return out;
+}
+
+const char* DescriptorOpName(DescriptorOp op) {
+  switch (op) {
+    case DescriptorOp::kAdd:
+      return "add";
+    case DescriptorOp::kModify:
+      return "modify";
+    case DescriptorOp::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+std::string UpdateDescriptor::ToString() const {
+  std::string out = std::string(DescriptorOpName(op)) + "@" + schema;
+  out += " source=" + (source.empty() ? "?" : source);
+  if (conditional) out += " conditional";
+  out += " old=" + old_record.ToString();
+  out += " new=" + new_record.ToString();
+  return out;
+}
+
+}  // namespace metacomm::lexpress

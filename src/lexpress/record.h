@@ -1,0 +1,110 @@
+#ifndef METACOMM_LEXPRESS_RECORD_H_
+#define METACOMM_LEXPRESS_RECORD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace metacomm::lexpress {
+
+/// Every lexpress value is a list of strings: LDAP attributes are
+/// set-valued and weakly typed, and the devices' fields are strings,
+/// so the canonical data model is multi-valued strings. Most builtins
+/// operate elementwise; aggregates (join, first, ...) collapse lists.
+using Value = std::vector<std::string>;
+
+/// A schema-tagged flat record: lexpress' canonical representation of
+/// one object in one repository. Filters convert between this form and
+/// their repository's native form (LDAP entry, PBX station, mailbox).
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::string schema) : schema_(std::move(schema)) {}
+
+  const std::string& schema() const { return schema_; }
+  void set_schema(std::string schema) { schema_ = std::move(schema); }
+
+  using AttrMap = std::map<std::string, Value, CaseInsensitiveLess>;
+  const AttrMap& attrs() const { return attrs_; }
+
+  bool Has(std::string_view attr) const;
+
+  /// All values (empty when absent).
+  const Value& Get(std::string_view attr) const;
+
+  /// First value or "".
+  std::string GetFirst(std::string_view attr) const;
+
+  /// Sets the value list; an empty list removes the attribute.
+  void Set(std::string_view attr, Value value);
+
+  /// Single-value convenience.
+  void SetOne(std::string_view attr, std::string value);
+
+  void Remove(std::string_view attr);
+
+  bool empty() const { return attrs_.empty(); }
+  size_t size() const { return attrs_.size(); }
+
+  /// Records are equal when schema and all attribute value lists match
+  /// (value lists compare as sets, case-insensitively).
+  friend bool operator==(const Record& a, const Record& b);
+
+  /// "schema{attr=[v1,v2], ...}" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  std::string schema_;
+  AttrMap attrs_;
+};
+
+/// The kind of a canonical update.
+enum class DescriptorOp { kAdd, kModify, kDelete };
+
+/// Returns "add" / "modify" / "delete".
+const char* DescriptorOpName(DescriptorOp op);
+
+/// A lexpress update descriptor — the canonical form in which every
+/// change travels through MetaComm (paper §4.1: "When a filter receives
+/// a change notification from its associated repository, it creates a
+/// lexpress update descriptor of the change").
+///
+/// Key changes (renames) are represented as kModify descriptors whose
+/// old and new records disagree on the key attribute; the LDAP filter
+/// turns those into the ModifyRDN/Modify pair of §5.1.
+struct UpdateDescriptor {
+  DescriptorOp op = DescriptorOp::kModify;
+  /// Name of the schema both records are expressed in.
+  std::string schema;
+  /// Image before the update. Empty for kAdd.
+  Record old_record;
+  /// Image after the update. Empty for kDelete.
+  Record new_record;
+  /// Attributes the client set explicitly (as opposed to values derived
+  /// by mapping closure). Governs conflict resolution: explicitly set
+  /// attributes are never overwritten by the closure (paper §4.2).
+  std::set<std::string, CaseInsensitiveLess> explicit_attrs;
+  /// Name of the repository where the update originated ("pbx1",
+  /// "mp1", "ldap"). Drives Originator/conditional processing (§5.4).
+  std::string source;
+  /// True when this update is being *re*applied to the repository that
+  /// originated it: failures are recovered differently (§5.4 — a
+  /// conditional modify that fails falls back to add).
+  bool conditional = false;
+
+  /// The record that describes the object after this update (new image
+  /// except for deletes).
+  const Record& EffectiveRecord() const {
+    return op == DescriptorOp::kDelete ? old_record : new_record;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace metacomm::lexpress
+
+#endif  // METACOMM_LEXPRESS_RECORD_H_

@@ -1,0 +1,333 @@
+#include "lexpress/vm.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace metacomm::lexpress {
+
+namespace {
+
+const Value kTrue{"true"};
+const Value kFalse{"false"};
+
+Value Bool(bool b) { return b ? kTrue : kFalse; }
+
+bool Truthy(const Value& v) {
+  return v.size() == 1 && EqualsIgnoreCase(v.front(), "true");
+}
+
+/// Case-insensitive set equality over value lists.
+bool SetEquals(const Value& a, const Value& b) {
+  if (a.size() != b.size()) return false;
+  for (const std::string& va : a) {
+    bool found =
+        std::any_of(b.begin(), b.end(), [&va](const std::string& vb) {
+          return EqualsIgnoreCase(va, vb);
+        });
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// Applies `fn` to each element; empty input stays empty (missing
+/// propagates — default() reintroduces values when wanted).
+template <typename Fn>
+Value Elementwise(const Value& in, Fn fn) {
+  Value out;
+  out.reserve(in.size());
+  for (const std::string& v : in) out.push_back(fn(v));
+  return out;
+}
+
+/// Broadcast length for multi-argument elementwise builtins: if any
+/// argument is empty the result is empty; otherwise the longest list
+/// wins and shorter lists repeat their last element.
+size_t BroadcastLength(const std::vector<Value>& args) {
+  size_t n = 0;
+  for (const Value& arg : args) {
+    if (arg.empty()) return 0;
+    n = std::max(n, arg.size());
+  }
+  return n;
+}
+
+const std::string& BroadcastAt(const Value& v, size_t i) {
+  return i < v.size() ? v[i] : v.back();
+}
+
+StatusOr<int64_t> ToInt(const Value& v, const char* what) {
+  if (v.size() != 1) {
+    return Status::InvalidArgument(std::string("lexpress: ") + what +
+                                   " must be a single integer");
+  }
+  const std::string& s = v.front();
+  std::string_view digits = s;
+  if (!digits.empty() && (digits[0] == '-' || digits[0] == '+')) {
+    digits.remove_prefix(1);
+  }
+  if (!IsAllDigits(digits)) {
+    return Status::InvalidArgument(std::string("lexpress: ") + what +
+                                   " is not an integer: " + s);
+  }
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+std::string SubstrOne(const std::string& s, int64_t start, int64_t len) {
+  int64_t n = static_cast<int64_t>(s.size());
+  if (start < 0) start = std::max<int64_t>(0, n + start);
+  if (start >= n || len <= 0) return "";
+  len = std::min(len, n - start);
+  return s.substr(static_cast<size_t>(start), static_cast<size_t>(len));
+}
+
+std::string DigitsOnly(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') out.push_back(c);
+  }
+  return out;
+}
+
+std::string SurnameOf(const std::string& s) {
+  std::string t = Trim(s);
+  size_t pos = t.find_last_of(' ');
+  return pos == std::string::npos ? t : t.substr(pos + 1);
+}
+
+std::string GivenNameOf(const std::string& s) {
+  std::string t = Trim(s);
+  size_t pos = t.find_first_of(' ');
+  return pos == std::string::npos ? t : t.substr(0, pos);
+}
+
+StatusOr<Value> CallBuiltin(Builtin builtin, std::vector<Value> args) {
+  switch (builtin) {
+    case Builtin::kAnd:
+      return Bool(Truthy(args[0]) && Truthy(args[1]));
+    case Builtin::kOr:
+      return Bool(Truthy(args[0]) || Truthy(args[1]));
+    case Builtin::kNot:
+      return Bool(!Truthy(args[0]));
+    case Builtin::kEq:
+      return Bool(SetEquals(args[0], args[1]));
+    case Builtin::kNe:
+      return Bool(!SetEquals(args[0], args[1]));
+    case Builtin::kPresent:
+      return Bool(!args[0].empty());
+    case Builtin::kAbsent:
+      return Bool(args[0].empty());
+    case Builtin::kPrefix: {
+      if (args[1].empty()) return Bool(false);
+      const std::string& prefix = args[1].front();
+      for (const std::string& v : args[0]) {
+        if (StartsWithIgnoreCase(v, prefix)) return Bool(true);
+      }
+      return Bool(false);
+    }
+    case Builtin::kSuffix: {
+      if (args[1].empty()) return Bool(false);
+      std::string suffix = ToLower(args[1].front());
+      for (const std::string& v : args[0]) {
+        if (EndsWith(ToLower(v), suffix)) return Bool(true);
+      }
+      return Bool(false);
+    }
+    case Builtin::kMatches: {
+      if (args[1].empty()) return Bool(false);
+      const std::string& pattern = args[1].front();
+      for (const std::string& v : args[0]) {
+        if (GlobMatchIgnoreCase(pattern, v)) return Bool(true);
+      }
+      return Bool(false);
+    }
+    case Builtin::kContains: {
+      if (args[1].empty()) return Bool(false);
+      std::string needle = ToLower(args[1].front());
+      for (const std::string& v : args[0]) {
+        if (ToLower(v).find(needle) != std::string::npos) {
+          return Bool(true);
+        }
+      }
+      return Bool(false);
+    }
+    case Builtin::kUpper:
+      return Elementwise(args[0], [](const std::string& v) {
+        return ToUpper(v);
+      });
+    case Builtin::kLower:
+      return Elementwise(args[0], [](const std::string& v) {
+        return ToLower(v);
+      });
+    case Builtin::kTrim:
+      return Elementwise(args[0],
+                         [](const std::string& v) { return Trim(v); });
+    case Builtin::kNormalize:
+      return Elementwise(args[0], [](const std::string& v) {
+        return NormalizeSpace(v);
+      });
+    case Builtin::kDigits:
+      return Elementwise(args[0], [](const std::string& v) {
+        return DigitsOnly(v);
+      });
+    case Builtin::kSurname:
+      return Elementwise(args[0], [](const std::string& v) {
+        return SurnameOf(v);
+      });
+    case Builtin::kGivenName:
+      return Elementwise(args[0], [](const std::string& v) {
+        return GivenNameOf(v);
+      });
+    case Builtin::kSubstr: {
+      METACOMM_ASSIGN_OR_RETURN(int64_t start,
+                                ToInt(args[1], "substr start"));
+      METACOMM_ASSIGN_OR_RETURN(int64_t len, ToInt(args[2], "substr len"));
+      return Elementwise(args[0],
+                         [start, len](const std::string& v) {
+                           return SubstrOne(v, start, len);
+                         });
+    }
+    case Builtin::kReplace: {
+      if (args[1].empty()) return args[0];
+      std::string from = args[1].front();
+      std::string to = args[2].empty() ? "" : args[2].front();
+      return Elementwise(args[0], [&from, &to](const std::string& v) {
+        return ReplaceAll(v, from, to);
+      });
+    }
+    case Builtin::kSplit: {
+      if (args[1].empty() || args[1].front().empty()) {
+        return Status::InvalidArgument("lexpress: split needs a separator");
+      }
+      METACOMM_ASSIGN_OR_RETURN(int64_t index,
+                                ToInt(args[2], "split index"));
+      char sep = args[1].front()[0];
+      Value out;
+      for (const std::string& v : args[0]) {
+        std::vector<std::string> pieces = Split(v, sep);
+        int64_t i = index < 0
+                        ? static_cast<int64_t>(pieces.size()) + index
+                        : index;
+        if (i >= 0 && i < static_cast<int64_t>(pieces.size())) {
+          out.push_back(pieces[static_cast<size_t>(i)]);
+        }
+      }
+      return out;
+    }
+    case Builtin::kConcat: {
+      size_t n = BroadcastLength(args);
+      Value out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        std::string piece;
+        for (const Value& arg : args) piece += BroadcastAt(arg, i);
+        out.push_back(std::move(piece));
+      }
+      return out;
+    }
+    case Builtin::kFormat: {
+      if (args[0].empty()) return Value{};
+      std::string fmt = args[0].front();
+      std::vector<Value> rest(args.begin() + 1, args.end());
+      if (rest.empty()) return Value{FormatPercentS(fmt, {})};
+      size_t n = BroadcastLength(rest);
+      Value out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<std::string> row;
+        row.reserve(rest.size());
+        for (const Value& arg : rest) row.push_back(BroadcastAt(arg, i));
+        out.push_back(FormatPercentS(fmt, row));
+      }
+      return out;
+    }
+    case Builtin::kFirst:
+      if (args[0].empty()) return Value{};
+      return Value{args[0].front()};
+    case Builtin::kLast:
+      if (args[0].empty()) return Value{};
+      return Value{args[0].back()};
+    case Builtin::kJoin: {
+      if (args[0].empty()) return Value{};
+      std::string sep = args[1].empty() ? "" : args[1].front();
+      return Value{Join(args[0], sep)};
+    }
+    case Builtin::kCount:
+      return Value{std::to_string(args[0].size())};
+    case Builtin::kDefault:
+      return args[0].empty() ? args[1] : args[0];
+    case Builtin::kIfElse:
+      return Truthy(args[0]) ? args[1] : args[2];
+  }
+  return Status::Internal("lexpress: unknown builtin");
+}
+
+}  // namespace
+
+StatusOr<Value> Vm::Execute(const Program& program,
+                            const std::vector<TableDef>& tables,
+                            const Record& record) {
+  std::vector<Value> stack;
+  stack.reserve(8);
+  for (const Instruction& inst : program.code) {
+    switch (inst.op) {
+      case OpCode::kPushConst:
+        stack.push_back(program.constants[inst.a]);
+        break;
+      case OpCode::kLoadAttr:
+        stack.push_back(record.Get(program.attr_names[inst.a]));
+        break;
+      case OpCode::kCall: {
+        size_t argc = inst.b;
+        if (stack.size() < argc) {
+          return Status::Internal("lexpress VM stack underflow");
+        }
+        std::vector<Value> args(stack.end() - argc, stack.end());
+        stack.resize(stack.size() - argc);
+        METACOMM_ASSIGN_OR_RETURN(
+            Value result,
+            CallBuiltin(static_cast<Builtin>(inst.a), std::move(args)));
+        stack.push_back(std::move(result));
+        break;
+      }
+      case OpCode::kLookup: {
+        if (stack.empty()) {
+          return Status::Internal("lexpress VM stack underflow");
+        }
+        if (inst.a >= tables.size()) {
+          return Status::Internal("lexpress VM bad table index");
+        }
+        const TableDef& table = tables[inst.a];
+        Value in = std::move(stack.back());
+        stack.pop_back();
+        Value out;
+        for (const std::string& v : in) {
+          auto it = table.entries.find(v);
+          if (it != table.entries.end()) {
+            out.push_back(it->second);
+          } else if (table.default_value.has_value()) {
+            out.push_back(*table.default_value);
+          }
+          // No match and no default: the value drops out, letting an
+          // alternate mapping or default() supply it.
+        }
+        stack.push_back(std::move(out));
+        break;
+      }
+    }
+  }
+  if (stack.size() != 1) {
+    return Status::Internal("lexpress VM finished with bad stack depth");
+  }
+  return std::move(stack.front());
+}
+
+StatusOr<bool> Vm::ExecuteGuard(const Program& program,
+                                const std::vector<TableDef>& tables,
+                                const Record& record) {
+  if (program.empty()) return true;
+  METACOMM_ASSIGN_OR_RETURN(Value result,
+                            Execute(program, tables, record));
+  return result.size() == 1 && EqualsIgnoreCase(result.front(), "true");
+}
+
+}  // namespace metacomm::lexpress

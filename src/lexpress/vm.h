@@ -1,0 +1,31 @@
+#ifndef METACOMM_LEXPRESS_VM_H_
+#define METACOMM_LEXPRESS_VM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "lexpress/ast.h"
+#include "lexpress/bytecode.h"
+#include "lexpress/record.h"
+
+namespace metacomm::lexpress {
+
+/// The lexpress bytecode interpreter (paper §4.2: "an interpreter for
+/// executing the byte codes"). Stateless; safe to call from any thread.
+class Vm {
+ public:
+  /// Runs `program` against `record`. `tables` provides the mapping's
+  /// translation tables for kLookup instructions.
+  static StatusOr<Value> Execute(const Program& program,
+                                 const std::vector<TableDef>& tables,
+                                 const Record& record);
+
+  /// Runs a guard program; holds when the result is exactly ["true"].
+  static StatusOr<bool> ExecuteGuard(const Program& program,
+                                     const std::vector<TableDef>& tables,
+                                     const Record& record);
+};
+
+}  // namespace metacomm::lexpress
+
+#endif  // METACOMM_LEXPRESS_VM_H_

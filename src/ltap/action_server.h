@@ -1,0 +1,71 @@
+#ifndef METACOMM_LTAP_ACTION_SERVER_H_
+#define METACOMM_LTAP_ACTION_SERVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ldap/entry.h"
+#include "ldap/operations.h"
+
+namespace metacomm::ltap {
+
+/// When the trigger fires relative to the intercepted operation.
+enum class TriggerTiming { kBefore, kAfter };
+
+/// What LTAP tells a trigger action server about one intercepted LDAP
+/// update.
+///
+/// For after-triggers the old/new entry images are snapshots taken
+/// around the applied operation — exactly the "pre-update information"
+/// the paper's saga-style undo extension needs (§4.4).
+struct UpdateNotification {
+  ldap::UpdateOp op = ldap::UpdateOp::kAdd;
+  /// Target DN (pre-rename DN for ModifyRDN).
+  ldap::Dn dn;
+  /// Post-rename DN; set only for ModifyRDN.
+  std::optional<ldap::Dn> new_dn;
+  /// The modification list; set only for Modify.
+  std::vector<ldap::Modification> mods;
+  /// Entry image before the operation (absent for Add).
+  std::optional<ldap::Entry> old_entry;
+  /// Entry image after the operation (absent for Delete).
+  std::optional<ldap::Entry> new_entry;
+  /// Principal that issued the LDAP operation.
+  std::string principal;
+  /// LTAP session on which the update arrived. Persistent connections
+  /// (synchronization sequences, paper §5.1) share one session id.
+  uint64_t session_id = 0;
+  TriggerTiming timing = TriggerTiming::kAfter;
+};
+
+/// A trigger action server: the receiving end of LTAP trigger
+/// processing. MetaComm's Update Manager is the canonical
+/// implementation; tests install small recording servers.
+///
+/// LTAP calls OnUpdate synchronously while holding the entry lock, so
+/// "no other LDAP update to this object is allowed to proceed until the
+/// [action server] completes the update sequence and notifies LTAP"
+/// (paper §4.4). A non-OK return from a *before* trigger vetoes the
+/// operation; a non-OK return from an *after* trigger is reported to
+/// the client but the directory write has already happened.
+class TriggerActionServer {
+ public:
+  virtual ~TriggerActionServer() = default;
+
+  /// Handles one intercepted update.
+  virtual Status OnUpdate(const UpdateNotification& notification) = 0;
+
+  /// Called when a persistent connection (quiesce window) opens/closes;
+  /// default no-op.
+  virtual void OnPersistentConnection(uint64_t session_id, bool open) {
+    (void)session_id;
+    (void)open;
+  }
+};
+
+}  // namespace metacomm::ltap
+
+#endif  // METACOMM_LTAP_ACTION_SERVER_H_

@@ -1,0 +1,53 @@
+#include "ltap/lock_table.h"
+
+#include <chrono>
+
+namespace metacomm::ltap {
+
+Status LockTable::Acquire(const ldap::Dn& dn, uint64_t session,
+                          int64_t timeout_micros) {
+  std::string key = dn.Normalized();
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto can_take = [this, &key, session] {
+    auto it = locks_.find(key);
+    return it == locks_.end() || it->second.owner == session;
+  };
+  if (!can_take()) {
+    ++contended_;
+    if (timeout_micros <= 0) {
+      return Status::Conflict("entry is locked: " + dn.ToString());
+    }
+    if (!cv_.wait_for(lock, std::chrono::microseconds(timeout_micros),
+                      can_take)) {
+      return Status::DeadlineExceeded("lock wait timed out: " +
+                                      dn.ToString());
+    }
+  }
+  LockState& state = locks_[key];
+  state.owner = session;
+  ++state.hold_count;
+  return Status::Ok();
+}
+
+void LockTable::Release(const ldap::Dn& dn, uint64_t session) {
+  std::string key = dn.Normalized();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = locks_.find(key);
+    if (it == locks_.end() || it->second.owner != session) return;
+    if (--it->second.hold_count <= 0) locks_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+bool LockTable::IsLocked(const ldap::Dn& dn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return locks_.count(dn.Normalized()) > 0;
+}
+
+uint64_t LockTable::contended_acquisitions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return contended_;
+}
+
+}  // namespace metacomm::ltap

@@ -1,0 +1,54 @@
+#ifndef METACOMM_LTAP_LOCK_TABLE_H_
+#define METACOMM_LTAP_LOCK_TABLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "ldap/dn.h"
+
+namespace metacomm::ltap {
+
+/// Per-entry lock table.
+///
+/// LTAP "provides locking facilities, forbidding updates to an entry
+/// while trigger processing is being performed on that entry" (paper
+/// §4.3). Locks are keyed by normalized DN, owned by an LTAP session,
+/// and reentrant for their owner — the Update Manager re-enters the
+/// gateway while propagating, using the session that took the lock.
+class LockTable {
+ public:
+  /// Acquires the lock on `dn` for `session`. Blocks up to
+  /// `timeout_micros` (0 = try once) when another session holds it.
+  /// Reentrant: re-acquisition by the owner succeeds and increments a
+  /// hold count.
+  Status Acquire(const ldap::Dn& dn, uint64_t session,
+                 int64_t timeout_micros);
+
+  /// Releases one hold; frees the lock when the count reaches zero.
+  void Release(const ldap::Dn& dn, uint64_t session);
+
+  /// True if any session currently holds `dn`.
+  bool IsLocked(const ldap::Dn& dn) const;
+
+  /// Number of lock acquisitions that had to wait (metric for E7).
+  uint64_t contended_acquisitions() const;
+
+ private:
+  struct LockState {
+    uint64_t owner = 0;
+    int hold_count = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, LockState> locks_;
+  uint64_t contended_ = 0;
+};
+
+}  // namespace metacomm::ltap
+
+#endif  // METACOMM_LTAP_LOCK_TABLE_H_

@@ -1,0 +1,13 @@
+#include "ltap/trigger.h"
+
+namespace metacomm::ltap {
+
+bool TriggerMatches(const TriggerSpec& spec, ldap::UpdateOp op,
+                    const ldap::Entry& entry) {
+  if ((spec.ops & TriggerBit(op)) == 0) return false;
+  if (!entry.dn().IsWithin(spec.base)) return false;
+  if (spec.filter.has_value() && !spec.filter->Matches(entry)) return false;
+  return true;
+}
+
+}  // namespace metacomm::ltap

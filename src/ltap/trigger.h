@@ -1,0 +1,60 @@
+#ifndef METACOMM_LTAP_TRIGGER_H_
+#define METACOMM_LTAP_TRIGGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ldap/dn.h"
+#include "ldap/filter.h"
+#include "ldap/operations.h"
+#include "ltap/action_server.h"
+
+namespace metacomm::ltap {
+
+/// Bitmask of update operations a trigger subscribes to.
+enum TriggerOps : uint32_t {
+  kTriggerAdd = 1u << 0,
+  kTriggerModify = 1u << 1,
+  kTriggerDelete = 1u << 2,
+  kTriggerModifyRdn = 1u << 3,
+  kTriggerAll = kTriggerAdd | kTriggerModify | kTriggerDelete |
+                kTriggerModifyRdn,
+};
+
+/// Returns the TriggerOps bit for an UpdateOp.
+inline uint32_t TriggerBit(ldap::UpdateOp op) {
+  switch (op) {
+    case ldap::UpdateOp::kAdd:
+      return kTriggerAdd;
+    case ldap::UpdateOp::kModify:
+      return kTriggerModify;
+    case ldap::UpdateOp::kDelete:
+      return kTriggerDelete;
+    case ldap::UpdateOp::kModifyRdn:
+      return kTriggerModifyRdn;
+  }
+  return 0;
+}
+
+/// Declarative trigger registration: fire `server` when an update of a
+/// subscribed kind touches an entry under `base` that matches `filter`.
+struct TriggerSpec {
+  std::string name;
+  ldap::Dn base;
+  /// Entry filter; unset means "every entry".
+  std::optional<ldap::Filter> filter;
+  uint32_t ops = kTriggerAll;
+  TriggerTiming timing = TriggerTiming::kAfter;
+  /// Not owned; must outlive the gateway registration.
+  TriggerActionServer* server = nullptr;
+};
+
+/// True if `spec` should fire for an update of kind `op` whose entry
+/// image (old image for deletes, new image otherwise) is `entry`.
+bool TriggerMatches(const TriggerSpec& spec, ldap::UpdateOp op,
+                    const ldap::Entry& entry);
+
+}  // namespace metacomm::ltap
+
+#endif  // METACOMM_LTAP_TRIGGER_H_

@@ -1,0 +1,188 @@
+#include "ldap/access.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/client.h"
+#include "ldap/server.h"
+
+namespace metacomm::ldap {
+namespace {
+
+Dn MustParse(const char* text) {
+  auto dn = Dn::Parse(text);
+  EXPECT_TRUE(dn.ok()) << text;
+  return *dn;
+}
+
+TEST(AccessControlTest, DefaultDeniesEverything) {
+  AccessControl acl;
+  EXPECT_EQ(acl.LevelFor("cn=admin,o=Lucent", MustParse("o=Lucent")),
+            AccessLevel::kNone);
+  EXPECT_FALSE(acl.CanRead("", MustParse("o=Lucent")));
+}
+
+TEST(AccessControlTest, FirstMatchingRuleWins) {
+  AccessControl acl;
+  // Deny-all on a sensitive subtree, then read for everyone under the
+  // suffix — rule order decides.
+  acl.AddRule(AccessControl::Grant(AccessLevel::kNone,
+                                   AccessSubject::kAnyone,
+                                   MustParse("ou=Secret,o=Lucent")));
+  acl.AddRule(AccessControl::Grant(AccessLevel::kRead,
+                                   AccessSubject::kAnyone,
+                                   MustParse("o=Lucent")));
+  EXPECT_FALSE(
+      acl.CanRead("", MustParse("cn=X,ou=Secret,o=Lucent")));
+  EXPECT_TRUE(acl.CanRead("", MustParse("cn=X,ou=People,o=Lucent")));
+}
+
+TEST(AccessControlTest, SubjectKinds) {
+  AccessControl acl;
+  acl.AddRule(AccessControl::Grant(
+      AccessLevel::kWrite, AccessSubject::kDn, MustParse("o=Lucent"),
+      MustParse("cn=admin,o=Lucent")));
+  acl.AddRule(AccessControl::Grant(AccessLevel::kWrite,
+                                   AccessSubject::kSelf,
+                                   MustParse("o=Lucent")));
+  acl.AddRule(AccessControl::Grant(
+      AccessLevel::kRead, AccessSubject::kSubtree, MustParse("o=Lucent"),
+      MustParse("ou=People,o=Lucent")));
+  acl.AddRule(AccessControl::Grant(AccessLevel::kCompare,
+                                   AccessSubject::kAuthenticated,
+                                   MustParse("o=Lucent")));
+
+  // Admin DN gets write anywhere under the suffix.
+  EXPECT_TRUE(acl.CanWrite("cn=admin,o=Lucent",
+                           MustParse("cn=X,ou=People,o=Lucent")));
+  // Self: a person may write their own entry...
+  EXPECT_TRUE(acl.CanWrite("cn=X,ou=People,o=Lucent",
+                           MustParse("cn=X,ou=People,o=Lucent")));
+  // ...but not someone else's (falls through to subtree-read).
+  EXPECT_FALSE(acl.CanWrite("cn=X,ou=People,o=Lucent",
+                            MustParse("cn=Y,ou=People,o=Lucent")));
+  EXPECT_TRUE(acl.CanRead("cn=X,ou=People,o=Lucent",
+                          MustParse("cn=Y,ou=People,o=Lucent")));
+  // Any other authenticated principal only compares.
+  EXPECT_FALSE(acl.CanRead("cn=app,ou=Services,o=Lucent",
+                           MustParse("cn=Y,ou=People,o=Lucent")));
+  EXPECT_TRUE(acl.CanCompare("cn=app,ou=Services,o=Lucent",
+                             MustParse("cn=Y,ou=People,o=Lucent")));
+  // Anonymous matches nothing here.
+  EXPECT_EQ(acl.LevelFor("", MustParse("cn=Y,ou=People,o=Lucent")),
+            AccessLevel::kNone);
+}
+
+TEST(AccessControlTest, RootTargetCoversEverything) {
+  AccessControl acl;
+  acl.AddRule(AccessControl::Grant(AccessLevel::kRead,
+                                   AccessSubject::kAnyone, Dn::Root()));
+  EXPECT_TRUE(acl.CanRead("", MustParse("cn=deep,ou=a,o=b")));
+}
+
+class AclServerTest : public ::testing::Test {
+ protected:
+  AclServerTest() {
+    AccessControl acl;
+    acl.AddRule(AccessControl::Grant(
+        AccessLevel::kWrite, AccessSubject::kDn, MustParse("o=Lucent"),
+        MustParse("cn=admin,o=Lucent")));
+    acl.AddRule(AccessControl::Grant(AccessLevel::kWrite,
+                                     AccessSubject::kSelf,
+                                     MustParse("ou=People,o=Lucent")));
+    acl.AddRule(AccessControl::Grant(
+        AccessLevel::kRead, AccessSubject::kAuthenticated,
+        MustParse("ou=People,o=Lucent")));
+    // cn=errors is admin-only (already covered: no rule for others).
+    ServerConfig config;
+    config.acl = std::move(acl);
+    server_ = std::make_unique<LdapServer>(Schema::Standard(), config);
+
+    auto bootstrap = [this](const char* dn, const char* cls,
+                            const char* attr, const char* value) {
+      Entry entry(MustParse(dn));
+      entry.AddObjectClass("top");
+      entry.AddObjectClass(cls);
+      entry.SetOne(attr, value);
+      ASSERT_TRUE(server_->backend().Add(entry).ok());
+    };
+    bootstrap("o=Lucent", "organization", "o", "Lucent");
+    bootstrap("ou=People,o=Lucent", "organizationalUnit", "ou", "People");
+
+    Entry admin(MustParse("cn=admin,o=Lucent"));
+    admin.Set("objectClass", {"top", "person"});
+    admin.SetOne("cn", "admin");
+    admin.SetOne("sn", "admin");
+    EXPECT_TRUE(server_->backend().Add(admin).ok());
+    Entry person(MustParse("cn=John Doe,ou=People,o=Lucent"));
+    person.Set("objectClass", {"top", "person"});
+    person.SetOne("cn", "John Doe");
+    person.SetOne("sn", "Doe");
+    EXPECT_TRUE(server_->backend().Add(person).ok());
+
+    server_->AddUser(MustParse("cn=admin,o=Lucent"), "secret");
+    server_->AddUser(MustParse("cn=John Doe,ou=People,o=Lucent"), "pw");
+  }
+
+  std::unique_ptr<LdapServer> server_;
+};
+
+TEST_F(AclServerTest, AnonymousSeesNothing) {
+  Client anon(server_.get());
+  auto results = anon.Search("o=Lucent", "(objectClass=person)");
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+  EXPECT_EQ(anon.Replace("cn=John Doe,ou=People,o=Lucent", "sn", "X")
+                .code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(AclServerTest, AuthenticatedReadsPeopleOnly) {
+  Client user(server_.get());
+  ASSERT_TRUE(user.Bind("cn=John Doe,ou=People,o=Lucent", "pw").ok());
+  auto results = user.Search("o=Lucent", "(objectClass=person)");
+  ASSERT_TRUE(results.ok());
+  // Sees the person entry but not cn=admin (outside ou=People).
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].GetFirst("cn"), "John Doe");
+}
+
+TEST_F(AclServerTest, SelfWriteAllowedOthersDenied) {
+  Client user(server_.get());
+  ASSERT_TRUE(user.Bind("cn=John Doe,ou=People,o=Lucent", "pw").ok());
+  EXPECT_TRUE(
+      user.Replace("cn=John Doe,ou=People,o=Lucent", "sn", "Doe-2").ok());
+  EXPECT_EQ(user.Add("cn=Other,ou=People,o=Lucent",
+                     {{"objectClass", "person"},
+                      {"cn", "Other"},
+                      {"sn", "O"}})
+                .code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(AclServerTest, AdminWritesAnywhere) {
+  Client admin(server_.get());
+  ASSERT_TRUE(admin.Bind("cn=admin,o=Lucent", "secret").ok());
+  EXPECT_TRUE(admin
+                  .Add("cn=New Person,ou=People,o=Lucent",
+                       {{"objectClass", "top"},
+                        {"objectClass", "person"},
+                        {"cn", "New Person"},
+                        {"sn", "P"}})
+                  .ok());
+  EXPECT_TRUE(
+      admin.Delete("cn=New Person,ou=People,o=Lucent").ok());
+}
+
+TEST_F(AclServerTest, InternalOpsBypassAcl) {
+  // The Update Manager's writes (OpContext::internal) ignore ACLs.
+  OpContext internal;
+  internal.internal = true;
+  Entry entry(MustParse("cn=By UM,ou=People,o=Lucent"));
+  entry.Set("objectClass", {"top", "person"});
+  entry.SetOne("cn", "By UM");
+  entry.SetOne("sn", "UM");
+  EXPECT_TRUE(server_->Add(internal, AddRequest{entry}).ok());
+}
+
+}  // namespace
+}  // namespace metacomm::ldap

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "ldap/backend.h"
+
+namespace metacomm::ldap {
+namespace {
+
+/// Model-based property test: random operation sequences run against
+/// the Backend AND a deliberately naive reference model; both must
+/// accept/reject the same operations and end in the same state. The
+/// model encodes exactly the LDAP semantics the paper leans on:
+/// parent-must-exist, leaf-only deletes, per-entry atomicity, RDN
+/// protection.
+class Model {
+ public:
+  /// Mirrors Backend::Add.
+  bool Add(const Entry& entry) {
+    std::string key = entry.dn().Normalized();
+    if (entry.dn().IsRoot()) return false;
+    if (entries_.count(key) > 0) return false;
+    if (entry.dn().depth() > 1 &&
+        entries_.count(entry.dn().Parent().Normalized()) == 0) {
+      return false;
+    }
+    entries_.emplace(key, entry);
+    return true;
+  }
+
+  /// Mirrors Backend::Delete (leaf-only).
+  bool Delete(const Dn& dn) {
+    std::string key = dn.Normalized();
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    for (const auto& [other_key, other] : entries_) {
+      if (other_key != key && other.dn().Parent().Normalized() == key) {
+        return false;  // Non-leaf.
+      }
+    }
+    entries_.erase(it);
+    return true;
+  }
+
+  /// Mirrors Backend::Modify with a single kReplace (non-RDN attr).
+  bool Replace(const Dn& dn, const std::string& attr,
+               const std::vector<std::string>& values) {
+    auto it = entries_.find(dn.Normalized());
+    if (it == entries_.end()) return false;
+    it->second.Set(attr, values);
+    return true;
+  }
+
+  /// Mirrors Backend::ModifyRdn for leaves.
+  bool Rename(const Dn& dn, const Rdn& new_rdn) {
+    std::string key = dn.Normalized();
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    Dn new_dn = dn.WithLeaf(new_rdn);
+    std::string new_key = new_dn.Normalized();
+    if (new_key != key && entries_.count(new_key) > 0) return false;
+    for (const auto& [other_key, other] : entries_) {
+      if (other_key != key && other.dn().Parent().Normalized() == key) {
+        return false;  // Keep the model simple: rename leaves only.
+      }
+    }
+    Entry entry = it->second;
+    // delete_old_rdn semantics for single-AVA RDNs.
+    for (const Ava& ava : dn.leaf().avas()) {
+      entry.RemoveValue(ava.attribute, ava.value);
+    }
+    for (const Ava& ava : new_rdn.avas()) {
+      entry.AddValue(ava.attribute, ava.value);
+    }
+    entry.set_dn(new_dn);
+    entries_.erase(it);
+    entries_.emplace(new_key, entry);
+    return true;
+  }
+
+  size_t Size() const { return entries_.size(); }
+
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+Entry MakeEntry(const Dn& dn, Random& rng) {
+  Entry entry(dn);
+  entry.AddObjectClass("top");
+  for (const Ava& ava : dn.leaf().avas()) {
+    entry.AddValue(ava.attribute, ava.value);
+  }
+  if (rng.Bernoulli(0.6)) {
+    entry.SetOne("description", "d" + std::to_string(rng.Uniform(5)));
+  }
+  return entry;
+}
+
+class BackendModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackendModelTest, RandomOpsAgreeWithModel) {
+  Random rng(GetParam());
+  Backend backend;  // Schema-less: pure tree semantics under test.
+  Model model;
+
+  // A small universe of names so collisions/conflicts actually happen.
+  std::vector<Dn> universe;
+  for (const char* org : {"o=A", "o=B"}) {
+    Dn suffix = *Dn::Parse(org);
+    universe.push_back(suffix);
+    for (int ou = 0; ou < 2; ++ou) {
+      Dn container = suffix.Child(Rdn("ou", "u" + std::to_string(ou)));
+      universe.push_back(container);
+      for (int person = 0; person < 4; ++person) {
+        universe.push_back(
+            container.Child(Rdn("cn", "p" + std::to_string(person))));
+      }
+    }
+  }
+
+  for (int step = 0; step < 2000; ++step) {
+    const Dn& dn = universe[rng.Uniform(universe.size())];
+    switch (rng.Uniform(4)) {
+      case 0: {  // Add.
+        Entry entry = MakeEntry(dn, rng);
+        bool model_ok = model.Add(entry);
+        Status status = backend.Add(entry);
+        ASSERT_EQ(status.ok(), model_ok)
+            << "step " << step << " add " << dn.ToString() << ": "
+            << status;
+        break;
+      }
+      case 1: {  // Delete.
+        bool model_ok = model.Delete(dn);
+        Status status = backend.Delete(dn);
+        ASSERT_EQ(status.ok(), model_ok)
+            << "step " << step << " delete " << dn.ToString() << ": "
+            << status;
+        break;
+      }
+      case 2: {  // Replace a non-RDN attribute.
+        std::vector<std::string> values;
+        if (rng.Bernoulli(0.8)) {
+          values.push_back("v" + std::to_string(rng.Uniform(5)));
+        }
+        Modification mod;
+        mod.type = Modification::Type::kReplace;
+        mod.attribute = "description";
+        mod.values = values;
+        bool model_ok = model.Replace(dn, "description", values);
+        Status status = backend.Modify(dn, {mod});
+        ASSERT_EQ(status.ok(), model_ok)
+            << "step " << step << " modify " << dn.ToString() << ": "
+            << status;
+        break;
+      }
+      default: {  // Rename a leaf within the person namespace.
+        if (dn.leaf().avas().front().attribute != "cn") break;
+        Rdn new_rdn("cn", "p" + std::to_string(rng.Uniform(6)));
+        bool model_ok = model.Rename(dn, new_rdn);
+        Status status = backend.ModifyRdn(dn, new_rdn, true);
+        ASSERT_EQ(status.ok(), model_ok)
+            << "step " << step << " rename " << dn.ToString() << " -> "
+            << new_rdn.ToString() << ": " << status;
+        break;
+      }
+    }
+    ASSERT_EQ(backend.Size(), model.Size()) << "step " << step;
+  }
+
+  // Final deep comparison.
+  std::vector<Entry> dump = backend.DumpAll();
+  ASSERT_EQ(dump.size(), model.Size());
+  for (const Entry& entry : dump) {
+    auto it = model.entries().find(entry.dn().Normalized());
+    ASSERT_NE(it, model.entries().end()) << entry.dn().ToString();
+    EXPECT_TRUE(entry == it->second)
+        << "backend:\n" << entry.ToString() << "model:\n"
+        << it->second.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendModelTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 42u,
+                                           20260705u));
+
+}  // namespace
+}  // namespace metacomm::ldap

@@ -1,0 +1,375 @@
+#include "ldap/backend.h"
+
+#include <gtest/gtest.h>
+
+namespace metacomm::ldap {
+namespace {
+
+Dn MustParse(const char* text) {
+  auto dn = Dn::Parse(text);
+  EXPECT_TRUE(dn.ok()) << text;
+  return *dn;
+}
+
+Entry Container(const char* dn_text, const char* attr, const char* value) {
+  Entry entry(MustParse(dn_text));
+  entry.AddObjectClass("top");
+  entry.SetOne(attr, value);
+  return entry;
+}
+
+Entry Person(const char* dn_text, const char* cn) {
+  Entry entry(MustParse(dn_text));
+  entry.AddObjectClass("top");
+  entry.AddObjectClass("person");
+  entry.SetOne("cn", cn);
+  entry.SetOne("sn", "X");
+  return entry;
+}
+
+class BackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(backend_.Add(Container("o=Lucent", "o", "Lucent")).ok());
+    ASSERT_TRUE(
+        backend_.Add(Container("o=Marketing,o=Lucent", "o", "Marketing"))
+            .ok());
+  }
+
+  Backend backend_;  // Schema-less for these tests.
+};
+
+TEST_F(BackendTest, AddAndGet) {
+  Entry person = Person("cn=John Doe,o=Marketing,o=Lucent", "John Doe");
+  ASSERT_TRUE(backend_.Add(person).ok());
+  auto fetched = backend_.Get(MustParse("cn=John Doe,o=Marketing,o=Lucent"));
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->GetFirst("cn"), "John Doe");
+  EXPECT_EQ(backend_.Size(), 3u);
+}
+
+TEST_F(BackendTest, AddRequiresParent) {
+  Entry orphan = Person("cn=X,o=Nowhere,o=Lucent", "X");
+  EXPECT_EQ(backend_.Add(orphan).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BackendTest, AddDuplicateFails) {
+  Entry person = Person("cn=John,o=Lucent", "John");
+  ASSERT_TRUE(backend_.Add(person).ok());
+  EXPECT_EQ(backend_.Add(person).code(), StatusCode::kAlreadyExists);
+  // DN matching is case-insensitive.
+  Entry shouty = Person("CN=JOHN,O=LUCENT", "JOHN");
+  EXPECT_EQ(backend_.Add(shouty).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(BackendTest, DeleteLeafOnly) {
+  // o=Marketing has no children yet: deletable. o=Lucent has one.
+  EXPECT_EQ(backend_.Delete(MustParse("o=Lucent")).code(),
+            StatusCode::kSchemaViolation);
+  EXPECT_TRUE(backend_.Delete(MustParse("o=Marketing,o=Lucent")).ok());
+  EXPECT_EQ(backend_.Delete(MustParse("o=Marketing,o=Lucent")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BackendTest, ModifyReplaceAddDelete) {
+  ASSERT_TRUE(backend_.Add(Person("cn=Jill,o=Lucent", "Jill")).ok());
+  Dn dn = MustParse("cn=Jill,o=Lucent");
+
+  Modification replace;
+  replace.type = Modification::Type::kReplace;
+  replace.attribute = "telephoneNumber";
+  replace.values = {"+1 908 582 9000"};
+  ASSERT_TRUE(backend_.Modify(dn, {replace}).ok());
+
+  Modification add;
+  add.type = Modification::Type::kAdd;
+  add.attribute = "telephoneNumber";
+  add.values = {"+1 908 582 9001"};
+  ASSERT_TRUE(backend_.Modify(dn, {add}).ok());
+  auto entry = backend_.Get(dn);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetAll("telephoneNumber").size(), 2u);
+
+  Modification remove_one;
+  remove_one.type = Modification::Type::kDelete;
+  remove_one.attribute = "telephoneNumber";
+  remove_one.values = {"+1 908 582 9000"};
+  ASSERT_TRUE(backend_.Modify(dn, {remove_one}).ok());
+
+  Modification remove_all;
+  remove_all.type = Modification::Type::kDelete;
+  remove_all.attribute = "telephoneNumber";
+  ASSERT_TRUE(backend_.Modify(dn, {remove_all}).ok());
+  entry = backend_.Get(dn);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(entry->Has("telephoneNumber"));
+}
+
+TEST_F(BackendTest, ModifySequenceIsAtomic) {
+  ASSERT_TRUE(backend_.Add(Person("cn=Jill,o=Lucent", "Jill")).ok());
+  Dn dn = MustParse("cn=Jill,o=Lucent");
+  // Second modification fails (deleting a missing attribute), so the
+  // first must not be applied either: per-entry atomicity is the one
+  // guarantee LDAP gives (§5.1).
+  Modification good;
+  good.type = Modification::Type::kReplace;
+  good.attribute = "roomNumber";
+  good.values = {"2C-401"};
+  Modification bad;
+  bad.type = Modification::Type::kDelete;
+  bad.attribute = "mail";
+  EXPECT_FALSE(backend_.Modify(dn, {good, bad}).ok());
+  auto entry = backend_.Get(dn);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(entry->Has("roomNumber"));
+}
+
+TEST_F(BackendTest, ModifyCannotTouchRdnValues) {
+  ASSERT_TRUE(backend_.Add(Person("cn=Jill,o=Lucent", "Jill")).ok());
+  Dn dn = MustParse("cn=Jill,o=Lucent");
+  Modification replace;
+  replace.type = Modification::Type::kReplace;
+  replace.attribute = "cn";
+  replace.values = {"Someone Else"};
+  // Replacing cn without keeping the RDN value is notAllowedOnRDN.
+  EXPECT_EQ(backend_.Modify(dn, {replace}).code(),
+            StatusCode::kSchemaViolation);
+  // Keeping the RDN value while adding another is fine.
+  replace.values = {"Jill", "Jill B."};
+  EXPECT_TRUE(backend_.Modify(dn, {replace}).ok());
+  Modification del;
+  del.type = Modification::Type::kDelete;
+  del.attribute = "cn";
+  del.values = {"Jill"};
+  EXPECT_EQ(backend_.Modify(dn, {del}).code(),
+            StatusCode::kSchemaViolation);
+}
+
+TEST_F(BackendTest, ModifyRdnRenamesAndRewritesAttributes) {
+  ASSERT_TRUE(backend_.Add(Person("cn=Jill,o=Lucent", "Jill")).ok());
+  ASSERT_TRUE(
+      backend_.ModifyRdn(MustParse("cn=Jill,o=Lucent"), Rdn("cn", "Jill Lu"),
+                         /*delete_old_rdn=*/true)
+          .ok());
+  EXPECT_FALSE(backend_.Exists(MustParse("cn=Jill,o=Lucent")));
+  auto entry = backend_.Get(MustParse("cn=Jill Lu,o=Lucent"));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetAll("cn"), std::vector<std::string>{"Jill Lu"});
+}
+
+TEST_F(BackendTest, ModifyRdnKeepOldRdnValue) {
+  ASSERT_TRUE(backend_.Add(Person("cn=Jill,o=Lucent", "Jill")).ok());
+  ASSERT_TRUE(backend_.ModifyRdn(MustParse("cn=Jill,o=Lucent"),
+                                 Rdn("cn", "Jill Lu"),
+                                 /*delete_old_rdn=*/false)
+                  .ok());
+  auto entry = backend_.Get(MustParse("cn=Jill Lu,o=Lucent"));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetAll("cn").size(), 2u);
+}
+
+TEST_F(BackendTest, ModifyRdnCollision) {
+  ASSERT_TRUE(backend_.Add(Person("cn=A,o=Lucent", "A")).ok());
+  ASSERT_TRUE(backend_.Add(Person("cn=B,o=Lucent", "B")).ok());
+  EXPECT_EQ(backend_.ModifyRdn(MustParse("cn=A,o=Lucent"), Rdn("cn", "B"),
+                               true)
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(BackendTest, ModifyRdnRewritesDescendantDns) {
+  ASSERT_TRUE(
+      backend_.Add(Container("ou=Dept,o=Marketing,o=Lucent", "ou", "Dept"))
+          .ok());
+  ASSERT_TRUE(
+      backend_.Add(Person("cn=X,ou=Dept,o=Marketing,o=Lucent", "X")).ok());
+  ASSERT_TRUE(backend_.ModifyRdn(MustParse("o=Marketing,o=Lucent"),
+                                 Rdn("o", "Sales"), true)
+                  .ok());
+  EXPECT_TRUE(backend_.Exists(MustParse("cn=X,ou=Dept,o=Sales,o=Lucent")));
+  EXPECT_FALSE(backend_.Exists(MustParse("cn=X,ou=Dept,o=Marketing,o=Lucent")));
+  // Index follows the rename.
+  SearchRequest request;
+  request.base = MustParse("o=Lucent");
+  request.filter = Filter::Equality("cn", "X");
+  auto result = backend_.Search(request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->entries.size(), 1u);
+  EXPECT_EQ(result->entries[0].dn().ToString(),
+            "cn=X,ou=Dept,o=Sales,o=Lucent");
+}
+
+TEST_F(BackendTest, SearchScopes) {
+  ASSERT_TRUE(backend_.Add(Person("cn=A,o=Lucent", "A")).ok());
+  ASSERT_TRUE(backend_.Add(Person("cn=B,o=Marketing,o=Lucent", "B")).ok());
+
+  SearchRequest base;
+  base.base = MustParse("o=Lucent");
+  base.scope = Scope::kBase;
+  base.filter = Filter::Present("o");
+  auto r = backend_.Search(base);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->entries.size(), 1u);
+
+  SearchRequest one;
+  one.base = MustParse("o=Lucent");
+  one.scope = Scope::kOneLevel;
+  one.filter = Filter::Present("objectClass");
+  r = backend_.Search(one);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->entries.size(), 2u);  // cn=A and o=Marketing; not o=Lucent.
+
+  SearchRequest sub;
+  sub.base = MustParse("o=Lucent");
+  sub.scope = Scope::kSubtree;
+  sub.filter = Filter::Present("cn");
+  r = backend_.Search(sub);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->entries.size(), 2u);  // cn=A, cn=B.
+}
+
+TEST_F(BackendTest, SearchFromVirtualRoot) {
+  ASSERT_TRUE(backend_.Add(Container("o=Acme", "o", "Acme")).ok());
+  SearchRequest request;
+  request.base = Dn::Root();
+  request.scope = Scope::kSubtree;
+  request.filter = Filter::Present("o");
+  auto r = backend_.Search(request);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->entries.size(), 3u);  // Lucent, Marketing, Acme.
+}
+
+TEST_F(BackendTest, SearchNoSuchBase) {
+  SearchRequest request;
+  request.base = MustParse("o=Nowhere");
+  auto r = backend_.Search(request);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BackendTest, SearchSizeLimit) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(backend_
+                    .Add(Person(("cn=P" + std::to_string(i) + ",o=Lucent")
+                                    .c_str(),
+                                "P"))
+                    .ok());
+  }
+  SearchRequest request;
+  request.base = MustParse("o=Lucent");
+  request.filter = Filter::Equality("sn", "X");
+  request.size_limit = 5;
+  auto r = backend_.Search(request);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(BackendTest, AttributeProjection) {
+  Entry person = Person("cn=Jill,o=Lucent", "Jill");
+  person.SetOne("telephoneNumber", "+1 908 582 9000");
+  ASSERT_TRUE(backend_.Add(person).ok());
+  SearchRequest request;
+  request.base = MustParse("cn=Jill,o=Lucent");
+  request.scope = Scope::kBase;
+  request.filter = Filter::MatchAll();
+  request.attributes = {"cn"};
+  auto r = backend_.Search(request);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->entries.size(), 1u);
+  EXPECT_TRUE(r->entries[0].Has("cn"));
+  EXPECT_FALSE(r->entries[0].Has("telephoneNumber"));
+}
+
+TEST_F(BackendTest, EqualityIndexFindsEntries) {
+  for (int i = 0; i < 100; ++i) {
+    Entry person = Person(
+        ("cn=P" + std::to_string(i) + ",o=Lucent").c_str(), "P");
+    person.SetOne("telephoneNumber",
+                  "+1 908 582 9" + std::to_string(100 + i).substr(0, 3));
+    ASSERT_TRUE(backend_.Add(person).ok());
+  }
+  SearchRequest request;
+  request.base = MustParse("o=Lucent");
+  request.scope = Scope::kSubtree;
+  request.filter = Filter::Equality("telephoneNumber", "+1 908 582 9100");
+  auto r = backend_.Search(request);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->entries.size(), 1u);
+  EXPECT_EQ(r->entries[0].GetFirst("cn"), "P");
+}
+
+TEST_F(BackendTest, IndexMaintainedAcrossModifyAndDelete) {
+  Entry person = Person("cn=Jill,o=Lucent", "Jill");
+  person.SetOne("roomNumber", "2C-401");
+  ASSERT_TRUE(backend_.Add(person).ok());
+
+  Modification replace;
+  replace.type = Modification::Type::kReplace;
+  replace.attribute = "roomNumber";
+  replace.values = {"3F-112"};
+  ASSERT_TRUE(backend_.Modify(MustParse("cn=Jill,o=Lucent"), {replace}).ok());
+
+  SearchRequest old_room;
+  old_room.base = MustParse("o=Lucent");
+  old_room.filter = Filter::Equality("roomNumber", "2C-401");
+  auto r = backend_.Search(old_room);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->entries.empty());
+
+  SearchRequest new_room;
+  new_room.base = MustParse("o=Lucent");
+  new_room.filter = Filter::Equality("roomNumber", "3F-112");
+  r = backend_.Search(new_room);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->entries.size(), 1u);
+
+  ASSERT_TRUE(backend_.Delete(MustParse("cn=Jill,o=Lucent")).ok());
+  r = backend_.Search(new_room);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->entries.empty());
+}
+
+TEST_F(BackendTest, ListenersSeeCommitsInOrder) {
+  std::vector<ChangeRecord> seen;
+  backend_.AddListener(
+      [&seen](const ChangeRecord& record) { seen.push_back(record); });
+  ASSERT_TRUE(backend_.Add(Person("cn=A,o=Lucent", "A")).ok());
+  Modification mod;
+  mod.type = Modification::Type::kReplace;
+  mod.attribute = "sn";
+  mod.values = {"Y"};
+  ASSERT_TRUE(backend_.Modify(MustParse("cn=A,o=Lucent"), {mod}).ok());
+  ASSERT_TRUE(backend_.Delete(MustParse("cn=A,o=Lucent")).ok());
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].op, UpdateOp::kAdd);
+  EXPECT_EQ(seen[1].op, UpdateOp::kModify);
+  EXPECT_EQ(seen[2].op, UpdateOp::kDelete);
+  EXPECT_LT(seen[0].sequence, seen[1].sequence);
+  EXPECT_LT(seen[1].sequence, seen[2].sequence);
+  ASSERT_TRUE(seen[1].old_entry.has_value());
+  EXPECT_EQ(seen[1].old_entry->GetFirst("sn"), "X");
+  ASSERT_TRUE(seen[1].new_entry.has_value());
+  EXPECT_EQ(seen[1].new_entry->GetFirst("sn"), "Y");
+}
+
+TEST_F(BackendTest, FailedOperationsDoNotNotify) {
+  size_t count = 0;
+  backend_.AddListener([&count](const ChangeRecord&) { ++count; });
+  Entry orphan = Person("cn=X,o=Nowhere", "X");
+  EXPECT_FALSE(backend_.Add(orphan).ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(BackendTest, DumpAllParentsFirst) {
+  ASSERT_TRUE(backend_.Add(Person("cn=A,o=Marketing,o=Lucent", "A")).ok());
+  std::vector<Entry> dump = backend_.DumpAll();
+  ASSERT_EQ(dump.size(), 3u);
+  // Reloading into a fresh backend must succeed in dump order.
+  Backend fresh;
+  for (const Entry& entry : dump) {
+    EXPECT_TRUE(fresh.Add(entry).ok()) << entry.dn().ToString();
+  }
+  EXPECT_EQ(fresh.Size(), 3u);
+}
+
+}  // namespace
+}  // namespace metacomm::ldap

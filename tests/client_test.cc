@@ -1,0 +1,141 @@
+#include "ldap/client.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/server.h"
+
+namespace metacomm::ldap {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest()
+      : server_(Schema::Standard(), ServerConfig{}),
+        client_(&server_) {
+    Entry suffix(*Dn::Parse("o=Lucent"));
+    suffix.AddObjectClass("top");
+    suffix.AddObjectClass("organization");
+    suffix.SetOne("o", "Lucent");
+    EXPECT_TRUE(server_.backend().Add(suffix).ok());
+    server_.AddUser(*Dn::Parse("cn=admin,o=Lucent"), "secret");
+  }
+
+  LdapServer server_;  // Writes require bind (default config).
+  Client client_;
+};
+
+TEST_F(ClientTest, WritesRequireBind) {
+  Status status = client_.Add("cn=X,o=Lucent", {{"objectClass", "top"},
+                                                {"objectClass", "person"},
+                                                {"cn", "X"},
+                                                {"sn", "X"}});
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+  ASSERT_TRUE(client_.Bind("cn=admin,o=Lucent", "secret").ok());
+  EXPECT_TRUE(client_.Add("cn=X,o=Lucent", {{"objectClass", "top"},
+                                            {"objectClass", "person"},
+                                            {"cn", "X"},
+                                            {"sn", "X"}})
+                  .ok());
+  client_.Unbind();
+  EXPECT_EQ(client_.Delete("cn=X,o=Lucent").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ClientTest, BadCredentialsRejected) {
+  EXPECT_EQ(client_.Bind("cn=admin,o=Lucent", "wrong").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(client_.Bind("cn=ghost,o=Lucent", "x").code(),
+            StatusCode::kPermissionDenied);
+  // Anonymous bind succeeds and conveys no principal.
+  EXPECT_TRUE(client_.Bind("", "").ok());
+  EXPECT_TRUE(client_.context().principal.empty());
+}
+
+TEST_F(ClientTest, CrudRoundTrip) {
+  ASSERT_TRUE(client_.Bind("cn=admin,o=Lucent", "secret").ok());
+  ASSERT_TRUE(client_
+                  .Add("cn=John Doe,o=Lucent",
+                       {{"objectClass", "top"},
+                        {"objectClass", "person"},
+                        {"cn", "John Doe"},
+                        {"sn", "Doe"},
+                        {"telephoneNumber", "+1 908 582 9000"}})
+                  .ok());
+
+  auto entry = client_.Get("cn=John Doe,o=Lucent");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetFirst("telephoneNumber"), "+1 908 582 9000");
+
+  ASSERT_TRUE(
+      client_.Replace("cn=John Doe,o=Lucent", "sn", "Doe-Smith").ok());
+  ASSERT_TRUE(client_
+                  .ReplaceAll("cn=John Doe,o=Lucent", "telephoneNumber",
+                              {"+1 908 582 9001", "+1 908 582 9002"})
+                  .ok());
+  entry = client_.Get("cn=John Doe,o=Lucent");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetFirst("sn"), "Doe-Smith");
+  EXPECT_EQ(entry->GetAll("telephoneNumber").size(), 2u);
+
+  // Empty ReplaceAll removes the attribute.
+  ASSERT_TRUE(
+      client_.ReplaceAll("cn=John Doe,o=Lucent", "telephoneNumber", {})
+          .ok());
+  entry = client_.Get("cn=John Doe,o=Lucent");
+  EXPECT_FALSE(entry->Has("telephoneNumber"));
+
+  ASSERT_TRUE(
+      client_.ModifyRdn("cn=John Doe,o=Lucent", "cn=Jack Doe").ok());
+  EXPECT_FALSE(client_.Get("cn=John Doe,o=Lucent").ok());
+  EXPECT_TRUE(client_.Get("cn=Jack Doe,o=Lucent").ok());
+
+  ASSERT_TRUE(client_.Delete("cn=Jack Doe,o=Lucent").ok());
+  EXPECT_EQ(client_.Get("cn=Jack Doe,o=Lucent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ClientTest, SearchAndCompare) {
+  ASSERT_TRUE(client_.Bind("cn=admin,o=Lucent", "secret").ok());
+  for (const char* cn : {"Ada", "Grace", "Edsger"}) {
+    ASSERT_TRUE(client_
+                    .Add(std::string("cn=") + cn + ",o=Lucent",
+                         {{"objectClass", "top"},
+                          {"objectClass", "person"},
+                          {"cn", cn},
+                          {"sn", "S"}})
+                    .ok());
+  }
+  auto results = client_.Search("o=Lucent", "(cn=A*)");
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+
+  results = client_.Search("o=Lucent", "(objectClass=person)");
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 3u);
+
+  results = client_.Search("o=Lucent", "(objectClass=person)",
+                           Scope::kBase);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());  // The org entry is not a person.
+
+  auto is_true = client_.Compare("cn=Ada,o=Lucent", "sn", "S");
+  ASSERT_TRUE(is_true.ok());
+  EXPECT_TRUE(*is_true);
+  auto is_false = client_.Compare("cn=Ada,o=Lucent", "sn", "T");
+  ASSERT_TRUE(is_false.ok());
+  EXPECT_FALSE(*is_false);
+  EXPECT_EQ(client_.Compare("cn=Ada,o=Lucent", "mail", "x").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ClientTest, MalformedInputsSurfaceAsErrors) {
+  EXPECT_EQ(client_.Get("not a dn,,,").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client_.Search("o=Lucent", "(unbalanced").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client_.ModifyRdn("cn=X,o=Lucent", "notanrdn").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace metacomm::ldap

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/blocking_queue.h"
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace metacomm {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> queue;
+  queue.Push(1);
+  queue.Push(2);
+  queue.Push(3);
+  EXPECT_EQ(queue.Size(), 3u);
+  EXPECT_EQ(*queue.Pop(), 1);
+  EXPECT_EQ(*queue.Pop(), 2);
+  EXPECT_EQ(*queue.Pop(), 3);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(BlockingQueueTest, TryPopNonBlocking) {
+  BlockingQueue<int> queue;
+  EXPECT_FALSE(queue.TryPop().has_value());
+  queue.Push(7);
+  auto item = queue.TryPop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 7);
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenSignalsEnd) {
+  BlockingQueue<int> queue;
+  queue.Push(1);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(2));  // Dropped after close.
+  EXPECT_EQ(*queue.Pop(), 1);  // Drains existing items.
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BlockingQueueTest, PopBlocksUntilPush) {
+  BlockingQueue<int> queue;
+  std::atomic<bool> got{false};
+  std::thread consumer([&queue, &got] {
+    auto item = queue.Pop();
+    EXPECT_TRUE(item.has_value());
+    EXPECT_EQ(*item, 42);
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(got.load());
+  queue.Push(42);
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> queue;
+  std::thread consumer([&queue] {
+    EXPECT_FALSE(queue.Pop().has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.Close();
+  consumer.join();
+}
+
+TEST(BlockingQueueTest, MoveOnlyItems) {
+  BlockingQueue<std::unique_ptr<int>> queue;
+  queue.Push(std::make_unique<int>(9));
+  auto item = queue.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 9);
+}
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  RealClock* clock = RealClock::Get();
+  int64_t a = clock->NowMicros();
+  clock->SleepMicros(1000);
+  int64_t b = clock->NowMicros();
+  EXPECT_GE(b - a, 1000);
+}
+
+TEST(ClockTest, SimulatedClockAdvancesManually) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  // Sleep on a simulated clock advances instead of blocking.
+  clock.SleepMicros(25);
+  EXPECT_EQ(clock.NowMicros(), 175);
+}
+
+TEST(LoggingTest, SinkCapturesAboveThreshold) {
+  Logger& logger = Logger::Get();
+  LogLevel old_level = logger.min_level();
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  logger.set_sink([&captured](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  logger.set_min_level(LogLevel::kWarning);
+
+  METACOMM_LOG(kDebug) << "too quiet";
+  METACOMM_LOG(kWarning) << "count=" << 7;
+  METACOMM_LOG(kError) << "boom";
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarning);
+  EXPECT_EQ(captured[0].second, "count=7");
+  EXPECT_EQ(captured[1].second, "boom");
+
+  logger.set_sink(nullptr);
+  logger.set_min_level(old_level);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace metacomm

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/integrated_schema.h"
+#include "core/metacomm.h"
+
+namespace metacomm::core {
+namespace {
+
+/// Property-based consistency checks: after arbitrary interleavings of
+/// LDAP updates and direct device updates, all repositories agree on
+/// the shared fields — MetaComm's central claim.
+struct PropertyParams {
+  uint64_t seed;
+  int operations;
+  double ddu_fraction;  // Probability an operation is a DDU.
+};
+
+class ConsistencyPropertyTest
+    : public ::testing::TestWithParam<PropertyParams> {
+ protected:
+  void SetUp() override {
+    auto system = MetaCommSystem::Create(SystemConfig{});
+    ASSERT_TRUE(system.ok()) << system.status();
+    system_ = std::move(*system);
+  }
+
+  /// Checks that every person entry agrees with the PBX and MP images
+  /// of the same user on all mapped fields.
+  void VerifyConverged() {
+    ldap::Client client = system_->NewClient();
+    auto people = client.Search("ou=People,o=Lucent",
+                                "(objectClass=person)");
+    ASSERT_TRUE(people.ok());
+    for (const ldap::Entry& entry : *people) {
+      SCOPED_TRACE(entry.dn().ToString());
+      std::string extension = entry.GetFirst("DefinityExtension");
+      if (!extension.empty()) {
+        auto station = system_->pbx("pbx1")->GetRecord(extension);
+        ASSERT_TRUE(station.ok())
+            << "PBX missing station " << extension << " for "
+            << entry.dn().ToString();
+        EXPECT_EQ(station->GetFirst("Name"), entry.GetFirst("cn"));
+        if (entry.Has("roomNumber")) {
+          EXPECT_EQ(station->GetFirst("Room"),
+                    entry.GetFirst("roomNumber"));
+        }
+        EXPECT_EQ("+1 908 582 " + extension,
+                  entry.GetFirst("telephoneNumber"));
+      }
+      std::string mailbox_number = entry.GetFirst("MpMailboxNumber");
+      if (!mailbox_number.empty()) {
+        auto mailbox = system_->mp("mp1")->GetRecord(mailbox_number);
+        ASSERT_TRUE(mailbox.ok())
+            << "MP missing mailbox " << mailbox_number;
+        EXPECT_EQ(mailbox->GetFirst("SubscriberName"),
+                  entry.GetFirst("cn"));
+        EXPECT_EQ(mailbox->GetFirst("SubscriberId"),
+                  entry.GetFirst("MpSubscriberId"));
+      }
+    }
+    // And the reverse inclusion: every station corresponds to an entry.
+    auto dump = system_->pbx("pbx1")->DumpAll();
+    ASSERT_TRUE(dump.ok());
+    for (const lexpress::Record& station : *dump) {
+      auto found = system_->ldap_filter().FindByAttr(
+          "DefinityExtension", station.GetFirst("Extension"));
+      ASSERT_TRUE(found.ok());
+      EXPECT_TRUE(found->has_value())
+          << "orphan station " << station.GetFirst("Extension");
+    }
+  }
+
+  std::unique_ptr<MetaCommSystem> system_;
+};
+
+TEST_P(ConsistencyPropertyTest, RandomWorkloadConverges) {
+  const PropertyParams& params = GetParam();
+  Random rng(params.seed);
+  ldap::Client client = system_->NewClient();
+
+  std::vector<std::string> population;  // Extensions in play.
+  const char* const kRooms[] = {"1A-1", "2B-2", "3C-3", "4D-4"};
+  const char* const kNames[] = {"Ada Lovelace", "Grace Hopper",
+                                "Edsger Dijkstra", "Barbara Liskov",
+                                "Donald Knuth"};
+
+  int failures_allowed = 0;
+  for (int op = 0; op < params.operations; ++op) {
+    bool via_device =
+        !population.empty() && rng.Bernoulli(params.ddu_fraction);
+    double action = rng.NextDouble();
+    if (population.empty() || action < 0.4) {
+      // Provision a new person.
+      std::string extension = "4" + rng.DigitString(3);
+      bool exists = false;
+      for (const std::string& e : population) {
+        if (e == extension) exists = true;
+      }
+      if (exists) continue;
+      std::string name =
+          std::string(rng.Choice(std::vector<std::string>(
+              std::begin(kNames), std::end(kNames)))) +
+          " " + extension;  // Unique cn per extension.
+      Status status = system_->AddPerson(
+          name, {{"telephoneNumber", "+1 908 582 " + extension}});
+      ASSERT_TRUE(status.ok()) << status;
+      population.push_back(extension);
+    } else if (action < 0.85) {
+      // Update an existing person's room.
+      const std::string& extension = rng.Choice(population);
+      std::string room = rng.Choice(std::vector<std::string>(
+          std::begin(kRooms), std::end(kRooms)));
+      if (via_device) {
+        auto reply = system_->pbx("pbx1")->ExecuteCommand(
+            "change station " + extension + " Room " + room);
+        ASSERT_TRUE(reply.ok()) << reply.status();
+      } else {
+        auto found = system_->ldap_filter().FindByAttr(
+            "DefinityExtension", extension);
+        ASSERT_TRUE(found.ok());
+        ASSERT_TRUE(found->has_value());
+        Status status = client.Replace((*found)->dn().ToString(),
+                                       "roomNumber", room);
+        ASSERT_TRUE(status.ok()) << status;
+      }
+    } else {
+      // Deprovision through the directory.
+      size_t index = rng.Uniform(population.size());
+      std::string extension = population[index];
+      auto found = system_->ldap_filter().FindByAttr(
+          "DefinityExtension", extension);
+      ASSERT_TRUE(found.ok());
+      if (found->has_value()) {
+        Status status = client.Delete((*found)->dn().ToString());
+        ASSERT_TRUE(status.ok()) << status;
+      }
+      population.erase(population.begin() + static_cast<long>(index));
+    }
+  }
+  (void)failures_allowed;
+
+  VerifyConverged();
+  EXPECT_EQ(system_->update_manager().stats().errors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ConsistencyPropertyTest,
+    ::testing::Values(PropertyParams{1, 60, 0.0},
+                      PropertyParams{2, 60, 0.5},
+                      PropertyParams{3, 60, 1.0},
+                      PropertyParams{4, 120, 0.3},
+                      PropertyParams{5, 120, 0.7},
+                      PropertyParams{20260705, 200, 0.5}));
+
+/// After faults + resync, the same convergence property holds.
+TEST(ConsistencyRecoveryTest, ConvergesAfterLostNotificationsAndResync) {
+  auto system_or = MetaCommSystem::Create(SystemConfig{});
+  ASSERT_TRUE(system_or.ok());
+  auto& system = **system_or;
+  Random rng(99);
+
+  for (int i = 0; i < 10; ++i) {
+    std::string extension = "4" + std::to_string(100 + i);
+    ASSERT_TRUE(system
+                    .AddPerson("Person " + extension,
+                               {{"telephoneNumber",
+                                 "+1 908 582 " + extension}})
+                    .ok());
+  }
+  // Lose a random batch of device updates.
+  system.pbx("pbx1")->faults().set_drop_notifications(true);
+  for (int i = 0; i < 10; i += 2) {
+    std::string extension = "4" + std::to_string(100 + i);
+    ASSERT_TRUE(system.pbx("pbx1")
+                    ->ExecuteCommand("change station " + extension +
+                                     " Room LOST-" + std::to_string(i))
+                    .ok());
+  }
+  system.pbx("pbx1")->faults().set_drop_notifications(false);
+
+  ASSERT_TRUE(system.update_manager().Synchronize("pbx1").ok());
+
+  ldap::Client client = system.NewClient();
+  for (int i = 0; i < 10; i += 2) {
+    std::string extension = "4" + std::to_string(100 + i);
+    auto found =
+        system.ldap_filter().FindByAttr("DefinityExtension", extension);
+    ASSERT_TRUE(found.ok());
+    ASSERT_TRUE(found->has_value());
+    EXPECT_EQ((*found)->GetFirst("roomNumber"),
+              "LOST-" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace metacomm::core

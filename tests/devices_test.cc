@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "devices/definity_pbx.h"
+#include "devices/messaging_platform.h"
+
+namespace metacomm::devices {
+namespace {
+
+using lexpress::DescriptorOp;
+using lexpress::Record;
+
+class PbxTest : public ::testing::Test {
+ protected:
+  PbxTest() : pbx_(PbxConfig{.name = "pbx1"}) {}
+  DefinityPbx pbx_;
+};
+
+TEST_F(PbxTest, AddDisplayRemoveViaOssi) {
+  auto reply = pbx_.ExecuteCommand(
+      "add station 4567 Name \"John Doe\" Room 2C-401");
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, "command successfully completed");
+
+  reply = pbx_.ExecuteCommand("display station 4567");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply->find("Name: John Doe"), std::string::npos);
+  EXPECT_NE(reply->find("Room: 2C-401"), std::string::npos);
+  EXPECT_NE(reply->find("Cos: 1"), std::string::npos);  // Default.
+
+  ASSERT_TRUE(pbx_.ExecuteCommand("remove station 4567").ok());
+  EXPECT_EQ(pbx_.ExecuteCommand("display station 4567").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PbxTest, ChangeMergesFields) {
+  ASSERT_TRUE(
+      pbx_.ExecuteCommand("add station 4567 Name \"John Doe\"").ok());
+  ASSERT_TRUE(pbx_.ExecuteCommand("change station 4567 Room 3F-112").ok());
+  auto record = pbx_.GetRecord("4567");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->GetFirst("Name"), "John Doe");  // Preserved.
+  EXPECT_EQ(record->GetFirst("Room"), "3F-112");
+}
+
+TEST_F(PbxTest, ExtensionChangeRekeys) {
+  ASSERT_TRUE(pbx_.ExecuteCommand("add station 4567 Name X").ok());
+  ASSERT_TRUE(
+      pbx_.ExecuteCommand("change station 4567 Extension 4568").ok());
+  EXPECT_EQ(pbx_.GetRecord("4567").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(pbx_.GetRecord("4568").ok());
+}
+
+TEST_F(PbxTest, ValidationErrors) {
+  // No Name.
+  EXPECT_EQ(pbx_.ExecuteCommand("add station 4567").status().code(),
+            StatusCode::kInvalidArgument);
+  // Bad extension (non-digits / wrong length).
+  EXPECT_FALSE(pbx_.ExecuteCommand("add station 45a7 Name X").ok());
+  EXPECT_FALSE(pbx_.ExecuteCommand("add station 45 Name X").ok());
+  EXPECT_FALSE(pbx_.ExecuteCommand("add station 1234567 Name X").ok());
+  // Bad Cos.
+  EXPECT_FALSE(pbx_.ExecuteCommand("add station 4567 Name X Cos 9").ok());
+  // Unknown field.
+  EXPECT_FALSE(
+      pbx_.ExecuteCommand("add station 4567 Name X Shoe blue").ok());
+  // Duplicate add.
+  ASSERT_TRUE(pbx_.ExecuteCommand("add station 4567 Name X").ok());
+  EXPECT_EQ(pbx_.ExecuteCommand("add station 4567 Name Y").status().code(),
+            StatusCode::kAlreadyExists);
+  // Change/remove unknown station.
+  EXPECT_EQ(pbx_.ExecuteCommand("change station 9999 Name Z")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(pbx_.ExecuteCommand("remove station 9999").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PbxTest, DialPlanPartitionEnforced) {
+  DefinityPbx scoped(PbxConfig{.name = "pbx9",
+                               .extension_prefixes = {"9"}});
+  EXPECT_TRUE(scoped.ExecuteCommand("add station 9000 Name X").ok());
+  EXPECT_EQ(
+      scoped.ExecuteCommand("add station 5000 Name X").status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_TRUE(scoped.AcceptsExtension("9123"));
+  EXPECT_FALSE(scoped.AcceptsExtension("5123"));
+}
+
+TEST_F(PbxTest, NotificationsOnCommit) {
+  std::vector<DeviceNotification> seen;
+  pbx_.SetNotificationHandler(
+      [&seen](const DeviceNotification& n) { seen.push_back(n); });
+  ASSERT_TRUE(pbx_.ExecuteCommand("add station 4567 Name \"John Doe\"").ok());
+  ASSERT_TRUE(pbx_.ExecuteCommand("change station 4567 Room 1A-1").ok());
+  ASSERT_TRUE(pbx_.ExecuteCommand("remove station 4567").ok());
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].op, DescriptorOp::kAdd);
+  EXPECT_EQ(seen[0].device_name, "pbx1");
+  EXPECT_EQ(seen[0].new_record.GetFirst("Name"), "John Doe");
+  EXPECT_EQ(seen[1].op, DescriptorOp::kModify);
+  EXPECT_EQ(seen[1].old_record.GetFirst("Room"), "");
+  EXPECT_EQ(seen[1].new_record.GetFirst("Room"), "1A-1");
+  EXPECT_EQ(seen[2].op, DescriptorOp::kDelete);
+  EXPECT_EQ(seen[2].old_record.GetFirst("Extension"), "4567");
+}
+
+TEST_F(PbxTest, FailedCommandsDoNotNotify) {
+  size_t count = 0;
+  pbx_.SetNotificationHandler(
+      [&count](const DeviceNotification&) { ++count; });
+  EXPECT_FALSE(pbx_.ExecuteCommand("add station bad Name X").ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(PbxTest, FaultInjectionDisconnect) {
+  pbx_.faults().set_disconnected(true);
+  EXPECT_EQ(pbx_.ExecuteCommand("add station 4567 Name X").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(pbx_.GetRecord("4567").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(pbx_.DumpAll().status().code(), StatusCode::kUnavailable);
+  pbx_.faults().set_disconnected(false);
+  EXPECT_TRUE(pbx_.ExecuteCommand("add station 4567 Name X").ok());
+}
+
+TEST_F(PbxTest, FaultInjectionFailNext) {
+  pbx_.faults().FailNext(1);
+  EXPECT_EQ(pbx_.ExecuteCommand("add station 4567 Name X").status().code(),
+            StatusCode::kInternal);
+  EXPECT_TRUE(pbx_.ExecuteCommand("add station 4567 Name X").ok());
+}
+
+TEST_F(PbxTest, DroppedNotifications) {
+  size_t count = 0;
+  pbx_.SetNotificationHandler(
+      [&count](const DeviceNotification&) { ++count; });
+  pbx_.faults().set_drop_notifications(true);
+  ASSERT_TRUE(pbx_.ExecuteCommand("add station 4567 Name X").ok());
+  EXPECT_EQ(count, 0u);  // Lost — only resync can repair this (§4.4).
+  EXPECT_EQ(pbx_.StationCount(), 1u);
+}
+
+TEST_F(PbxTest, ListAndDump) {
+  ASSERT_TRUE(pbx_.ExecuteCommand("add station 4567 Name A").ok());
+  ASSERT_TRUE(pbx_.ExecuteCommand("add station 4568 Name B").ok());
+  auto listing = pbx_.ExecuteCommand("list station");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_NE(listing->find("4567 A"), std::string::npos);
+  EXPECT_NE(listing->find("4568 B"), std::string::npos);
+  auto dump = pbx_.DumpAll();
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump->size(), 2u);
+}
+
+TEST_F(PbxTest, QuotedValuesAndBadSyntax) {
+  EXPECT_FALSE(pbx_.ExecuteCommand("add station 4567 Name").ok());
+  EXPECT_FALSE(pbx_.ExecuteCommand("add station 4567 Name \"Unbalanced").ok());
+  EXPECT_FALSE(pbx_.ExecuteCommand("frobnicate station 4567").ok());
+  EXPECT_FALSE(pbx_.ExecuteCommand("").ok());
+}
+
+class MpTest : public ::testing::Test {
+ protected:
+  MpTest() : mp_(MpConfig{.name = "mp1"}) {}
+  MessagingPlatform mp_;
+};
+
+TEST_F(MpTest, AddGeneratesSubscriberId) {
+  auto reply = mp_.ExecuteCommand(
+      "ADD MAILBOX 4567 SubscriberName=\"John Doe\" Pin=1234");
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_NE(reply->find("SubscriberId=SUB000001"), std::string::npos);
+
+  reply = mp_.ExecuteCommand("ADD MAILBOX 4568 SubscriberName=X");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply->find("SUB000002"), std::string::npos);
+}
+
+TEST_F(MpTest, CallerSuppliedSubscriberIdIgnored) {
+  // §5.5: the device owns generated information.
+  Record mailbox("mp");
+  mailbox.SetOne("MailboxNumber", "4567");
+  mailbox.SetOne("SubscriberName", "John Doe");
+  mailbox.SetOne("SubscriberId", "FORGED");
+  ASSERT_TRUE(mp_.AddRecord(mailbox).ok());
+  auto stored = mp_.GetRecord("4567");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->GetFirst("SubscriberId"), "SUB000001");
+}
+
+TEST_F(MpTest, SubscriberIdImmutableAcrossModify) {
+  ASSERT_TRUE(
+      mp_.ExecuteCommand("ADD MAILBOX 4567 SubscriberName=X").ok());
+  ASSERT_TRUE(
+      mp_.ExecuteCommand("MODIFY MAILBOX 4567 Greeting=standard").ok());
+  auto stored = mp_.GetRecord("4567");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->GetFirst("SubscriberId"), "SUB000001");
+  EXPECT_EQ(stored->GetFirst("Greeting"), "standard");
+  EXPECT_EQ(stored->GetFirst("SubscriberName"), "X");  // Merged.
+}
+
+TEST_F(MpTest, ValidationErrors) {
+  EXPECT_FALSE(mp_.ExecuteCommand("ADD MAILBOX abc SubscriberName=X").ok());
+  EXPECT_FALSE(mp_.ExecuteCommand("ADD MAILBOX 4567").ok());
+  EXPECT_FALSE(
+      mp_.ExecuteCommand("ADD MAILBOX 4567 SubscriberName=X Pin=12").ok());
+  EXPECT_FALSE(
+      mp_.ExecuteCommand("ADD MAILBOX 4567 SubscriberName=X Hat=red").ok());
+  ASSERT_TRUE(mp_.ExecuteCommand("ADD MAILBOX 4567 SubscriberName=X").ok());
+  EXPECT_EQ(mp_.ExecuteCommand("ADD MAILBOX 4567 SubscriberName=Y")
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(
+      mp_.ExecuteCommand("DELETE MAILBOX 9999").status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(MpTest, QuotedAssignmentsParse) {
+  ASSERT_TRUE(mp_.ExecuteCommand(
+                     "ADD MAILBOX 4567 SubscriberName=\"Doe, John\" "
+                     "Greeting=\"out of office\"")
+                  .ok());
+  auto stored = mp_.GetRecord("4567");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->GetFirst("SubscriberName"), "Doe, John");
+  EXPECT_EQ(stored->GetFirst("Greeting"), "out of office");
+}
+
+TEST_F(MpTest, NotificationCarriesGeneratedId) {
+  std::vector<DeviceNotification> seen;
+  mp_.SetNotificationHandler(
+      [&seen](const DeviceNotification& n) { seen.push_back(n); });
+  ASSERT_TRUE(mp_.ExecuteCommand("ADD MAILBOX 4567 SubscriberName=X").ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].new_record.GetFirst("SubscriberId"), "SUB000001");
+}
+
+TEST_F(MpTest, ShowDeleteList) {
+  ASSERT_TRUE(mp_.ExecuteCommand("ADD MAILBOX 4567 SubscriberName=X").ok());
+  auto shown = mp_.ExecuteCommand("SHOW MAILBOX 4567");
+  ASSERT_TRUE(shown.ok());
+  EXPECT_NE(shown->find("MailboxNumber=4567"), std::string::npos);
+  auto listing = mp_.ExecuteCommand("LIST MAILBOXES");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_NE(listing->find("4567"), std::string::npos);
+  ASSERT_TRUE(mp_.ExecuteCommand("DELETE MAILBOX 4567").ok());
+  EXPECT_EQ(mp_.MailboxCount(), 0u);
+}
+
+TEST_F(MpTest, FaultInjection) {
+  mp_.faults().set_disconnected(true);
+  EXPECT_EQ(mp_.ExecuteCommand("ADD MAILBOX 4567 SubscriberName=X")
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+  mp_.faults().set_disconnected(false);
+  mp_.faults().FailNext(1);
+  EXPECT_EQ(mp_.ExecuteCommand("ADD MAILBOX 4567 SubscriberName=X")
+                .status()
+                .code(),
+            StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace metacomm::devices

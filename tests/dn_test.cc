@@ -1,0 +1,138 @@
+#include "ldap/dn.h"
+
+#include <gtest/gtest.h>
+
+namespace metacomm::ldap {
+namespace {
+
+TEST(RdnTest, ParseSimple) {
+  auto rdn = Rdn::Parse("cn=John Doe");
+  ASSERT_TRUE(rdn.ok());
+  EXPECT_EQ(rdn->avas().size(), 1u);
+  EXPECT_EQ(rdn->avas()[0].attribute, "cn");
+  EXPECT_EQ(rdn->avas()[0].value, "John Doe");
+  EXPECT_EQ(rdn->ToString(), "cn=John Doe");
+}
+
+TEST(RdnTest, ParseMultiValued) {
+  auto rdn = Rdn::Parse("cn=John+employeeNumber=42");
+  ASSERT_TRUE(rdn.ok());
+  EXPECT_EQ(rdn->avas().size(), 2u);
+  EXPECT_EQ(rdn->ValueOf("cn"), "John");
+  EXPECT_EQ(rdn->ValueOf("employeeNumber"), "42");
+  // AVAs are kept sorted, so parse order does not matter.
+  auto flipped = Rdn::Parse("employeeNumber=42+cn=John");
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_EQ(rdn->Normalized(), flipped->Normalized());
+}
+
+TEST(RdnTest, ParseErrors) {
+  EXPECT_FALSE(Rdn::Parse("").ok());
+  EXPECT_FALSE(Rdn::Parse("cn").ok());
+  EXPECT_FALSE(Rdn::Parse("=value").ok());
+  EXPECT_FALSE(Rdn::Parse("cn=").ok());
+}
+
+TEST(RdnTest, EscapedComma) {
+  auto rdn = Rdn::Parse("cn=Doe\\, John");
+  ASSERT_TRUE(rdn.ok());
+  EXPECT_EQ(rdn->ValueOf("cn"), "Doe, John");
+  EXPECT_EQ(rdn->ToString(), "cn=Doe\\, John");
+}
+
+TEST(RdnTest, HexEscape) {
+  auto rdn = Rdn::Parse("cn=a\\2Cb");
+  ASSERT_TRUE(rdn.ok());
+  EXPECT_EQ(rdn->ValueOf("cn"), "a,b");
+}
+
+TEST(RdnTest, NormalizedFoldsCaseAndSpace) {
+  auto a = Rdn::Parse("CN=John   Doe");
+  auto b = Rdn::Parse("cn=john doe");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Normalized(), b->Normalized());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(DnTest, ParsePaperExample) {
+  // Figure 2: "cn=John Doe, o=Marketing, o=Lucent".
+  auto dn = Dn::Parse("cn=John Doe, o=Marketing, o=Lucent");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(dn->depth(), 3u);
+  EXPECT_EQ(dn->leaf().ValueOf("cn"), "John Doe");
+  EXPECT_EQ(dn->ToString(), "cn=John Doe,o=Marketing,o=Lucent");
+  EXPECT_EQ(dn->Parent().ToString(), "o=Marketing,o=Lucent");
+}
+
+TEST(DnTest, RootIsEmpty) {
+  auto dn = Dn::Parse("");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_TRUE(dn->IsRoot());
+  EXPECT_TRUE(dn->Parent().IsRoot());
+  EXPECT_EQ(dn->ToString(), "");
+}
+
+TEST(DnTest, ChildAndWithLeaf) {
+  auto base = Dn::Parse("ou=People,o=Lucent");
+  ASSERT_TRUE(base.ok());
+  Dn child = base->Child(Rdn("cn", "Pat Smith"));
+  EXPECT_EQ(child.ToString(), "cn=Pat Smith,ou=People,o=Lucent");
+  Dn renamed = child.WithLeaf(Rdn("cn", "Pat Jones"));
+  EXPECT_EQ(renamed.ToString(), "cn=Pat Jones,ou=People,o=Lucent");
+  EXPECT_EQ(renamed.Parent().Normalized(), base->Normalized());
+}
+
+TEST(DnTest, IsWithin) {
+  auto lucent = Dn::Parse("o=Lucent");
+  auto marketing = Dn::Parse("o=Marketing,o=Lucent");
+  auto john = Dn::Parse("cn=John Doe,o=Marketing,o=Lucent");
+  auto other = Dn::Parse("o=Marketing,o=Acme");
+  ASSERT_TRUE(john.ok());
+  EXPECT_TRUE(john->IsWithin(*lucent));
+  EXPECT_TRUE(john->IsWithin(*marketing));
+  EXPECT_TRUE(john->IsWithin(*john));
+  EXPECT_TRUE(john->IsWithin(Dn::Root()));
+  EXPECT_FALSE(marketing->IsWithin(*john));
+  EXPECT_FALSE(john->IsWithin(*other));
+}
+
+TEST(DnTest, EscapeRoundTrip) {
+  std::string value = "Smith, John #1 <j+s>";
+  Dn dn = Dn::Root().Child(Rdn("cn", value));
+  std::string text = dn.ToString();
+  auto reparsed = Dn::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << text << ": " << reparsed.status();
+  EXPECT_EQ(reparsed->leaf().ValueOf("cn"), value);
+}
+
+TEST(DnTest, LeadingTrailingSpaceEscapes) {
+  std::string value = " padded ";
+  std::string escaped = EscapeDnValue(value);
+  EXPECT_EQ(escaped, "\\ padded\\ ");
+  auto rdn = Rdn::Parse("cn=" + escaped);
+  ASSERT_TRUE(rdn.ok());
+  EXPECT_EQ(rdn->ValueOf("cn"), value);
+}
+
+TEST(DnTest, NormalizedComparesCaseInsensitive) {
+  auto a = Dn::Parse("CN=John Doe,OU=People,O=Lucent");
+  auto b = Dn::Parse("cn=john doe, ou=people, o=lucent");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(DnTest, DanglingEscapeFails) {
+  EXPECT_FALSE(Dn::Parse("cn=John\\").ok());
+}
+
+TEST(DnTest, DepthOneIsSuffix) {
+  auto dn = Dn::Parse("o=Lucent");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(dn->depth(), 1u);
+  EXPECT_TRUE(dn->Parent().IsRoot());
+}
+
+}  // namespace
+}  // namespace metacomm::ldap

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "ldap/filter.h"
+
+namespace metacomm::ldap {
+namespace {
+
+Entry MakePerson() {
+  Entry entry(Dn::Root().Child(Rdn("cn", "John Doe")));
+  entry.Set("objectClass", {"top", "person", "inetOrgPerson"});
+  entry.SetOne("cn", "John Doe");
+  entry.SetOne("sn", "Doe");
+  entry.SetOne("telephoneNumber", "+1 908 582 9000");
+  entry.SetOne("roomNumber", "2C-401");
+  entry.SetOne("employeeNumber", "120");
+  return entry;
+}
+
+TEST(FilterParseTest, Equality) {
+  auto f = Filter::Parse("(cn=John Doe)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind(), Filter::Kind::kEquality);
+  EXPECT_EQ(f->attribute(), "cn");
+  EXPECT_EQ(f->value(), "John Doe");
+}
+
+TEST(FilterParseTest, BareFilterGetsParenthesized) {
+  auto f = Filter::Parse("cn=John Doe");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind(), Filter::Kind::kEquality);
+}
+
+TEST(FilterParseTest, Presence) {
+  auto f = Filter::Parse("(telephoneNumber=*)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind(), Filter::Kind::kPresent);
+}
+
+TEST(FilterParseTest, Substring) {
+  auto f = Filter::Parse("(telephoneNumber=+1 908 582 9*)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind(), Filter::Kind::kSubstring);
+}
+
+TEST(FilterParseTest, ComplexNested) {
+  auto f = Filter::Parse(
+      "(&(objectClass=inetOrgPerson)(|(cn=John*)(cn=Pat*))"
+      "(!(roomNumber=9Z-*)))");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind(), Filter::Kind::kAnd);
+  ASSERT_EQ(f->children().size(), 3u);
+  EXPECT_EQ(f->children()[1].kind(), Filter::Kind::kOr);
+  EXPECT_EQ(f->children()[2].kind(), Filter::Kind::kNot);
+}
+
+TEST(FilterParseTest, Ordering) {
+  auto ge = Filter::Parse("(employeeNumber>=100)");
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(ge->kind(), Filter::Kind::kGreaterOrEqual);
+  auto le = Filter::Parse("(employeeNumber<=100)");
+  ASSERT_TRUE(le.ok());
+  EXPECT_EQ(le->kind(), Filter::Kind::kLessOrEqual);
+  auto approx = Filter::Parse("(cn~=johndoe)");
+  ASSERT_TRUE(approx.ok());
+  EXPECT_EQ(approx->kind(), Filter::Kind::kApprox);
+}
+
+TEST(FilterParseTest, Errors) {
+  EXPECT_FALSE(Filter::Parse("(cn=John").ok());
+  EXPECT_FALSE(Filter::Parse("(&)").ok());
+  EXPECT_FALSE(Filter::Parse("(cn=x)(sn=y)").ok());
+  EXPECT_FALSE(Filter::Parse("(=x)").ok());
+}
+
+TEST(FilterParseTest, EscapedValue) {
+  auto f = Filter::Parse("(cn=a\\2ab)");  // \2a = '*'
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->kind(), Filter::Kind::kEquality);
+  EXPECT_EQ(f->value(), "a*b");
+}
+
+struct MatchCase {
+  const char* filter;
+  bool expect;
+};
+
+class FilterMatchTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(FilterMatchTest, MatchesPerson) {
+  const MatchCase& c = GetParam();
+  auto f = Filter::Parse(c.filter);
+  ASSERT_TRUE(f.ok()) << c.filter;
+  EXPECT_EQ(f->Matches(MakePerson()), c.expect) << c.filter;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FilterMatchTest,
+    ::testing::Values(
+        MatchCase{"(cn=John Doe)", true},
+        MatchCase{"(cn=john doe)", true},  // caseIgnoreMatch.
+        MatchCase{"(cn=John  Doe)", true},  // Space normalization.
+        MatchCase{"(cn=Jane Doe)", false},
+        MatchCase{"(telephoneNumber=*)", true},
+        MatchCase{"(mail=*)", false},
+        MatchCase{"(cn=John*)", true},
+        MatchCase{"(cn=*Doe)", true},
+        MatchCase{"(cn=*oh*)", true},
+        MatchCase{"(cn=Jane*)", false},
+        MatchCase{"(telephoneNumber=+1 908 582 9*)", true},
+        MatchCase{"(telephoneNumber=+1 908 582 5*)", false},
+        MatchCase{"(employeeNumber>=100)", true},
+        MatchCase{"(employeeNumber>=121)", false},
+        MatchCase{"(employeeNumber<=120)", true},
+        MatchCase{"(employeeNumber<=99)", false},
+        // Numeric comparison, not lexicographic: "99" < "120" as numbers.
+        MatchCase{"(employeeNumber>=99)", true},
+        MatchCase{"(cn~=JohnDoe)", true},
+        MatchCase{"(cn~=JohnD)", false},
+        MatchCase{"(&(cn=John*)(roomNumber=2C-401))", true},
+        MatchCase{"(&(cn=John*)(roomNumber=9Z-000))", false},
+        MatchCase{"(|(cn=Jane*)(roomNumber=2C-401))", true},
+        MatchCase{"(!(cn=Jane Doe))", true},
+        MatchCase{"(!(cn=John Doe))", false}));
+
+TEST(FilterToStringTest, RoundTrip) {
+  const char* filters[] = {
+      "(cn=John Doe)",
+      "(telephoneNumber=*)",
+      "(cn=John*)",
+      "(&(objectClass=person)(cn=J*))",
+      "(|(cn=a)(cn=b))",
+      "(!(cn=x))",
+      "(employeeNumber>=10)",
+  };
+  for (const char* text : filters) {
+    auto f = Filter::Parse(text);
+    ASSERT_TRUE(f.ok()) << text;
+    auto reparsed = Filter::Parse(f->ToString());
+    ASSERT_TRUE(reparsed.ok()) << f->ToString();
+    EXPECT_EQ(reparsed->ToString(), f->ToString());
+  }
+}
+
+TEST(FilterToStringTest, EscapesSpecialCharacters) {
+  Filter f = Filter::Equality("cn", "a*b(c)");
+  std::string text = f.ToString();
+  auto reparsed = Filter::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->value(), "a*b(c)");
+  EXPECT_EQ(reparsed->kind(), Filter::Kind::kEquality);
+}
+
+
+TEST(FilterParseTest, DepthGuardRejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 500; ++i) deep += "(!";
+  deep += "(cn=x)";
+  for (int i = 0; i < 500; ++i) deep += ")";
+  auto f = Filter::Parse(deep);
+  EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
+  // Moderate nesting still parses.
+  std::string ok;
+  for (int i = 0; i < 50; ++i) ok += "(!";
+  ok += "(cn=x)";
+  for (int i = 0; i < 50; ++i) ok += ")";
+  EXPECT_TRUE(Filter::Parse(ok).ok());
+}
+
+TEST(FilterTest, MatchAllMatchesAnyEntryWithClasses) {
+  EXPECT_TRUE(Filter::MatchAll().Matches(MakePerson()));
+}
+
+}  // namespace
+}  // namespace metacomm::ldap

@@ -1,0 +1,148 @@
+#include "ldap/ldif.h"
+
+#include <gtest/gtest.h>
+
+namespace metacomm::ldap {
+namespace {
+
+TEST(Base64Test, RoundTrip) {
+  const char* cases[] = {"", "a", "ab", "abc", "abcd",
+                         "hello world", "\x01\x02\xff"};
+  for (const char* text : cases) {
+    std::string encoded = Base64Encode(text);
+    auto decoded = Base64Decode(encoded);
+    ASSERT_TRUE(decoded.ok()) << text;
+    EXPECT_EQ(*decoded, text);
+  }
+}
+
+TEST(Base64Test, KnownVectors) {
+  EXPECT_EQ(Base64Encode("Man"), "TWFu");
+  EXPECT_EQ(Base64Encode("Ma"), "TWE=");
+  EXPECT_EQ(Base64Encode("M"), "TQ==");
+  auto decoded = Base64Decode("TWFu");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "Man");
+}
+
+TEST(Base64Test, RejectsBadCharacters) {
+  EXPECT_FALSE(Base64Decode("a!b").ok());
+}
+
+TEST(LdifTest, ParseContentRecords) {
+  auto records = ParseLdif(
+      "version: 1\n"
+      "# a comment\n"
+      "dn: cn=John Doe,o=Lucent\n"
+      "objectClass: top\n"
+      "objectClass: person\n"
+      "cn: John Doe\n"
+      "sn: Doe\n"
+      "\n"
+      "dn: cn=Pat Smith,o=Lucent\n"
+      "objectClass: person\n"
+      "cn: Pat Smith\n"
+      "sn: Smith\n");
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].op, UpdateOp::kAdd);
+  EXPECT_EQ((*records)[0].entry.GetAll("objectClass").size(), 2u);
+  EXPECT_EQ((*records)[1].entry.GetFirst("cn"), "Pat Smith");
+}
+
+TEST(LdifTest, FoldedLines) {
+  auto records = ParseLdif(
+      "dn: cn=Long,o=Lucent\n"
+      "objectClass: person\n"
+      "cn: Long\n"
+      "description: this is a very\n"
+      "  long description line\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].entry.GetFirst("description"),
+            "this is a very long description line");
+}
+
+TEST(LdifTest, Base64Value) {
+  std::string encoded = Base64Encode(" leading space");
+  auto records = ParseLdif("dn: cn=X,o=L\ncn:: " + encoded + "\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].entry.GetFirst("cn"), " leading space");
+}
+
+TEST(LdifTest, ChangeTypeDelete) {
+  auto records = ParseLdif(
+      "dn: cn=X,o=Lucent\n"
+      "changetype: delete\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].op, UpdateOp::kDelete);
+}
+
+TEST(LdifTest, ChangeTypeModify) {
+  auto records = ParseLdif(
+      "dn: cn=X,o=Lucent\n"
+      "changetype: modify\n"
+      "replace: telephoneNumber\n"
+      "telephoneNumber: +1 908 582 9000\n"
+      "-\n"
+      "add: description\n"
+      "description: new hire\n"
+      "-\n"
+      "delete: roomNumber\n");
+  ASSERT_TRUE(records.ok()) << records.status();
+  const LdifRecord& record = (*records)[0];
+  EXPECT_EQ(record.op, UpdateOp::kModify);
+  ASSERT_EQ(record.mods.size(), 3u);
+  EXPECT_EQ(record.mods[0].type, Modification::Type::kReplace);
+  EXPECT_EQ(record.mods[0].attribute, "telephoneNumber");
+  ASSERT_EQ(record.mods[0].values.size(), 1u);
+  EXPECT_EQ(record.mods[1].type, Modification::Type::kAdd);
+  EXPECT_EQ(record.mods[2].type, Modification::Type::kDelete);
+  EXPECT_TRUE(record.mods[2].values.empty());
+}
+
+TEST(LdifTest, ChangeTypeModRdn) {
+  auto records = ParseLdif(
+      "dn: cn=X,o=Lucent\n"
+      "changetype: modrdn\n"
+      "newrdn: cn=Y\n"
+      "deleteoldrdn: 1\n");
+  ASSERT_TRUE(records.ok()) << records.status();
+  EXPECT_EQ((*records)[0].op, UpdateOp::kModifyRdn);
+  EXPECT_EQ((*records)[0].new_rdn.ToString(), "cn=Y");
+  EXPECT_TRUE((*records)[0].delete_old_rdn);
+}
+
+TEST(LdifTest, Errors) {
+  EXPECT_FALSE(ParseLdif("cn: no dn first\n").ok());
+  EXPECT_FALSE(ParseLdif("dn: cn=X,o=L\nchangetype: bogus\n").ok());
+  EXPECT_FALSE(ParseLdif("dn: cn=X,o=L\nchangetype: modrdn\n").ok());
+}
+
+TEST(LdifTest, SerializeRoundTrip) {
+  Entry entry(Dn::Root().Child(Rdn("cn", "John Doe")));
+  entry.Set("objectClass", {"top", "person"});
+  entry.SetOne("cn", "John Doe");
+  entry.SetOne("sn", "Doe");
+  entry.SetOne("description", " starts with space");
+
+  std::string text = ToLdif(entry);
+  auto parsed = ParseLdif(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_TRUE((*parsed)[0].entry == entry)
+      << text << "\nvs\n" << (*parsed)[0].entry.ToString();
+}
+
+TEST(LdifTest, SerializeMultipleEntries) {
+  Entry a(Dn::Root().Child(Rdn("cn", "A")));
+  a.SetOne("cn", "A");
+  Entry b(Dn::Root().Child(Rdn("cn", "B")));
+  b.SetOne("cn", "B");
+  std::string text = ToLdif(std::vector<Entry>{a, b});
+  auto parsed = ParseLdif(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+}  // namespace
+}  // namespace metacomm::ldap

@@ -1,0 +1,273 @@
+#include "lexpress/closure.h"
+
+#include <gtest/gtest.h>
+
+namespace metacomm::lexpress {
+namespace {
+
+/// The paper's running example: Extension on the PBX relates
+/// telephoneNumber and DefinityExtension in LDAP, and telephoneNumber
+/// relates the voice mailbox id on the messaging platform.
+constexpr char kThreeWay[] = R"(
+mapping PbxToLdap from pbx to ldap {
+  option allow_cycles = true;
+  key Extension -> DefinityExtension;
+  map concat("+1 908 582 ", Extension) -> telephoneNumber;
+  map Name -> cn;
+}
+mapping LdapToPbx from ldap to pbx {
+  option allow_cycles = true;
+  key substr(digits(telephoneNumber), -4, 4) -> Extension;
+  map DefinityExtension -> Extension;
+  map cn -> Name;
+}
+mapping LdapToMp from ldap to mp {
+  option allow_cycles = true;
+  key substr(digits(telephoneNumber), -4, 4) -> MailboxNumber;
+  map cn -> SubscriberName;
+}
+mapping MpToLdap from mp to ldap {
+  option allow_cycles = true;
+  key MailboxNumber -> MpMailboxNumber;
+  map SubscriberId -> MpSubscriberId;
+}
+)";
+
+MappingSet BuildSet(const char* source) {
+  MappingSet set;
+  Status status = set.AddSource(source);
+  EXPECT_TRUE(status.ok()) << status;
+  return set;
+}
+
+TEST(ClosureTest, PaperExampleExtensionChangeRipples) {
+  // "When the extension of an existing object changes, the PBX-to-LDAP
+  // lexpress mapping requires lexpress to change the telephone number.
+  // Because lexpress processes the transitive closure of mappings, it
+  // also uses the LDAP-to-MP mapping to change the voice mailbox
+  // identifier." (§4.2)
+  MappingSet set = BuildSet(kThreeWay);
+
+  std::map<std::string, Record, CaseInsensitiveLess> base;
+  Record old_pbx("pbx");
+  old_pbx.SetOne("Extension", "9000");
+  old_pbx.SetOne("Name", "John Doe");
+  base.emplace("pbx", old_pbx);
+  Record old_ldap("ldap");
+  old_ldap.SetOne("telephoneNumber", "+1 908 582 9000");
+  old_ldap.SetOne("DefinityExtension", "9000");
+  old_ldap.SetOne("cn", "John Doe");
+  base.emplace("ldap", old_ldap);
+  Record old_mp("mp");
+  old_mp.SetOne("MailboxNumber", "9000");
+  old_mp.SetOne("SubscriberName", "John Doe");
+  base.emplace("mp", old_mp);
+
+  Record new_pbx = old_pbx;
+  new_pbx.SetOne("Extension", "9111");
+
+  std::set<std::string, CaseInsensitiveLess> explicit_attrs{"Extension"};
+  auto result = set.Propagate(base, "pbx", new_pbx, explicit_attrs);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  EXPECT_EQ(result->records.at("ldap").GetFirst("telephoneNumber"),
+            "+1 908 582 9111");
+  EXPECT_EQ(result->records.at("ldap").GetFirst("DefinityExtension"),
+            "9111");
+  EXPECT_EQ(result->records.at("mp").GetFirst("MailboxNumber"), "9111");
+  EXPECT_GT(result->iterations, 1);  // It had to chase the chain.
+}
+
+TEST(ClosureTest, ExplicitAttributesAreNeverOverwritten) {
+  // "The algorithm does not change the values of explicitly set
+  // attributes" (§4.2). Client sets telephoneNumber AND
+  // DefinityExtension inconsistently; both keep their values, and the
+  // first mapping (telephoneNumber -> Extension) feeds the PBX.
+  MappingSet set = BuildSet(kThreeWay);
+
+  std::map<std::string, Record, CaseInsensitiveLess> base;
+  Record old_ldap("ldap");
+  old_ldap.SetOne("telephoneNumber", "+1 908 582 9000");
+  old_ldap.SetOne("DefinityExtension", "9000");
+  base.emplace("ldap", old_ldap);
+  Record old_pbx("pbx");
+  old_pbx.SetOne("Extension", "9000");
+  base.emplace("pbx", old_pbx);
+
+  Record new_ldap = old_ldap;
+  new_ldap.SetOne("telephoneNumber", "+1 908 582 9111");
+  new_ldap.SetOne("DefinityExtension", "9222");  // Inconsistent.
+
+  std::set<std::string, CaseInsensitiveLess> explicit_attrs{
+      "telephoneNumber", "DefinityExtension"};
+  auto result = set.Propagate(base, "ldap", new_ldap, explicit_attrs);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Explicit values retained.
+  EXPECT_EQ(result->records.at("ldap").GetFirst("telephoneNumber"),
+            "+1 908 582 9111");
+  EXPECT_EQ(result->records.at("ldap").GetFirst("DefinityExtension"),
+            "9222");
+  // First mapping wins at the PBX: Extension follows telephoneNumber.
+  EXPECT_EQ(result->records.at("pbx").GetFirst("Extension"), "9111");
+}
+
+TEST(ClosureTest, DerivedAttributeUpdatedWhenNotExplicit) {
+  // Same change, but DefinityExtension is NOT explicitly set: the
+  // closure brings it in line with the new telephone number via the
+  // pbx round trip.
+  MappingSet set = BuildSet(kThreeWay);
+
+  std::map<std::string, Record, CaseInsensitiveLess> base;
+  Record old_ldap("ldap");
+  old_ldap.SetOne("telephoneNumber", "+1 908 582 9000");
+  old_ldap.SetOne("DefinityExtension", "9000");
+  base.emplace("ldap", old_ldap);
+  Record old_pbx("pbx");
+  old_pbx.SetOne("Extension", "9000");
+  base.emplace("pbx", old_pbx);
+
+  Record new_ldap = old_ldap;
+  new_ldap.SetOne("telephoneNumber", "+1 908 582 9111");
+
+  std::set<std::string, CaseInsensitiveLess> explicit_attrs{
+      "telephoneNumber"};
+  auto result = set.Propagate(base, "ldap", new_ldap, explicit_attrs);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->records.at("pbx").GetFirst("Extension"), "9111");
+  EXPECT_EQ(result->records.at("ldap").GetFirst("DefinityExtension"),
+            "9111");
+}
+
+TEST(ClosureTest, NoChangeReachesFixpointImmediately) {
+  MappingSet set = BuildSet(kThreeWay);
+  std::map<std::string, Record, CaseInsensitiveLess> base;
+  Record ldap_record("ldap");
+  ldap_record.SetOne("cn", "John Doe");
+  base.emplace("ldap", ldap_record);
+  auto result = set.Propagate(base, "ldap", ldap_record, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, 1);
+  EXPECT_TRUE(result->changed["pbx"].empty());
+}
+
+TEST(ClosureTest, RuntimeFixpointCapTriggers) {
+  // A genuinely divergent cycle: each round trip appends a character.
+  // Compile-time analysis cannot prove divergence (allow_cycles), so
+  // runtime detection must catch it (§4.2 "at execution time").
+  MappingSet set = BuildSet(R"(
+mapping AtoB from a to b {
+  option allow_cycles = true;
+  map concat(x, "!") -> y;
+}
+mapping BtoA from b to a {
+  option allow_cycles = true;
+  map concat(y, "?") -> x;
+}
+)");
+  std::map<std::string, Record, CaseInsensitiveLess> base;
+  Record old_a("a");
+  old_a.SetOne("x", "seed");
+  base.emplace("a", old_a);
+  Record new_a("a");
+  new_a.SetOne("x", "changed");
+  auto result = set.Propagate(base, "a", new_a, {"x"}, /*max_iter=*/8);
+  // 'x' is explicit so the b->a echo cannot overwrite it; the cycle
+  // stalls at a fixpoint... unless x is not explicit:
+  auto divergent = set.Propagate(base, "a", new_a, {}, /*max_iter=*/8);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(divergent.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CycleAnalysisTest, IdentityCycleIsConvergent) {
+  MappingSet set = BuildSet(R"(
+mapping AtoB from a to b { map x -> y; }
+mapping BtoA from b to a { map y -> x; }
+)");
+  auto warnings = set.AnalyzeCycles();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_TRUE(warnings[0].convergent);
+  EXPECT_TRUE(set.Validate().ok());
+}
+
+TEST(CycleAnalysisTest, TransformingCycleRejectedAtCompileTime) {
+  // §4.2: "at compile time (if a fixpoint can never be reached)".
+  MappingSet set = BuildSet(R"(
+mapping AtoB from a to b { map concat(x, "!") -> y; }
+mapping BtoA from b to a { map y -> x; }
+)");
+  auto warnings = set.AnalyzeCycles();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_FALSE(warnings[0].convergent);
+  EXPECT_EQ(set.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CycleAnalysisTest, AllowCyclesDefersToRuntime) {
+  MappingSet set = BuildSet(R"(
+mapping AtoB from a to b {
+  option allow_cycles = true;
+  map concat(x, "!") -> y;
+}
+mapping BtoA from b to a { map y -> x; }
+)");
+  EXPECT_TRUE(set.Validate().ok());
+}
+
+TEST(CycleAnalysisTest, AcyclicMappingsHaveNoWarnings) {
+  MappingSet set = BuildSet(R"(
+mapping AtoB from a to b { map upper(x) -> y; map z -> w; }
+)");
+  EXPECT_TRUE(set.AnalyzeCycles().empty());
+  EXPECT_TRUE(set.Validate().ok());
+}
+
+TEST(MappingSetTest, FromAndInto) {
+  MappingSet set = BuildSet(kThreeWay);
+  EXPECT_EQ(set.From("ldap").size(), 2u);
+  EXPECT_EQ(set.Into("ldap").size(), 2u);
+  EXPECT_EQ(set.From("pbx").size(), 1u);
+  EXPECT_EQ(set.From("nowhere").size(), 0u);
+}
+
+TEST(ClosureTest, FirstMappingWinsAcrossMappings) {
+  // Two mappings target the same attribute in schema c; the one that
+  // fires first owns it for the rest of the closure.
+  MappingSet set = BuildSet(R"(
+mapping AtoC from a to c { map x -> out; }
+mapping BtoC from b to c { map y -> out; }
+mapping AtoB from a to b { map x -> y_src; }
+)");
+  std::map<std::string, Record, CaseInsensitiveLess> base;
+  Record old_a("a");
+  old_a.SetOne("x", "old");
+  base.emplace("a", old_a);
+  Record old_b("b");
+  old_b.SetOne("y", "from-b");
+  base.emplace("b", old_b);
+
+  Record new_a("a");
+  new_a.SetOne("x", "from-a");
+  auto result = set.Propagate(base, "a", new_a, {"x"});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->records.at("c").GetFirst("out"), "from-a");
+}
+
+TEST(ClosureTest, DeviceGeneratedInfoStyleSeed) {
+  // Seeding a device-schema update (e.g. the MP minting SubscriberId)
+  // flows into ldap through MpToLdap only.
+  MappingSet set = BuildSet(kThreeWay);
+  std::map<std::string, Record, CaseInsensitiveLess> base;
+  Record old_mp("mp");
+  old_mp.SetOne("MailboxNumber", "9000");
+  base.emplace("mp", old_mp);
+
+  Record new_mp = old_mp;
+  new_mp.SetOne("SubscriberId", "SUB000042");
+  auto result = set.Propagate(base, "mp", new_mp, {"SubscriberId"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records.at("ldap").GetFirst("MpSubscriberId"),
+            "SUB000042");
+}
+
+}  // namespace
+}  // namespace metacomm::lexpress

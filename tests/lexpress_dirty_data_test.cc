@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "lexpress/mapping.h"
+
+namespace metacomm::lexpress {
+namespace {
+
+/// Paper §4.2: "Matching the pattern of input attributes allows
+/// mappings to be resilient when faced with dirty data. Patterns allow
+/// mappings to be refined incrementally with a list of special cases."
+///
+/// These tests write mappings the way the paper describes: a list of
+/// guarded special cases, most specific first, over the messy data
+/// real devices actually hold.
+
+Mapping MustCompile(const std::string& source) {
+  auto mappings = CompileMappings(source);
+  EXPECT_TRUE(mappings.ok()) << mappings.status();
+  return std::move((*mappings)[0]);
+}
+
+/// Telephone numbers arrive in every format the field offices ever
+/// used; the mapping normalizes them into an extension with a chain
+/// of pattern guards refined case by case.
+TEST(DirtyDataTest, PhoneNumberSpecialCases) {
+  Mapping mapping = MustCompile(R"(
+mapping DirtyPhones from hr to pbx {
+  # Special case 1: full international format "+1 908 582 xxxx".
+  map substr(digits(phone), -4, 4) -> Extension
+      when matches(phone, "+1 908 582 *");
+  # Special case 2: office-local "x1234" style.
+  map digits(phone) -> Extension when matches(phone, "x????");
+  # Special case 3: bare 4-digit extension.
+  map phone -> Extension when matches(phone, "????") and
+      present(phone) and phone != "none";
+  # Fallback: last four digits of whatever it is, if it has >= 4.
+  map substr(digits(phone), -4, 4) -> Extension
+      when matches(digits(phone), "????*");
+}
+)");
+
+  struct Case {
+    const char* in;
+    const char* expect;  // "" = no extension derived.
+  } cases[] = {
+      {"+1 908 582 9000", "9000"},
+      {"x4567", "4567"},
+      {"4567", "4567"},
+      {"(908) 582-1234", "1234"},
+      {"911", ""},       // Too short for any rule.
+      {"none", ""},      // Explicitly dirty marker.
+  };
+  for (const Case& c : cases) {
+    Record record("hr");
+    record.SetOne("phone", c.in);
+    auto mapped = mapping.MapRecord(record);
+    ASSERT_TRUE(mapped.ok()) << c.in;
+    EXPECT_EQ(mapped->GetFirst("Extension"), c.expect) << c.in;
+  }
+}
+
+/// Names arrive as "Last, First", "First Last", or a bare login; the
+/// mapping peels cases off one at a time.
+TEST(DirtyDataTest, NameFormatSpecialCases) {
+  Mapping mapping = MustCompile(R"(
+mapping DirtyNames from hr to ldap {
+  # "Doe, John" -> cn "John Doe".
+  map concat(trim(split(raw, ",", 1)), " ", trim(split(raw, ",", 0)))
+      -> cn when contains(raw, ",");
+  map trim(split(raw, ",", 0)) -> sn when contains(raw, ",");
+  # "John Doe" -> as-is.
+  map normalize(raw) -> cn when contains(raw, " ");
+  map surname(raw) -> sn when contains(raw, " ");
+  # Bare login: usable as cn, no surname derivable.
+  map raw -> cn;
+}
+)");
+
+  struct Case {
+    const char* in;
+    const char* cn;
+    const char* sn;
+  } cases[] = {
+      {"Doe, John", "John Doe", "Doe"},
+      {"John Doe", "John Doe", "Doe"},
+      {"John  Q  Doe", "John Q Doe", "Doe"},
+      {"jdoe", "jdoe", ""},
+  };
+  for (const Case& c : cases) {
+    Record record("hr");
+    record.SetOne("raw", c.in);
+    auto mapped = mapping.MapRecord(record);
+    ASSERT_TRUE(mapped.ok()) << c.in;
+    EXPECT_EQ(mapped->GetFirst("cn"), c.cn) << c.in;
+    EXPECT_EQ(mapped->GetFirst("sn"), c.sn) << c.in;
+  }
+}
+
+/// Incremental refinement: adding a special case BEFORE the general
+/// rule changes only the targeted inputs — the paper's workflow for
+/// hardening a mapping in production.
+TEST(DirtyDataTest, RefinementOnlyAffectsTargetedInputs) {
+  const char* general =
+      "mapping M from a to b { map upper(x) -> out; }";
+  const char* refined = R"(
+mapping M from a to b {
+  map "SPECIAL" -> out when x == "weird legacy value";
+  map upper(x) -> out;
+}
+)";
+  Mapping before = MustCompile(general);
+  Mapping after = MustCompile(refined);
+
+  Record normal("a");
+  normal.SetOne("x", "ok");
+  Record weird("a");
+  weird.SetOne("x", "weird legacy value");
+
+  auto normal_before = before.MapRecord(normal);
+  auto normal_after = after.MapRecord(normal);
+  ASSERT_TRUE(normal_before.ok() && normal_after.ok());
+  EXPECT_TRUE(*normal_before == *normal_after);  // Untouched.
+
+  auto weird_after = after.MapRecord(weird);
+  ASSERT_TRUE(weird_after.ok());
+  EXPECT_EQ(weird_after->GetFirst("out"), "SPECIAL");
+}
+
+/// Table translation with a default soaks up unexpected codes instead
+/// of failing the whole record (§4.2 tables).
+TEST(DirtyDataTest, TableDefaultAbsorbsUnknownCodes) {
+  Mapping mapping = MustCompile(R"(
+mapping Codes from dev to ldap {
+  table Dept {
+    "1" -> "Research";
+    "2" -> "Marketing";
+    default -> "Unassigned";
+  }
+  map first(lookup(Dept, code)) -> departmentNumber;
+}
+)");
+  Record known("dev");
+  known.SetOne("code", "2");
+  Record junk("dev");
+  junk.SetOne("code", "!!corrupt!!");
+  auto known_mapped = mapping.MapRecord(known);
+  auto junk_mapped = mapping.MapRecord(junk);
+  ASSERT_TRUE(known_mapped.ok() && junk_mapped.ok());
+  EXPECT_EQ(known_mapped->GetFirst("departmentNumber"), "Marketing");
+  EXPECT_EQ(junk_mapped->GetFirst("departmentNumber"), "Unassigned");
+}
+
+/// Multi-valued dirty input: some values salvageable, some not — the
+/// elementwise builtins keep the good ones.
+TEST(DirtyDataTest, MultiValuedPartialSalvage) {
+  Mapping mapping = MustCompile(R"(
+mapping Multi from a to b {
+  map split(emails, ";", 0) -> primaryMail when present(emails);
+}
+)");
+  Record record("a");
+  record.Set("emails", {"jd@lucent.com;john@home.net", "solo@x.org"});
+  auto mapped = mapping.MapRecord(record);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->Get("primaryMail"),
+            (Value{"jd@lucent.com", "solo@x.org"}));
+}
+
+}  // namespace
+}  // namespace metacomm::lexpress

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "lexpress/lexer.h"
+#include "lexpress/parser.h"
+
+namespace metacomm::lexpress {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("mapping X from a to b { }");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // 6 identifiers, braces, end.
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "mapping");
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kLeftBrace);
+  EXPECT_EQ((*tokens)[8].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize("\"a \\\"quoted\\\" string\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "a \"quoted\" string");
+}
+
+TEST(LexerTest, CommentsIgnored) {
+  auto tokens = Tokenize("abc # comment -> \"string\"\ndef");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].text, "def");
+  EXPECT_EQ((*tokens)[1].line, 2);
+}
+
+TEST(LexerTest, OperatorsAndNumbers) {
+  auto tokens = Tokenize("-> == != = -4 42 ( ) , ;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kArrow);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kEqualsEquals);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNotEquals);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kEquals);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[4].text, "-4");
+  EXPECT_EQ((*tokens)[5].text, "42");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("\"never closed").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  EXPECT_FALSE(Tokenize("@").ok());
+}
+
+constexpr char kFullMapping[] = R"(
+# Maps Definity stations into the integrated directory.
+mapping PbxToLdap from pbx to ldap {
+  option target_name = "ldap";
+  option originator = "LastUpdater";
+  option allow_cycles = true;
+
+  table CosClass {
+    "1" -> "standard";
+    "2" -> "gold";
+    default -> "custom";
+  }
+
+  partition when prefix(Extension, "9");
+
+  key Extension -> DefinityExtension;
+  map concat("+1 908 582 ", Extension) -> telephoneNumber;
+  map Name -> cn;
+  map surname(Name) -> sn when contains(Name, " ");
+  map first(lookup(CosClass, Cos)) -> employeeType;
+}
+)";
+
+TEST(ParserTest, FullMapping) {
+  auto decls = ParseMappings(kFullMapping);
+  ASSERT_TRUE(decls.ok()) << decls.status();
+  ASSERT_EQ(decls->size(), 1u);
+  const MappingDecl& decl = (*decls)[0];
+  EXPECT_EQ(decl.name, "PbxToLdap");
+  EXPECT_EQ(decl.source_schema, "pbx");
+  EXPECT_EQ(decl.target_schema, "ldap");
+  EXPECT_EQ(decl.options.at("target_name"), "ldap");
+  EXPECT_EQ(decl.options.at("originator"), "LastUpdater");
+  EXPECT_EQ(decl.options.at("allow_cycles"), "true");
+  ASSERT_EQ(decl.tables.size(), 1u);
+  EXPECT_EQ(decl.tables[0].entries.at("1"), "standard");
+  ASSERT_TRUE(decl.tables[0].default_value.has_value());
+  EXPECT_EQ(*decl.tables[0].default_value, "custom");
+  ASSERT_TRUE(decl.partition.has_value());
+  ASSERT_EQ(decl.rules.size(), 5u);
+  EXPECT_TRUE(decl.rules[0].is_key);
+  EXPECT_EQ(decl.rules[0].target_attr, "DefinityExtension");
+  EXPECT_FALSE(decl.rules[1].is_key);
+  EXPECT_EQ(decl.rules[1].expr.kind, Expr::Kind::kCall);
+  EXPECT_EQ(decl.rules[1].expr.text, "concat");
+  ASSERT_TRUE(decl.rules[3].guard.has_value());
+  EXPECT_EQ(decl.rules[3].guard->text, "contains");
+}
+
+TEST(ParserTest, MultipleMappings) {
+  auto decls = ParseMappings(
+      "mapping A from x to y { map a -> b; }\n"
+      "mapping B from y to x { map b -> a; }\n");
+  ASSERT_TRUE(decls.ok());
+  EXPECT_EQ(decls->size(), 2u);
+}
+
+TEST(ParserTest, PredicatePrecedence) {
+  auto decls = ParseMappings(
+      "mapping P from x to y {"
+      "  map a -> b when present(a) and present(c) or not present(d);"
+      "}");
+  ASSERT_TRUE(decls.ok()) << decls.status();
+  const Expr& guard = *(*decls)[0].rules[0].guard;
+  // or(and(present(a), present(c)), not(present(d)))
+  EXPECT_EQ(guard.text, "or");
+  ASSERT_EQ(guard.args.size(), 2u);
+  EXPECT_EQ(guard.args[0].text, "and");
+  EXPECT_EQ(guard.args[1].text, "not");
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  auto decls = ParseMappings(
+      "mapping P from x to y { map a -> b when a == \"1\" and c != d; }");
+  ASSERT_TRUE(decls.ok()) << decls.status();
+  const Expr& guard = *(*decls)[0].rules[0].guard;
+  EXPECT_EQ(guard.text, "and");
+  EXPECT_EQ(guard.args[0].text, "eq");
+  EXPECT_EQ(guard.args[1].text, "ne");
+}
+
+TEST(ParserTest, ParenthesizedPredicate) {
+  auto decls = ParseMappings(
+      "mapping P from x to y {"
+      "  map a -> b when present(a) and (present(b) or present(c));"
+      "}");
+  ASSERT_TRUE(decls.ok()) << decls.status();
+  const Expr& guard = *(*decls)[0].rules[0].guard;
+  EXPECT_EQ(guard.text, "and");
+  EXPECT_EQ(guard.args[1].text, "or");
+}
+
+TEST(ParserTest, MultiplePartitionClausesAndTogether) {
+  auto decls = ParseMappings(
+      "mapping P from x to y {"
+      "  partition when present(a);"
+      "  partition when present(b);"
+      "  map a -> b;"
+      "}");
+  ASSERT_TRUE(decls.ok());
+  ASSERT_TRUE((*decls)[0].partition.has_value());
+  EXPECT_EQ((*decls)[0].partition->text, "and");
+}
+
+
+TEST(ParserTest, DepthGuardRejectsPathologicalNesting) {
+  std::string deep = "mapping P from a to b { map ";
+  for (int i = 0; i < 500; ++i) deep += "not (";
+  deep += "present(x)";
+  for (int i = 0; i < 500; ++i) deep += ")";
+  deep += " -> out; }";
+  EXPECT_FALSE(ParseMappings(deep).ok());
+
+  std::string ok = "mapping P from a to b { map ";
+  for (int i = 0; i < 30; ++i) ok += "not (";
+  ok += "present(x)";
+  for (int i = 0; i < 30; ++i) ok += ")";
+  ok += " -> out; }";
+  EXPECT_TRUE(ParseMappings(ok).ok()) << ParseMappings(ok).status();
+}
+
+struct BadSource {
+  const char* source;
+  const char* why;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadSource> {};
+
+TEST_P(ParserErrorTest, Rejected) {
+  auto decls = ParseMappings(GetParam().source);
+  EXPECT_FALSE(decls.ok()) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrorTest,
+    ::testing::Values(
+        BadSource{"", "empty source"},
+        BadSource{"mapping X from a { }", "missing 'to'"},
+        BadSource{"mapping X from a to b { map a b; }", "missing arrow"},
+        BadSource{"mapping X from a to b { map a -> ; }",
+                  "missing target"},
+        BadSource{"mapping X from a to b { map a -> b }",
+                  "missing semicolon"},
+        BadSource{"mapping X from a to b { bogus x; }",
+                  "unknown item keyword"},
+        BadSource{"mapping X from a to b { option k; }",
+                  "option missing value"},
+        BadSource{"mapping X from a to b { table T { \"a\" -> ; } }",
+                  "table missing value"},
+        BadSource{"mapping X from a to b { map f( -> b; }",
+                  "unterminated call"},
+        BadSource{"mapping X from a to b {", "unterminated block"}));
+
+}  // namespace
+}  // namespace metacomm::lexpress

@@ -1,0 +1,277 @@
+#include "lexpress/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace metacomm::lexpress {
+namespace {
+
+constexpr char kPbxToLdap[] = R"(
+mapping PbxToLdap from pbx to ldap {
+  option target_name = "ldap";
+  key Extension -> DefinityExtension;
+  map "pbx1" -> LastUpdater;
+  map concat("+1 908 582 ", Extension) -> telephoneNumber;
+  map Name -> cn;
+  map surname(Name) -> sn;
+}
+)";
+
+constexpr char kLdapToPbx[] = R"(
+mapping LdapToPbx from ldap to pbx {
+  option target_name = "pbx1";
+  option originator = "LastUpdater";
+  partition when prefix(telephoneNumber, "+1 908 582 9");
+  key substr(digits(telephoneNumber), -4, 4) -> Extension;
+  map DefinityExtension -> Extension;
+  map cn -> Name;
+  map roomNumber -> Room;
+}
+)";
+
+Mapping MustCompile(const char* source) {
+  auto mappings = CompileMappings(source);
+  EXPECT_TRUE(mappings.ok()) << mappings.status();
+  EXPECT_EQ(mappings->size(), 1u);
+  return std::move((*mappings)[0]);
+}
+
+TEST(MappingTest, MapRecordBasic) {
+  Mapping mapping = MustCompile(kPbxToLdap);
+  Record station("pbx");
+  station.SetOne("Extension", "9000");
+  station.SetOne("Name", "John Doe");
+
+  auto mapped = mapping.MapRecord(station);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->schema(), "ldap");
+  EXPECT_EQ(mapped->GetFirst("DefinityExtension"), "9000");
+  EXPECT_EQ(mapped->GetFirst("telephoneNumber"), "+1 908 582 9000");
+  EXPECT_EQ(mapped->GetFirst("cn"), "John Doe");
+  EXPECT_EQ(mapped->GetFirst("sn"), "Doe");
+  EXPECT_EQ(mapped->GetFirst("LastUpdater"), "pbx1");
+  EXPECT_EQ(mapping.key_target_attr(), "DefinityExtension");
+}
+
+TEST(MappingTest, MissingSourceAttrsYieldNoTargetAttrs) {
+  Mapping mapping = MustCompile(kPbxToLdap);
+  Record station("pbx");
+  station.SetOne("Extension", "9000");
+  auto mapped = mapping.MapRecord(station);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_FALSE(mapped->Has("cn"));
+  EXPECT_FALSE(mapped->Has("sn"));
+  EXPECT_TRUE(mapped->Has("telephoneNumber"));
+}
+
+TEST(MappingTest, AlternateMappingsFirstWins) {
+  // The paper's example (§4.2): telephoneNumber -> Extension is first,
+  // so when both telephoneNumber and DefinityExtension are present and
+  // inconsistent, telephoneNumber wins.
+  Mapping mapping = MustCompile(kLdapToPbx);
+  Record person("ldap");
+  person.SetOne("telephoneNumber", "+1 908 582 9000");
+  person.SetOne("DefinityExtension", "9111");  // Inconsistent!
+  auto mapped = mapping.MapRecord(person);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->GetFirst("Extension"), "9000");
+}
+
+TEST(MappingTest, AlternateMappingsFallThrough) {
+  // Without a telephoneNumber, the DefinityExtension alternate fires.
+  Mapping mapping = MustCompile(kLdapToPbx);
+  Record person("ldap");
+  person.SetOne("DefinityExtension", "9111");
+  auto mapped = mapping.MapRecord(person);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->GetFirst("Extension"), "9111");
+}
+
+TEST(MappingTest, PartitionAccepts) {
+  Mapping mapping = MustCompile(kLdapToPbx);
+  Record inside("ldap");
+  inside.SetOne("telephoneNumber", "+1 908 582 9000");
+  Record outside("ldap");
+  outside.SetOne("telephoneNumber", "+1 908 582 5000");
+  auto in = mapping.PartitionAccepts(inside);
+  auto out = mapping.PartitionAccepts(outside);
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(*in);
+  EXPECT_FALSE(*out);
+  // An empty record is never in a partition.
+  auto empty = mapping.PartitionAccepts(Record("ldap"));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(*empty);
+}
+
+/// The paper's four-case routing table (§4.2).
+struct RouteCase {
+  const char* old_phone;  // nullptr = no old record content.
+  const char* new_phone;
+  DescriptorOp op;
+  RouteAction expect;
+};
+
+class RoutingTest : public ::testing::TestWithParam<RouteCase> {};
+
+TEST_P(RoutingTest, FourCaseTable) {
+  Mapping mapping = MustCompile(kLdapToPbx);
+  const RouteCase& c = GetParam();
+  UpdateDescriptor update;
+  update.op = c.op;
+  update.schema = "ldap";
+  if (c.old_phone != nullptr) {
+    update.old_record.SetOne("telephoneNumber", c.old_phone);
+  }
+  if (c.new_phone != nullptr) {
+    update.new_record.SetOne("telephoneNumber", c.new_phone);
+  }
+  auto action = mapping.Route(update);
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, c.expect);
+}
+
+constexpr char kIn[] = "+1 908 582 9000";    // In the partition.
+constexpr char kIn2[] = "+1 908 582 9111";   // Also in.
+constexpr char kOut[] = "+1 908 582 5000";   // Outside.
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RoutingTest,
+    ::testing::Values(
+        // Modify: old/new satisfaction drives the action.
+        RouteCase{kIn, kIn2, DescriptorOp::kModify, RouteAction::kModify},
+        RouteCase{kOut, kIn, DescriptorOp::kModify, RouteAction::kAdd},
+        RouteCase{kIn, kOut, DescriptorOp::kModify, RouteAction::kDelete},
+        RouteCase{kOut, kOut, DescriptorOp::kModify, RouteAction::kSkip},
+        // Add looks at the new record only.
+        RouteCase{nullptr, kIn, DescriptorOp::kAdd, RouteAction::kAdd},
+        RouteCase{nullptr, kOut, DescriptorOp::kAdd, RouteAction::kSkip},
+        // Delete looks at the old record only.
+        RouteCase{kIn, nullptr, DescriptorOp::kDelete,
+                  RouteAction::kDelete},
+        RouteCase{kOut, nullptr, DescriptorOp::kDelete,
+                  RouteAction::kSkip}));
+
+TEST(MappingTest, TranslateModifyBuildsBothImages) {
+  Mapping mapping = MustCompile(kLdapToPbx);
+  UpdateDescriptor update;
+  update.op = DescriptorOp::kModify;
+  update.schema = "ldap";
+  update.source = "ldap";
+  update.old_record.SetOne("telephoneNumber", kIn);
+  update.old_record.SetOne("cn", "John Doe");
+  update.new_record.SetOne("telephoneNumber", kIn2);
+  update.new_record.SetOne("cn", "John Doe");
+
+  auto translated = mapping.Translate(update);
+  ASSERT_TRUE(translated.ok());
+  ASSERT_TRUE(translated->has_value());
+  const UpdateDescriptor& out = **translated;
+  EXPECT_EQ(out.op, DescriptorOp::kModify);
+  EXPECT_EQ(out.schema, "pbx");
+  EXPECT_EQ(out.old_record.GetFirst("Extension"), "9000");
+  EXPECT_EQ(out.new_record.GetFirst("Extension"), "9111");
+  EXPECT_EQ(out.source, "ldap");
+  EXPECT_FALSE(out.conditional);
+}
+
+TEST(MappingTest, TranslatePartitionMoveBecomesDelete) {
+  // "lexpress translates a modification of a telephone number into two
+  // updates: a deletion in one PBX and an add in another" — this is
+  // the deletion half for the losing switch.
+  Mapping mapping = MustCompile(kLdapToPbx);
+  UpdateDescriptor update;
+  update.op = DescriptorOp::kModify;
+  update.schema = "ldap";
+  update.old_record.SetOne("telephoneNumber", kIn);
+  update.new_record.SetOne("telephoneNumber", kOut);
+  auto translated = mapping.Translate(update);
+  ASSERT_TRUE(translated.ok());
+  ASSERT_TRUE(translated->has_value());
+  EXPECT_EQ((*translated)->op, DescriptorOp::kDelete);
+  EXPECT_EQ((*translated)->old_record.GetFirst("Extension"), "9000");
+}
+
+TEST(MappingTest, TranslateSkipReturnsNullopt) {
+  Mapping mapping = MustCompile(kLdapToPbx);
+  UpdateDescriptor update;
+  update.op = DescriptorOp::kAdd;
+  update.schema = "ldap";
+  update.new_record.SetOne("telephoneNumber", kOut);
+  auto translated = mapping.Translate(update);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_FALSE(translated->has_value());
+}
+
+TEST(MappingTest, TranslateWrongSchemaRejected) {
+  Mapping mapping = MustCompile(kLdapToPbx);
+  UpdateDescriptor update;
+  update.op = DescriptorOp::kAdd;
+  update.schema = "mp";
+  EXPECT_FALSE(mapping.Translate(update).ok());
+}
+
+TEST(MappingTest, OriginatorMarksConditional) {
+  // §5.4: an update whose LastUpdater names this mapping's target is a
+  // reapplication and must carry conditional semantics.
+  Mapping mapping = MustCompile(kLdapToPbx);
+  UpdateDescriptor update;
+  update.op = DescriptorOp::kModify;
+  update.schema = "ldap";
+  update.source = "pbx1";
+  update.old_record.SetOne("telephoneNumber", kIn);
+  update.new_record.SetOne("telephoneNumber", kIn2);
+  update.new_record.SetOne("LastUpdater", "pbx1");
+
+  auto translated = mapping.Translate(update);
+  ASSERT_TRUE(translated.ok());
+  ASSERT_TRUE(translated->has_value());
+  EXPECT_TRUE((*translated)->conditional);
+
+  // A different originator is not conditional.
+  update.new_record.SetOne("LastUpdater", "mp1");
+  translated = mapping.Translate(update);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_FALSE((*translated)->conditional);
+}
+
+TEST(MappingTest, CompileErrors) {
+  EXPECT_FALSE(CompileMappings("mapping X from a to b { }").ok());
+  EXPECT_FALSE(
+      CompileMappings("mapping X from a to b { option bogus = 1; map a "
+                      "-> b; }")
+          .ok());
+  EXPECT_FALSE(
+      CompileMappings("mapping X from a to b { map nosuchfn(a) -> b; }")
+          .ok());
+}
+
+TEST(MappingTest, SourcesOfCollectsDependencies) {
+  Mapping mapping = MustCompile(kLdapToPbx);
+  auto sources = mapping.SourcesOf("Extension");
+  EXPECT_TRUE(sources.count("telephoneNumber"));
+  EXPECT_TRUE(sources.count("DefinityExtension"));
+  EXPECT_FALSE(sources.count("cn"));
+}
+
+TEST(MappingTest, DynamicCompilationAtRuntime) {
+  // §4.2: descriptions can be compiled into a running program. A new
+  // "source" appears and its mapping is compiled from text on the fly.
+  std::string dynamic_source =
+      "mapping NewDevice from widget to ldap {"
+      "  key SerialNo -> employeeNumber;"
+      "  map Owner -> cn;"
+      "}";
+  auto mappings = CompileMappings(dynamic_source);
+  ASSERT_TRUE(mappings.ok());
+  Record widget("widget");
+  widget.SetOne("SerialNo", "777");
+  widget.SetOne("Owner", "Pat Smith");
+  auto mapped = (*mappings)[0].MapRecord(widget);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->GetFirst("employeeNumber"), "777");
+  EXPECT_EQ(mapped->GetFirst("cn"), "Pat Smith");
+}
+
+}  // namespace
+}  // namespace metacomm::lexpress

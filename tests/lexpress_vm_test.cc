@@ -1,0 +1,232 @@
+#include "lexpress/vm.h"
+
+#include <gtest/gtest.h>
+
+#include "lexpress/compiler.h"
+#include "lexpress/parser.h"
+
+namespace metacomm::lexpress {
+namespace {
+
+/// Compiles a single expression by wrapping it in a one-rule mapping,
+/// then runs it against a record.
+StatusOr<Value> Eval(const std::string& expr_text, const Record& record,
+                     std::vector<TableDef> tables = {}) {
+  std::string source =
+      "mapping T from a to b { map " + expr_text + " -> out; }";
+  auto decls = ParseMappings(source);
+  if (!decls.ok()) return decls.status();
+  auto program = CompileExpr((*decls)[0].rules[0].expr, tables);
+  if (!program.ok()) return program.status();
+  return Vm::Execute(*program, tables, record);
+}
+
+Record SampleRecord() {
+  Record record("a");
+  record.SetOne("Name", "John Doe");
+  record.SetOne("Extension", "9000");
+  record.SetOne("telephoneNumber", "+1 908 582 9000");
+  record.Set("mail", {"jd@lucent.com", "john@lucent.com"});
+  record.SetOne("Spacey", "  padded   value ");
+  return record;
+}
+
+struct EvalCase {
+  const char* expr;
+  std::vector<std::string> expect;
+};
+
+class VmEvalTest : public ::testing::TestWithParam<EvalCase> {};
+
+TEST_P(VmEvalTest, Evaluates) {
+  const EvalCase& c = GetParam();
+  auto result = Eval(c.expr, SampleRecord());
+  ASSERT_TRUE(result.ok()) << c.expr << ": " << result.status();
+  EXPECT_EQ(*result, c.expect) << c.expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strings, VmEvalTest,
+    ::testing::Values(
+        EvalCase{"\"literal\"", {"literal"}},
+        EvalCase{"Name", {"John Doe"}},
+        EvalCase{"Missing", {}},
+        EvalCase{"upper(Name)", {"JOHN DOE"}},
+        EvalCase{"lower(Name)", {"john doe"}},
+        EvalCase{"trim(Spacey)", {"padded   value"}},
+        EvalCase{"normalize(Spacey)", {"padded value"}},
+        EvalCase{"digits(telephoneNumber)", {"19085829000"}},
+        EvalCase{"surname(Name)", {"Doe"}},
+        EvalCase{"givenname(Name)", {"John"}},
+        EvalCase{"substr(Extension, 0, 2)", {"90"}},
+        EvalCase{"substr(digits(telephoneNumber), -4, 4)", {"9000"}},
+        EvalCase{"substr(Extension, 2, 10)", {"00"}},
+        EvalCase{"substr(Extension, 9, 1)", {""}},
+        EvalCase{"replace(Name, \" \", \"_\")", {"John_Doe"}},
+        EvalCase{"split(telephoneNumber, \" \", 1)", {"908"}},
+        EvalCase{"split(telephoneNumber, \" \", -1)", {"9000"}},
+        EvalCase{"split(telephoneNumber, \" \", 9)", {}},
+        EvalCase{"concat(\"x\", Extension)", {"x9000"}},
+        EvalCase{"concat(Name, \" <\", mail, \">\")",
+                 {"John Doe <jd@lucent.com>",
+                  "John Doe <john@lucent.com>"}},
+        EvalCase{"format(\"ext %s of %s\", Extension, Name)",
+                 {"ext 9000 of John Doe"}},
+        EvalCase{"concat(\"a\", Missing)", {}},
+        EvalCase{"format(\"+1 908 582 %s\", Extension)",
+                 {"+1 908 582 9000"}}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Aggregates, VmEvalTest,
+    ::testing::Values(
+        EvalCase{"first(mail)", {"jd@lucent.com"}},
+        EvalCase{"last(mail)", {"john@lucent.com"}},
+        EvalCase{"first(Missing)", {}},
+        EvalCase{"join(mail, \"; \")",
+                 {"jd@lucent.com; john@lucent.com"}},
+        EvalCase{"count(mail)", {"2"}},
+        EvalCase{"count(Missing)", {"0"}},
+        EvalCase{"default(Missing, \"fallback\")", {"fallback"}},
+        EvalCase{"default(Name, \"fallback\")", {"John Doe"}},
+        EvalCase{"ifelse(present(Name), \"yes\", \"no\")", {"yes"}},
+        EvalCase{"ifelse(present(Missing), \"yes\", \"no\")", {"no"}}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Predicates, VmEvalTest,
+    ::testing::Values(
+        EvalCase{"present(Name)", {"true"}},
+        EvalCase{"present(Missing)", {"false"}},
+        EvalCase{"absent(Missing)", {"true"}},
+        EvalCase{"prefix(telephoneNumber, \"+1 908\")", {"true"}},
+        EvalCase{"prefix(telephoneNumber, \"+1 212\")", {"false"}},
+        EvalCase{"prefix(Missing, \"x\")", {"false"}},
+        EvalCase{"suffix(Name, \"doe\")", {"true"}},
+        EvalCase{"matches(Name, \"John*\")", {"true"}},
+        EvalCase{"matches(Name, \"J?hn Doe\")", {"true"}},
+        EvalCase{"matches(Name, \"Jane*\")", {"false"}},
+        EvalCase{"matches(mail, \"*lucent.com\")", {"true"}},
+        EvalCase{"contains(Name, \"hn D\")", {"true"}},
+        EvalCase{"contains(Name, \"xyz\")", {"false"}},
+        EvalCase{"Name == \"john doe\"", {"true"}},
+        EvalCase{"Name != \"john doe\"", {"false"}},
+        EvalCase{"Extension == \"9001\"", {"false"}},
+        EvalCase{"present(Name) and present(Extension)", {"true"}},
+        EvalCase{"present(Missing) or present(Name)", {"true"}},
+        EvalCase{"not present(Missing)", {"true"}},
+        EvalCase{"not (present(Name) and absent(Name))", {"true"}}));
+
+TEST(VmTest, LookupTable) {
+  TableDef table;
+  table.name = "Cos";
+  table.entries["1"] = "standard";
+  table.entries["2"] = "gold";
+  table.default_value = "custom";
+
+  Record record("a");
+  record.SetOne("Cos", "2");
+  auto result = Eval("lookup(Cos, Cos)", record, {table});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, Value{"gold"});
+
+  record.SetOne("Cos", "7");
+  result = Eval("lookup(Cos, Cos)", record, {table});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, Value{"custom"});
+}
+
+TEST(VmTest, LookupWithoutDefaultDropsValue) {
+  TableDef table;
+  table.name = "T";
+  table.entries["known"] = "mapped";
+  Record record("a");
+  record.Set("x", {"known", "unknown"});
+  auto result = Eval("lookup(T, x)", record, {table});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, Value{"mapped"});
+}
+
+TEST(VmTest, UnknownTableIsCompileError) {
+  Record record("a");
+  auto result = Eval("lookup(NoSuchTable, Name)", record);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(VmTest, UnknownFunctionIsCompileError) {
+  auto result = Eval("frobnicate(Name)", SampleRecord());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(VmTest, WrongArityIsCompileError) {
+  auto result = Eval("substr(Name)", SampleRecord());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VmTest, SubstrNonIntegerIsRuntimeError) {
+  auto result = Eval("substr(Name, Name, 2)", SampleRecord());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VmTest, ElementwiseOverMultiValued) {
+  auto result = Eval("upper(mail)", SampleRecord());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (Value{"JD@LUCENT.COM", "JOHN@LUCENT.COM"}));
+}
+
+TEST(VmTest, GuardSemantics) {
+  std::string source =
+      "mapping T from a to b { map Name -> out when present(Name); }";
+  auto decls = ParseMappings(source);
+  ASSERT_TRUE(decls.ok());
+  auto rule = CompileRule((*decls)[0].rules[0], {});
+  ASSERT_TRUE(rule.ok());
+  auto held = Vm::ExecuteGuard(rule->guard, {}, SampleRecord());
+  ASSERT_TRUE(held.ok());
+  EXPECT_TRUE(*held);
+  Record empty("a");
+  held = Vm::ExecuteGuard(rule->guard, {}, empty);
+  ASSERT_TRUE(held.ok());
+  EXPECT_FALSE(*held);
+  // An empty guard program always holds.
+  Program none;
+  held = Vm::ExecuteGuard(none, {}, empty);
+  ASSERT_TRUE(held.ok());
+  EXPECT_TRUE(*held);
+}
+
+TEST(VmTest, DependencyExtraction) {
+  std::string source =
+      "mapping T from a to b {"
+      "  map concat(x, lookup(Tbl, y)) -> out when present(z);"
+      "  table Tbl { \"a\" -> \"b\"; }"
+      "}";
+  auto decls = ParseMappings(source);
+  ASSERT_TRUE(decls.ok()) << decls.status();
+  auto rule = CompileRule((*decls)[0].rules[0], (*decls)[0].tables);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->source_attrs.size(), 3u);
+  EXPECT_TRUE(rule->source_attrs.count("x"));
+  EXPECT_TRUE(rule->source_attrs.count("y"));
+  EXPECT_TRUE(rule->source_attrs.count("z"));
+  EXPECT_FALSE(rule->source_attrs.count("Tbl"));  // Table, not attr.
+  EXPECT_FALSE(rule->identity);
+}
+
+TEST(VmTest, IdentityDetection) {
+  auto decls = ParseMappings(
+      "mapping T from a to b {"
+      "  map x -> out;"
+      "  map upper(x) -> out2;"
+      "  map x -> out3 when present(y);"
+      "}");
+  ASSERT_TRUE(decls.ok());
+  auto r0 = CompileRule((*decls)[0].rules[0], {});
+  auto r1 = CompileRule((*decls)[0].rules[1], {});
+  auto r2 = CompileRule((*decls)[0].rules[2], {});
+  ASSERT_TRUE(r0.ok() && r1.ok() && r2.ok());
+  EXPECT_TRUE(r0->identity);
+  EXPECT_FALSE(r1->identity);
+  EXPECT_FALSE(r2->identity);  // Guarded copies are not identity.
+}
+
+}  // namespace
+}  // namespace metacomm::lexpress

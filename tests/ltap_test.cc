@@ -1,0 +1,377 @@
+#include "ltap/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ldap/client.h"
+#include "ldap/server.h"
+
+namespace metacomm::ltap {
+namespace {
+
+using ldap::Client;
+using ldap::Dn;
+using ldap::Entry;
+using ldap::LdapServer;
+using ldap::Rdn;
+using ldap::Schema;
+using ldap::ServerConfig;
+
+/// Action server that records notifications and optionally fails.
+class RecordingServer : public TriggerActionServer {
+ public:
+  Status OnUpdate(const UpdateNotification& notification) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    notifications.push_back(notification);
+    return next_status;
+  }
+
+  void OnPersistentConnection(uint64_t session, bool open) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections.emplace_back(session, open);
+  }
+
+  size_t Count() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return notifications.size();
+  }
+
+  std::mutex mutex_;
+  std::vector<UpdateNotification> notifications;
+  std::vector<std::pair<uint64_t, bool>> connections;
+  Status next_status = Status::Ok();
+};
+
+class LtapTest : public ::testing::Test {
+ protected:
+  LtapTest()
+      : server_(Schema::Standard(),
+                ServerConfig{.allow_anonymous_writes = true}),
+        gateway_(&server_) {}
+
+  void SetUp() override {
+    Entry suffix(*Dn::Parse("o=Lucent"));
+    suffix.AddObjectClass("top");
+    suffix.AddObjectClass("organization");
+    suffix.SetOne("o", "Lucent");
+    ASSERT_TRUE(server_.backend().Add(suffix).ok());
+  }
+
+  void RegisterAfterTrigger(RecordingServer* action,
+                            const char* base = "o=Lucent",
+                            uint32_t ops = kTriggerAll) {
+    TriggerSpec spec;
+    spec.name = "test";
+    spec.base = *Dn::Parse(base);
+    spec.ops = ops;
+    spec.timing = TriggerTiming::kAfter;
+    spec.server = action;
+    gateway_.RegisterTrigger(std::move(spec));
+  }
+
+  Status AddPerson(Client& client, const std::string& cn) {
+    return client.Add("cn=" + cn + ",o=Lucent",
+                      {{"objectClass", "top"},
+                       {"objectClass", "person"},
+                       {"cn", cn},
+                       {"sn", "X"}});
+  }
+
+  LdapServer server_;
+  LtapGateway gateway_;
+};
+
+TEST_F(LtapTest, GatewayIsTransparentForReadsAndWrites) {
+  // "LTAP works as a gateway that pretends to be an LDAP server" —
+  // clients cannot tell the difference (§4.3).
+  Client client(&gateway_);
+  ASSERT_TRUE(AddPerson(client, "John Doe").ok());
+  auto entry = client.Get("cn=John Doe,o=Lucent");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetFirst("cn"), "John Doe");
+  // And the write really landed on the wrapped server.
+  EXPECT_TRUE(server_.backend().Exists(*Dn::Parse("cn=John Doe,o=Lucent")));
+}
+
+TEST_F(LtapTest, AfterTriggerFiresWithImages) {
+  RecordingServer action;
+  RegisterAfterTrigger(&action);
+  Client client(&gateway_);
+  ASSERT_TRUE(AddPerson(client, "John Doe").ok());
+  ASSERT_TRUE(client.Replace("cn=John Doe,o=Lucent", "sn", "Doe").ok());
+
+  ASSERT_EQ(action.Count(), 2u);
+  const UpdateNotification& add = action.notifications[0];
+  EXPECT_EQ(add.op, ldap::UpdateOp::kAdd);
+  ASSERT_TRUE(add.new_entry.has_value());
+  EXPECT_EQ(add.new_entry->GetFirst("cn"), "John Doe");
+
+  const UpdateNotification& mod = action.notifications[1];
+  EXPECT_EQ(mod.op, ldap::UpdateOp::kModify);
+  ASSERT_TRUE(mod.old_entry.has_value());
+  EXPECT_EQ(mod.old_entry->GetFirst("sn"), "X");
+  ASSERT_TRUE(mod.new_entry.has_value());
+  EXPECT_EQ(mod.new_entry->GetFirst("sn"), "Doe");
+}
+
+TEST_F(LtapTest, BeforeTriggerCanVeto) {
+  RecordingServer veto;
+  veto.next_status = Status::PermissionDenied("policy says no");
+  TriggerSpec spec;
+  spec.name = "veto";
+  spec.base = *Dn::Parse("o=Lucent");
+  spec.timing = TriggerTiming::kBefore;
+  spec.server = &veto;
+  gateway_.RegisterTrigger(std::move(spec));
+
+  Client client(&gateway_);
+  Status status = AddPerson(client, "John Doe");
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+  EXPECT_FALSE(server_.backend().Exists(*Dn::Parse("cn=John Doe,o=Lucent")));
+  EXPECT_EQ(gateway_.stats().vetoes, 1u);
+}
+
+TEST_F(LtapTest, TriggerScopeAndOpMaskFilter) {
+  RecordingServer action;
+  RegisterAfterTrigger(&action, "ou=People,o=Lucent", kTriggerModify);
+
+  Entry people(*Dn::Parse("ou=People,o=Lucent"));
+  people.AddObjectClass("top");
+  people.AddObjectClass("organizationalUnit");
+  people.SetOne("ou", "People");
+  ASSERT_TRUE(server_.backend().Add(people).ok());
+
+  Client client(&gateway_);
+  // Outside the base: no fire.
+  ASSERT_TRUE(AddPerson(client, "Outside").ok());
+  // Inside the base but an Add: masked out.
+  ASSERT_TRUE(client
+                  .Add("cn=In,ou=People,o=Lucent",
+                       {{"objectClass", "top"},
+                        {"objectClass", "person"},
+                        {"cn", "In"},
+                        {"sn", "X"}})
+                  .ok());
+  EXPECT_EQ(action.Count(), 0u);
+  // Modify inside the base: fires.
+  ASSERT_TRUE(client.Replace("cn=In,ou=People,o=Lucent", "sn", "Y").ok());
+  EXPECT_EQ(action.Count(), 1u);
+}
+
+TEST_F(LtapTest, TriggerEntryFilter) {
+  RecordingServer action;
+  TriggerSpec spec;
+  spec.name = "filtered";
+  spec.base = *Dn::Parse("o=Lucent");
+  spec.filter = *ldap::Filter::Parse("(sn=Doe)");
+  spec.timing = TriggerTiming::kAfter;
+  spec.server = &action;
+  gateway_.RegisterTrigger(std::move(spec));
+
+  Client client(&gateway_);
+  ASSERT_TRUE(AddPerson(client, "Nope").ok());  // sn=X: no fire.
+  EXPECT_EQ(action.Count(), 0u);
+  ASSERT_TRUE(client
+                  .Add("cn=Yes,o=Lucent", {{"objectClass", "top"},
+                                           {"objectClass", "person"},
+                                           {"cn", "Yes"},
+                                           {"sn", "Doe"}})
+                  .ok());
+  EXPECT_EQ(action.Count(), 1u);
+}
+
+TEST_F(LtapTest, InternalOpsBypassTriggers) {
+  RecordingServer action;
+  RegisterAfterTrigger(&action);
+  Client client(&gateway_);
+  client.set_internal(true);
+  ASSERT_TRUE(AddPerson(client, "John Doe").ok());
+  EXPECT_EQ(action.Count(), 0u);
+  EXPECT_EQ(gateway_.stats().internal_ops, 1u);
+}
+
+TEST_F(LtapTest, EntryLockBlocksConflictingUpdate) {
+  uint64_t holder = gateway_.NewSession();
+  Dn dn = *Dn::Parse("cn=John Doe,o=Lucent");
+  ASSERT_TRUE(gateway_.LockEntry(dn, holder).ok());
+
+  // Another session's update times out on the lock.
+  GatewayConfig config;
+  config.lock_timeout_micros = 20'000;
+  LtapGateway fast_gateway(&server_, config);
+  Client client(&fast_gateway);
+  // Share the lock table? No — locks are per-gateway, so test within
+  // one gateway: use a thread against gateway_ with a short-lived
+  // client while we hold the lock.
+  Client blocked(&gateway_);
+  blocked.set_session_id(gateway_.NewSession());
+  std::atomic<bool> finished{false};
+  std::thread writer([&] {
+    Status status = AddPerson(blocked, "John Doe");
+    finished.store(true);
+    EXPECT_TRUE(status.ok()) << status;  // Succeeds once lock released.
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(finished.load());  // Still waiting on the entry lock.
+  gateway_.UnlockEntry(dn, holder);
+  writer.join();
+  EXPECT_TRUE(finished.load());
+  EXPECT_GT(gateway_.lock_table().contended_acquisitions(), 0u);
+}
+
+TEST_F(LtapTest, LockIsReentrantForOwner) {
+  uint64_t session = gateway_.NewSession();
+  Dn dn = *Dn::Parse("cn=X,o=Lucent");
+  ASSERT_TRUE(gateway_.LockEntry(dn, session).ok());
+  ASSERT_TRUE(gateway_.LockEntry(dn, session).ok());
+  gateway_.UnlockEntry(dn, session);
+  EXPECT_TRUE(gateway_.lock_table().IsLocked(dn));
+  gateway_.UnlockEntry(dn, session);
+  EXPECT_FALSE(gateway_.lock_table().IsLocked(dn));
+}
+
+TEST_F(LtapTest, QuiesceBlocksOtherSessionsUpdatesNotReads) {
+  RecordingServer action;
+  RegisterAfterTrigger(&action);
+  Client setup(&gateway_);
+  ASSERT_TRUE(AddPerson(setup, "John Doe").ok());
+
+  uint64_t sync_session = gateway_.NewSession();
+  ASSERT_TRUE(gateway_.Quiesce(sync_session).ok());
+  EXPECT_TRUE(gateway_.IsQuiesced());
+
+  // Persistent-connection signal reached the action server (§5.1).
+  ASSERT_FALSE(action.connections.empty());
+  EXPECT_EQ(action.connections.back(),
+            (std::pair<uint64_t, bool>{sync_session, true}));
+
+  // Reads pass through during the quiesce window.
+  Client reader(&gateway_);
+  EXPECT_TRUE(reader.Get("cn=John Doe,o=Lucent").ok());
+
+  // Updates from the quiescing session itself proceed.
+  Client sync_client(&gateway_);
+  sync_client.set_session_id(sync_session);
+  EXPECT_TRUE(sync_client.Replace("cn=John Doe,o=Lucent", "sn", "Q").ok());
+
+  // Updates from other sessions wait; with a second thread we can see
+  // them complete after Unquiesce.
+  Client blocked(&gateway_);
+  blocked.set_session_id(gateway_.NewSession());
+  std::atomic<bool> finished{false};
+  std::thread writer([&] {
+    Status status = blocked.Replace("cn=John Doe,o=Lucent", "sn", "W");
+    finished.store(true);
+    EXPECT_TRUE(status.ok()) << status;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(finished.load());
+  gateway_.Unquiesce(sync_session);
+  writer.join();
+  EXPECT_FALSE(gateway_.IsQuiesced());
+  EXPECT_EQ(action.connections.back(),
+            (std::pair<uint64_t, bool>{sync_session, false}));
+}
+
+TEST_F(LtapTest, SecondQuiesceRejected) {
+  uint64_t first = gateway_.NewSession();
+  uint64_t second = gateway_.NewSession();
+  ASSERT_TRUE(gateway_.Quiesce(first).ok());
+  EXPECT_EQ(gateway_.Quiesce(second).code(), StatusCode::kConflict);
+  gateway_.Unquiesce(first);
+  EXPECT_TRUE(gateway_.Quiesce(second).ok());
+  gateway_.Unquiesce(second);
+}
+
+TEST_F(LtapTest, TriggersDisabledAblation) {
+  GatewayConfig config;
+  config.triggers_enabled = false;
+  LtapGateway bare(&server_, config);
+  RecordingServer action;
+  TriggerSpec spec;
+  spec.name = "ignored";
+  spec.base = *Dn::Parse("o=Lucent");
+  spec.server = &action;
+  bare.RegisterTrigger(std::move(spec));
+  Client client(&bare);
+  ASSERT_TRUE(AddPerson(client, "Quiet").ok());
+  EXPECT_EQ(action.Count(), 0u);
+}
+
+TEST_F(LtapTest, StatsCountReadsAndUpdates) {
+  Client client(&gateway_);
+  ASSERT_TRUE(AddPerson(client, "John Doe").ok());
+  ASSERT_TRUE(client.Get("cn=John Doe,o=Lucent").ok());
+  ASSERT_TRUE(client.Get("cn=John Doe,o=Lucent").ok());
+  LtapGateway::Stats stats = gateway_.stats();
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(stats.reads, 2u);
+}
+
+TEST_F(LtapTest, DeleteOnMissingEntryReportsNotFound) {
+  Client client(&gateway_);
+  EXPECT_EQ(client.Delete("cn=Ghost,o=Lucent").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(LtapTest, GatewaysStack) {
+  // Because LTAP implements the same service interface it wraps,
+  // gateways compose: an outer gateway (say, an auditing layer) can
+  // front the MetaComm gateway. Triggers fire at each layer.
+  RecordingServer inner_action;
+  RegisterAfterTrigger(&inner_action);
+  LtapGateway outer(&gateway_);
+  RecordingServer outer_action;
+  TriggerSpec spec;
+  spec.name = "outer";
+  spec.base = *Dn::Parse("o=Lucent");
+  spec.timing = TriggerTiming::kAfter;
+  spec.server = &outer_action;
+  outer.RegisterTrigger(std::move(spec));
+
+  Client client(&outer);
+  ASSERT_TRUE(AddPerson(client, "Stacked").ok());
+  EXPECT_EQ(outer_action.Count(), 1u);
+  EXPECT_EQ(inner_action.Count(), 1u);
+  EXPECT_TRUE(server_.backend().Exists(*Dn::Parse("cn=Stacked,o=Lucent")));
+}
+
+TEST_F(LtapTest, ModifyRdnLocksBothNames) {
+  RecordingServer action;
+  RegisterAfterTrigger(&action);
+  Client client(&gateway_);
+  ASSERT_TRUE(AddPerson(client, "Old Name").ok());
+  ASSERT_TRUE(client.ModifyRdn("cn=Old Name,o=Lucent", "cn=New Name").ok());
+  // Rename fired one notification carrying both DNs and both images.
+  ASSERT_EQ(action.Count(), 2u);  // Add + ModifyRdn.
+  const UpdateNotification& rename = action.notifications[1];
+  EXPECT_EQ(rename.op, ldap::UpdateOp::kModifyRdn);
+  EXPECT_EQ(rename.dn.ToString(), "cn=Old Name,o=Lucent");
+  ASSERT_TRUE(rename.new_dn.has_value());
+  EXPECT_EQ(rename.new_dn->ToString(), "cn=New Name,o=Lucent");
+  ASSERT_TRUE(rename.old_entry.has_value());
+  ASSERT_TRUE(rename.new_entry.has_value());
+  EXPECT_EQ(rename.new_entry->GetFirst("cn"), "New Name");
+  // Locks fully released afterwards.
+  EXPECT_FALSE(gateway_.lock_table().IsLocked(
+      *Dn::Parse("cn=Old Name,o=Lucent")));
+  EXPECT_FALSE(gateway_.lock_table().IsLocked(
+      *Dn::Parse("cn=New Name,o=Lucent")));
+}
+
+TEST_F(LtapTest, AfterTriggerErrorReportedButWriteStands) {
+  RecordingServer action;
+  action.next_status = Status::Internal("action server hiccup");
+  RegisterAfterTrigger(&action);
+  Client client(&gateway_);
+  Status status = AddPerson(client, "Kept");
+  // The client learns of the failure...
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // ...but the directory write already happened (after-trigger).
+  EXPECT_TRUE(server_.backend().Exists(*Dn::Parse("cn=Kept,o=Lucent")));
+}
+
+}  // namespace
+}  // namespace metacomm::ltap

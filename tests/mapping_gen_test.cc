@@ -1,0 +1,143 @@
+#include "core/mapping_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "lexpress/closure.h"
+#include "lexpress/mapping.h"
+
+namespace metacomm::core {
+namespace {
+
+using lexpress::CompileMappings;
+using lexpress::Mapping;
+using lexpress::MappingSet;
+using lexpress::Record;
+
+TEST(MappingGenTest, PbxPairCompilesAndValidates) {
+  PbxMappingParams params;
+  params.name = "pbx7";
+  params.extension_prefix = "7";
+  auto mappings = CompileMappings(GeneratePbxMappings(params));
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  ASSERT_EQ(mappings->size(), 2u);
+  EXPECT_EQ((*mappings)[0].source_schema(), "pbx");
+  EXPECT_EQ((*mappings)[0].target_schema(), "ldap");
+  EXPECT_EQ((*mappings)[1].target_name(), "pbx7");
+  EXPECT_EQ((*mappings)[1].originator_attr(), "LastUpdater");
+
+  MappingSet set;
+  set.Add((*mappings)[0]);
+  set.Add((*mappings)[1]);
+  EXPECT_TRUE(set.Validate().ok());
+}
+
+TEST(MappingGenTest, PbxRoundTripPreservesStation) {
+  auto mappings =
+      CompileMappings(GeneratePbxMappings(PbxMappingParams{}));
+  ASSERT_TRUE(mappings.ok());
+  const Mapping& to_ldap = (*mappings)[0];
+  const Mapping& from_ldap = (*mappings)[1];
+
+  Record station("pbx");
+  station.SetOne("Extension", "4567");
+  station.SetOne("Name", "John Doe");
+  station.SetOne("Room", "2C-401");
+  station.SetOne("Cos", "2");
+  station.SetOne("CoveragePath", "c1");
+
+  auto ldap_record = to_ldap.MapRecord(station);
+  ASSERT_TRUE(ldap_record.ok());
+  EXPECT_EQ(ldap_record->GetFirst("telephoneNumber"),
+            "+1 908 582 4567");
+  EXPECT_EQ(ldap_record->GetFirst("employeeType"), "gold");  // Cos 2.
+
+  auto round_trip = from_ldap.MapRecord(*ldap_record);
+  ASSERT_TRUE(round_trip.ok());
+  EXPECT_EQ(round_trip->GetFirst("Extension"), "4567");
+  EXPECT_EQ(round_trip->GetFirst("Name"), "John Doe");
+  EXPECT_EQ(round_trip->GetFirst("Room"), "2C-401");
+  EXPECT_EQ(round_trip->GetFirst("Cos"), "2");
+  EXPECT_EQ(round_trip->GetFirst("CoveragePath"), "c1");
+}
+
+TEST(MappingGenTest, ExtensionDigitsParameterized) {
+  PbxMappingParams params;
+  params.extension_digits = 5;
+  auto mappings = CompileMappings(GeneratePbxMappings(params));
+  ASSERT_TRUE(mappings.ok());
+  Record person("ldap");
+  person.SetOne("telephoneNumber", "+1 908 582 91234");
+  auto station = (*mappings)[1].MapRecord(person);
+  ASSERT_TRUE(station.ok());
+  EXPECT_EQ(station->GetFirst("Extension"), "91234");
+}
+
+TEST(MappingGenTest, MpPairCompilesAndChainsFromPhone) {
+  auto mappings = CompileMappings(GenerateMpMappings(MpMappingParams{}));
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  ASSERT_EQ(mappings->size(), 2u);
+
+  Record person("ldap");
+  person.SetOne("cn", "John Doe");
+  person.SetOne("telephoneNumber", "+1 908 582 4567");
+  auto mailbox = (*mappings)[1].MapRecord(person);
+  ASSERT_TRUE(mailbox.ok());
+  // "from the telephone number to a voice mailbox identifier" (§4.2).
+  EXPECT_EQ(mailbox->GetFirst("MailboxNumber"), "4567");
+  EXPECT_EQ(mailbox->GetFirst("SubscriberName"), "John Doe");
+}
+
+TEST(MappingGenTest, MpPartitionRespectsExtensionPrefix) {
+  MpMappingParams params;
+  params.extension_prefix = "9";
+  auto mappings = CompileMappings(GenerateMpMappings(params));
+  ASSERT_TRUE(mappings.ok());
+  const Mapping& from_ldap = (*mappings)[1];
+
+  Record inside("ldap");
+  inside.SetOne("telephoneNumber", "+1 908 582 9000");
+  Record outside("ldap");
+  outside.SetOne("telephoneNumber", "+1 908 582 5000");
+  auto in = from_ldap.PartitionAccepts(inside);
+  auto out = from_ldap.PartitionAccepts(outside);
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(*in);
+  EXPECT_FALSE(*out);
+}
+
+TEST(MappingGenTest, GeneratedInstancesDifferOnlyWhereParameterized) {
+  // The generator exists to remove the §5.4 repetitiveness: two
+  // switches' mapping texts differ exactly in name/prefix.
+  // Prefixes chosen outside the Cos table's digit range so the
+  // normalization below only touches the parameterized spots.
+  std::string a = GeneratePbxMappings(PbxMappingParams{
+      .name = "pbxA", .extension_prefix = "8"});
+  std::string b = GeneratePbxMappings(PbxMappingParams{
+      .name = "pbxB", .extension_prefix = "7"});
+  EXPECT_NE(a, b);
+  std::string normalized_a = ReplaceAll(ReplaceAll(a, "pbxA", "PBX"),
+                                        "\"8\"", "\"P\"");
+  normalized_a = ReplaceAll(normalized_a, " 8\"", " P\"");
+  std::string normalized_b = ReplaceAll(ReplaceAll(b, "pbxB", "PBX"),
+                                        "\"7\"", "\"P\"");
+  normalized_b = ReplaceAll(normalized_b, " 7\"", " P\"");
+  EXPECT_EQ(normalized_a, normalized_b);
+}
+
+TEST(MappingGenTest, TwoPbxsAndMpValidateTogether) {
+  MappingSet set;
+  ASSERT_TRUE(set.AddSource(GeneratePbxMappings(PbxMappingParams{
+                       .name = "pbx9", .extension_prefix = "9"}))
+                  .ok());
+  ASSERT_TRUE(set.AddSource(GeneratePbxMappings(PbxMappingParams{
+                       .name = "pbx5", .extension_prefix = "5"}))
+                  .ok());
+  ASSERT_TRUE(
+      set.AddSource(GenerateMpMappings(MpMappingParams{})).ok());
+  EXPECT_TRUE(set.Validate().ok());
+  EXPECT_EQ(set.mappings().size(), 6u);
+}
+
+}  // namespace
+}  // namespace metacomm::core

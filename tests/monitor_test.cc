@@ -1,0 +1,97 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metacomm.h"
+
+namespace metacomm::core {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto system = MetaCommSystem::Create(SystemConfig{});
+    ASSERT_TRUE(system.ok()) << system.status();
+    system_ = std::move(*system);
+  }
+
+  /// Reads "key=value" out of an entry's monitorInfo values.
+  static std::string Counter(const ldap::Entry& entry,
+                             const std::string& key) {
+    for (const std::string& info : entry.GetAll("monitorInfo")) {
+      size_t eq = info.find('=');
+      if (eq != std::string::npos && info.substr(0, eq) == key) {
+        return info.substr(eq + 1);
+      }
+    }
+    return "";
+  }
+
+  std::unique_ptr<MetaCommSystem> system_;
+};
+
+TEST_F(MonitorTest, RefreshPublishesAllSections) {
+  ASSERT_TRUE(system_->monitor().Refresh().ok());
+  ldap::Client client = system_->NewClient();
+  auto entries = client.Search("cn=monitor,o=Lucent",
+                               "(objectClass=monitoredObject)");
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  // Container + gateway + update-manager + directory.
+  EXPECT_EQ(entries->size(), 4u);
+}
+
+TEST_F(MonitorTest, CountersTrackActivity) {
+  ASSERT_TRUE(system_
+                  ->AddPerson("John Doe",
+                              {{"telephoneNumber", "+1 908 582 4567"}})
+                  .ok());
+  ASSERT_TRUE(system_->monitor().Refresh().ok());
+
+  ldap::Client client = system_->NewClient();
+  auto um = client.Get("cn=update-manager,cn=monitor,o=Lucent");
+  ASSERT_TRUE(um.ok());
+  EXPECT_EQ(Counter(*um, "ldapUpdates"), "1");
+  EXPECT_EQ(Counter(*um, "errors"), "0");
+  EXPECT_NE(Counter(*um, "deviceApplies"), "0");
+
+  auto gateway = client.Get("cn=gateway,cn=monitor,o=Lucent");
+  ASSERT_TRUE(gateway.ok());
+  EXPECT_EQ(Counter(*gateway, "updates"), "1");
+
+  auto directory = client.Get("cn=directory,cn=monitor,o=Lucent");
+  ASSERT_TRUE(directory.ok());
+  EXPECT_NE(Counter(*directory, "entries"), "");
+}
+
+TEST_F(MonitorTest, RefreshIsRepeatableAndUpdatesInPlace) {
+  ASSERT_TRUE(system_->monitor().Refresh().ok());
+  ldap::Client client = system_->NewClient();
+  auto before = client.Get("cn=gateway,cn=monitor,o=Lucent");
+  ASSERT_TRUE(before.ok());
+  std::string reads_before = Counter(*before, "reads");
+
+  // Generate read traffic, refresh again: same entry, new numbers.
+  for (int i = 0; i < 5; ++i) {
+    (void)client.Get("cn=monitor,o=Lucent");
+  }
+  ASSERT_TRUE(system_->monitor().Refresh().ok());
+  auto after = client.Get("cn=gateway,cn=monitor,o=Lucent");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(Counter(*after, "reads"), reads_before);
+
+  auto entries = client.Search("cn=monitor,o=Lucent",
+                               "(objectClass=monitoredObject)");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 4u);  // No duplicates.
+}
+
+TEST_F(MonitorTest, MonitorWritesDoNotTriggerPropagation) {
+  ASSERT_TRUE(system_->monitor().Refresh().ok());
+  // Monitor entries live outside ou=People and are written to the
+  // backend directly, so the UM never sees them as updates.
+  EXPECT_EQ(system_->update_manager().stats().ldap_updates, 0u);
+  EXPECT_EQ(system_->pbx("pbx1")->StationCount(), 0u);
+}
+
+}  // namespace
+}  // namespace metacomm::core

@@ -1,0 +1,129 @@
+#include "ldap/replication.h"
+
+#include <gtest/gtest.h>
+
+namespace metacomm::ldap {
+namespace {
+
+Dn MustParse(const char* text) {
+  auto dn = Dn::Parse(text);
+  EXPECT_TRUE(dn.ok()) << text;
+  return *dn;
+}
+
+Entry Person(const char* dn_text, const char* cn) {
+  Entry entry(MustParse(dn_text));
+  entry.AddObjectClass("top");
+  entry.AddObjectClass("person");
+  entry.SetOne("cn", cn);
+  entry.SetOne("sn", "X");
+  return entry;
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    changelog_.Attach(&supplier_);
+    Entry suffix(MustParse("o=Lucent"));
+    suffix.AddObjectClass("top");
+    suffix.SetOne("o", "Lucent");
+    ASSERT_TRUE(supplier_.Add(suffix).ok());
+    ASSERT_TRUE(replica_.Add(suffix).ok());
+  }
+
+  Backend supplier_;
+  Backend replica_;
+  Changelog changelog_;
+};
+
+TEST_F(ReplicationTest, InitialPullConverges) {
+  ASSERT_TRUE(supplier_.Add(Person("cn=A,o=Lucent", "A")).ok());
+  ASSERT_TRUE(supplier_.Add(Person("cn=B,o=Lucent", "B")).ok());
+
+  ReplicationConsumer consumer(&replica_);
+  auto applied = consumer.PullFrom(changelog_);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_EQ(*applied, 3u);  // Suffix + 2 persons.
+  EXPECT_TRUE(replica_.Exists(MustParse("cn=A,o=Lucent")));
+  EXPECT_TRUE(replica_.Exists(MustParse("cn=B,o=Lucent")));
+}
+
+TEST_F(ReplicationTest, IncrementalPullUsesCookie) {
+  ReplicationConsumer consumer(&replica_);
+  ASSERT_TRUE(supplier_.Add(Person("cn=A,o=Lucent", "A")).ok());
+  ASSERT_TRUE(consumer.PullFrom(changelog_).ok());
+  uint64_t cookie = consumer.cookie();
+
+  ASSERT_TRUE(supplier_.Add(Person("cn=B,o=Lucent", "B")).ok());
+  auto applied = consumer.PullFrom(changelog_);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1u);
+  EXPECT_GT(consumer.cookie(), cookie);
+}
+
+TEST_F(ReplicationTest, ModifyAndRenamePropagate) {
+  ReplicationConsumer consumer(&replica_);
+  ASSERT_TRUE(supplier_.Add(Person("cn=A,o=Lucent", "A")).ok());
+  Modification mod;
+  mod.type = Modification::Type::kReplace;
+  mod.attribute = "sn";
+  mod.values = {"Changed"};
+  ASSERT_TRUE(supplier_.Modify(MustParse("cn=A,o=Lucent"), {mod}).ok());
+  ASSERT_TRUE(supplier_
+                  .ModifyRdn(MustParse("cn=A,o=Lucent"), Rdn("cn", "A2"),
+                             true)
+                  .ok());
+  ASSERT_TRUE(consumer.PullFrom(changelog_).ok());
+  auto entry = replica_.Get(MustParse("cn=A2,o=Lucent"));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetFirst("sn"), "Changed");
+  EXPECT_FALSE(replica_.Exists(MustParse("cn=A,o=Lucent")));
+}
+
+TEST_F(ReplicationTest, ReplayIsIdempotent) {
+  // Relaxed write-write consistency (paper §2): replaying an
+  // overlapping window still converges.
+  ASSERT_TRUE(supplier_.Add(Person("cn=A,o=Lucent", "A")).ok());
+  ASSERT_TRUE(supplier_.Delete(MustParse("cn=A,o=Lucent")).ok());
+  ASSERT_TRUE(supplier_.Add(Person("cn=A,o=Lucent", "A")).ok());
+
+  ReplicationConsumer first(&replica_);
+  ASSERT_TRUE(first.PullFrom(changelog_).ok());
+  // A second consumer with a stale cookie replays everything.
+  ReplicationConsumer stale(&replica_);
+  auto replayed = stale.PullFrom(changelog_);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_TRUE(replica_.Exists(MustParse("cn=A,o=Lucent")));
+  EXPECT_EQ(replica_.Size(), supplier_.Size());
+}
+
+TEST_F(ReplicationTest, ModifyOnMissingEntryCreatesIt) {
+  ASSERT_TRUE(supplier_.Add(Person("cn=A,o=Lucent", "A")).ok());
+  Modification mod;
+  mod.type = Modification::Type::kReplace;
+  mod.attribute = "sn";
+  mod.values = {"Z"};
+  ASSERT_TRUE(supplier_.Modify(MustParse("cn=A,o=Lucent"), {mod}).ok());
+
+  // Replica never saw the add (trimmed log): start after it.
+  ReplicationConsumer consumer(&replica_);
+  std::vector<ChangeRecord> changes = changelog_.ChangesAfter(0);
+  // Apply only the modify record.
+  ASSERT_TRUE(consumer.ApplyRecord(changes.back()).ok());
+  auto entry = replica_.Get(MustParse("cn=A,o=Lucent"));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetFirst("sn"), "Z");
+}
+
+TEST_F(ReplicationTest, TrimDropsOldRecords) {
+  ASSERT_TRUE(supplier_.Add(Person("cn=A,o=Lucent", "A")).ok());
+  ASSERT_TRUE(supplier_.Add(Person("cn=B,o=Lucent", "B")).ok());
+  uint64_t last = changelog_.LastSequence();
+  EXPECT_EQ(changelog_.Size(), 3u);
+  changelog_.TrimThrough(last - 1);
+  EXPECT_EQ(changelog_.Size(), 1u);
+  EXPECT_EQ(changelog_.ChangesAfter(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace metacomm::ldap

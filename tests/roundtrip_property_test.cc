@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ldap/dn.h"
+#include "ldap/filter.h"
+#include "ldap/ldif.h"
+
+namespace metacomm::ldap {
+namespace {
+
+/// Random-input round-trip properties over the wire formats: whatever
+/// value goes in must come back identical through
+/// escape/serialize -> parse.
+
+std::string RandomValue(Random& rng, bool nasty) {
+  // Printable ASCII, with the DN/LDIF special characters over-weighted
+  // when `nasty` so escaping paths get exercised.
+  static const char kNasty[] = ",+\"\\<>;=# *()";
+  size_t length = 1 + rng.Uniform(20);
+  std::string out;
+  for (size_t i = 0; i < length; ++i) {
+    if (nasty && rng.Bernoulli(0.3)) {
+      out.push_back(kNasty[rng.Uniform(sizeof(kNasty) - 1)]);
+    } else {
+      out.push_back(static_cast<char>('!' + rng.Uniform(94)));
+    }
+  }
+  return out;
+}
+
+class DnRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DnRoundTripTest, EscapeParsePreservesValues) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string cn = RandomValue(rng, /*nasty=*/true);
+    std::string ou = RandomValue(rng, /*nasty=*/true);
+    Dn dn = Dn::Root().Child(Rdn("ou", ou)).Child(Rdn("cn", cn));
+    std::string text = dn.ToString();
+    auto reparsed = Dn::Parse(text);
+    ASSERT_TRUE(reparsed.ok())
+        << "cn=" << cn << " ou=" << ou << " text=" << text << " -> "
+        << reparsed.status();
+    EXPECT_EQ(reparsed->leaf().ValueOf("cn"), cn) << text;
+    EXPECT_EQ(reparsed->Parent().leaf().ValueOf("ou"), ou) << text;
+    // Normalized form is stable across a second round trip.
+    auto again = Dn::Parse(reparsed->ToString());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->Normalized(), reparsed->Normalized());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnRoundTripTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 20260705u));
+
+class LdifRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LdifRoundTripTest, SerializeParsePreservesEntries) {
+  Random rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Entry entry(Dn::Root().Child(
+        Rdn("cn", "e" + std::to_string(rng.Uniform(100000)))));
+    entry.AddObjectClass("top");
+    size_t attr_count = 1 + rng.Uniform(5);
+    for (size_t a = 0; a < attr_count; ++a) {
+      std::string name = "attr" + std::to_string(a);
+      size_t value_count = 1 + rng.Uniform(3);
+      for (size_t v = 0; v < value_count; ++v) {
+        entry.AddValue(name, RandomValue(rng, rng.Bernoulli(0.5)));
+      }
+    }
+    std::string text = ToLdif(entry);
+    auto parsed = ParseLdif(text);
+    ASSERT_TRUE(parsed.ok()) << text << "\n" << parsed.status();
+    ASSERT_EQ(parsed->size(), 1u);
+    EXPECT_TRUE((*parsed)[0].entry == entry)
+        << "in:\n" << entry.ToString() << "ldif:\n" << text << "out:\n"
+        << (*parsed)[0].entry.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LdifRoundTripTest,
+                         ::testing::Values(5u, 6u, 7u));
+
+/// Builds a random filter tree of bounded depth.
+Filter RandomFilter(Random& rng, int depth) {
+  std::string attr = "a" + std::to_string(rng.Uniform(4));
+  if (depth == 0 || rng.Bernoulli(0.5)) {
+    switch (rng.Uniform(5)) {
+      case 0:
+        return Filter::Equality(attr, RandomValue(rng, true));
+      case 1:
+        return Filter::Present(attr);
+      case 2:
+        return Filter::Substring(attr,
+                                 "*" + RandomValue(rng, false) + "*");
+      case 3:
+        return Filter::GreaterOrEqual(attr,
+                                      std::to_string(rng.Uniform(100)));
+      default:
+        return Filter::LessOrEqual(attr, std::to_string(rng.Uniform(100)));
+    }
+  }
+  switch (rng.Uniform(3)) {
+    case 0: {
+      std::vector<Filter> children;
+      size_t n = 2 + rng.Uniform(2);
+      for (size_t i = 0; i < n; ++i) {
+        children.push_back(RandomFilter(rng, depth - 1));
+      }
+      return Filter::And(std::move(children));
+    }
+    case 1: {
+      std::vector<Filter> children;
+      size_t n = 2 + rng.Uniform(2);
+      for (size_t i = 0; i < n; ++i) {
+        children.push_back(RandomFilter(rng, depth - 1));
+      }
+      return Filter::Or(std::move(children));
+    }
+    default:
+      return Filter::Not(RandomFilter(rng, depth - 1));
+  }
+}
+
+Entry RandomEntry(Random& rng) {
+  Entry entry(Dn::Root().Child(Rdn("cn", "x")));
+  entry.AddObjectClass("top");
+  for (int a = 0; a < 4; ++a) {
+    if (rng.Bernoulli(0.7)) {
+      entry.AddValue("a" + std::to_string(a),
+                     rng.Bernoulli(0.5)
+                         ? std::to_string(rng.Uniform(100))
+                         : RandomValue(rng, false));
+    }
+  }
+  return entry;
+}
+
+class FilterRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilterRoundTripTest, ParsedFilterMatchesLikeOriginal) {
+  Random rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Filter original = RandomFilter(rng, 3);
+    std::string text = original.ToString();
+    auto reparsed = Filter::Parse(text);
+    ASSERT_TRUE(reparsed.ok()) << text << " -> " << reparsed.status();
+    EXPECT_EQ(reparsed->ToString(), text);
+    // Semantic equivalence on random entries.
+    for (int e = 0; e < 20; ++e) {
+      Entry entry = RandomEntry(rng);
+      EXPECT_EQ(original.Matches(entry), reparsed->Matches(entry))
+          << text << "\nentry:\n" << entry.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterRoundTripTest,
+                         ::testing::Values(11u, 12u, 13u));
+
+}  // namespace
+}  // namespace metacomm::ldap

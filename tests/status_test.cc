@@ -1,0 +1,104 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace metacomm {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("no such object: cn=X");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "no such object: cn=X");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: no such object: cn=X");
+}
+
+TEST(StatusTest, AllNamedConstructors) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Conflict("x").code(), StatusCode::kConflict);
+  EXPECT_EQ(Status::PermissionDenied("x").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(Status::SchemaViolation("x").code(),
+            StatusCode::kSchemaViolation);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::NotFound("gone");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+namespace helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int x) {
+  METACOMM_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+StatusOr<int> Doubler(int x) {
+  if (x > 100) return Status::InvalidArgument("too big");
+  return x * 2;
+}
+
+StatusOr<int> UsesAssignOrReturn(int x) {
+  METACOMM_ASSIGN_OR_RETURN(int doubled, Doubler(x));
+  return doubled + 1;
+}
+
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(helpers::UsesReturnIfError(1).ok());
+  EXPECT_EQ(helpers::UsesReturnIfError(-1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  StatusOr<int> ok = helpers::UsesAssignOrReturn(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 11);
+  StatusOr<int> err = helpers::UsesAssignOrReturn(200);
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+}  // namespace
+}  // namespace metacomm

@@ -1,0 +1,150 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace metacomm {
+namespace {
+
+TEST(StringsTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("Hello World 123"), "hello world 123");
+  EXPECT_EQ(ToUpper("Hello World 123"), "HELLO WORLD 123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("\t\n abc \r\n"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, NormalizeSpace) {
+  EXPECT_EQ(NormalizeSpace("  John   Doe "), "John Doe");
+  EXPECT_EQ(NormalizeSpace("a\t\tb"), "a b");
+  EXPECT_EQ(NormalizeSpace(""), "");
+  EXPECT_EQ(NormalizeSpace("single"), "single");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("ObjectClass", "objectclass"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("telephoneNumber", "tele"));
+  EXPECT_FALSE(StartsWith("tele", "telephone"));
+  EXPECT_TRUE(EndsWith("cn=John,o=Lucent", "o=Lucent"));
+  EXPECT_FALSE(EndsWith("abc", "abcd"));
+  EXPECT_TRUE(StartsWithIgnoreCase("+1 908 582 9000", "+1 908"));
+  EXPECT_TRUE(StartsWithIgnoreCase("ABCdef", "abc"));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(SplitAndTrim(" a , b ", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+  EXPECT_EQ(ReplaceAll("abc", "d", "x"), "abc");
+}
+
+TEST(StringsTest, FormatPercentS) {
+  EXPECT_EQ(FormatPercentS("+1 908 582 %s", {"9000"}), "+1 908 582 9000");
+  EXPECT_EQ(FormatPercentS("%s-%s", {"a", "b"}), "a-b");
+  EXPECT_EQ(FormatPercentS("100%%", {}), "100%");
+  EXPECT_EQ(FormatPercentS("%s and %s", {"one"}), "one and ");
+  EXPECT_EQ(FormatPercentS("no placeholders", {"x"}), "no placeholders");
+}
+
+TEST(StringsTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("12345"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a45"));
+  EXPECT_FALSE(IsAllDigits("-123"));
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool expect;
+};
+
+class GlobMatchTest : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobMatchTest, Matches) {
+  const GlobCase& c = GetParam();
+  EXPECT_EQ(GlobMatch(c.pattern, c.text), c.expect)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GlobMatchTest,
+    ::testing::Values(
+        GlobCase{"*", "anything", true}, GlobCase{"*", "", true},
+        GlobCase{"abc", "abc", true}, GlobCase{"abc", "abd", false},
+        GlobCase{"a*c", "abc", true}, GlobCase{"a*c", "ac", true},
+        GlobCase{"a*c", "abdc", true}, GlobCase{"a*c", "abcd", false},
+        GlobCase{"*def", "abcdef", true}, GlobCase{"abc*", "abcdef", true},
+        GlobCase{"a?c", "abc", true}, GlobCase{"a?c", "ac", false},
+        GlobCase{"*a*b*", "xaybz", true}, GlobCase{"*a*b*", "ba", false},
+        GlobCase{"**", "x", true}, GlobCase{"", "", true},
+        GlobCase{"", "x", false},
+        GlobCase{"9???", "9000", true}, GlobCase{"9???", "90000", false}));
+
+TEST(GlobMatchTest, IgnoreCaseVariant) {
+  EXPECT_TRUE(GlobMatchIgnoreCase("JOHN*", "john doe"));
+  EXPECT_FALSE(GlobMatch("JOHN*", "john doe"));
+}
+
+TEST(CaseInsensitiveLessTest, Ordering) {
+  CaseInsensitiveLess less;
+  EXPECT_TRUE(less("abc", "abd"));
+  EXPECT_FALSE(less("ABD", "abc"));
+  EXPECT_FALSE(less("abc", "ABC"));  // Equal.
+  EXPECT_TRUE(less("ab", "abc"));    // Prefix sorts first.
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t r = rng.UniformRange(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+}
+
+TEST(RandomTest, DigitString) {
+  Random rng(9);
+  std::string s = rng.DigitString(8);
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_TRUE(IsAllDigits(s));
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+}  // namespace
+}  // namespace metacomm

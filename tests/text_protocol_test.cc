@@ -1,0 +1,188 @@
+#include "ldap/text_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metacomm.h"
+#include "ldap/client.h"
+#include "ldap/server.h"
+
+namespace metacomm::ldap {
+namespace {
+
+class TextProtocolTest : public ::testing::Test {
+ protected:
+  TextProtocolTest()
+      : server_(Schema::Standard(),
+                ServerConfig{.allow_anonymous_writes = true}),
+        handler_(&server_),
+        remote_([this](const std::string& request) {
+          return handler_.Handle(request);
+        }),
+        client_(&remote_) {
+    Entry suffix(*Dn::Parse("o=Lucent"));
+    suffix.AddObjectClass("top");
+    suffix.AddObjectClass("organization");
+    suffix.SetOne("o", "Lucent");
+    EXPECT_TRUE(server_.backend().Add(suffix).ok());
+    server_.AddUser(*Dn::Parse("cn=admin,o=Lucent"), "secret");
+  }
+
+  LdapServer server_;
+  TextProtocolHandler handler_;   // The "remote" end.
+  TextProtocolClient remote_;     // LdapService over the wire.
+  Client client_;                 // Ordinary client on top of it.
+};
+
+TEST_F(TextProtocolTest, CrudOverTheWire) {
+  ASSERT_TRUE(client_
+                  .Add("cn=John Doe,o=Lucent",
+                       {{"objectClass", "top"},
+                        {"objectClass", "person"},
+                        {"cn", "John Doe"},
+                        {"sn", "Doe"},
+                        {"telephoneNumber", "+1 908 582 9000"}})
+                  .ok());
+  auto entry = client_.Get("cn=John Doe,o=Lucent");
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  EXPECT_EQ(entry->GetFirst("telephoneNumber"), "+1 908 582 9000");
+
+  ASSERT_TRUE(client_.Replace("cn=John Doe,o=Lucent", "sn", "D").ok());
+  entry = client_.Get("cn=John Doe,o=Lucent");
+  EXPECT_EQ(entry->GetFirst("sn"), "D");
+
+  ASSERT_TRUE(client_.ModifyRdn("cn=John Doe,o=Lucent", "cn=Jack").ok());
+  EXPECT_TRUE(client_.Get("cn=Jack,o=Lucent").ok());
+
+  ASSERT_TRUE(client_.Delete("cn=Jack,o=Lucent").ok());
+  EXPECT_EQ(client_.Get("cn=Jack,o=Lucent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TextProtocolTest, SearchWithFilterAttrsAndScope) {
+  for (const char* cn : {"Ada", "Grace"}) {
+    ASSERT_TRUE(client_
+                    .Add(std::string("cn=") + cn + ",o=Lucent",
+                         {{"objectClass", "top"},
+                          {"objectClass", "person"},
+                          {"cn", cn},
+                          {"sn", "S"},
+                          {"telephoneNumber", "+1 908 582 9000"}})
+                    .ok());
+  }
+  auto results = client_.Search("o=Lucent", "(cn=A*)");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].GetFirst("cn"), "Ada");
+
+  // Projection travels over the wire too.
+  SearchRequest request;
+  request.base = *Dn::Parse("o=Lucent");
+  request.filter = Filter::Equality("objectClass", "person");
+  request.attributes = {"cn"};
+  OpContext ctx;
+  auto projected = remote_.Search(ctx, request);
+  ASSERT_TRUE(projected.ok());
+  ASSERT_EQ(projected->entries.size(), 2u);
+  EXPECT_FALSE(projected->entries[0].Has("telephoneNumber"));
+}
+
+TEST_F(TextProtocolTest, CompareAndBind) {
+  ASSERT_TRUE(client_
+                  .Add("cn=Ada,o=Lucent", {{"objectClass", "top"},
+                                           {"objectClass", "person"},
+                                           {"cn", "Ada"},
+                                           {"sn", "L"}})
+                  .ok());
+  auto yes = client_.Compare("cn=Ada,o=Lucent", "sn", "L");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto no = client_.Compare("cn=Ada,o=Lucent", "sn", "X");
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+
+  EXPECT_TRUE(client_.Bind("cn=admin,o=Lucent", "secret").ok());
+  EXPECT_EQ(client_.Bind("cn=admin,o=Lucent", "nope").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(TextProtocolTest, BindStateLivesInTheHandlerSession) {
+  // Against a server that requires authentication, the handler carries
+  // the bind across subsequent operations — like a real connection.
+  LdapServer secured(Schema::Standard(), ServerConfig{});
+  Entry suffix(*Dn::Parse("o=Lucent"));
+  suffix.AddObjectClass("top");
+  suffix.AddObjectClass("organization");
+  suffix.SetOne("o", "Lucent");
+  ASSERT_TRUE(secured.backend().Add(suffix).ok());
+  secured.AddUser(*Dn::Parse("cn=admin,o=Lucent"), "secret");
+
+  TextProtocolHandler session(&secured);
+  TextProtocolClient wire(
+      [&session](const std::string& r) { return session.Handle(r); });
+  Client client(&wire);
+
+  EXPECT_EQ(client.Delete("cn=X,o=Lucent").code(),
+            StatusCode::kPermissionDenied);
+  ASSERT_TRUE(client.Bind("cn=admin,o=Lucent", "secret").ok());
+  // Now authorized (NotFound, not PermissionDenied).
+  EXPECT_EQ(client.Delete("cn=X,o=Lucent").code(), StatusCode::kNotFound);
+}
+
+TEST_F(TextProtocolTest, MalformedRequestsRejected) {
+  EXPECT_NE(handler_.Handle(""), "");
+  EXPECT_TRUE(StartsWith(handler_.Handle("FROBNICATE"), "RESULT 2"));
+  EXPECT_TRUE(StartsWith(handler_.Handle("ADD\nnot ldif"), "RESULT 2"));
+  EXPECT_TRUE(
+      StartsWith(handler_.Handle("SEARCH base: ,,bad,,\n"), "RESULT 2"));
+}
+
+TEST_F(TextProtocolTest, ValuesNeedingBase64SurviveTheWire) {
+  ASSERT_TRUE(client_
+                  .Add("cn=Spacey,o=Lucent",
+                       {{"objectClass", "top"},
+                        {"objectClass", "person"},
+                        {"cn", "Spacey"},
+                        {"sn", "S"},
+                        {"description", " leading space"}})
+                  .ok());
+  auto entry = client_.Get("cn=Spacey,o=Lucent");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetFirst("description"), " leading space");
+
+  // Modify values with embedded newlines must not corrupt the framing.
+  ASSERT_TRUE(client_
+                  .Replace("cn=Spacey,o=Lucent", "description",
+                           "line one\nline two")
+                  .ok());
+  entry = client_.Get("cn=Spacey,o=Lucent");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->GetFirst("description"), "line one\nline two");
+}
+
+TEST(TextProtocolMetaCommTest, FullStackOverTheWire) {
+  // Client -> wire -> handler -> LTAP gateway -> server, with the
+  // Update Manager fanning out to devices: the whole paper pipeline
+  // behind a protocol boundary.
+  auto system = core::MetaCommSystem::Create(core::SystemConfig{});
+  ASSERT_TRUE(system.ok());
+  TextProtocolHandler session(&(*system)->gateway());
+  TextProtocolClient wire(
+      [&session](const std::string& r) { return session.Handle(r); });
+  Client client(&wire);
+
+  ASSERT_TRUE(client
+                  .Add("cn=John Doe,ou=People,o=Lucent",
+                       {{"objectClass", "top"},
+                        {"objectClass", "person"},
+                        {"objectClass", "organizationalPerson"},
+                        {"objectClass", "inetOrgPerson"},
+                        {"cn", "John Doe"},
+                        {"sn", "Doe"},
+                        {"telephoneNumber", "+1 908 582 4567"}})
+                  .ok());
+  EXPECT_TRUE((*system)->pbx("pbx1")->GetRecord("4567").ok());
+  EXPECT_TRUE((*system)->mp("mp1")->GetRecord("4567").ok());
+}
+
+}  // namespace
+}  // namespace metacomm::ldap

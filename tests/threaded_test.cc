@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/integrated_schema.h"
+#include "core/metacomm.h"
+
+namespace metacomm::core {
+namespace {
+
+/// Production-shape deployments: the UM runs its coordinator thread
+/// and updates arrive concurrently from LDAP clients and device
+/// administrators.
+class ThreadedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemConfig config;
+    config.um.threaded = true;
+    auto system = MetaCommSystem::Create(config);
+    ASSERT_TRUE(system.ok()) << system.status();
+    system_ = std::move(*system);
+  }
+
+  void TearDown() override {
+    if (system_ != nullptr) system_->update_manager().Stop();
+  }
+
+  /// Polls until `pred` holds or ~2s elapse.
+  template <typename Pred>
+  bool Eventually(Pred pred) {
+    for (int i = 0; i < 2000; ++i) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+
+  std::unique_ptr<MetaCommSystem> system_;
+};
+
+TEST_F(ThreadedTest, LdapUpdateCompletesBeforeClientReturns) {
+  // Even in threaded mode, LTAP waits for the UM sequence (§4.4): by
+  // the time AddPerson returns, the devices are provisioned.
+  ASSERT_TRUE(system_
+                  ->AddPerson("John Doe",
+                              {{"telephoneNumber", "+1 908 582 4567"}})
+                  .ok());
+  EXPECT_TRUE(system_->pbx("pbx1")->GetRecord("4567").ok());
+  EXPECT_TRUE(system_->mp("mp1")->GetRecord("4567").ok());
+}
+
+TEST_F(ThreadedTest, DduConvergesAsynchronously) {
+  ASSERT_TRUE(system_
+                  ->AddPerson("John Doe",
+                              {{"telephoneNumber", "+1 908 582 4567"}})
+                  .ok());
+  // The device command returns as soon as the device commits; the
+  // directory follows shortly after (the paper's brief inconsistency).
+  ASSERT_TRUE(system_->pbx("pbx1")
+                  ->ExecuteCommand("change station 4567 Room ASYNC-1")
+                  .ok());
+  ldap::Client client = system_->NewClient();
+  EXPECT_TRUE(Eventually([&] {
+    auto entry = client.Get("cn=John Doe,ou=People,o=Lucent");
+    return entry.ok() && entry->GetFirst("roomNumber") == "ASYNC-1";
+  }));
+}
+
+TEST_F(ThreadedTest, ConcurrentClientsOnDistinctEntries) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string extension =
+            std::to_string(4000 + t * 100 + i);
+        Status status = system_->AddPerson(
+            "Person " + extension,
+            {{"telephoneNumber", "+1 908 582 " + extension}});
+        if (!status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(system_->pbx("pbx1")->StationCount(),
+            static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(system_->mp("mp1")->MailboxCount(),
+            static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(system_->update_manager().stats().errors, 0u);
+}
+
+TEST_F(ThreadedTest, ConcurrentWritersOnOneEntrySerializeViaLocks) {
+  ASSERT_TRUE(system_
+                  ->AddPerson("Hot Entry",
+                              {{"telephoneNumber", "+1 908 582 4900"}})
+                  .ok());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      ldap::Client client = system_->NewClient();
+      for (int i = 0; i < 10; ++i) {
+        Status status = client.Replace(
+            "cn=Hot Entry,ou=People,o=Lucent", "roomNumber",
+            "T" + std::to_string(t) + "-" + std::to_string(i));
+        if (!status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Whatever write won, device and directory agree.
+  ldap::Client client = system_->NewClient();
+  EXPECT_TRUE(Eventually([&] {
+    auto entry = client.Get("cn=Hot Entry,ou=People,o=Lucent");
+    auto station = system_->pbx("pbx1")->GetRecord("4900");
+    return entry.ok() && station.ok() &&
+           entry->GetFirst("roomNumber") == station->GetFirst("Room");
+  }));
+}
+
+TEST_F(ThreadedTest, MixedDduAndLdapLoadConverges) {
+  constexpr int kPeople = 8;
+  for (int i = 0; i < kPeople; ++i) {
+    ASSERT_TRUE(system_
+                    ->AddPerson("P " + std::to_string(4800 + i),
+                                {{"telephoneNumber",
+                                  "+1 908 582 " +
+                                      std::to_string(4800 + i)}})
+                    .ok());
+  }
+  std::thread ldap_thread([this] {
+    ldap::Client client = system_->NewClient();
+    for (int i = 0; i < 40; ++i) {
+      std::string cn = "P " + std::to_string(4800 + (i % kPeople));
+      (void)client.Replace("cn=" + cn + ",ou=People,o=Lucent",
+                           "roomNumber", "L" + std::to_string(i));
+    }
+  });
+  std::thread device_thread([this] {
+    for (int i = 0; i < 40; ++i) {
+      std::string extension = std::to_string(4800 + (i % kPeople));
+      (void)system_->pbx("pbx1")->ExecuteCommand(
+          "change station " + extension + " Room D" + std::to_string(i));
+    }
+  });
+  ldap_thread.join();
+  device_thread.join();
+
+  // Quiesce: wait for the queue to drain, then verify convergence.
+  ldap::Client client = system_->NewClient();
+  EXPECT_TRUE(Eventually([&] {
+    for (int i = 0; i < kPeople; ++i) {
+      std::string extension = std::to_string(4800 + i);
+      auto entry = client.Get("cn=P " + extension +
+                              ",ou=People,o=Lucent");
+      auto station = system_->pbx("pbx1")->GetRecord(extension);
+      if (!entry.ok() || !station.ok()) return false;
+      if (entry->GetFirst("roomNumber") != station->GetFirst("Room")) {
+        return false;
+      }
+    }
+    return true;
+  }));
+}
+
+TEST_F(ThreadedTest, SynchronizeWhileClientsKeepWriting) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(system_
+                    ->AddPerson("S " + std::to_string(4700 + i),
+                                {{"telephoneNumber",
+                                  "+1 908 582 " +
+                                      std::to_string(4700 + i)}})
+                    .ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> write_errors{0};
+  std::thread writer([this, &stop, &write_errors] {
+    ldap::Client client = system_->NewClient();
+    int i = 0;
+    while (!stop.load()) {
+      Status status = client.Replace(
+          "cn=S " + std::to_string(4700 + (i % 10)) +
+              ",ou=People,o=Lucent",
+          "roomNumber", "W" + std::to_string(i));
+      // Quiesce windows may bounce the update; both outcomes are
+      // legitimate (the client retries in real deployments).
+      if (!status.ok() && status.code() != StatusCode::kConflict &&
+          status.code() != StatusCode::kDeadlineExceeded) {
+        write_errors.fetch_add(1);
+      }
+      ++i;
+    }
+  });
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(system_->update_manager().Synchronize("pbx1").ok());
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(write_errors.load(), 0);
+  EXPECT_FALSE(system_->gateway().IsQuiesced());
+}
+
+TEST_F(ThreadedTest, StopAndRestartCoordinator) {
+  ASSERT_TRUE(system_
+                  ->AddPerson("John Doe",
+                              {{"telephoneNumber", "+1 908 582 4567"}})
+                  .ok());
+  system_->update_manager().Stop();
+  // DDU submitted while the coordinator is down: the submitting thread
+  // enqueues (locks held) — restart drains it. NOTE: Stop() closes the
+  // queue, so a restart needs a fresh start; this documents current
+  // semantics: after Stop, queued items are dropped and resync is the
+  // recovery path (the UM-crash story of §4.4).
+  ASSERT_TRUE(system_->update_manager().Synchronize("pbx1").ok());
+}
+
+}  // namespace
+}  // namespace metacomm::core

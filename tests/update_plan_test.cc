@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/integrated_schema.h"
+#include "core/metacomm.h"
+
+namespace metacomm::core {
+namespace {
+
+using lexpress::DescriptorOp;
+using lexpress::UpdateDescriptor;
+
+/// Exercises the update execution plan (paper §6: "an update execution
+/// plan is generated, determining in which order the updates to the
+/// various data sources should be applied") without executing it.
+class UpdatePlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemConfig config;
+    config.pbxs = {
+        PbxMappingParams{.name = "pbx9", .extension_prefix = "9",
+                         .phone_prefix = "+1 908 582 "},
+        PbxMappingParams{.name = "pbx5", .extension_prefix = "5",
+                         .phone_prefix = "+1 908 582 "},
+    };
+    auto system = MetaCommSystem::Create(config);
+    ASSERT_TRUE(system.ok()) << system.status();
+    system_ = std::move(*system);
+  }
+
+  UpdateDescriptor PersonUpdate(DescriptorOp op, const char* old_ext,
+                                const char* new_ext) {
+    UpdateDescriptor update;
+    update.op = op;
+    update.schema = "ldap";
+    update.source = "ldap";
+    auto fill = [](lexpress::Record* record, const char* ext) {
+      record->set_schema("ldap");
+      record->SetOne("cn", "Jill Lu");
+      record->SetOne("telephoneNumber",
+                     std::string("+1 908 582 ") + ext);
+    };
+    if (old_ext != nullptr) fill(&update.old_record, old_ext);
+    if (new_ext != nullptr) fill(&update.new_record, new_ext);
+    if (new_ext != nullptr) {
+      update.new_record.SetOne(kLastUpdaterAttr, "ldap");
+    }
+    return update;
+  }
+
+  /// Repository sequence of the plan ops, e.g. {"ldap","pbx9","mp1"}.
+  static std::vector<std::string> Repos(const UpdatePlan& plan) {
+    std::vector<std::string> out;
+    for (const PlannedOp& op : plan.ops) out.push_back(op.repository);
+    return out;
+  }
+
+  std::unique_ptr<MetaCommSystem> system_;
+};
+
+TEST_F(UpdatePlanTest, AddFansOutToOwningPartitionOnly) {
+  auto plan = system_->update_manager().PlanUpdate(
+      PersonUpdate(DescriptorOp::kAdd, nullptr, "9123"),
+      /*ldap_current=*/false);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(Repos(*plan),
+            (std::vector<std::string>{"ldap", "pbx9", "mp1"}));
+  for (const PlannedOp& op : plan->ops) {
+    if (op.repository != "ldap") {
+      EXPECT_EQ(op.update.op, DescriptorOp::kAdd);
+      EXPECT_FALSE(op.update.conditional);
+    }
+  }
+  // The closure derived the device-facing attributes.
+  EXPECT_EQ(plan->final_ldap.GetFirst("DefinityExtension"), "9123");
+  EXPECT_EQ(plan->final_ldap.GetFirst("MpMailboxNumber"), "9123");
+}
+
+TEST_F(UpdatePlanTest, DirectoryWriteComesFirst) {
+  auto plan = system_->update_manager().PlanUpdate(
+      PersonUpdate(DescriptorOp::kModify, "9123", "9124"),
+      /*ldap_current=*/true);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan->ops.empty());
+  EXPECT_EQ(plan->ops.front().repository, "ldap");
+  // Path A: directory already current -> the view op is conditional
+  // (idempotent re-apply).
+  EXPECT_TRUE(plan->ops.front().update.conditional);
+}
+
+TEST_F(UpdatePlanTest, PartitionMovePlansDeleteThenAdd) {
+  // The §4.2 example: a telephone-number change that moves the person
+  // from pbx9's dial plan to pbx5's becomes a deletion at one switch
+  // and an add at the other.
+  auto plan = system_->update_manager().PlanUpdate(
+      PersonUpdate(DescriptorOp::kModify, "9123", "5123"),
+      /*ldap_current=*/true);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->ops.size(), 4u) << plan->ToString();
+  EXPECT_EQ(plan->ops[0].repository, "ldap");
+  EXPECT_EQ(plan->ops[1].repository, "pbx9");
+  EXPECT_EQ(plan->ops[1].update.op, DescriptorOp::kDelete);
+  EXPECT_EQ(plan->ops[2].repository, "pbx5");
+  EXPECT_EQ(plan->ops[2].update.op, DescriptorOp::kAdd);
+  EXPECT_EQ(plan->ops[3].repository, "mp1");
+  EXPECT_EQ(plan->ops[3].update.op, DescriptorOp::kModify);
+}
+
+TEST_F(UpdatePlanTest, DeletePlansDeprovisionEverywhere) {
+  auto plan = system_->update_manager().PlanUpdate(
+      PersonUpdate(DescriptorOp::kDelete, "9123", nullptr),
+      /*ldap_current=*/false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(Repos(*plan),
+            (std::vector<std::string>{"ldap", "pbx9", "mp1"}));
+  for (const PlannedOp& op : plan->ops) {
+    EXPECT_EQ(op.update.op, DescriptorOp::kDelete);
+  }
+  // Path A delete (already gone from the view): no ldap op planned.
+  plan = system_->update_manager().PlanUpdate(
+      PersonUpdate(DescriptorOp::kDelete, "9123", nullptr),
+      /*ldap_current=*/true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(Repos(*plan), (std::vector<std::string>{"pbx9", "mp1"}));
+}
+
+TEST_F(UpdatePlanTest, OriginatorOpIsMarkedConditional) {
+  // A device-originated update plans a conditional reapplication to
+  // the originating switch (§5.4).
+  UpdateDescriptor update =
+      PersonUpdate(DescriptorOp::kModify, "9123", "9123");
+  update.source = "pbx9";
+  update.new_record.SetOne("roomNumber", "1A-1");
+  update.new_record.SetOne(kLastUpdaterAttr, "pbx9");
+  update.explicit_attrs.insert("roomNumber");
+
+  auto plan = system_->update_manager().PlanUpdate(update,
+                                                   /*ldap_current=*/false);
+  ASSERT_TRUE(plan.ok());
+  bool saw_conditional_pbx9 = false;
+  for (const PlannedOp& op : plan->ops) {
+    if (op.repository == "pbx9") {
+      saw_conditional_pbx9 = op.update.conditional;
+    } else if (op.repository == "mp1") {
+      EXPECT_FALSE(op.update.conditional);
+    }
+  }
+  EXPECT_TRUE(saw_conditional_pbx9) << plan->ToString();
+}
+
+TEST_F(UpdatePlanTest, SkippedRepositoriesAbsentFromPlan) {
+  // Outside both switch partitions: only the directory and the MP
+  // (which accepts any telephone number) appear.
+  auto plan = system_->update_manager().PlanUpdate(
+      PersonUpdate(DescriptorOp::kAdd, nullptr, "7123"),
+      /*ldap_current=*/false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(Repos(*plan), (std::vector<std::string>{"ldap", "mp1"}));
+}
+
+TEST_F(UpdatePlanTest, ToStringIsReadable) {
+  auto plan = system_->update_manager().PlanUpdate(
+      PersonUpdate(DescriptorOp::kModify, "9123", "5123"),
+      /*ldap_current=*/true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->ToString(),
+            "modify@ldap? -> delete@pbx9 -> add@pbx5 -> modify@mp1");
+}
+
+TEST_F(UpdatePlanTest, ClosureFixpointFailureSurfaces) {
+  SystemConfig config;
+  config.um.closure_max_iterations = 0;  // Force immediate cap.
+  auto system = MetaCommSystem::Create(config);
+  ASSERT_TRUE(system.ok());
+  auto plan = (*system)->update_manager().PlanUpdate(
+      PersonUpdate(DescriptorOp::kAdd, nullptr, "9123"),
+      /*ldap_current=*/false);
+  EXPECT_EQ(plan.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace metacomm::core
