@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddu_convergence.dir/bench_ddu_convergence.cc.o"
+  "CMakeFiles/bench_ddu_convergence.dir/bench_ddu_convergence.cc.o.d"
+  "bench_ddu_convergence"
+  "bench_ddu_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddu_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gateway_vs_library.dir/bench_gateway_vs_library.cc.o"
+  "CMakeFiles/bench_gateway_vs_library.dir/bench_gateway_vs_library.cc.o.d"
+  "bench_gateway_vs_library"
+  "bench_gateway_vs_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gateway_vs_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

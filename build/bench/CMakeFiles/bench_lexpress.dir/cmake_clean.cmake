@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lexpress.dir/bench_lexpress.cc.o"
+  "CMakeFiles/bench_lexpress.dir/bench_lexpress.cc.o.d"
+  "bench_lexpress"
+  "bench_lexpress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lexpress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

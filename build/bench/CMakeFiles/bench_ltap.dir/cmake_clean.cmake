@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ltap.dir/bench_ltap.cc.o"
+  "CMakeFiles/bench_ltap.dir/bench_ltap.cc.o.d"
+  "bench_ltap"
+  "bench_ltap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ltap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

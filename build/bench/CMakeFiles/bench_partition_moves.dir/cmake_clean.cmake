@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_moves.dir/bench_partition_moves.cc.o"
+  "CMakeFiles/bench_partition_moves.dir/bench_partition_moves.cc.o.d"
+  "bench_partition_moves"
+  "bench_partition_moves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

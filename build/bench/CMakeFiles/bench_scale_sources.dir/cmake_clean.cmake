@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_sources.dir/bench_scale_sources.cc.o"
+  "CMakeFiles/bench_scale_sources.dir/bench_scale_sources.cc.o.d"
+  "bench_scale_sources"
+  "bench_scale_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_paths.dir/bench_update_paths.cc.o"
+  "CMakeFiles/bench_update_paths.dir/bench_update_paths.cc.o.d"
+  "bench_update_paths"
+  "bench_update_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

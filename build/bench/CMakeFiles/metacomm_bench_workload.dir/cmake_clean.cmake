@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacomm_bench_workload.dir/workload.cc.o"
+  "CMakeFiles/metacomm_bench_workload.dir/workload.cc.o.d"
+  "libmetacomm_bench_workload.a"
+  "libmetacomm_bench_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacomm_bench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

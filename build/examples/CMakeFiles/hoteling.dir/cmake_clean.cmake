@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoteling.dir/hoteling.cpp.o"
+  "CMakeFiles/hoteling.dir/hoteling.cpp.o.d"
+  "hoteling"
+  "hoteling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoteling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacomm_common.dir/clock.cc.o"
+  "CMakeFiles/metacomm_common.dir/clock.cc.o.d"
+  "CMakeFiles/metacomm_common.dir/logging.cc.o"
+  "CMakeFiles/metacomm_common.dir/logging.cc.o.d"
+  "CMakeFiles/metacomm_common.dir/random.cc.o"
+  "CMakeFiles/metacomm_common.dir/random.cc.o.d"
+  "CMakeFiles/metacomm_common.dir/status.cc.o"
+  "CMakeFiles/metacomm_common.dir/status.cc.o.d"
+  "CMakeFiles/metacomm_common.dir/strings.cc.o"
+  "CMakeFiles/metacomm_common.dir/strings.cc.o.d"
+  "libmetacomm_common.a"
+  "libmetacomm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacomm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/device_filter.cc" "src/core/CMakeFiles/metacomm_core.dir/device_filter.cc.o" "gcc" "src/core/CMakeFiles/metacomm_core.dir/device_filter.cc.o.d"
+  "/root/repo/src/core/integrated_schema.cc" "src/core/CMakeFiles/metacomm_core.dir/integrated_schema.cc.o" "gcc" "src/core/CMakeFiles/metacomm_core.dir/integrated_schema.cc.o.d"
+  "/root/repo/src/core/ldap_filter.cc" "src/core/CMakeFiles/metacomm_core.dir/ldap_filter.cc.o" "gcc" "src/core/CMakeFiles/metacomm_core.dir/ldap_filter.cc.o.d"
+  "/root/repo/src/core/mapping_gen.cc" "src/core/CMakeFiles/metacomm_core.dir/mapping_gen.cc.o" "gcc" "src/core/CMakeFiles/metacomm_core.dir/mapping_gen.cc.o.d"
+  "/root/repo/src/core/metacomm.cc" "src/core/CMakeFiles/metacomm_core.dir/metacomm.cc.o" "gcc" "src/core/CMakeFiles/metacomm_core.dir/metacomm.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/metacomm_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/metacomm_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/protocol_converters.cc" "src/core/CMakeFiles/metacomm_core.dir/protocol_converters.cc.o" "gcc" "src/core/CMakeFiles/metacomm_core.dir/protocol_converters.cc.o.d"
+  "/root/repo/src/core/update_manager.cc" "src/core/CMakeFiles/metacomm_core.dir/update_manager.cc.o" "gcc" "src/core/CMakeFiles/metacomm_core.dir/update_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ltap/CMakeFiles/metacomm_ltap.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexpress/CMakeFiles/metacomm_lexpress.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/metacomm_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldap/CMakeFiles/metacomm_ldap.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metacomm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

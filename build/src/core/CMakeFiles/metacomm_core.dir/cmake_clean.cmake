@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacomm_core.dir/device_filter.cc.o"
+  "CMakeFiles/metacomm_core.dir/device_filter.cc.o.d"
+  "CMakeFiles/metacomm_core.dir/integrated_schema.cc.o"
+  "CMakeFiles/metacomm_core.dir/integrated_schema.cc.o.d"
+  "CMakeFiles/metacomm_core.dir/ldap_filter.cc.o"
+  "CMakeFiles/metacomm_core.dir/ldap_filter.cc.o.d"
+  "CMakeFiles/metacomm_core.dir/mapping_gen.cc.o"
+  "CMakeFiles/metacomm_core.dir/mapping_gen.cc.o.d"
+  "CMakeFiles/metacomm_core.dir/metacomm.cc.o"
+  "CMakeFiles/metacomm_core.dir/metacomm.cc.o.d"
+  "CMakeFiles/metacomm_core.dir/monitor.cc.o"
+  "CMakeFiles/metacomm_core.dir/monitor.cc.o.d"
+  "CMakeFiles/metacomm_core.dir/protocol_converters.cc.o"
+  "CMakeFiles/metacomm_core.dir/protocol_converters.cc.o.d"
+  "CMakeFiles/metacomm_core.dir/update_manager.cc.o"
+  "CMakeFiles/metacomm_core.dir/update_manager.cc.o.d"
+  "libmetacomm_core.a"
+  "libmetacomm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacomm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/definity_pbx.cc" "src/devices/CMakeFiles/metacomm_devices.dir/definity_pbx.cc.o" "gcc" "src/devices/CMakeFiles/metacomm_devices.dir/definity_pbx.cc.o.d"
+  "/root/repo/src/devices/messaging_platform.cc" "src/devices/CMakeFiles/metacomm_devices.dir/messaging_platform.cc.o" "gcc" "src/devices/CMakeFiles/metacomm_devices.dir/messaging_platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lexpress/CMakeFiles/metacomm_lexpress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metacomm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacomm_devices.dir/definity_pbx.cc.o"
+  "CMakeFiles/metacomm_devices.dir/definity_pbx.cc.o.d"
+  "CMakeFiles/metacomm_devices.dir/messaging_platform.cc.o"
+  "CMakeFiles/metacomm_devices.dir/messaging_platform.cc.o.d"
+  "libmetacomm_devices.a"
+  "libmetacomm_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacomm_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

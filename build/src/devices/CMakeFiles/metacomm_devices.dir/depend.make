@@ -1,0 +1,2 @@
+# Empty dependencies file for metacomm_devices.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ldap/access.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/access.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/access.cc.o.d"
+  "/root/repo/src/ldap/attribute.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/attribute.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/attribute.cc.o.d"
+  "/root/repo/src/ldap/backend.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/backend.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/backend.cc.o.d"
+  "/root/repo/src/ldap/client.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/client.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/client.cc.o.d"
+  "/root/repo/src/ldap/dn.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/dn.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/dn.cc.o.d"
+  "/root/repo/src/ldap/entry.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/entry.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/entry.cc.o.d"
+  "/root/repo/src/ldap/filter.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/filter.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/filter.cc.o.d"
+  "/root/repo/src/ldap/ldif.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/ldif.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/ldif.cc.o.d"
+  "/root/repo/src/ldap/persistence.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/persistence.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/persistence.cc.o.d"
+  "/root/repo/src/ldap/replication.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/replication.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/replication.cc.o.d"
+  "/root/repo/src/ldap/schema.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/schema.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/schema.cc.o.d"
+  "/root/repo/src/ldap/server.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/server.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/server.cc.o.d"
+  "/root/repo/src/ldap/text_protocol.cc" "src/ldap/CMakeFiles/metacomm_ldap.dir/text_protocol.cc.o" "gcc" "src/ldap/CMakeFiles/metacomm_ldap.dir/text_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/metacomm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacomm_ldap.dir/access.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/access.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/attribute.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/attribute.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/backend.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/backend.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/client.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/client.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/dn.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/dn.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/entry.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/entry.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/filter.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/filter.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/ldif.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/ldif.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/persistence.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/persistence.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/replication.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/replication.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/schema.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/schema.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/server.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/server.cc.o.d"
+  "CMakeFiles/metacomm_ldap.dir/text_protocol.cc.o"
+  "CMakeFiles/metacomm_ldap.dir/text_protocol.cc.o.d"
+  "libmetacomm_ldap.a"
+  "libmetacomm_ldap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacomm_ldap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

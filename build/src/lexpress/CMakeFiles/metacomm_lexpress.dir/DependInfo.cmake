@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lexpress/bytecode.cc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/bytecode.cc.o" "gcc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/bytecode.cc.o.d"
+  "/root/repo/src/lexpress/closure.cc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/closure.cc.o" "gcc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/closure.cc.o.d"
+  "/root/repo/src/lexpress/compiler.cc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/compiler.cc.o" "gcc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/compiler.cc.o.d"
+  "/root/repo/src/lexpress/lexer.cc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/lexer.cc.o" "gcc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/lexer.cc.o.d"
+  "/root/repo/src/lexpress/mapping.cc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/mapping.cc.o" "gcc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/mapping.cc.o.d"
+  "/root/repo/src/lexpress/parser.cc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/parser.cc.o" "gcc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/parser.cc.o.d"
+  "/root/repo/src/lexpress/record.cc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/record.cc.o" "gcc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/record.cc.o.d"
+  "/root/repo/src/lexpress/vm.cc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/vm.cc.o" "gcc" "src/lexpress/CMakeFiles/metacomm_lexpress.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/metacomm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacomm_lexpress.dir/bytecode.cc.o"
+  "CMakeFiles/metacomm_lexpress.dir/bytecode.cc.o.d"
+  "CMakeFiles/metacomm_lexpress.dir/closure.cc.o"
+  "CMakeFiles/metacomm_lexpress.dir/closure.cc.o.d"
+  "CMakeFiles/metacomm_lexpress.dir/compiler.cc.o"
+  "CMakeFiles/metacomm_lexpress.dir/compiler.cc.o.d"
+  "CMakeFiles/metacomm_lexpress.dir/lexer.cc.o"
+  "CMakeFiles/metacomm_lexpress.dir/lexer.cc.o.d"
+  "CMakeFiles/metacomm_lexpress.dir/mapping.cc.o"
+  "CMakeFiles/metacomm_lexpress.dir/mapping.cc.o.d"
+  "CMakeFiles/metacomm_lexpress.dir/parser.cc.o"
+  "CMakeFiles/metacomm_lexpress.dir/parser.cc.o.d"
+  "CMakeFiles/metacomm_lexpress.dir/record.cc.o"
+  "CMakeFiles/metacomm_lexpress.dir/record.cc.o.d"
+  "CMakeFiles/metacomm_lexpress.dir/vm.cc.o"
+  "CMakeFiles/metacomm_lexpress.dir/vm.cc.o.d"
+  "libmetacomm_lexpress.a"
+  "libmetacomm_lexpress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacomm_lexpress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

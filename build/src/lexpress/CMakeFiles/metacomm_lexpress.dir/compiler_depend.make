@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for metacomm_lexpress.
+# This may be replaced when dependencies are built.

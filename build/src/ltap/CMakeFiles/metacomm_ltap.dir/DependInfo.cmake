@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ltap/gateway.cc" "src/ltap/CMakeFiles/metacomm_ltap.dir/gateway.cc.o" "gcc" "src/ltap/CMakeFiles/metacomm_ltap.dir/gateway.cc.o.d"
+  "/root/repo/src/ltap/lock_table.cc" "src/ltap/CMakeFiles/metacomm_ltap.dir/lock_table.cc.o" "gcc" "src/ltap/CMakeFiles/metacomm_ltap.dir/lock_table.cc.o.d"
+  "/root/repo/src/ltap/trigger.cc" "src/ltap/CMakeFiles/metacomm_ltap.dir/trigger.cc.o" "gcc" "src/ltap/CMakeFiles/metacomm_ltap.dir/trigger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ldap/CMakeFiles/metacomm_ldap.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metacomm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacomm_ltap.dir/gateway.cc.o"
+  "CMakeFiles/metacomm_ltap.dir/gateway.cc.o.d"
+  "CMakeFiles/metacomm_ltap.dir/lock_table.cc.o"
+  "CMakeFiles/metacomm_ltap.dir/lock_table.cc.o.d"
+  "CMakeFiles/metacomm_ltap.dir/trigger.cc.o"
+  "CMakeFiles/metacomm_ltap.dir/trigger.cc.o.d"
+  "libmetacomm_ltap.a"
+  "libmetacomm_ltap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacomm_ltap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_model_test.dir/backend_model_test.cc.o"
+  "CMakeFiles/backend_model_test.dir/backend_model_test.cc.o.d"
+  "backend_model_test"
+  "backend_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_infra_test.dir/common_infra_test.cc.o"
+  "CMakeFiles/common_infra_test.dir/common_infra_test.cc.o.d"
+  "common_infra_test"
+  "common_infra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_infra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_filter_parse_test.dir/ldap_filter_parse_test.cc.o"
+  "CMakeFiles/ldap_filter_parse_test.dir/ldap_filter_parse_test.cc.o.d"
+  "ldap_filter_parse_test"
+  "ldap_filter_parse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_filter_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

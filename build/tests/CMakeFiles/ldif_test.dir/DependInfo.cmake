@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ldif_test.cc" "tests/CMakeFiles/ldif_test.dir/ldif_test.cc.o" "gcc" "tests/CMakeFiles/ldif_test.dir/ldif_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/metacomm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltap/CMakeFiles/metacomm_ltap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldap/CMakeFiles/metacomm_ldap.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/metacomm_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexpress/CMakeFiles/metacomm_lexpress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metacomm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldif_test.dir/ldif_test.cc.o"
+  "CMakeFiles/ldif_test.dir/ldif_test.cc.o.d"
+  "ldif_test"
+  "ldif_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexpress_closure_test.dir/lexpress_closure_test.cc.o"
+  "CMakeFiles/lexpress_closure_test.dir/lexpress_closure_test.cc.o.d"
+  "lexpress_closure_test"
+  "lexpress_closure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexpress_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexpress_dirty_data_test.dir/lexpress_dirty_data_test.cc.o"
+  "CMakeFiles/lexpress_dirty_data_test.dir/lexpress_dirty_data_test.cc.o.d"
+  "lexpress_dirty_data_test"
+  "lexpress_dirty_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexpress_dirty_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

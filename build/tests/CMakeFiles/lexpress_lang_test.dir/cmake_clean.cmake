@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexpress_lang_test.dir/lexpress_lang_test.cc.o"
+  "CMakeFiles/lexpress_lang_test.dir/lexpress_lang_test.cc.o.d"
+  "lexpress_lang_test"
+  "lexpress_lang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexpress_lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

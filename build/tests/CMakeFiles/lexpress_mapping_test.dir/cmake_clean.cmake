@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexpress_mapping_test.dir/lexpress_mapping_test.cc.o"
+  "CMakeFiles/lexpress_mapping_test.dir/lexpress_mapping_test.cc.o.d"
+  "lexpress_mapping_test"
+  "lexpress_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexpress_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexpress_vm_test.dir/lexpress_vm_test.cc.o"
+  "CMakeFiles/lexpress_vm_test.dir/lexpress_vm_test.cc.o.d"
+  "lexpress_vm_test"
+  "lexpress_vm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexpress_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lexpress_vm_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltap_test.dir/ltap_test.cc.o"
+  "CMakeFiles/ltap_test.dir/ltap_test.cc.o.d"
+  "ltap_test"
+  "ltap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

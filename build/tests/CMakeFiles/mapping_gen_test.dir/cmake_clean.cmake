@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_gen_test.dir/mapping_gen_test.cc.o"
+  "CMakeFiles/mapping_gen_test.dir/mapping_gen_test.cc.o.d"
+  "mapping_gen_test"
+  "mapping_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

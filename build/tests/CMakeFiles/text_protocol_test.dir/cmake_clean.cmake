@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_protocol_test.dir/text_protocol_test.cc.o"
+  "CMakeFiles/text_protocol_test.dir/text_protocol_test.cc.o.d"
+  "text_protocol_test"
+  "text_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_plan_test.dir/update_plan_test.cc.o"
+  "CMakeFiles/update_plan_test.dir/update_plan_test.cc.o.d"
+  "update_plan_test"
+  "update_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
