@@ -1,0 +1,217 @@
+// Parallel Update Manager — propagation throughput vs worker count.
+//
+// The paper's UM serializes every update through one global queue
+// (§4.4); its convergence argument, though, only needs PER-ENTRY
+// order. The sharded UM harvests that slack: N workers, one strict
+// FIFO shard each, items routed by hash of the target DN.
+//
+// Two workloads:
+//   * multi-entry (the common case): a mixed LDAP+DDU update stream
+//     spread over many entries — throughput should scale with
+//     workers, since almost no two updates share an entry;
+//   * same-entry (the adversarial case): a DDU burst against ONE
+//     entry — no parallelism is available, and the point is that the
+//     final state is identical at every worker count (per-entry FIFO
+//     is preserved, counter `converged_to_last`).
+//
+// The `device_us` axis emulates per-update device latency (real PBX
+// terminals answer in milliseconds; the in-process simulators in
+// microseconds) via UpdateManagerConfig::artificial_processing_delay.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/workload.h"
+#include "common/clock.h"
+
+namespace metacomm::bench {
+namespace {
+
+constexpr size_t kPopulation = 96;
+constexpr size_t kDduEntries = 48;   // population[0 .. 47]: DDU targets.
+constexpr size_t kLdapEntries = 48;  // population[48 .. 95]: LDAP targets.
+constexpr int kLdapWriters = 4;
+
+int64_t NowMicros() { return RealClock::Get()->NowMicros(); }
+
+/// Polls until every (dn, extension) -> room expectation holds in both
+/// the directory and the PBX; false on timeout. Entries are dropped
+/// from the poll set as they converge (an applied update never
+/// regresses), so the checks don't keep contending with the workers
+/// for the backend once most of the population has settled.
+bool AwaitConverged(core::MetaCommSystem& system,
+                    std::map<const Person*, std::string> expected,
+                    int64_t timeout_micros) {
+  ldap::Client client = system.NewClient();
+  devices::DefinityPbx* pbx = system.pbx("pbx1");
+  int64_t start = NowMicros();
+  while (NowMicros() - start < timeout_micros) {
+    for (auto it = expected.begin(); it != expected.end();) {
+      const auto& [person, room] = *it;
+      auto entry = client.Get(person->dn);
+      auto station = pbx->GetRecord(person->extension);
+      if (entry.ok() && station.ok() &&
+          entry->GetFirst("roomNumber") == room &&
+          station->GetFirst("Room") == room) {
+        it = expected.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (expected.empty()) return true;
+    RealClock::Get()->SleepMicros(100);
+  }
+  return false;
+}
+
+/// args: [0] worker_threads, [1] emulated per-update device latency µs.
+void BM_MultiEntryMixedPropagation(benchmark::State& state) {
+  core::SystemConfig config;
+  config.um.threaded = true;
+  config.um.worker_threads = static_cast<int>(state.range(0));
+  config.um.artificial_processing_delay_micros = state.range(1);
+  WorkloadGenerator gen(7);
+  std::vector<Person> population = gen.People(kPopulation);
+  auto system = BuildPopulatedSystem(population, config);
+  devices::DefinityPbx* pbx = system->pbx("pbx1");
+
+  int seq = 0;
+  for (auto _ : state) {
+    std::map<const Person*, std::string> expected;
+    ++seq;
+    // DDU stream: one PBX command per DDU entry. Submission returns at
+    // enqueue, so this thread keeps the queue fed while the worker
+    // pool drains it in parallel.
+    std::atomic<bool> ddu_failed{false};
+    std::thread ddu_admin([&] {
+      for (size_t i = 0; i < kDduEntries; ++i) {
+        const Person& person = population[i];
+        auto reply = pbx->ExecuteCommand(
+            "change station " + person.extension + " Room D" +
+            std::to_string(seq));
+        if (!reply.ok()) ddu_failed.store(true);
+      }
+    });
+    for (size_t i = 0; i < kDduEntries; ++i) {
+      expected[&population[i]] = "D" + std::to_string(seq);
+    }
+    // LDAP stream: kLdapWriters clients over disjoint entry slices
+    // (one writer per entry keeps the expected final value exact).
+    std::atomic<bool> ldap_failed{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kLdapWriters; ++w) {
+      writers.emplace_back([&, w] {
+        ldap::Client client = system->NewClient();
+        for (size_t i = kDduEntries + w; i < kPopulation;
+             i += kLdapWriters) {
+          Status status = client.Replace(population[i].dn, "roomNumber",
+                                         "L" + std::to_string(seq));
+          if (!status.ok()) ldap_failed.store(true);
+        }
+      });
+    }
+    for (size_t i = kDduEntries; i < kPopulation; ++i) {
+      expected[&population[i]] = "L" + std::to_string(seq);
+    }
+    ddu_admin.join();
+    for (std::thread& writer : writers) writer.join();
+    if (ddu_failed.load() || ldap_failed.load()) {
+      state.SkipWithError("update submission failed");
+      return;
+    }
+    if (!AwaitConverged(*system, expected, 10'000'000)) {
+      state.SkipWithError("did not converge within 10s");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kPopulation));
+
+  core::UpdateManager::Stats stats = system->update_manager().stats();
+  uint64_t dequeued = 0;
+  uint64_t wait = 0;
+  uint64_t max_depth = 0;
+  for (const core::UpdateManager::ShardStats& shard : stats.shards) {
+    dequeued += shard.dequeued;
+    wait += shard.queue_wait_micros;
+    max_depth = std::max(max_depth, shard.max_depth);
+  }
+  state.counters["queue_wait_us_per_item"] =
+      dequeued > 0
+          ? static_cast<double>(wait) / static_cast<double>(dequeued)
+          : 0.0;
+  state.counters["max_shard_depth"] = static_cast<double>(max_depth);
+  state.counters["errors"] = static_cast<double>(stats.errors);
+  system->update_manager().Stop();
+}
+BENCHMARK(BM_MultiEntryMixedPropagation)
+    ->ArgNames({"workers", "device_us"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 200})
+    ->Args({2, 200})
+    ->Args({4, 200})
+    ->Args({8, 200})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// args: [0] worker_threads. Back-to-back DDUs against one entry: the
+/// sharded queue must behave exactly like the global queue here —
+/// identical final state, `converged_to_last` == 1.
+void BM_SameEntryDduBurst(benchmark::State& state) {
+  core::SystemConfig config;
+  config.um.threaded = true;
+  config.um.worker_threads = static_cast<int>(state.range(0));
+  WorkloadGenerator gen(7);
+  std::vector<Person> population = gen.People(kPopulation);
+  auto system = BuildPopulatedSystem(population, config);
+  devices::DefinityPbx* pbx = system->pbx("pbx1");
+  const Person& person = population[0];
+
+  constexpr int kBurst = 16;
+  int seq = 0;
+  bool all_converged_to_last = true;
+  for (auto _ : state) {
+    std::string final_room;
+    for (int i = 0; i < kBurst; ++i) {
+      final_room = "S" + std::to_string(seq++);
+      auto reply = pbx->ExecuteCommand("change station " +
+                                       person.extension + " Room " +
+                                       final_room);
+      if (!reply.ok()) {
+        state.SkipWithError(reply.status().ToString().c_str());
+        return;
+      }
+    }
+    std::map<const Person*, std::string> expected{{&person, final_room}};
+    if (!AwaitConverged(*system, expected, 5'000'000)) {
+      all_converged_to_last = false;
+      state.SkipWithError("same-entry burst lost its last update");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+  state.counters["converged_to_last"] =
+      all_converged_to_last ? 1.0 : 0.0;
+  state.counters["errors"] = static_cast<double>(
+      system->update_manager().stats().errors);
+  system->update_manager().Stop();
+}
+BENCHMARK(BM_SameEntryDduBurst)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace metacomm::bench
+
+BENCHMARK_MAIN();

@@ -74,7 +74,21 @@ Status MonitorPublisher::Refresh() {
        {"errors", um_stats.errors},
        {"undos", um_stats.undos},
        {"closureIterations", um_stats.closure_iterations},
-       {"syncs", um_stats.syncs}}));
+       {"syncs", um_stats.syncs},
+       {"lockRetries", um_stats.lock_retries},
+       {"shutdownDrained", um_stats.shutdown_drained}}));
+
+  // One monitored object per update-queue shard (cn=um-shard-N).
+  for (size_t shard = 0; shard < um_stats.shards.size(); ++shard) {
+    const UpdateManager::ShardStats& s = um_stats.shards[shard];
+    METACOMM_RETURN_IF_ERROR(
+        Publish("um-shard-" + std::to_string(shard),
+                {{"enqueued", s.enqueued},
+                 {"dequeued", s.dequeued},
+                 {"depth", s.depth},
+                 {"maxDepth", s.max_depth},
+                 {"queueWaitMicros", s.queue_wait_micros}}));
+  }
 
   return Publish("directory",
                  {{"entries", server_->backend().Size()},

@@ -28,8 +28,12 @@ lexpress::Record MergeRecords(const lexpress::Record& base,
 UpdateManager::UpdateManager(ltap::LtapGateway* gateway,
                              LdapFilter* ldap_filter,
                              UpdateManagerConfig config)
-    : gateway_(gateway), ldap_filter_(ldap_filter), config_(config) {
+    : gateway_(gateway),
+      ldap_filter_(ldap_filter),
+      config_(config),
+      queue_(static_cast<size_t>(std::max(1, config.worker_threads))) {
   um_session_ = gateway_->NewSession();
+  stats_.shards.resize(queue_.shard_count());
 }
 
 UpdateManager::~UpdateManager() { Stop(); }
@@ -63,34 +67,81 @@ Status UpdateManager::InstallTrigger(const std::string& base_dn) {
 }
 
 void UpdateManager::Start() {
-  if (!config_.threaded || running_.load()) return;
-  running_.store(true);
-  coordinator_ = std::thread([this] { CoordinatorLoop(); });
+  if (!config_.threaded) return;
+  if (running_.exchange(true)) return;
+  // "The main thread of the UM, the coordinator, iterates through the
+  // global update queue" (§4.4). worker_threads=1 reproduces that
+  // single coordinator; more workers keep one strict FIFO per shard,
+  // which is all the §4.4 convergence argument needs — it reasons
+  // about the order of updates to one entry, never across entries.
+  workers_.reserve(queue_.shard_count());
+  for (size_t shard = 0; shard < queue_.shard_count(); ++shard) {
+    workers_.emplace_back([this, shard] { WorkerLoop(shard); });
+  }
 }
 
 void UpdateManager::Stop() {
-  if (!running_.load()) return;
-  running_.store(false);
+  if (!running_.exchange(false)) return;
   queue_.Close();
-  if (coordinator_.joinable()) coordinator_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // The queue died with items still in it: release their entry locks
+  // and fail their callers, instead of leaving locks held forever and
+  // threaded OnUpdate callers hanging in done.get().
+  std::vector<WorkItem> abandoned = queue_.Drain();
+  for (WorkItem& item : abandoned) {
+    ReleaseLocks(item.locked, item.lock_session);
+    if (item.done) {
+      item.done->set_value(
+          Status::Unavailable("update manager is shut down"));
+    }
+  }
+  if (!abandoned.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.shutdown_drained += abandoned.size();
+  }
 }
 
-void UpdateManager::CoordinatorLoop() {
-  // "The main thread of the UM, the coordinator, iterates through the
-  // global update queue" (§4.4).
+void UpdateManager::WorkerLoop(size_t shard) {
   while (true) {
-    std::optional<WorkItem> item = queue_.Pop();
-    if (!item.has_value()) return;  // Closed and drained.
+    std::optional<WorkItem> item = queue_.Pop(shard);
+    if (!item.has_value()) return;  // Closed; Stop() reclaims the rest.
+    RecordDequeue(*item);
     Status status = ProcessItem(*item);
     if (item->done) item->done->set_value(status);
+  }
+}
+
+bool UpdateManager::Enqueue(WorkItem item) {
+  item.enqueue_micros = RealClock::Get()->NowMicros();
+  size_t shard = item.shard;
+  if (!queue_.Push(shard, std::move(item))) return false;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ShardStats& stats = stats_.shards[shard];
+  ++stats.enqueued;
+  stats.max_depth =
+      std::max<uint64_t>(stats.max_depth, queue_.Depth(shard));
+  return true;
+}
+
+void UpdateManager::RecordDequeue(const WorkItem& item) {
+  int64_t waited = RealClock::Get()->NowMicros() - item.enqueue_micros;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ShardStats& stats = stats_.shards[item.shard];
+  ++stats.dequeued;
+  if (waited > 0) {
+    stats.queue_wait_micros += static_cast<uint64_t>(waited);
   }
 }
 
 size_t UpdateManager::Pump() {
   size_t processed = 0;
   while (true) {
-    std::optional<WorkItem> item = queue_.TryPop();
+    std::optional<WorkItem> item = queue_.TryPopAny();
     if (!item.has_value()) break;
+    RecordDequeue(*item);
     Status status = ProcessItem(*item);
     if (item->done) item->done->set_value(status);
     ++processed;
@@ -112,11 +163,18 @@ void UpdateManager::SubmitDeviceUpdate(lexpress::UpdateDescriptor update) {
     }
     if (!prepared->has_value()) return;  // Routed nowhere.
     WorkItem item = std::move(**prepared);
+    // Same-entry FIFO: the shard is chosen from the first (normalized,
+    // sorted) locked DN, so every update touching that entry lands on
+    // the same worker. DN-less items carry no ordering constraint.
+    item.shard = item.locked.empty()
+                     ? queue_.NextShard()
+                     : queue_.ShardFor(item.locked.front().Normalized());
     std::vector<ldap::Dn> locked = item.locked;
-    if (!queue_.Push(std::move(item))) {
-      // Coordinator already stopped (UM shutdown/crash): the update is
+    uint64_t lock_session = item.lock_session;
+    if (!Enqueue(std::move(item))) {
+      // Workers already stopped (UM shutdown/crash): the update is
       // lost until resynchronization — the §4.4 recovery story.
-      ReleaseLocks(locked);
+      ReleaseLocks(locked, lock_session);
     }
     return;
   }
@@ -152,12 +210,15 @@ Status UpdateManager::OnUpdate(
   }
   // Threaded: enqueue and wait — LTAP must not reply to the client
   // until the UM "completes the update sequence and notifies LTAP"
-  // (§4.4).
+  // (§4.4). Routed by the updated entry's DN: a later update to the
+  // same entry (the client holds its lock until we return, so it can
+  // only be later) queues behind this one on the same shard.
   WorkItem item;
   item.descriptor = std::move(descriptor).value();
+  item.shard = queue_.ShardFor(notification.dn.Normalized());
   item.done = std::make_shared<std::promise<Status>>();
   std::future<Status> done = item.done->get_future();
-  if (!queue_.Push(std::move(item))) {
+  if (!Enqueue(std::move(item))) {
     return Status::Unavailable("update manager is shut down");
   }
   return done.get();
@@ -292,28 +353,92 @@ UpdateManager::PrepareDeviceUpdate(
             });
 
   WorkItem item;
-  item.descriptor = std::move(ldap_update);
   item.prepared = true;
+  // One fresh LTAP session per work item. Locking under a session
+  // shared by every DDU (the old um_session_) made LockTable::Acquire
+  // treat two concurrent DDUs on the same entry as one re-entrant
+  // owner — both "held" the lock and raced.
+  item.lock_session = gateway_->NewSession();
   for (const ldap::Dn& dn : to_lock) {
-    Status status = gateway_->LockEntry(dn, um_session_);
+    Status status = AcquireEntryLock(dn, item.lock_session);
     if (!status.ok()) {
-      ReleaseLocks(item.locked);
+      ReleaseLocks(item.locked, item.lock_session);
       return status;
     }
     item.locked.push_back(dn);
   }
+
+  item.descriptor = std::move(ldap_update);
   return std::optional<WorkItem>(std::move(item));
 }
 
-void UpdateManager::ReleaseLocks(const std::vector<ldap::Dn>& locked) {
+lexpress::UpdateDescriptor UpdateManager::HydrateDeviceUpdate(
+    lexpress::UpdateDescriptor update) {
+  // The device reports only the attributes it holds; hydrate both
+  // images with the directory's current entry. Without this, fan-out
+  // to the OTHER devices carries an image missing every attribute this
+  // device never knew — and full-image repository writes then clear
+  // them (a PBX room change would erase the messaging platform's Pin).
+  // Attributes the administrator removed at the device stay removed.
+  //
+  // Runs on the worker, not the submitting device thread: the item has
+  // held its entry lock since prepare, so the image read here is the
+  // same FIFO-stable one — and the lookup cost lands on the parallel
+  // side of the queue instead of the administrator's terminal.
+  if (update.op == lexpress::DescriptorOp::kDelete) return update;
+  const std::string& key_attr = ldap_filter_->key_attr();
+  std::string key = update.old_record.GetFirst(key_attr);
+  if (key.empty()) key = update.new_record.GetFirst(key_attr);
+  if (key.empty()) return update;
+  StatusOr<std::optional<ldap::Entry>> current =
+      ldap_filter_->FindByKey(key);
+  if (!current.ok() || !current->has_value()) return update;
+  lexpress::Record image = ldap_filter_->ToRecord(**current);
+  lexpress::Record merged_new = MergeRecords(image, update.new_record);
+  for (const auto& [attr, value] : update.old_record.attrs()) {
+    if (!update.new_record.Has(attr)) merged_new.Remove(attr);
+  }
+  update.old_record = MergeRecords(image, update.old_record);
+  update.new_record = std::move(merged_new);
+  return update;
+}
+
+Status UpdateManager::AcquireEntryLock(const ldap::Dn& dn,
+                                       uint64_t session) {
+  Status status = gateway_->LockEntry(dn, session);
+  for (int attempt = 0; attempt < config_.ddu_lock_retries; ++attempt) {
+    if (status.ok() || (status.code() != StatusCode::kConflict &&
+                        status.code() != StatusCode::kDeadlineExceeded)) {
+      break;
+    }
+    // The holder is usually a client write or another DDU one
+    // propagation round away from finishing: back off (doubling per
+    // attempt) instead of dropping the device update on the floor.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.lock_retries;
+    }
+    // Doubling, capped at 64x so long retry budgets poll steadily
+    // instead of sleeping for geometric ages.
+    int64_t backoff = config_.ddu_lock_retry_backoff_micros
+                      << std::min(attempt, 6);
+    if (backoff > 0) RealClock::Get()->SleepMicros(backoff);
+    status = gateway_->LockEntry(dn, session);
+  }
+  return status;
+}
+
+void UpdateManager::ReleaseLocks(const std::vector<ldap::Dn>& locked,
+                                 uint64_t session) {
   for (auto it = locked.rbegin(); it != locked.rend(); ++it) {
-    gateway_->UnlockEntry(*it, um_session_);
+    gateway_->UnlockEntry(*it, session);
   }
 }
 
 Status UpdateManager::FinishDeviceUpdate(const WorkItem& item) {
-  Status status = Propagate(item.descriptor, /*ldap_current=*/false);
-  ReleaseLocks(item.locked);
+  Status status = Propagate(HydrateDeviceUpdate(item.descriptor),
+                            /*ldap_current=*/false);
+  ReleaseLocks(item.locked, item.lock_session);
   return status;
 }
 
@@ -755,7 +880,11 @@ Status UpdateManager::SynchronizeAll() {
 
 UpdateManager::Stats UpdateManager::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  Stats snapshot = stats_;
+  for (size_t shard = 0; shard < snapshot.shards.size(); ++shard) {
+    snapshot.shards[shard].depth = queue_.Depth(shard);
+  }
+  return snapshot;
 }
 
 }  // namespace metacomm::core

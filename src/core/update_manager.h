@@ -11,7 +11,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/blocking_queue.h"
+#include "common/sharded_blocking_queue.h"
 #include "core/ldap_filter.h"
 #include "core/repository_filter.h"
 #include "lexpress/closure.h"
@@ -21,11 +21,24 @@ namespace metacomm::core {
 
 /// Update Manager tuning.
 struct UpdateManagerConfig {
-  /// true: a coordinator thread drains the global queue (production
-  /// shape). false: callers drive processing synchronously — trigger
+  /// true: worker threads drain the update queue (production shape).
+  /// false: callers drive processing synchronously — trigger
   /// notifications process inline and Pump() drains queued DDUs —
   /// which is what the deterministic tests and benches use.
   bool threaded = false;
+  /// Number of update workers (threaded mode). Each worker owns one
+  /// shard of the update queue; items route to shards by the hash of
+  /// their normalized target DN, so updates to the SAME entry stay
+  /// strictly FIFO while updates to different entries propagate in
+  /// parallel. 1 reproduces the paper's single global coordinator.
+  int worker_threads = 1;
+  /// How many times a DDU retries a contended entry lock before the
+  /// update is dropped and the §4.4 error entry is logged. Without
+  /// retries, a device update racing a client LDAP write on a
+  /// zero-timeout gateway is lost instead of serialized behind it.
+  int ddu_lock_retries = 3;
+  /// Base backoff between DDU lock retries (doubles per attempt).
+  int64_t ddu_lock_retry_backoff_micros = 1'000;
   /// lexpress closure fixpoint cap (runtime cycle detection, §4.2).
   int closure_max_iterations = 16;
   /// Ablation switch (EXPERIMENTS.md A1): when false, updates are NOT
@@ -76,8 +89,10 @@ struct UpdatePlan {
 ///  * receives LDAP-originated updates from LTAP trigger processing
 ///    (OnUpdate) while LTAP holds the entry lock;
 ///  * receives direct device updates (DDUs) from device filters,
-///    obtains LTAP entry locks itself, and serializes everything
-///    through the global update queue;
+///    obtains LTAP entry locks itself (one lock session per update),
+///    and serializes everything through the update queue — sharded by
+///    target entry, so only same-entry updates serialize with each
+///    other (see DESIGN.md "Concurrency model");
 ///  * computes the lexpress transitive closure and writes derived
 ///    attribute changes back to the directory;
 ///  * propagates translated updates to every relevant device filter,
@@ -111,8 +126,13 @@ class UpdateManager : public ltap::TriggerActionServer {
   /// subtree. Call once after all filters are added.
   Status InstallTrigger(const std::string& base_dn);
 
-  /// Starts/stops the coordinator thread (threaded mode only).
+  /// Starts the worker pool (threaded mode only; one worker per queue
+  /// shard, `UpdateManagerConfig::worker_threads` of them).
   void Start();
+  /// Stops the workers, then fails every drained-but-unprocessed item:
+  /// its entry locks are released and its waiting caller (threaded
+  /// Path A) gets Unavailable — items must not leak locks or hang
+  /// callers when the queue dies.
   void Stop();
 
   /// Synchronous mode: processes queued DDUs inline; returns how many.
@@ -145,6 +165,15 @@ class UpdateManager : public ltap::TriggerActionServer {
 
   const lexpress::MappingSet& mappings() const { return mappings_; }
 
+  /// Per-shard queue telemetry (threaded mode).
+  struct ShardStats {
+    uint64_t enqueued = 0;           // Items pushed onto this shard.
+    uint64_t dequeued = 0;           // Items a worker picked up.
+    uint64_t max_depth = 0;          // High-water queue depth.
+    uint64_t queue_wait_micros = 0;  // Total enqueue->dequeue latency.
+    uint64_t depth = 0;              // Depth sampled at stats() time.
+  };
+
   /// Counters for the experiment harnesses.
   struct Stats {
     uint64_t ldap_updates = 0;       // Path A: via LTAP triggers.
@@ -156,6 +185,9 @@ class UpdateManager : public ltap::TriggerActionServer {
     uint64_t undos = 0;              // Saga compensations.
     uint64_t closure_iterations = 0;
     uint64_t syncs = 0;
+    uint64_t lock_retries = 0;       // DDU lock retry attempts.
+    uint64_t shutdown_drained = 0;   // Items failed by Stop()'s drain.
+    std::vector<ShardStats> shards;  // One per update-queue shard.
   };
   Stats stats() const;
 
@@ -165,11 +197,22 @@ class UpdateManager : public ltap::TriggerActionServer {
  private:
   struct WorkItem {
     lexpress::UpdateDescriptor descriptor;
-    /// Entry locks already held for this item (by um_session_). Taken
-    /// on the submitting thread, BEFORE the item enters the queue — if
-    /// the coordinator itself blocked on entry locks, a client whose
-    /// trigger is waiting in the queue could deadlock against it.
+    /// Entry locks already held for this item, owned by its private
+    /// `lock_session`. Taken on the submitting thread, BEFORE the item
+    /// enters the queue — if a worker itself blocked on entry locks, a
+    /// client whose trigger is waiting in the queue could deadlock
+    /// against it.
     std::vector<ldap::Dn> locked;
+    /// LTAP session owning `locked`. One fresh session PER work item:
+    /// a shared session would make LockTable::Acquire treat two
+    /// concurrent DDUs on the same entry as one re-entrant owner, so
+    /// both would "hold" the lock and race.
+    uint64_t lock_session = 0;
+    /// Queue shard this item routes to (hash of the normalized target
+    /// DN; round-robin when there is no DN).
+    size_t shard = 0;
+    /// Enqueue timestamp for the per-shard latency counters.
+    int64_t enqueue_micros = 0;
     /// True when `descriptor` is already translated to the ldap schema
     /// and `locked` is populated (prepared device update).
     bool prepared = false;
@@ -187,7 +230,18 @@ class UpdateManager : public ltap::TriggerActionServer {
   /// Propagates a prepared device update and releases its locks.
   Status FinishDeviceUpdate(const WorkItem& item);
 
-  void ReleaseLocks(const std::vector<ldap::Dn>& locked);
+  /// Overlays a device update's partial images onto the directory's
+  /// current entry so fan-out never clears attributes the source
+  /// device doesn't carry. Requires the item's entry lock to be held.
+  lexpress::UpdateDescriptor HydrateDeviceUpdate(
+      lexpress::UpdateDescriptor update);
+
+  /// Acquires one entry lock for a DDU, retrying a bounded number of
+  /// times with exponential backoff when the entry is contended.
+  Status AcquireEntryLock(const ldap::Dn& dn, uint64_t session);
+
+  void ReleaseLocks(const std::vector<ldap::Dn>& locked,
+                    uint64_t session);
 
   /// Builds the canonical descriptor for an LDAP-originated update.
   StatusOr<lexpress::UpdateDescriptor> DescriptorFromNotification(
@@ -221,7 +275,17 @@ class UpdateManager : public ltap::TriggerActionServer {
 
   RepositoryFilter* FindFilter(const std::string& name) const;
 
-  void CoordinatorLoop();
+  /// Stamps the enqueue time, pushes onto the item's shard, and
+  /// maintains the per-shard counters. False when the queue is closed
+  /// (the caller still owns the item's locks).
+  bool Enqueue(WorkItem item);
+
+  /// Records a worker (or Pump) picking `item` up.
+  void RecordDequeue(const WorkItem& item);
+
+  /// One worker per shard: drains that shard in strict FIFO order, so
+  /// per-entry ordering holds while distinct entries run in parallel.
+  void WorkerLoop(size_t shard);
 
   ltap::LtapGateway* gateway_;
   LdapFilter* ldap_filter_;
@@ -230,8 +294,8 @@ class UpdateManager : public ltap::TriggerActionServer {
   lexpress::MappingSet mappings_;
   uint64_t um_session_ = 0;
 
-  BlockingQueue<WorkItem> queue_;
-  std::thread coordinator_;
+  ShardedBlockingQueue<WorkItem> queue_;
+  std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 
   AdminCallback admin_callback_;

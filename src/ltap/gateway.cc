@@ -82,8 +82,13 @@ bool LtapGateway::IsQuiesced() const {
 }
 
 Status LtapGateway::LockEntry(const ldap::Dn& dn, uint64_t session) {
+  return LockEntry(dn, session, config_.lock_timeout_micros);
+}
+
+Status LtapGateway::LockEntry(const ldap::Dn& dn, uint64_t session,
+                              int64_t timeout_micros) {
   if (!config_.locking_enabled) return Status::Ok();
-  return locks_.Acquire(dn, session, config_.lock_timeout_micros);
+  return locks_.Acquire(dn, session, timeout_micros);
 }
 
 void LtapGateway::UnlockEntry(const ldap::Dn& dn, uint64_t session) {

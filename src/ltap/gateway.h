@@ -81,6 +81,11 @@ class LtapGateway : public ldap::LdapService {
   /// Manager applies a direct-device-update sequence, it takes the
   /// target entry's lock here so conflicting client updates wait.
   Status LockEntry(const ldap::Dn& dn, uint64_t session);
+  /// As above, but with an explicit wait bound instead of the
+  /// configured one. `timeout_micros <= 0` means try-once: the caller
+  /// (the UM's DDU retry loop) owns the backoff policy.
+  Status LockEntry(const ldap::Dn& dn, uint64_t session,
+                   int64_t timeout_micros);
   void UnlockEntry(const ldap::Dn& dn, uint64_t session);
 
   /// Operation counters (drive the E7 benches).

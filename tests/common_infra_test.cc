@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "common/blocking_queue.h"
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/sharded_blocking_queue.h"
 
 namespace metacomm {
 namespace {
@@ -71,6 +75,91 @@ TEST(BlockingQueueTest, MoveOnlyItems) {
   BlockingQueue<std::unique_ptr<int>> queue;
   queue.Push(std::make_unique<int>(9));
   auto item = queue.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 9);
+}
+
+TEST(ShardedBlockingQueueTest, PerShardFifoOrder) {
+  ShardedBlockingQueue<int> queue(4);
+  queue.Push(1, 10);
+  queue.Push(1, 11);
+  queue.Push(3, 30);
+  EXPECT_EQ(queue.Size(), 3u);
+  EXPECT_EQ(queue.Depth(1), 2u);
+  EXPECT_EQ(*queue.Pop(1), 10);
+  EXPECT_EQ(*queue.Pop(1), 11);
+  EXPECT_EQ(*queue.Pop(3), 30);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(ShardedBlockingQueueTest, EqualKeysRouteToSameShard) {
+  ShardedBlockingQueue<int> queue(8);
+  EXPECT_EQ(queue.ShardFor("cn=john doe,ou=people,o=lucent"),
+            queue.ShardFor("cn=john doe,ou=people,o=lucent"));
+  EXPECT_LT(queue.ShardFor("anything"), queue.shard_count());
+}
+
+TEST(ShardedBlockingQueueTest, RoundRobinCoversAllShards) {
+  ShardedBlockingQueue<int> queue(3);
+  std::set<size_t> seen;
+  for (int i = 0; i < 6; ++i) seen.insert(queue.NextShard());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ShardedBlockingQueueTest, CloseAbortsInsteadOfDraining) {
+  // Unlike BlockingQueue, close means abort: Pop must NOT hand out the
+  // remaining items — the owner reclaims them via Drain() to release
+  // their locks and fail their promises.
+  ShardedBlockingQueue<int> queue(2);
+  queue.Push(0, 1);
+  queue.Push(1, 2);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(0, 3));
+  EXPECT_FALSE(queue.Pop(0).has_value());
+  EXPECT_FALSE(queue.TryPop(1).has_value());
+  std::vector<int> drained = queue.Drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0], 1);
+  EXPECT_EQ(drained[1], 2);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(ShardedBlockingQueueTest, CloseWakesAllBlockedWorkers) {
+  ShardedBlockingQueue<int> queue(4);
+  std::vector<std::thread> workers;
+  for (size_t shard = 0; shard < queue.shard_count(); ++shard) {
+    workers.emplace_back([&queue, shard] {
+      EXPECT_FALSE(queue.Pop(shard).has_value());
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.Close();
+  for (std::thread& worker : workers) worker.join();
+}
+
+TEST(ShardedBlockingQueueTest, PopBlocksUntilPushOnOwnShard) {
+  ShardedBlockingQueue<int> queue(2);
+  std::atomic<bool> got{false};
+  std::thread consumer([&queue, &got] {
+    auto item = queue.Pop(0);
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, 42);
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.Push(1, 7);  // Other shard: must not wake shard 0's consumer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(got.load());
+  queue.Push(0, 42);
+  consumer.join();
+  EXPECT_EQ(*queue.TryPopAny(), 7);
+}
+
+TEST(ShardedBlockingQueueTest, TryPopAnyScansShards) {
+  ShardedBlockingQueue<std::unique_ptr<int>> queue(4);
+  EXPECT_FALSE(queue.TryPopAny().has_value());
+  queue.Push(2, std::make_unique<int>(9));
+  auto item = queue.TryPopAny();
   ASSERT_TRUE(item.has_value());
   EXPECT_EQ(**item, 9);
 }

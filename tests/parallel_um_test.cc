@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/integrated_schema.h"
+#include "core/metacomm.h"
+
+namespace metacomm::core {
+namespace {
+
+/// The parallel Update Manager: N workers over a DN-sharded queue.
+/// Parameterized on worker_threads so every guarantee is checked both
+/// in the paper's single-coordinator shape (1) and in the parallel
+/// shape (4).
+class ParallelUmTest : public ::testing::TestWithParam<int> {
+ protected:
+  void BuildSystem(SystemConfig config) {
+    config.um.threaded = true;
+    config.um.worker_threads = GetParam();
+    auto system = MetaCommSystem::Create(std::move(config));
+    ASSERT_TRUE(system.ok()) << system.status();
+    system_ = std::move(*system);
+  }
+
+  void SetUp() override { BuildSystem(SystemConfig{}); }
+
+  void TearDown() override {
+    if (system_ != nullptr) system_->update_manager().Stop();
+  }
+
+  /// Polls until `pred` holds or ~5s elapse.
+  template <typename Pred>
+  bool Eventually(Pred pred) {
+    for (int i = 0; i < 5000; ++i) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+
+  std::unique_ptr<MetaCommSystem> system_;
+};
+
+/// Two device-administrator threads (PBX and MP) plus an LDAP client
+/// thread hammer ONE entry. This is the workload that exposed the
+/// lock-session aliasing bug: when every DDU locked under the shared
+/// UM session, concurrent DDUs on the same entry both "held" the lock
+/// re-entrantly and raced; with per-update lock sessions they
+/// serialize, so every repository converges with no lost updates.
+TEST_P(ParallelUmTest, SameEntryDduAndLdapStressConverges) {
+  ASSERT_TRUE(system_
+                  ->AddPerson("Hot Entry",
+                              {{"telephoneNumber", "+1 908 582 4567"}})
+                  .ok());
+  constexpr int kWrites = 25;
+  const std::string dn = "cn=Hot Entry,ou=People,o=Lucent";
+  std::atomic<int> failures{0};
+
+  std::thread pbx_admin([this, &failures] {
+    for (int i = 0; i < kWrites; ++i) {
+      auto reply = system_->pbx("pbx1")->ExecuteCommand(
+          "change station 4567 Room PR-" + std::to_string(i));
+      if (!reply.ok()) failures.fetch_add(1);
+    }
+  });
+  std::thread mp_admin([this, &failures] {
+    for (int i = 0; i < kWrites; ++i) {
+      auto reply = system_->mp("mp1")->ExecuteCommand(
+          "MODIFY MAILBOX 4567 Pin=" + std::to_string(7000 + i));
+      if (!reply.ok()) failures.fetch_add(1);
+    }
+  });
+  std::thread ldap_client([this, &dn, &failures] {
+    ldap::Client client = system_->NewClient();
+    for (int i = 0; i < kWrites; ++i) {
+      Status status = client.Replace(dn, "roomNumber",
+                                     "L-" + std::to_string(i));
+      if (!status.ok()) failures.fetch_add(1);
+    }
+  });
+  pbx_admin.join();
+  mp_admin.join();
+  ldap_client.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // No lost update on the MP axis: only the MP thread writes pins, its
+  // commands are issued back-to-back, and per-entry FIFO must carry
+  // the LAST one into the directory and back to the device.
+  const std::string last_pin = std::to_string(7000 + kWrites - 1);
+  ldap::Client client = system_->NewClient();
+  std::string dir_pin;
+  std::string device_pin;
+  EXPECT_TRUE(Eventually([&] {
+    auto entry = client.Get(dn);
+    auto mailbox = system_->mp("mp1")->GetRecord("4567");
+    if (!entry.ok() || !mailbox.ok()) return false;
+    dir_pin = entry->GetFirst("MpPin");
+    device_pin = mailbox->GetFirst("Pin");
+    return dir_pin == last_pin && device_pin == last_pin;
+  })) << "want pin " << last_pin << ", directory MpPin=" << dir_pin
+      << ", mp device Pin=" << device_pin;
+
+  // Convergence on the contended axis: roomNumber was written from
+  // both sides, so the winner is timing-dependent — but directory and
+  // PBX must agree on it, and it must be one of the written values.
+  std::string final_room;
+  EXPECT_TRUE(Eventually([&] {
+    auto entry = client.Get(dn);
+    auto station = system_->pbx("pbx1")->GetRecord("4567");
+    if (!entry.ok() || !station.ok()) return false;
+    final_room = entry->GetFirst("roomNumber");
+    return !final_room.empty() &&
+           final_room == station->GetFirst("Room");
+  }));
+  EXPECT_TRUE(final_room.rfind("PR-", 0) == 0 ||
+              final_room.rfind("L-", 0) == 0)
+      << "converged to a value nobody wrote: " << final_room;
+
+  EXPECT_EQ(system_->update_manager().stats().errors, 0u);
+  // The worker that applied the final item may still be between the
+  // directory write and its lock release — poll, don't snapshot.
+  EXPECT_TRUE(Eventually([&] {
+    return !system_->gateway().lock_table().IsLocked(*ldap::Dn::Parse(dn));
+  }));
+}
+
+/// Distinct entries from many threads: the sharded queue must fan the
+/// work out without losing or cross-ordering anything.
+TEST_P(ParallelUmTest, DistinctEntriesPropagateInParallel) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string extension = std::to_string(4000 + t * 100 + i);
+        Status status = system_->AddPerson(
+            "Person " + extension,
+            {{"telephoneNumber", "+1 908 582 " + extension}});
+        if (!status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(system_->pbx("pbx1")->StationCount(),
+            static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(system_->mp("mp1")->MailboxCount(),
+            static_cast<size_t>(kThreads * kPerThread));
+
+  UpdateManager::Stats stats = system_->update_manager().stats();
+  EXPECT_EQ(stats.errors, 0u);
+  ASSERT_EQ(stats.shards.size(), static_cast<size_t>(GetParam()));
+  uint64_t enqueued = 0;
+  for (const UpdateManager::ShardStats& shard : stats.shards) {
+    enqueued += shard.enqueued;
+  }
+  EXPECT_EQ(enqueued, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+/// A DDU racing a client LDAP write must be serialized behind it, not
+/// dropped: with a try-once gateway lock (timeout 0) the retry/backoff
+/// loop is the only thing standing between the device update and the
+/// §4.4 error log.
+TEST_P(ParallelUmTest, DduRetriesContendedLockInsteadOfDropping) {
+  SystemConfig config;
+  config.gateway.lock_timeout_micros = 0;  // Try-once locks.
+  config.um.ddu_lock_retries = 50;
+  config.um.ddu_lock_retry_backoff_micros = 1'000;
+  BuildSystem(std::move(config));
+  ASSERT_TRUE(system_
+                  ->AddPerson("Race Target",
+                              {{"telephoneNumber", "+1 908 582 4999"}})
+                  .ok());
+
+  // Stand in for the racing client write: hold the entry lock from a
+  // foreign session while the DDU arrives, then let go.
+  ldap::Dn dn = *ldap::Dn::Parse("cn=Race Target,ou=People,o=Lucent");
+  uint64_t holder = system_->gateway().NewSession();
+  ASSERT_TRUE(system_->gateway().LockEntry(dn, holder).ok());
+
+  std::thread device_admin([this] {
+    auto reply = system_->pbx("pbx1")->ExecuteCommand(
+        "change station 4999 Room RETRY-1");
+    EXPECT_TRUE(reply.ok()) << reply.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  system_->gateway().UnlockEntry(dn, holder);
+  device_admin.join();
+
+  ldap::Client client = system_->NewClient();
+  EXPECT_TRUE(Eventually([&] {
+    auto entry = client.Get("cn=Race Target,ou=People,o=Lucent");
+    return entry.ok() && entry->GetFirst("roomNumber") == "RETRY-1";
+  }));
+  UpdateManager::Stats stats = system_->update_manager().stats();
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GE(stats.lock_retries, 1u);
+}
+
+/// Stop() with work still queued: the drained items must release
+/// their entry locks and fail their waiting callers — not leak locks
+/// and hang them forever.
+TEST_P(ParallelUmTest, StopReleasesQueuedLocksAndFailsCallers) {
+  SystemConfig config;
+  // Slow workers so updates pile up behind the one in flight.
+  config.um.artificial_processing_delay_micros = 100'000;
+  BuildSystem(std::move(config));
+  // Provision with a fast system shape is not possible here, so keep
+  // the population tiny (each AddPerson pays the artificial delay).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(system_
+                    ->AddPerson("Q " + std::to_string(4500 + i),
+                                {{"telephoneNumber",
+                                  "+1 908 582 " + std::to_string(4500 + i)}})
+                    .ok());
+  }
+
+  // A client write that will still be queued (or in flight) at Stop:
+  // it must return — Ok if a worker got to it, Unavailable if drained.
+  std::atomic<bool> replied{false};
+  std::thread client_thread([this, &replied] {
+    ldap::Client client = system_->NewClient();
+    Status status = client.Replace("cn=Q 4500,ou=People,o=Lucent",
+                                   "roomNumber", "LAST");
+    EXPECT_TRUE(status.ok() ||
+                status.code() == StatusCode::kUnavailable)
+        << status;
+    replied.store(true);
+  });
+  // DDUs against the other entries: submission returns at enqueue, so
+  // their entry locks are held by items sitting in the queue.
+  for (int i = 1; i < 3; ++i) {
+    auto reply = system_->pbx("pbx1")->ExecuteCommand(
+        "change station " + std::to_string(4500 + i) + " Room STOP-" +
+        std::to_string(i));
+    ASSERT_TRUE(reply.ok()) << reply.status();
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  system_->update_manager().Stop();
+
+  // The client's own gateway lock on Q 4500 is released only once its
+  // Replace returns, so join before asserting no locks remain.
+  client_thread.join();
+  EXPECT_TRUE(replied.load());
+  for (int i = 0; i < 3; ++i) {
+    ldap::Dn dn = *ldap::Dn::Parse("cn=Q " + std::to_string(4500 + i) +
+                                   ",ou=People,o=Lucent");
+    EXPECT_FALSE(system_->gateway().lock_table().IsLocked(dn))
+        << "entry lock leaked across Stop(): " << dn.ToString();
+  }
+  // New client writes after Stop are refused, not hung.
+  ldap::Client client = system_->NewClient();
+  Status after = client.Replace("cn=Q 4500,ou=People,o=Lucent",
+                                "roomNumber", "AFTER-STOP");
+  EXPECT_EQ(after.code(), StatusCode::kUnavailable) << after;
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelUmTest,
+                         ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "workers_" +
+                                  std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace metacomm::core
