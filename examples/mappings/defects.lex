@@ -1,0 +1,68 @@
+# Deliberately defective program exercising every lexpress_check rule.
+# Expected findings (see docs/LEXPRESS.md "Diagnostics"):
+#
+#   LX001  badCycleA/badCycleB: non-convergent hr <-> crm cycle
+#   LX002  ldapToEast / ldapToWest partitions both claim extension 4510
+#   LX003  neverFires partition requires two different Cos values
+#   LX004  hrToLdap and crmToLdap both write title (and their key rules
+#          both write uid) with no origin guard
+#   LX005  unknownAttrs reads/writes attributes pbx does not declare
+#   LX006  orphan's source schema "fax" is fed by nothing
+#   LX007  shadowed's second description rule can never win
+#
+#   lexpress_check --builtin-schemas examples/mappings/defects.lex
+
+mapping badCycleA from hr to crm {
+  map upper(FullName) -> ContactName;
+}
+
+mapping badCycleB from crm to hr {
+  map lower(ContactName) -> FullName;
+}
+
+mapping ldapToEast from ldap to pbx {
+  option target_name = "east";
+  partition when prefix(DefinityExtension, "45");
+  key DefinityExtension -> Extension;
+  map cn -> Name;
+}
+
+mapping ldapToWest from ldap to pbx {
+  option target_name = "west";
+  partition when prefix(DefinityExtension, "451");
+  key DefinityExtension -> Extension;
+  map cn -> Name;
+}
+
+mapping neverFires from ldap to pbx {
+  option target_name = "south";
+  partition when eq(DefinityCos, "1") and eq(DefinityCos, "2");
+  key DefinityExtension -> Extension;
+  map cn -> Name;
+}
+
+mapping hrToLdap from hr to ldap {
+  key EmployeeId -> uid;
+  map JobTitle -> title;
+}
+
+mapping crmToLdap from crm to ldap {
+  key AccountId -> uid;
+  map Role -> title;
+}
+
+mapping orphan from fax to ldap {
+  key FaxNumber -> facsimileTelephoneNumber;
+}
+
+mapping unknownAttrs from pbx to ldap {
+  key Extension -> DefinityExtension;
+  map Extensoin -> telephoneNumber;
+  map Name -> commonNmae;
+}
+
+mapping shadowed from pbx to ldap {
+  key Extension -> DefinityExtension;
+  map "station" -> description;
+  map SetType -> description;
+}

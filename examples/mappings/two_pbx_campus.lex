@@ -1,0 +1,53 @@
+# Two-switch campus: pbx1 owns extensions 45xx, pbx2 owns 46xx.
+# Demonstrates partitioning constraints (paper §4.2) — the partitions
+# are disjoint, so `lexpress_check` reports nothing:
+#
+#   lexpress_check --builtin-schemas examples/mappings/two_pbx_campus.lex
+
+mapping pbx1ToLdap from pbx to ldap {
+  option target_name = "ldap";
+  option allow_cycles = true;
+  key Extension -> DefinityExtension;
+  map "pbx1" -> LastUpdater;
+  map concat("+1 908 582 ", Extension) -> telephoneNumber;
+  map Name -> cn;
+  map surname(Name) -> sn;
+  map Room -> roomNumber;
+  map "pbx1" -> DefinityPbxName;
+}
+
+mapping LdapToPbx1 from ldap to pbx {
+  option target_name = "pbx1";
+  option originator = "LastUpdater";
+  option allow_cycles = true;
+  partition when prefix(DefinityExtension, "45")
+      or prefix(telephoneNumber, "+1 908 582 45");
+  key substr(digits(telephoneNumber), -4, 4) -> Extension;
+  map DefinityExtension -> Extension;
+  map cn -> Name;
+  map roomNumber -> Room;
+}
+
+mapping pbx2ToLdap from pbx to ldap {
+  option target_name = "ldap";
+  option allow_cycles = true;
+  key Extension -> DefinityExtension;
+  map "pbx2" -> LastUpdater;
+  map concat("+1 908 582 ", Extension) -> telephoneNumber;
+  map Name -> cn;
+  map surname(Name) -> sn;
+  map Room -> roomNumber;
+  map "pbx2" -> DefinityPbxName;
+}
+
+mapping LdapToPbx2 from ldap to pbx {
+  option target_name = "pbx2";
+  option originator = "LastUpdater";
+  option allow_cycles = true;
+  partition when prefix(DefinityExtension, "46")
+      or prefix(telephoneNumber, "+1 908 582 46");
+  key substr(digits(telephoneNumber), -4, 4) -> Extension;
+  map DefinityExtension -> Extension;
+  map cn -> Name;
+  map roomNumber -> Room;
+}

@@ -1,11 +1,12 @@
 #ifndef METACOMM_COMMON_BLOCKING_QUEUE_H_
 #define METACOMM_COMMON_BLOCKING_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace metacomm {
 
@@ -23,21 +24,21 @@ class BlockingQueue {
 
   /// Enqueues an item and wakes one waiter. Returns false (dropping
   /// the item) when the queue is closed.
-  bool Push(T item) {
+  bool Push(T item) EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (closed_) return false;
       queue_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed.
   /// Returns nullopt only when closed and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  std::optional<T> Pop() EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    while (queue_.empty() && !closed_) cv_.Wait(lock);
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
@@ -45,8 +46,8 @@ class BlockingQueue {
   }
 
   /// Non-blocking pop; nullopt when empty.
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<T> TryPop() EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
@@ -55,31 +56,31 @@ class BlockingQueue {
 
   /// Marks the queue closed; Pop() drains remaining items then returns
   /// nullopt. Push after Close is ignored.
-  void Close() {
+  void Close() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return closed_;
   }
 
-  size_t Size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t Size() const EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return queue_.size();
   }
 
-  bool Empty() const { return Size() == 0; }
+  bool Empty() const EXCLUDES(mutex_) { return Size() == 0; }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> queue_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> queue_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace metacomm

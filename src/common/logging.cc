@@ -1,16 +1,10 @@
 #include "common/logging.h"
 
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace metacomm {
-
-namespace {
-std::mutex& LogMutex() {
-  static std::mutex* mutex = new std::mutex;
-  return *mutex;
-}
-}  // namespace
 
 const char* LogLevelName(LogLevel level) {
   switch (level) {
@@ -34,13 +28,16 @@ Logger& Logger::Get() {
 Logger::Logger() : min_level_(LogLevel::kWarning) {}
 
 void Logger::set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(&mutex_);
   sink_ = std::move(sink);
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
-  if (level < min_level_) return;
-  std::lock_guard<std::mutex> lock(LogMutex());
+  // min_level_ is atomic so this check races benignly with
+  // set_min_level instead of undefined-behavior racing (the old
+  // plain-LogLevel read was the first real bug -Wthread-safety found).
+  if (level < min_level_.load(std::memory_order_relaxed)) return;
+  MutexLock lock(&mutex_);
   if (sink_) {
     sink_(level, message);
   } else {

@@ -1,9 +1,13 @@
 #ifndef METACOMM_COMMON_LOGGING_H_
 #define METACOMM_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace metacomm {
 
@@ -23,20 +27,26 @@ class Logger {
   /// Returns the process-wide logger.
   static Logger& Get();
 
-  /// Drops messages below `level`.
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  /// Drops messages below `level`. Atomic: Log() reads the threshold
+  /// on its fast path without taking the sink mutex.
+  void set_min_level(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return min_level_.load(std::memory_order_relaxed);
+  }
 
   /// Replaces the output sink. Passing nullptr restores stderr output.
-  void set_sink(Sink sink);
+  void set_sink(Sink sink) EXCLUDES(mutex_);
 
   /// Emits one message (already formatted) at `level`.
-  void Log(LogLevel level, const std::string& message);
+  void Log(LogLevel level, const std::string& message) EXCLUDES(mutex_);
 
  private:
   Logger();
-  LogLevel min_level_;
-  Sink sink_;
+  std::atomic<LogLevel> min_level_;
+  Mutex mutex_;
+  Sink sink_ GUARDED_BY(mutex_);
 };
 
 namespace internal_logging {

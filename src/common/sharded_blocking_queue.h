@@ -3,16 +3,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace metacomm {
 
@@ -62,11 +63,11 @@ class ShardedBlockingQueue {
   bool Push(size_t shard, T item) {
     Shard& s = *shards_[shard % shards_.size()];
     {
-      std::lock_guard<std::mutex> lock(s.mutex);
+      MutexLock lock(&s.mutex);
       if (closed_.load(std::memory_order_acquire)) return false;
       s.queue.push_back(std::move(item));
     }
-    s.cv.notify_one();
+    s.cv.NotifyOne();
     return true;
   }
 
@@ -75,10 +76,10 @@ class ShardedBlockingQueue {
   /// Drain(), not handed to workers.
   std::optional<T> Pop(size_t shard) {
     Shard& s = *shards_[shard % shards_.size()];
-    std::unique_lock<std::mutex> lock(s.mutex);
-    s.cv.wait(lock, [this, &s] {
-      return !s.queue.empty() || closed_.load(std::memory_order_acquire);
-    });
+    MutexLock lock(&s.mutex);
+    while (s.queue.empty() && !closed_.load(std::memory_order_acquire)) {
+      s.cv.Wait(lock);
+    }
     if (closed_.load(std::memory_order_acquire)) return std::nullopt;
     T item = std::move(s.queue.front());
     s.queue.pop_front();
@@ -88,7 +89,7 @@ class ShardedBlockingQueue {
   /// Non-blocking pop from `shard`; nullopt when empty or closed.
   std::optional<T> TryPop(size_t shard) {
     Shard& s = *shards_[shard % shards_.size()];
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(&s.mutex);
     if (s.queue.empty() || closed_.load(std::memory_order_acquire)) {
       return std::nullopt;
     }
@@ -112,9 +113,9 @@ class ShardedBlockingQueue {
     closed_.store(true, std::memory_order_release);
     for (auto& shard : shards_) {
       // Taking the lock orders Close against in-flight Push/Pop.
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(&shard->mutex);
     }
-    for (auto& shard : shards_) shard->cv.notify_all();
+    for (auto& shard : shards_) shard->cv.NotifyAll();
   }
 
   /// Removes and returns every undelivered item, in shard-then-FIFO
@@ -123,7 +124,7 @@ class ShardedBlockingQueue {
   std::vector<T> Drain() {
     std::vector<T> items;
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(&shard->mutex);
       for (T& item : shard->queue) items.push_back(std::move(item));
       shard->queue.clear();
     }
@@ -135,7 +136,7 @@ class ShardedBlockingQueue {
   /// Items currently queued on `shard`.
   size_t Depth(size_t shard) const {
     const Shard& s = *shards_[shard % shards_.size()];
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(&s.mutex);
     return s.queue.size();
   }
 
@@ -150,9 +151,9 @@ class ShardedBlockingQueue {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<T> queue;
+    mutable Mutex mutex;
+    CondVar cv;
+    std::deque<T> queue GUARDED_BY(mutex);
   };
 
   // unique_ptr keeps shards at stable addresses and avoids false

@@ -1,0 +1,88 @@
+#ifndef METACOMM_COMMON_THREAD_ANNOTATIONS_H_
+#define METACOMM_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis attributes.
+///
+/// These macros expand to Clang's `-Wthread-safety` attributes when
+/// compiling with Clang and to nothing elsewhere, so the annotated tree
+/// still builds unchanged under GCC/MSVC. Build with
+/// `-DMETACOMM_THREAD_SAFETY_ANALYSIS=ON` (Clang only) to promote the
+/// analysis to a hard error — see DESIGN.md "Static analysis".
+///
+/// Conventions used in this codebase:
+///  - every mutex-protected member is declared `GUARDED_BY(mu_)`;
+///  - private helpers that assume the lock is held are `REQUIRES(mu_)`
+///    (or `REQUIRES_SHARED` for read-side helpers of a SharedMutex);
+///  - public entry points that must NOT be called with the lock held
+///    (they acquire it themselves) are `EXCLUDES(mu_)`;
+///  - `NO_THREAD_SAFETY_ANALYSIS` is an escape hatch of last resort and
+///    always carries a one-line justification comment.
+
+#if defined(__clang__) && !defined(SWIG)
+#define METACOMM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define METACOMM_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define CAPABILITY(x) METACOMM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime equals a capability hold.
+#define SCOPED_CAPABILITY METACOMM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) METACOMM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define PT_GUARDED_BY(x) METACOMM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations.
+#define ACQUIRED_BEFORE(...) \
+  METACOMM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  METACOMM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (exclusively / shared).
+#define REQUIRES(...) \
+  METACOMM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  METACOMM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared).
+#define ACQUIRE(...) \
+  METACOMM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  METACOMM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define RELEASE(...) \
+  METACOMM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  METACOMM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  METACOMM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function conditionally acquires the capability; first argument is
+/// the return value that signals success.
+#define TRY_ACQUIRE(...) \
+  METACOMM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  METACOMM_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the capability held.
+#define EXCLUDES(...) METACOMM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held.
+#define ASSERT_CAPABILITY(x) METACOMM_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  METACOMM_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) METACOMM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Disables analysis for one function. Last resort; justify in a
+/// comment at every use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  METACOMM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // METACOMM_COMMON_THREAD_ANNOTATIONS_H_

@@ -99,7 +99,7 @@ void UpdateManager::Stop() {
     }
   }
   if (!abandoned.empty()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     stats_.shutdown_drained += abandoned.size();
   }
 }
@@ -118,7 +118,7 @@ bool UpdateManager::Enqueue(WorkItem item) {
   item.enqueue_micros = RealClock::Get()->NowMicros();
   size_t shard = item.shard;
   if (!queue_.Push(shard, std::move(item))) return false;
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(&stats_mutex_);
   ShardStats& stats = stats_.shards[shard];
   ++stats.enqueued;
   stats.max_depth =
@@ -128,7 +128,7 @@ bool UpdateManager::Enqueue(WorkItem item) {
 
 void UpdateManager::RecordDequeue(const WorkItem& item) {
   int64_t waited = RealClock::Get()->NowMicros() - item.enqueue_micros;
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(&stats_mutex_);
   ShardStats& stats = stats_.shards[item.shard];
   ++stats.dequeued;
   if (waited > 0) {
@@ -196,7 +196,7 @@ Status UpdateManager::OnUpdate(
     return Status::Ok();  // Our own writes need no re-processing.
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.ldap_updates;
   }
   StatusOr<lexpress::UpdateDescriptor> descriptor =
@@ -303,7 +303,7 @@ StatusOr<std::optional<UpdateManager::WorkItem>>
 UpdateManager::PrepareDeviceUpdate(
     const lexpress::UpdateDescriptor& update) {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.device_updates;
   }
   RepositoryFilter* filter = FindFilter(update.source);
@@ -415,7 +415,7 @@ Status UpdateManager::AcquireEntryLock(const ldap::Dn& dn,
     // propagation round away from finishing: back off (doubling per
     // attempt) instead of dropping the device update on the floor.
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(&stats_mutex_);
       ++stats_.lock_retries;
     }
     // Doubling, capped at 64x so long retry budgets poll steadily
@@ -548,7 +548,7 @@ Status UpdateManager::Propagate(
     return plan.status();
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     stats_.closure_iterations +=
         static_cast<uint64_t>(plan->closure_iterations);
   }
@@ -593,7 +593,7 @@ Status UpdateManager::Propagate(
       // This is the reapplication to the originating device that
       // enforces write-write convergence (§4.4, §5.4).
       if (!config_.reapply_to_originator) continue;
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(&stats_mutex_);
       ++stats_.reapplications;
     }
 
@@ -625,7 +625,7 @@ Status UpdateManager::Propagate(
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(&stats_mutex_);
       ++stats_.device_applies;
     }
     if (op.update.op != lexpress::DescriptorOp::kDelete) {
@@ -702,7 +702,7 @@ Status UpdateManager::Propagate(
     backfill.new_record = MergeRecords(plan->final_ldap, generated);
     StatusOr<lexpress::Record> applied = ldap_filter_->Apply(backfill);
     if (applied.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(&stats_mutex_);
       ++stats_.generated_info;
     } else {
       HandleError(applied.status(), backfill);
@@ -727,7 +727,7 @@ void UpdateManager::UndoApplied(
                              << ": " << status.status().ToString();
       continue;
     }
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.undos;
   }
 }
@@ -735,7 +735,7 @@ void UpdateManager::UndoApplied(
 void UpdateManager::HandleError(const Status& error,
                                 const lexpress::UpdateDescriptor& update) {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.errors;
   }
   METACOMM_LOG(kWarning) << "update failed: " << error.ToString() << " ("
@@ -766,11 +766,19 @@ void UpdateManager::HandleError(const Status& error,
       }
     }
   }
-  if (admin_callback_) admin_callback_(error, update);
+  // Copy under the lock, invoke outside it: worker threads reach here
+  // while tests may concurrently swap the callback via
+  // set_admin_callback (the unguarded read was a real race).
+  AdminCallback callback;
+  {
+    MutexLock lock(&admin_mutex_);
+    callback = admin_callback_;
+  }
+  if (callback) callback(error, update);
 }
 
 Status UpdateManager::Synchronize(const std::string& device_name) {
-  std::lock_guard<std::mutex> sync_lock(sync_mutex_);
+  MutexLock sync_lock(&sync_mutex_);
   RepositoryFilter* filter = FindFilter(device_name);
   if (filter == nullptr) {
     return Status::NotFound("no filter for device: " + device_name);
@@ -863,7 +871,7 @@ Status UpdateManager::Synchronize(const std::string& device_name) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.syncs;
   }
   return first_error;
@@ -879,7 +887,7 @@ Status UpdateManager::SynchronizeAll() {
 }
 
 UpdateManager::Stats UpdateManager::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(&stats_mutex_);
   Stats snapshot = stats_;
   for (size_t shard = 0; shard < snapshot.shards.size(); ++shard) {
     snapshot.shards[shard].depth = queue_.Depth(shard);

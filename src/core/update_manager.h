@@ -5,13 +5,14 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/sharded_blocking_queue.h"
+#include "common/thread_annotations.h"
 #include "core/ldap_filter.h"
 #include "core/repository_filter.h"
 #include "lexpress/closure.h"
@@ -147,7 +148,7 @@ class UpdateManager : public ltap::TriggerActionServer {
   /// directory entries in the device's partition but missing from the
   /// device are pushed to it. Also serves as initial directory
   /// population.
-  Status Synchronize(const std::string& device_name);
+  Status Synchronize(const std::string& device_name) EXCLUDES(sync_mutex_);
 
   /// Synchronizes every registered device.
   Status SynchronizeAll();
@@ -159,7 +160,8 @@ class UpdateManager : public ltap::TriggerActionServer {
   StatusOr<UpdatePlan> PlanUpdate(
       const lexpress::UpdateDescriptor& ldap_update, bool ldap_current);
 
-  void set_admin_callback(AdminCallback callback) {
+  void set_admin_callback(AdminCallback callback) EXCLUDES(admin_mutex_) {
+    MutexLock lock(&admin_mutex_);
     admin_callback_ = std::move(callback);
   }
 
@@ -189,7 +191,7 @@ class UpdateManager : public ltap::TriggerActionServer {
     uint64_t shutdown_drained = 0;   // Items failed by Stop()'s drain.
     std::vector<ShardStats> shards;  // One per update-queue shard.
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(stats_mutex_);
 
   // ltap::TriggerActionServer:
   Status OnUpdate(const ltap::UpdateNotification& notification) override;
@@ -266,7 +268,8 @@ class UpdateManager : public ltap::TriggerActionServer {
 
   /// Writes an error entry and notifies the administrator.
   void HandleError(const Status& error,
-                   const lexpress::UpdateDescriptor& update);
+                   const lexpress::UpdateDescriptor& update)
+      EXCLUDES(admin_mutex_);
 
   /// Reverts already-applied device updates (saga extension).
   void UndoApplied(
@@ -278,10 +281,10 @@ class UpdateManager : public ltap::TriggerActionServer {
   /// Stamps the enqueue time, pushes onto the item's shard, and
   /// maintains the per-shard counters. False when the queue is closed
   /// (the caller still owns the item's locks).
-  bool Enqueue(WorkItem item);
+  bool Enqueue(WorkItem item) EXCLUDES(stats_mutex_);
 
   /// Records a worker (or Pump) picking `item` up.
-  void RecordDequeue(const WorkItem& item);
+  void RecordDequeue(const WorkItem& item) EXCLUDES(stats_mutex_);
 
   /// One worker per shard: drains that shard in strict FIFO order, so
   /// per-entry ordering holds while distinct entries run in parallel.
@@ -290,6 +293,8 @@ class UpdateManager : public ltap::TriggerActionServer {
   ltap::LtapGateway* gateway_;
   LdapFilter* ldap_filter_;
   UpdateManagerConfig config_;
+  // filters_ and mappings_ are setup-only (AddDeviceFilter before
+  // Start(), per the class contract); workers only ever read them.
   std::vector<RepositoryFilter*> filters_;
   lexpress::MappingSet mappings_;
   uint64_t um_session_ = 0;
@@ -298,11 +303,12 @@ class UpdateManager : public ltap::TriggerActionServer {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 
-  AdminCallback admin_callback_;
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  mutable Mutex admin_mutex_;
+  AdminCallback admin_callback_ GUARDED_BY(admin_mutex_);
+  mutable Mutex stats_mutex_;
+  Stats stats_ GUARDED_BY(stats_mutex_);
   std::atomic<uint64_t> error_sequence_{0};
-  std::mutex sync_mutex_;  // One synchronization at a time.
+  Mutex sync_mutex_;  // One synchronization at a time.
 };
 
 }  // namespace metacomm::core

@@ -118,7 +118,7 @@ void DefinityPbx::Notify(lexpress::DescriptorOp op,
   if (faults_.drop_notifications()) return;
   NotificationHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     handler = handler_;
   }
   if (!handler) return;
@@ -138,7 +138,7 @@ Status DefinityPbx::AddRecord(const lexpress::Record& record) {
   METACOMM_RETURN_IF_ERROR(ValidateStation(station));
   std::string extension = station.GetFirst("Extension");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (stations_.count(extension) > 0) {
       return Status::AlreadyExists(config_.name + ": extension " +
                                    extension + " already administered");
@@ -157,7 +157,7 @@ Status DefinityPbx::ModifyRecord(
   lexpress::Record new_record = record;
   new_record.set_schema(schema_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = stations_.find(key);
     if (it == stations_.end()) {
       return Status::NotFound(config_.name + ": extension " + key +
@@ -194,7 +194,7 @@ Status DefinityPbx::DeleteRecord(const std::string& key) {
   METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
   lexpress::Record old_record(schema_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = stations_.find(key);
     if (it == stations_.end()) {
       return Status::NotFound(config_.name + ": extension " + key +
@@ -212,7 +212,7 @@ StatusOr<lexpress::Record> DefinityPbx::GetRecord(const std::string& key) {
   if (faults_.disconnected()) {
     return Status::Unavailable(config_.name + ": link down");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = stations_.find(key);
   if (it == stations_.end()) {
     return Status::NotFound(config_.name + ": extension " + key +
@@ -225,7 +225,7 @@ StatusOr<std::vector<lexpress::Record>> DefinityPbx::DumpAll() {
   if (faults_.disconnected()) {
     return Status::Unavailable(config_.name + ": link down");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<lexpress::Record> out;
   out.reserve(stations_.size());
   for (const auto& [key, record] : stations_) out.push_back(record);
@@ -233,12 +233,12 @@ StatusOr<std::vector<lexpress::Record>> DefinityPbx::DumpAll() {
 }
 
 void DefinityPbx::SetNotificationHandler(NotificationHandler handler) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   handler_ = std::move(handler);
 }
 
 size_t DefinityPbx::StationCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stations_.size();
 }
 
@@ -259,7 +259,7 @@ StatusOr<std::string> DefinityPbx::ExecuteCommand(
       return Status::Unavailable(config_.name + ": link down");
     }
     std::string out;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (const auto& [key, record] : stations_) {
       out += key + " " + record.GetFirst("Name") + "\n";
     }

@@ -2,10 +2,11 @@
 #define METACOMM_DEVICES_DEFINITY_PBX_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "devices/device.h"
 
 namespace metacomm::devices {
@@ -72,13 +73,14 @@ class DefinityPbx : public Device {
   Status ValidateStation(const lexpress::Record& record) const;
 
   void Notify(lexpress::DescriptorOp op, lexpress::Record old_record,
-              lexpress::Record new_record);
+              lexpress::Record new_record) EXCLUDES(mutex_);
 
   PbxConfig config_;
   std::string schema_ = "pbx";
-  mutable std::mutex mutex_;
-  std::map<std::string, lexpress::Record> stations_;  // by Extension
-  NotificationHandler handler_;
+  mutable Mutex mutex_;
+  // by Extension
+  std::map<std::string, lexpress::Record> stations_ GUARDED_BY(mutex_);
+  NotificationHandler handler_ GUARDED_BY(mutex_);
   FaultInjector faults_;
 };
 

@@ -112,7 +112,7 @@ void MessagingPlatform::Notify(lexpress::DescriptorOp op,
   if (faults_.drop_notifications()) return;
   NotificationHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     handler = handler_;
   }
   if (!handler) return;
@@ -131,7 +131,7 @@ Status MessagingPlatform::AddRecord(const lexpress::Record& record) {
   METACOMM_RETURN_IF_ERROR(ValidateMailbox(mailbox));
   std::string number = mailbox.GetFirst("MailboxNumber");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (mailboxes_.count(number) > 0) {
       return Status::AlreadyExists(config_.name + ": mailbox " + number +
                                    " exists");
@@ -153,7 +153,7 @@ Status MessagingPlatform::ModifyRecord(
   lexpress::Record new_record = record;
   new_record.set_schema(schema_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = mailboxes_.find(key);
     if (it == mailboxes_.end()) {
       return Status::NotFound(config_.name + ": mailbox " + key +
@@ -192,7 +192,7 @@ Status MessagingPlatform::DeleteRecord(const std::string& key) {
   METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
   lexpress::Record old_record(schema_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = mailboxes_.find(key);
     if (it == mailboxes_.end()) {
       return Status::NotFound(config_.name + ": mailbox " + key +
@@ -211,7 +211,7 @@ StatusOr<lexpress::Record> MessagingPlatform::GetRecord(
   if (faults_.disconnected()) {
     return Status::Unavailable(config_.name + ": platform unreachable");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = mailboxes_.find(key);
   if (it == mailboxes_.end()) {
     return Status::NotFound(config_.name + ": mailbox " + key +
@@ -224,7 +224,7 @@ StatusOr<std::vector<lexpress::Record>> MessagingPlatform::DumpAll() {
   if (faults_.disconnected()) {
     return Status::Unavailable(config_.name + ": platform unreachable");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<lexpress::Record> out;
   out.reserve(mailboxes_.size());
   for (const auto& [key, record] : mailboxes_) out.push_back(record);
@@ -232,12 +232,12 @@ StatusOr<std::vector<lexpress::Record>> MessagingPlatform::DumpAll() {
 }
 
 void MessagingPlatform::SetNotificationHandler(NotificationHandler handler) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   handler_ = std::move(handler);
 }
 
 size_t MessagingPlatform::MailboxCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return mailboxes_.size();
 }
 
@@ -255,7 +255,7 @@ StatusOr<std::string> MessagingPlatform::ExecuteCommand(
       return Status::Unavailable(config_.name + ": platform unreachable");
     }
     std::string out;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (const auto& [key, record] : mailboxes_) {
       out += key + " " + record.GetFirst("SubscriberId") + " " +
              record.GetFirst("SubscriberName") + "\n";

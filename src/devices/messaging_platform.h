@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "devices/device.h"
 
 namespace metacomm::devices {
@@ -67,16 +68,17 @@ class MessagingPlatform : public Device {
   Status CheckMutationAllowed();
   Status ValidateMailbox(const lexpress::Record& record) const;
   void Notify(lexpress::DescriptorOp op, lexpress::Record old_record,
-              lexpress::Record new_record);
-  std::string GenerateSubscriberId();
+              lexpress::Record new_record) EXCLUDES(mutex_);
+  std::string GenerateSubscriberId() REQUIRES(mutex_);
 
   MpConfig config_;
   std::string schema_ = "mp";
-  mutable std::mutex mutex_;
-  std::map<std::string, lexpress::Record> mailboxes_;  // by MailboxNumber
-  NotificationHandler handler_;
+  mutable Mutex mutex_;
+  // by MailboxNumber
+  std::map<std::string, lexpress::Record> mailboxes_ GUARDED_BY(mutex_);
+  NotificationHandler handler_ GUARDED_BY(mutex_);
   FaultInjector faults_;
-  uint64_t next_subscriber_ = 1;
+  uint64_t next_subscriber_ GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace metacomm::devices

@@ -1,7 +1,7 @@
 #include "ldap/backend.h"
 
 #include <algorithm>
-#include <mutex>
+
 
 #include "common/strings.h"
 
@@ -35,7 +35,7 @@ Status Backend::Add(const Entry& entry) {
   if (schema_ != nullptr) {
     METACOMM_RETURN_IF_ERROR(schema_->ValidateEntry(entry));
   }
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   Node* parent = FindNode(entry.dn().Parent());
   if (parent == nullptr) {
     return Status::NotFound("parent does not exist: " +
@@ -64,7 +64,7 @@ Status Backend::Delete(const Dn& dn) {
   if (dn.IsRoot()) {
     return Status::InvalidArgument("cannot delete the root DSE");
   }
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   Node* parent = FindNode(dn.Parent());
   if (parent == nullptr) {
     return Status::NotFound("no such object: " + dn.ToString());
@@ -158,7 +158,7 @@ Status Backend::ApplyMods(const Rdn& rdn,
 }
 
 Status Backend::Modify(const Dn& dn, const std::vector<Modification>& mods) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   Node* node = FindNode(dn);
   if (node == nullptr) {
     return Status::NotFound("no such object: " + dn.ToString());
@@ -188,7 +188,7 @@ Status Backend::ModifyRdn(const Dn& dn, const Rdn& new_rdn,
   if (dn.IsRoot()) {
     return Status::InvalidArgument("cannot rename the root DSE");
   }
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   Node* parent = FindNode(dn.Parent());
   if (parent == nullptr) {
     return Status::NotFound("no such object: " + dn.ToString());
@@ -261,7 +261,7 @@ void Backend::RewriteDns(Node* node, const Dn& new_dn) {
 }
 
 StatusOr<Entry> Backend::Get(const Dn& dn) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   Node* node = FindNode(dn);
   if (node == nullptr || dn.IsRoot()) {
     return Status::NotFound("no such object: " + dn.ToString());
@@ -270,12 +270,12 @@ StatusOr<Entry> Backend::Get(const Dn& dn) const {
 }
 
 bool Backend::Exists(const Dn& dn) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return !dn.IsRoot() && FindNode(dn) != nullptr;
 }
 
 size_t Backend::Size() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   size_t count = 0;
   // Iterative DFS over the tree.
   std::vector<const Node*> stack{&root_};
@@ -323,7 +323,7 @@ void Backend::CollectMatches(const Node* node, const SearchRequest& request,
 }
 
 StatusOr<SearchResult> Backend::Search(const SearchRequest& request) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   Node* base = FindNode(request.base);
   if (base == nullptr) {
     return Status::NotFound("no such object: " + request.base.ToString());
@@ -421,7 +421,7 @@ void Backend::ReindexSubtree(Node* node, bool insert) {
 }
 
 void Backend::AddListener(Listener listener) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   listeners_.push_back(std::move(listener));
 }
 
@@ -432,7 +432,7 @@ void Backend::Notify(ChangeRecord record) {
 }
 
 std::vector<Entry> Backend::DumpAll() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::vector<Entry> out;
   // BFS guarantees parents precede children.
   std::vector<const Node*> frontier{&root_};
@@ -450,7 +450,7 @@ std::vector<Entry> Backend::DumpAll() const {
 }
 
 uint64_t Backend::ChangeCount() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return sequence_;
 }
 

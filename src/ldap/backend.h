@@ -6,11 +6,12 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "ldap/entry.h"
 #include "ldap/operations.h"
 #include "ldap/schema.h"
@@ -57,42 +58,45 @@ class Backend {
 
   /// Adds a leaf entry. The parent must exist, except for depth-1
   /// entries which act as directory suffixes.
-  Status Add(const Entry& entry);
+  Status Add(const Entry& entry) EXCLUDES(mutex_);
 
   /// Deletes a leaf entry.
-  Status Delete(const Dn& dn);
+  Status Delete(const Dn& dn) EXCLUDES(mutex_);
 
   /// Applies a modification sequence to one entry atomically. Rejects
   /// changes that would remove an RDN attribute value
   /// (kNotAllowedOnRdn semantics).
-  Status Modify(const Dn& dn, const std::vector<Modification>& mods);
+  Status Modify(const Dn& dn, const std::vector<Modification>& mods)
+      EXCLUDES(mutex_);
 
   /// Renames a leaf entry. Descendant DNs are rewritten.
-  Status ModifyRdn(const Dn& dn, const Rdn& new_rdn, bool delete_old_rdn);
+  Status ModifyRdn(const Dn& dn, const Rdn& new_rdn, bool delete_old_rdn)
+      EXCLUDES(mutex_);
 
   /// Returns a copy of the entry at `dn`.
-  StatusOr<Entry> Get(const Dn& dn) const;
+  StatusOr<Entry> Get(const Dn& dn) const EXCLUDES(mutex_);
 
   /// True if an entry exists at `dn`.
-  bool Exists(const Dn& dn) const;
+  bool Exists(const Dn& dn) const EXCLUDES(mutex_);
 
   /// Search over the tree.
-  StatusOr<SearchResult> Search(const SearchRequest& request) const;
+  StatusOr<SearchResult> Search(const SearchRequest& request) const
+      EXCLUDES(mutex_);
 
   /// Number of entries.
-  size_t Size() const;
+  size_t Size() const EXCLUDES(mutex_);
 
   /// Registers a post-commit listener. Listeners run under the
   /// backend's exclusive lock (so they observe changes in commit
   /// order) and must not call back into the backend.
-  void AddListener(Listener listener);
+  void AddListener(Listener listener) EXCLUDES(mutex_);
 
   /// Snapshot of every entry, parents before children (suitable for
   /// reloading via Add).
-  std::vector<Entry> DumpAll() const;
+  std::vector<Entry> DumpAll() const EXCLUDES(mutex_);
 
   /// Number of committed changes so far.
-  uint64_t ChangeCount() const;
+  uint64_t ChangeCount() const EXCLUDES(mutex_);
 
  private:
   struct Node {
@@ -102,38 +106,40 @@ class Backend {
     std::map<std::string, std::unique_ptr<Node>> children;
   };
 
-  /// Finds the node for `dn`; nullptr when absent. Caller holds lock.
-  Node* FindNode(const Dn& dn) const;
+  /// Finds the node for `dn`; nullptr when absent. Requires at least a
+  /// shared hold (writers hold exclusive, which satisfies it).
+  Node* FindNode(const Dn& dn) const REQUIRES_SHARED(mutex_);
 
   /// Applies `mods` to `entry` (already a copy). Also enforces
-  /// RDN-attribute protection using `rdn`.
+  /// RDN-attribute protection using `rdn`. Touches no guarded state.
   Status ApplyMods(const Rdn& rdn, const std::vector<Modification>& mods,
                    Entry* entry) const;
 
-  void IndexEntry(const Entry& entry, bool insert);
-  void ReindexSubtree(Node* node, bool insert);
+  void IndexEntry(const Entry& entry, bool insert) REQUIRES(mutex_);
+  void ReindexSubtree(Node* node, bool insert) REQUIRES(mutex_);
 
   /// Rewrites the DNs of `node` and descendants to live under
   /// `new_parent_dn`. Caller handles indexes.
-  void RewriteDns(Node* node, const Dn& new_dn);
+  void RewriteDns(Node* node, const Dn& new_dn) REQUIRES(mutex_);
 
   void CollectMatches(const Node* node, const SearchRequest& request,
                       size_t depth_remaining, std::vector<Entry>* out,
-                      Status* limit_status) const;
+                      Status* limit_status) const REQUIRES_SHARED(mutex_);
 
-  void Notify(ChangeRecord record);
+  void Notify(ChangeRecord record) REQUIRES(mutex_);
 
   static Entry Project(const Entry& entry,
                        const std::vector<std::string>& attributes);
 
   const Schema* schema_;
-  mutable std::shared_mutex mutex_;
-  Node root_;  // Virtual root; root_.entry has the empty DN.
+  mutable SharedMutex mutex_;
+  // Virtual root; root_.entry has the empty DN.
+  Node root_ GUARDED_BY(mutex_);
   // Equality index: lower(attr) -> normalized value -> normalized DNs.
   std::map<std::string, std::map<std::string, std::map<std::string, Dn>>>
-      index_;
-  std::vector<Listener> listeners_;
-  uint64_t sequence_ = 0;
+      index_ GUARDED_BY(mutex_);
+  std::vector<Listener> listeners_ GUARDED_BY(mutex_);
+  uint64_t sequence_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace metacomm::ldap

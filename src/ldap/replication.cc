@@ -4,14 +4,14 @@ namespace metacomm::ldap {
 
 void Changelog::Attach(Backend* backend) {
   backend->AddListener([this](const ChangeRecord& record) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     records_.push_back(record);
   });
 }
 
 std::vector<ChangeRecord> Changelog::ChangesAfter(
     uint64_t after_sequence) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<ChangeRecord> out;
   for (const ChangeRecord& record : records_) {
     if (record.sequence > after_sequence) out.push_back(record);
@@ -20,19 +20,19 @@ std::vector<ChangeRecord> Changelog::ChangesAfter(
 }
 
 uint64_t Changelog::LastSequence() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return records_.empty() ? 0 : records_.back().sequence;
 }
 
 void Changelog::TrimThrough(uint64_t sequence) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   while (!records_.empty() && records_.front().sequence <= sequence) {
     records_.pop_front();
   }
 }
 
 size_t Changelog::Size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return records_.size();
 }
 

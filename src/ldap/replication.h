@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "ldap/backend.h"
 
 namespace metacomm::ldap {
@@ -25,19 +26,20 @@ class Changelog {
   void Attach(Backend* backend);
 
   /// Changes with sequence strictly greater than `after_sequence`.
-  std::vector<ChangeRecord> ChangesAfter(uint64_t after_sequence) const;
+  std::vector<ChangeRecord> ChangesAfter(uint64_t after_sequence) const
+      EXCLUDES(mutex_);
 
   /// Highest recorded sequence (0 when empty).
-  uint64_t LastSequence() const;
+  uint64_t LastSequence() const EXCLUDES(mutex_);
 
   /// Drops records up to and including `sequence` (log trimming).
-  void TrimThrough(uint64_t sequence);
+  void TrimThrough(uint64_t sequence) EXCLUDES(mutex_);
 
-  size_t Size() const;
+  size_t Size() const EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<ChangeRecord> records_;
+  mutable Mutex mutex_;
+  std::deque<ChangeRecord> records_ GUARDED_BY(mutex_);
 };
 
 /// Consumer: applies supplier changes to a replica backend.

@@ -75,6 +75,14 @@ const ObjectClassDef* Schema::FindObjectClass(std::string_view name) const {
   return it == classes_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string> Schema::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size() + aliases_.size());
+  for (const auto& [name, def] : attributes_) names.push_back(name);
+  for (const auto& [alias, canonical] : aliases_) names.push_back(alias);
+  return names;
+}
+
 Status Schema::ValidateValue(const AttributeTypeDef& def,
                              std::string_view value) const {
   switch (def.syntax) {

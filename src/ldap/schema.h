@@ -93,6 +93,11 @@ class Schema {
                             std::vector<std::string>* must,
                             std::vector<std::string>* may) const;
 
+  /// All registered attribute names plus their aliases, in registry
+  /// order. Feeds tooling that needs the attribute universe (e.g.
+  /// lexpress_check --builtin-schemas for unknown-attribute analysis).
+  std::vector<std::string> AttributeNames() const;
+
   /// Builds the standard subset of X.500/inetOrgPerson schema that
   /// MetaComm extends: top, person, organizationalPerson,
   /// inetOrgPerson, organization, organizationalUnit, plus operational

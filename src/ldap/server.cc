@@ -8,7 +8,7 @@ LdapServer::LdapServer(Schema schema, ServerConfig config)
       backend_(&schema_) {}
 
 void LdapServer::AddUser(const Dn& dn, std::string password) {
-  std::lock_guard<std::mutex> lock(users_mutex_);
+  MutexLock lock(&users_mutex_);
   users_[dn.Normalized()] = std::move(password);
 }
 
@@ -92,7 +92,7 @@ StatusOr<std::string> LdapServer::Bind(const BindRequest& request) {
   if (request.dn.IsRoot() && request.password.empty()) {
     return std::string();  // Anonymous bind.
   }
-  std::lock_guard<std::mutex> lock(users_mutex_);
+  MutexLock lock(&users_mutex_);
   auto it = users_.find(request.dn.Normalized());
   if (it == users_.end() || it->second != request.password) {
     return Status::PermissionDenied("invalid credentials");

@@ -3,11 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 #include "ldap/access.h"
 #include "ldap/backend.h"
 #include "ldap/schema.h"
@@ -42,7 +43,7 @@ class LdapServer : public LdapService {
   explicit LdapServer(Schema schema, ServerConfig config = {});
 
   /// Registers a bindable principal with a password.
-  void AddUser(const Dn& dn, std::string password);
+  void AddUser(const Dn& dn, std::string password) EXCLUDES(users_mutex_);
 
   /// Direct access to the underlying tree (used by replication, the
   /// synchronizer's bulk loads, and tests).
@@ -69,8 +70,9 @@ class LdapServer : public LdapService {
   Schema schema_;
   ServerConfig config_;
   Backend backend_;
-  std::mutex users_mutex_;
-  std::map<std::string, std::string> users_;  // normalized DN -> password
+  Mutex users_mutex_;
+  // normalized DN -> password
+  std::map<std::string, std::string> users_ GUARDED_BY(users_mutex_);
 };
 
 }  // namespace metacomm::ldap

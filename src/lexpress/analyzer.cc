@@ -1,0 +1,608 @@
+#include "lexpress/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "lexpress/closure.h"
+#include "lexpress/compiler.h"
+#include "lexpress/mapping.h"
+#include "lexpress/parser.h"
+
+namespace metacomm::lexpress {
+
+namespace {
+
+/// The conventional origin-marker attribute (core/mapping_gen stamps
+/// it; §5.4's LastUpdater characteristic).
+constexpr const char* kLastUpdater = "LastUpdater";
+
+// ---------------------------------------------------------------------
+// Partition predicate structure
+//
+// Partitions are analyzed structurally, as a disjunction of
+// conjunctions of atoms. Only atoms the analysis understands
+// (prefix/eq/present over one attribute, boolean literals) take part
+// in satisfiability and disjointness reasoning; everything else
+// becomes kOther, which is never used to *prove* anything — the
+// analysis only reports what it can prove, so kOther makes it silent,
+// not wrong.
+// ---------------------------------------------------------------------
+
+struct Atom {
+  enum class Kind { kPrefix, kEq, kPresent, kTrue, kFalse, kOther };
+  Kind kind = Kind::kOther;
+  std::string attr;   // For kPrefix/kEq/kPresent.
+  std::string value;  // For kPrefix/kEq.
+};
+
+using Conj = std::vector<Atom>;
+
+struct Dnf {
+  std::vector<Conj> conjs;
+};
+
+Dnf ToDnf(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral: {
+      Atom a;
+      a.kind = (expr.text.empty() || EqualsIgnoreCase(expr.text, "false"))
+                   ? Atom::Kind::kFalse
+                   : Atom::Kind::kTrue;
+      return {{{a}}};
+    }
+    case Expr::Kind::kAttrRef: {
+      // An attribute used as a predicate is truthy iff non-empty.
+      Atom a;
+      a.kind = Atom::Kind::kPresent;
+      a.attr = expr.text;
+      return {{{a}}};
+    }
+    case Expr::Kind::kCall:
+      break;
+  }
+  const std::string& fn = expr.text;
+  if (EqualsIgnoreCase(fn, "or")) {
+    Dnf out;
+    for (const Expr& arg : expr.args) {
+      Dnf sub = ToDnf(arg);
+      out.conjs.insert(out.conjs.end(), sub.conjs.begin(), sub.conjs.end());
+    }
+    return out;
+  }
+  if (EqualsIgnoreCase(fn, "and")) {
+    Dnf out{{Conj{}}};
+    for (const Expr& arg : expr.args) {
+      Dnf sub = ToDnf(arg);
+      Dnf next;
+      for (const Conj& a : out.conjs) {
+        for (const Conj& b : sub.conjs) {
+          Conj merged = a;
+          merged.insert(merged.end(), b.begin(), b.end());
+          next.conjs.push_back(std::move(merged));
+        }
+      }
+      out = std::move(next);
+    }
+    return out;
+  }
+  if (EqualsIgnoreCase(fn, "not") && expr.args.size() == 1) {
+    Dnf sub = ToDnf(expr.args[0]);
+    Atom a;
+    if (sub.conjs.size() == 1 && sub.conjs[0].size() == 1) {
+      Atom::Kind k = sub.conjs[0][0].kind;
+      if (k == Atom::Kind::kTrue) {
+        a.kind = Atom::Kind::kFalse;
+        return {{{a}}};
+      }
+      if (k == Atom::Kind::kFalse) {
+        a.kind = Atom::Kind::kTrue;
+        return {{{a}}};
+      }
+    }
+    a.kind = Atom::Kind::kOther;
+    return {{{a}}};
+  }
+  if ((EqualsIgnoreCase(fn, "prefix") || EqualsIgnoreCase(fn, "eq")) &&
+      expr.args.size() == 2) {
+    const Expr* ref = nullptr;
+    const Expr* lit = nullptr;
+    for (const Expr& arg : expr.args) {
+      if (arg.kind == Expr::Kind::kAttrRef) ref = &arg;
+      if (arg.kind == Expr::Kind::kLiteral) lit = &arg;
+    }
+    // eq is symmetric; prefix(attr, "p") has the attribute first.
+    if (ref != nullptr && lit != nullptr &&
+        (EqualsIgnoreCase(fn, "eq") ||
+         expr.args[0].kind == Expr::Kind::kAttrRef)) {
+      Atom a;
+      a.kind = EqualsIgnoreCase(fn, "prefix") ? Atom::Kind::kPrefix
+                                              : Atom::Kind::kEq;
+      a.attr = ref->text;
+      a.value = lit->text;
+      return {{{a}}};
+    }
+  }
+  if (EqualsIgnoreCase(fn, "present") && expr.args.size() == 1 &&
+      expr.args[0].kind == Expr::Kind::kAttrRef) {
+    Atom a;
+    a.kind = Atom::Kind::kPresent;
+    a.attr = expr.args[0].text;
+    return {{{a}}};
+  }
+  Atom a;
+  a.kind = Atom::Kind::kOther;
+  return {{{a}}};
+}
+
+bool IsPrefixOf(const std::string& shorter, const std::string& longer) {
+  return longer.compare(0, shorter.size(), shorter) == 0;
+}
+
+/// True when `a` and `b` provably cannot hold of one value of the same
+/// attribute.
+bool AtomsConflict(const Atom& a, const Atom& b) {
+  using K = Atom::Kind;
+  if (a.kind == K::kPrefix && b.kind == K::kPrefix) {
+    return !IsPrefixOf(a.value, b.value) && !IsPrefixOf(b.value, a.value);
+  }
+  if (a.kind == K::kEq && b.kind == K::kEq) return a.value != b.value;
+  if (a.kind == K::kEq && b.kind == K::kPrefix) {
+    return !IsPrefixOf(b.value, a.value);
+  }
+  if (a.kind == K::kPrefix && b.kind == K::kEq) {
+    return !IsPrefixOf(a.value, b.value);
+  }
+  return false;  // kPresent/kTrue/kOther never prove a conflict.
+}
+
+/// True when the conjunction provably accepts no record.
+bool ConjUnsat(const Conj& conj) {
+  for (size_t i = 0; i < conj.size(); ++i) {
+    if (conj[i].kind == Atom::Kind::kFalse) return true;
+    for (size_t j = i + 1; j < conj.size(); ++j) {
+      if (!conj[i].attr.empty() &&
+          EqualsIgnoreCase(conj[i].attr, conj[j].attr) &&
+          AtomsConflict(conj[i], conj[j])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ConjHasOther(const Conj& conj) {
+  return std::any_of(conj.begin(), conj.end(), [](const Atom& a) {
+    return a.kind == Atom::Kind::kOther;
+  });
+}
+
+/// Overlap verdict for one pair of conjunctions.
+enum class PairVerdict {
+  kDisjoint,      // Provably no record satisfies both.
+  kOverlapping,   // Provably comparable and compatible.
+  kIncomparable,  // Nothing can be concluded.
+};
+
+bool ConjUnconstrained(const Conj& conj) {
+  return std::all_of(conj.begin(), conj.end(), [](const Atom& a) {
+    return a.kind == Atom::Kind::kTrue;
+  });
+}
+
+PairVerdict ComparePair(const Conj& a, const Conj& b) {
+  if (ConjUnsat(a) || ConjUnsat(b)) return PairVerdict::kDisjoint;
+  bool shared_attr = false;
+  for (const Atom& x : a) {
+    if (x.attr.empty()) continue;
+    for (const Atom& y : b) {
+      if (y.attr.empty() || !EqualsIgnoreCase(x.attr, y.attr)) continue;
+      shared_attr = true;
+      if (AtomsConflict(x, y)) return PairVerdict::kDisjoint;
+    }
+  }
+  if (ConjHasOther(a) || ConjHasOther(b)) return PairVerdict::kIncomparable;
+  // Both sides fully understood and compatible. Claim an overlap only
+  // when it is provable: they argue about a common attribute, or one
+  // side accepts everything. Constraints over disjoint attribute sets
+  // stay incomparable — partitions routinely restate one condition
+  // over two attributes (extension prefix vs phone prefix), and those
+  // cross terms are not evidence of a conflict.
+  if (shared_attr || ConjUnconstrained(a) || ConjUnconstrained(b)) {
+    return PairVerdict::kOverlapping;
+  }
+  return PairVerdict::kIncomparable;
+}
+
+/// Whether `expr` always evaluates to a non-empty string (used for
+/// dead-rule shadowing). Boolean builtins return "true"/"false", which
+/// are non-empty.
+bool AlwaysNonEmpty(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return !expr.text.empty();
+    case Expr::Kind::kAttrRef:
+      return false;
+    case Expr::Kind::kCall:
+      break;
+  }
+  const std::string& fn = expr.text;
+  for (const char* boolean :
+       {"and", "or", "not", "eq", "ne", "present", "absent", "prefix",
+        "suffix", "matches", "contains"}) {
+    if (EqualsIgnoreCase(fn, boolean)) return true;
+  }
+  if (EqualsIgnoreCase(fn, "concat") || EqualsIgnoreCase(fn, "default")) {
+    return std::any_of(expr.args.begin(), expr.args.end(), AlwaysNonEmpty);
+  }
+  for (const char* transparent : {"upper", "lower", "trim", "normalize"}) {
+    if (EqualsIgnoreCase(fn, transparent) && expr.args.size() == 1) {
+      return AlwaysNonEmpty(expr.args[0]);
+    }
+  }
+  return false;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+std::string DescribeInstance(const Mapping& m) {
+  return m.target_name().empty() ? m.target_schema()
+                                 : m.target_name() + " (" +
+                                       m.target_schema() + ")";
+}
+
+}  // namespace
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError:
+      return "error";
+    case DiagSeverity::kWarning:
+      return "warning";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = std::to_string(line) + ": ";
+  out += DiagSeverityName(severity);
+  out += ": [" + rule_id + "] " + message;
+  if (!mapping.empty()) out += " (mapping " + mapping + ")";
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& d) {
+                       return d.severity == DiagSeverity::kError;
+                     });
+}
+
+Analyzer::Analyzer(AnalyzerOptions options) : options_(std::move(options)) {}
+
+std::vector<Diagnostic> Analyzer::AnalyzeSource(
+    std::string_view source) const {
+  StatusOr<std::vector<MappingDecl>> decls = ParseMappings(source);
+  if (!decls.ok()) {
+    Diagnostic d;
+    d.rule_id = "LX000";
+    d.severity = DiagSeverity::kError;
+    d.message = "parse error: " + decls.status().ToString();
+    return {d};
+  }
+  return Analyze(*decls);
+}
+
+std::vector<Diagnostic> Analyzer::Analyze(
+    const std::vector<MappingDecl>& decls) const {
+  std::vector<Diagnostic> diags;
+  auto report = [&diags](std::string rule, DiagSeverity severity,
+                         const std::string& mapping, int line,
+                         std::string message) {
+    Diagnostic d;
+    d.rule_id = std::move(rule);
+    d.severity = severity;
+    d.mapping = mapping;
+    d.line = line;
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
+  };
+
+  // Compile every declaration; LX000 for failures, the rest of the
+  // analysis runs over whatever compiled.
+  struct Unit {
+    const MappingDecl* decl;
+    Mapping mapping;
+  };
+  std::vector<Unit> units;
+  for (const MappingDecl& decl : decls) {
+    StatusOr<Mapping> compiled = Mapping::Compile(decl);
+    if (!compiled.ok()) {
+      report("LX000", DiagSeverity::kError, decl.name, decl.line,
+             "compile error: " + compiled.status().ToString());
+      continue;
+    }
+    units.push_back(Unit{&decl, *std::move(compiled)});
+  }
+
+  // --- LX001: non-convergent cycles -------------------------------
+  // MappingSet::AnalyzeCycles finds the cycles; re-derive the edge ->
+  // mapping attribution to name the offenders. A cycle where EVERY
+  // participating mapping opted in with allow_cycles is accepted
+  // silently — the option is the documented suppression, and runtime
+  // fixpoint detection covers it.
+  {
+    MappingSet set;
+    for (const Unit& unit : units) set.Add(unit.mapping);
+    // (from, to) -> mappings contributing that dependency edge.
+    std::map<std::pair<std::string, std::string>,
+             std::vector<const Mapping*>>
+        edges;
+    for (const Unit& unit : units) {
+      const Mapping& m = unit.mapping;
+      for (const CompiledRule& rule : m.rules()) {
+        std::string to = AttrNode(m.target_schema(), rule.target_attr);
+        for (const std::string& src : rule.source_attrs) {
+          edges[{AttrNode(m.source_schema(), src), to}].push_back(&m);
+        }
+      }
+    }
+    for (const CycleWarning& cycle : set.AnalyzeCycles()) {
+      if (cycle.convergent) continue;  // Identity cycles always converge.
+      std::vector<std::string> offenders;
+      for (size_t i = 0; i < cycle.nodes.size(); ++i) {
+        const std::string& from = cycle.nodes[i];
+        const std::string& to =
+            cycle.nodes[(i + 1) % cycle.nodes.size()];
+        auto it = edges.find({from, to});
+        if (it == edges.end()) continue;
+        for (const Mapping* m : it->second) {
+          if (m->allow_cycles()) continue;
+          if (std::find(offenders.begin(), offenders.end(), m->name()) ==
+              offenders.end()) {
+            offenders.push_back(m->name());
+          }
+        }
+      }
+      if (offenders.empty()) continue;
+      std::string path;
+      for (const std::string& node : cycle.nodes) {
+        if (!path.empty()) path += " -> ";
+        path += node;
+      }
+      path += " -> " + cycle.nodes.front();
+      int line = 0;
+      for (const Unit& unit : units) {
+        if (unit.decl->name == offenders.front()) line = unit.decl->line;
+      }
+      report("LX001", DiagSeverity::kError, offenders.front(), line,
+             "non-convergent mapping cycle " + path +
+                 " composes transforms and may never reach a fixpoint; "
+                 "break the cycle or set `option allow_cycles = true` on: " +
+                 JoinNames(offenders));
+    }
+  }
+
+  // --- LX003: unsatisfiable partitions ----------------------------
+  std::vector<Dnf> partitions(units.size());
+  for (size_t i = 0; i < units.size(); ++i) {
+    const Unit& unit = units[i];
+    if (!unit.decl->partition.has_value()) {
+      partitions[i] = Dnf{{Conj{Atom{Atom::Kind::kTrue, "", ""}}}};
+      continue;
+    }
+    partitions[i] = ToDnf(*unit.decl->partition);
+    bool all_unsat = !partitions[i].conjs.empty() &&
+                     std::all_of(partitions[i].conjs.begin(),
+                                 partitions[i].conjs.end(), ConjUnsat);
+    if (all_unsat) {
+      report("LX003", DiagSeverity::kWarning, unit.decl->name,
+             unit.decl->line,
+             "partition predicate is unsatisfiable; the mapping can "
+             "never route an update");
+    }
+  }
+
+  // --- LX002: two instances claiming the same partition -----------
+  // Two mappings from one source schema into two different target
+  // instances whose partitions provably both accept some record: both
+  // instances would receive the update (the paper's partitioning
+  // constraints exist to prevent exactly this).
+  for (size_t i = 0; i < units.size(); ++i) {
+    for (size_t j = i + 1; j < units.size(); ++j) {
+      const Mapping& a = units[i].mapping;
+      const Mapping& b = units[j].mapping;
+      if (!EqualsIgnoreCase(a.source_schema(), b.source_schema())) continue;
+      if (!EqualsIgnoreCase(a.target_schema(), b.target_schema())) continue;
+      if (EqualsIgnoreCase(a.target_name(), b.target_name())) continue;
+      bool overlap = false;
+      for (const Conj& ca : partitions[i].conjs) {
+        for (const Conj& cb : partitions[j].conjs) {
+          if (ComparePair(ca, cb) == PairVerdict::kOverlapping) {
+            overlap = true;
+          }
+        }
+      }
+      if (overlap) {
+        report("LX002", DiagSeverity::kError, a.name(),
+               units[i].decl->line,
+               "partitions of " + a.name() + " and " + b.name() +
+                   " overlap: instances " + DescribeInstance(a) + " and " +
+                   DescribeInstance(b) +
+                   " both claim some records of schema " +
+                   a.source_schema());
+      }
+    }
+  }
+
+  // --- LX004: unguarded write-write conflicts ---------------------
+  // Two mappings from DIFFERENT source schemas writing one target
+  // attribute converge only under the Originator/LastUpdater protocol
+  // (§5.4): a mapping is guarded when it checks origins (option
+  // originator) or stamps one (a rule targeting an origin-marker
+  // attribute). Origin markers themselves are exempt — stamping them
+  // from every source is the protocol working as designed.
+  {
+    std::set<std::string, CaseInsensitiveLess> marker_attrs;
+    marker_attrs.insert(kLastUpdater);
+    for (const Unit& unit : units) {
+      if (!unit.mapping.originator_attr().empty()) {
+        marker_attrs.insert(unit.mapping.originator_attr());
+      }
+    }
+    auto guarded = [&marker_attrs](const Mapping& m) {
+      if (!m.originator_attr().empty()) return true;
+      for (const CompiledRule& rule : m.rules()) {
+        if (marker_attrs.count(rule.target_attr) > 0) return true;
+      }
+      return false;
+    };
+    // (target schema, target attr) -> writer units.
+    std::map<std::string, std::vector<size_t>> writers;
+    for (size_t i = 0; i < units.size(); ++i) {
+      for (const CompiledRule& rule : units[i].mapping.rules()) {
+        if (marker_attrs.count(rule.target_attr) > 0) continue;
+        writers[ToLower(units[i].mapping.target_schema()) + ":" +
+                ToLower(rule.target_attr)]
+            .push_back(i);
+      }
+    }
+    // Unguarded unit -> conflicting attrs (aggregate one diagnostic
+    // per mapping instead of one per attribute).
+    std::map<size_t, std::set<std::string, CaseInsensitiveLess>>
+        conflicts;
+    for (const auto& [key, writer_units] : writers) {
+      std::set<std::string, CaseInsensitiveLess> sources;
+      for (size_t u : writer_units) {
+        sources.insert(units[u].mapping.source_schema());
+      }
+      if (sources.size() < 2) continue;
+      std::string attr = key.substr(key.find(':') + 1);
+      for (size_t u : writer_units) {
+        if (!guarded(units[u].mapping)) conflicts[u].insert(attr);
+      }
+    }
+    for (const auto& [u, attrs] : conflicts) {
+      std::vector<std::string> names(attrs.begin(), attrs.end());
+      report("LX004", DiagSeverity::kWarning, units[u].decl->name,
+             units[u].decl->line,
+             "writes " + JoinNames(names) + " of schema " +
+                 units[u].mapping.target_schema() +
+                 ", which other source schemas also write, without an "
+                 "originator option or an origin-marker rule (e.g. "
+                 "mapping into LastUpdater); concurrent writes will not "
+                 "converge (§5.4)");
+    }
+  }
+
+  // --- LX005: references to attributes absent from declared schemas
+  if (!options_.schemas.empty()) {
+    for (const Unit& unit : units) {
+      const MappingDecl& decl = *unit.decl;
+      auto src_it = options_.schemas.find(decl.source_schema);
+      auto tgt_it = options_.schemas.find(decl.target_schema);
+      if (src_it != options_.schemas.end()) {
+        auto check_refs = [&](const Expr& expr, int line,
+                              const char* where) {
+          std::set<std::string, CaseInsensitiveLess> refs;
+          CollectAttrRefs(expr, &refs);
+          for (const std::string& ref : refs) {
+            if (src_it->second.count(ref) == 0) {
+              report("LX005", DiagSeverity::kError, decl.name, line,
+                     std::string(where) + " reads attribute " + ref +
+                         ", which schema " + decl.source_schema +
+                         " does not declare");
+            }
+          }
+        };
+        for (const MapRule& rule : decl.rules) {
+          check_refs(rule.expr, rule.line, "rule");
+          if (rule.guard.has_value()) {
+            check_refs(*rule.guard, rule.line, "guard");
+          }
+        }
+        if (decl.partition.has_value()) {
+          check_refs(*decl.partition, decl.line, "partition");
+        }
+      }
+      if (tgt_it != options_.schemas.end()) {
+        for (const MapRule& rule : decl.rules) {
+          if (tgt_it->second.count(rule.target_attr) == 0) {
+            report("LX005", DiagSeverity::kError, decl.name, rule.line,
+                   "rule targets attribute " + rule.target_attr +
+                       ", which schema " + decl.target_schema +
+                       " does not declare");
+          }
+        }
+      }
+    }
+  }
+
+  // --- LX006: dead mappings ---------------------------------------
+  // A mapping whose source schema is neither a declared repository
+  // schema nor the target of any other mapping can never receive an
+  // update. Needs declared schemas to know what repositories exist.
+  if (!options_.schemas.empty()) {
+    for (const Unit& unit : units) {
+      const std::string& source = unit.mapping.source_schema();
+      if (options_.schemas.count(source) > 0) continue;
+      bool fed = false;
+      for (const Unit& other : units) {
+        if (&other != &unit &&
+            EqualsIgnoreCase(other.mapping.target_schema(), source)) {
+          fed = true;
+        }
+      }
+      if (!fed) {
+        report("LX006", DiagSeverity::kWarning, unit.decl->name,
+               unit.decl->line,
+               "source schema " + source +
+                   " is not a declared repository schema and no mapping "
+                   "targets it; this mapping can never fire");
+      }
+    }
+  }
+
+  // --- LX007: dead rules ------------------------------------------
+  // Alternate attribute mappings try rules in order; a rule behind an
+  // earlier UNguarded rule whose value is always non-empty can never
+  // win.
+  for (const Unit& unit : units) {
+    std::set<std::string, CaseInsensitiveLess> saturated;
+    for (const MapRule& rule : unit.decl->rules) {
+      if (saturated.count(rule.target_attr) > 0) {
+        report("LX007", DiagSeverity::kWarning, unit.decl->name,
+               rule.line,
+               "rule for " + rule.target_attr +
+                   " is dead: an earlier unguarded rule always "
+                   "produces a value");
+        continue;
+      }
+      if (!rule.guard.has_value() && AlwaysNonEmpty(rule.expr)) {
+        saturated.insert(rule.target_attr);
+      }
+    }
+  }
+
+  // Deterministic output order: by line, then rule id.
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule_id < b.rule_id;
+                   });
+  return diags;
+}
+
+}  // namespace metacomm::lexpress

@@ -1,0 +1,79 @@
+#ifndef METACOMM_LEXPRESS_ANALYZER_H_
+#define METACOMM_LEXPRESS_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/strings.h"
+#include "lexpress/ast.h"
+
+namespace metacomm::lexpress {
+
+/// Severity of one analyzer finding.
+enum class DiagSeverity { kError, kWarning };
+
+/// Returns "error" / "warning".
+const char* DiagSeverityName(DiagSeverity severity);
+
+/// One structured finding. Rule ids (see docs/LEXPRESS.md "Diagnostics"):
+///   LX000  source does not parse or compile
+///   LX001  non-convergent mapping cycle without allow_cycles
+///   LX002  partition overlap: two instances claim the same records
+///   LX003  unsatisfiable partition: the mapping can never fire
+///   LX004  write-write conflict without an Originator/LastUpdater guard
+///   LX005  reference to an attribute absent from a declared schema
+///   LX006  dead mapping: its source schema is fed by nothing
+///   LX007  dead rule: shadowed by an earlier unconditional rule
+struct Diagnostic {
+  std::string rule_id;
+  DiagSeverity severity = DiagSeverity::kError;
+  /// Name of the mapping the finding anchors to ("" for whole-program
+  /// findings such as parse errors).
+  std::string mapping;
+  /// 1-based line in the analyzed source; 0 when unknown.
+  int line = 0;
+  std::string message;
+
+  /// "12: error: [LX005] ..." — the tool prepends the file name.
+  std::string ToString() const;
+};
+
+/// Declared attribute universes, per schema, for LX005/LX006. Schemas
+/// not declared here are skipped by those rules (the analyzer cannot
+/// know a foreign repository's fields).
+struct AnalyzerOptions {
+  std::map<std::string, std::set<std::string, CaseInsensitiveLess>,
+           CaseInsensitiveLess>
+      schemas;
+};
+
+/// True if any diagnostic has error severity.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// Static analysis over lexpress mapping programs (`lexpress check`).
+///
+/// Runs post-compile over a whole program — the rules are relational
+/// (cycles span mappings, partition conflicts span instances), so the
+/// unit of analysis is the mapping *set*, not one mapping.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  /// Parses, compiles and analyzes `source`. Parse/compile failures
+  /// are reported as LX000 diagnostics, not call failures.
+  std::vector<Diagnostic> AnalyzeSource(std::string_view source) const;
+
+  /// Analyzes already-parsed declarations.
+  std::vector<Diagnostic> Analyze(
+      const std::vector<MappingDecl>& decls) const;
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace metacomm::lexpress
+
+#endif  // METACOMM_LEXPRESS_ANALYZER_H_

@@ -39,18 +39,25 @@ uint64_t LtapGateway::NewSession() {
 }
 
 Status LtapGateway::Quiesce(uint64_t session) {
-  std::unique_lock<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   if (quiesced_by_ != 0 && quiesced_by_ != session) {
     return Status::Conflict("another synchronization is in progress");
   }
   quiesced_by_ = session;
-  // Wait for in-flight updates from other sessions to drain.
-  bool drained = state_cv_.wait_for(
-      lock, std::chrono::microseconds(config_.quiesce_wait_micros),
-      [this] { return in_flight_updates_ == 0; });
+  // Wait for in-flight updates from other sessions to drain. Explicit
+  // deadline loop so the predicate runs under the analyzed lock scope.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(config_.quiesce_wait_micros);
+  bool drained = true;
+  while (in_flight_updates_ != 0) {
+    if (!state_cv_.WaitUntil(lock, deadline) && in_flight_updates_ != 0) {
+      drained = false;
+      break;
+    }
+  }
   if (!drained) {
     quiesced_by_ = 0;
-    state_cv_.notify_all();
+    state_cv_.NotifyAll();
     return Status::DeadlineExceeded("in-flight updates did not drain");
   }
   // Tell action servers a persistent connection (sequence) opened.
@@ -64,7 +71,7 @@ Status LtapGateway::Quiesce(uint64_t session) {
 
 void LtapGateway::Unquiesce(uint64_t session) {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     if (quiesced_by_ != session) return;
     quiesced_by_ = 0;
   }
@@ -73,11 +80,11 @@ void LtapGateway::Unquiesce(uint64_t session) {
       spec.server->OnPersistentConnection(session, /*open=*/false);
     }
   }
-  state_cv_.notify_all();
+  state_cv_.NotifyAll();
 }
 
 bool LtapGateway::IsQuiesced() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   return quiesced_by_ != 0;
 }
 
@@ -97,19 +104,19 @@ void LtapGateway::UnlockEntry(const ldap::Dn& dn, uint64_t session) {
 }
 
 Status LtapGateway::EnterUpdate(uint64_t session) {
-  std::unique_lock<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   if (quiesced_by_ != 0 && quiesced_by_ != session) {
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      MutexLock stats_lock(&stats_mutex_);
       ++stats_.quiesce_waits;
     }
-    bool open = state_cv_.wait_for(
-        lock, std::chrono::microseconds(config_.quiesce_wait_micros),
-        [this, session] {
-          return quiesced_by_ == 0 || quiesced_by_ == session;
-        });
-    if (!open) {
-      return Status::Conflict("gateway is quiesced for synchronization");
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(config_.quiesce_wait_micros);
+    while (quiesced_by_ != 0 && quiesced_by_ != session) {
+      if (!state_cv_.WaitUntil(lock, deadline) && quiesced_by_ != 0 &&
+          quiesced_by_ != session) {
+        return Status::Conflict("gateway is quiesced for synchronization");
+      }
     }
   }
   ++in_flight_updates_;
@@ -118,10 +125,10 @@ Status LtapGateway::EnterUpdate(uint64_t session) {
 
 void LtapGateway::ExitUpdate() {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     --in_flight_updates_;
   }
-  state_cv_.notify_all();
+  state_cv_.NotifyAll();
 }
 
 std::optional<ldap::Entry> LtapGateway::Snapshot(const ldap::Dn& dn) {
@@ -145,14 +152,14 @@ Status LtapGateway::FireTriggers(TriggerTiming timing,
     if (spec.timing != timing) continue;
     if (!TriggerMatches(spec, notification.op, match_image)) continue;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(&stats_mutex_);
       ++stats_.triggers_fired;
     }
     Status status = spec.server->OnUpdate(notification);
     if (!status.ok() && first_error.ok()) {
       first_error = status;
       if (timing == TriggerTiming::kBefore) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(&stats_mutex_);
         ++stats_.vetoes;
         break;  // A veto aborts the operation; later triggers are moot.
       }
@@ -164,7 +171,7 @@ Status LtapGateway::FireTriggers(TriggerTiming timing,
 Status LtapGateway::Add(const ldap::OpContext& ctx,
                         const ldap::AddRequest& request) {
   if (ctx.internal) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.internal_ops;
     return backend_->Add(ctx, request);
   }
@@ -174,7 +181,7 @@ Status LtapGateway::Add(const ldap::OpContext& ctx,
     ~ExitGuard() { gw->ExitUpdate(); }
   } exit_guard{this};
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.updates;
   }
 
@@ -207,7 +214,7 @@ Status LtapGateway::Add(const ldap::OpContext& ctx,
 Status LtapGateway::Delete(const ldap::OpContext& ctx,
                            const ldap::DeleteRequest& request) {
   if (ctx.internal) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.internal_ops;
     return backend_->Delete(ctx, request);
   }
@@ -217,7 +224,7 @@ Status LtapGateway::Delete(const ldap::OpContext& ctx,
     ~ExitGuard() { gw->ExitUpdate(); }
   } exit_guard{this};
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.updates;
   }
 
@@ -253,7 +260,7 @@ Status LtapGateway::Delete(const ldap::OpContext& ctx,
 Status LtapGateway::Modify(const ldap::OpContext& ctx,
                            const ldap::ModifyRequest& request) {
   if (ctx.internal) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.internal_ops;
     return backend_->Modify(ctx, request);
   }
@@ -263,7 +270,7 @@ Status LtapGateway::Modify(const ldap::OpContext& ctx,
     ~ExitGuard() { gw->ExitUpdate(); }
   } exit_guard{this};
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.updates;
   }
 
@@ -304,7 +311,7 @@ Status LtapGateway::Modify(const ldap::OpContext& ctx,
 Status LtapGateway::ModifyRdn(const ldap::OpContext& ctx,
                               const ldap::ModifyRdnRequest& request) {
   if (ctx.internal) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.internal_ops;
     return backend_->ModifyRdn(ctx, request);
   }
@@ -314,7 +321,7 @@ Status LtapGateway::ModifyRdn(const ldap::OpContext& ctx,
     ~ExitGuard() { gw->ExitUpdate(); }
   } exit_guard{this};
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.updates;
   }
 
@@ -368,7 +375,7 @@ StatusOr<ldap::SearchResult> LtapGateway::Search(
   // separation exists so the UM machine "does not need to do any read
   // processing" (paper §5.5).
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.reads;
   }
   return backend_->Search(ctx, request);
@@ -377,7 +384,7 @@ StatusOr<ldap::SearchResult> LtapGateway::Search(
 Status LtapGateway::Compare(const ldap::OpContext& ctx,
                             const ldap::CompareRequest& request) {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     ++stats_.reads;
   }
   return backend_->Compare(ctx, request);
@@ -388,7 +395,7 @@ StatusOr<std::string> LtapGateway::Bind(const ldap::BindRequest& request) {
 }
 
 LtapGateway::Stats LtapGateway::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(&stats_mutex_);
   return stats_;
 }
 

@@ -2,12 +2,12 @@
 #define METACOMM_LTAP_GATEWAY_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "ldap/service.h"
 #include "ltap/lock_table.h"
 #include "ltap/trigger.h"
@@ -67,13 +67,13 @@ class LtapGateway : public ldap::LdapService {
   /// Opens a quiesce window for `session`: blocks until in-flight
   /// updates drain, then makes every other session's updates wait.
   /// Reads are unaffected. Fails if another quiesce is active.
-  Status Quiesce(uint64_t session);
+  Status Quiesce(uint64_t session) EXCLUDES(state_mutex_);
 
   /// Closes the quiesce window.
-  void Unquiesce(uint64_t session);
+  void Unquiesce(uint64_t session) EXCLUDES(state_mutex_);
 
   /// True while a quiesce window is open.
-  bool IsQuiesced() const;
+  bool IsQuiesced() const EXCLUDES(state_mutex_);
 
   /// Explicit entry-lock API for trigger action servers. "LTAP is used
   /// to obtain locks because the PBX, MP and the LDAP server do not
@@ -97,7 +97,7 @@ class LtapGateway : public ldap::LdapService {
     uint64_t vetoes = 0;
     uint64_t quiesce_waits = 0;
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(stats_mutex_);
 
   const LockTable& lock_table() const { return locks_; }
 
@@ -120,8 +120,8 @@ class LtapGateway : public ldap::LdapService {
  private:
   /// Blocks while a quiesce window owned by another session is open,
   /// then registers an in-flight update. Returns Busy on timeout.
-  Status EnterUpdate(uint64_t session);
-  void ExitUpdate();
+  Status EnterUpdate(uint64_t session) EXCLUDES(state_mutex_);
+  void ExitUpdate() EXCLUDES(state_mutex_);
 
   /// Fetches the current entry image at `dn` from the backend (using
   /// an internal read), or nullopt when absent.
@@ -136,16 +136,21 @@ class LtapGateway : public ldap::LdapService {
   ldap::LdapService* backend_;
   GatewayConfig config_;
   LockTable locks_;
+  // Deliberately unguarded: RegisterTrigger is documented setup-only
+  // (configuration, per the class comment); after setup the vector is
+  // only ever read.
   std::vector<TriggerSpec> triggers_;
 
-  mutable std::mutex state_mutex_;
-  std::condition_variable state_cv_;
-  uint64_t quiesced_by_ = 0;  // 0 = not quiesced.
-  int in_flight_updates_ = 0;
+  // state_mutex_ is acquired before stats_mutex_ (EnterUpdate counts a
+  // quiesce wait while holding it); no path takes them in reverse.
+  mutable Mutex state_mutex_ ACQUIRED_BEFORE(stats_mutex_);
+  CondVar state_cv_;
+  uint64_t quiesced_by_ GUARDED_BY(state_mutex_) = 0;  // 0 = not quiesced.
+  int in_flight_updates_ GUARDED_BY(state_mutex_) = 0;
 
   std::atomic<uint64_t> next_session_{1};
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  mutable Mutex stats_mutex_;
+  Stats stats_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace metacomm::ltap

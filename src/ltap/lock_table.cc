@@ -4,23 +4,29 @@
 
 namespace metacomm::ltap {
 
+bool LockTable::CanTake(const std::string& key, uint64_t session) const {
+  auto it = locks_.find(key);
+  return it == locks_.end() || it->second.owner == session;
+}
+
 Status LockTable::Acquire(const ldap::Dn& dn, uint64_t session,
                           int64_t timeout_micros) {
   std::string key = dn.Normalized();
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto can_take = [this, &key, session] {
-    auto it = locks_.find(key);
-    return it == locks_.end() || it->second.owner == session;
-  };
-  if (!can_take()) {
+  MutexLock lock(&mutex_);
+  if (!CanTake(key, session)) {
     ++contended_;
     if (timeout_micros <= 0) {
       return Status::Conflict("entry is locked: " + dn.ToString());
     }
-    if (!cv_.wait_for(lock, std::chrono::microseconds(timeout_micros),
-                      can_take)) {
-      return Status::DeadlineExceeded("lock wait timed out: " +
-                                      dn.ToString());
+    // Explicit deadline loop (not wait_for + predicate lambda) so the
+    // predicate is evaluated here, where the analysis sees mutex_ held.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(timeout_micros);
+    while (!CanTake(key, session)) {
+      if (!cv_.WaitUntil(lock, deadline) && !CanTake(key, session)) {
+        return Status::DeadlineExceeded("lock wait timed out: " +
+                                        dn.ToString());
+      }
     }
   }
   LockState& state = locks_[key];
@@ -32,21 +38,21 @@ Status LockTable::Acquire(const ldap::Dn& dn, uint64_t session,
 void LockTable::Release(const ldap::Dn& dn, uint64_t session) {
   std::string key = dn.Normalized();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = locks_.find(key);
     if (it == locks_.end() || it->second.owner != session) return;
     if (--it->second.hold_count <= 0) locks_.erase(it);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool LockTable::IsLocked(const ldap::Dn& dn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return locks_.count(dn.Normalized()) > 0;
 }
 
 uint64_t LockTable::contended_acquisitions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return contended_;
 }
 

@@ -1,13 +1,13 @@
 #ifndef METACOMM_LTAP_LOCK_TABLE_H_
 #define METACOMM_LTAP_LOCK_TABLE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "ldap/dn.h"
 
 namespace metacomm::ltap {
@@ -26,16 +26,16 @@ class LockTable {
   /// Reentrant: re-acquisition by the owner succeeds and increments a
   /// hold count.
   Status Acquire(const ldap::Dn& dn, uint64_t session,
-                 int64_t timeout_micros);
+                 int64_t timeout_micros) EXCLUDES(mutex_);
 
   /// Releases one hold; frees the lock when the count reaches zero.
-  void Release(const ldap::Dn& dn, uint64_t session);
+  void Release(const ldap::Dn& dn, uint64_t session) EXCLUDES(mutex_);
 
   /// True if any session currently holds `dn`.
-  bool IsLocked(const ldap::Dn& dn) const;
+  bool IsLocked(const ldap::Dn& dn) const EXCLUDES(mutex_);
 
   /// Number of lock acquisitions that had to wait (metric for E7).
-  uint64_t contended_acquisitions() const;
+  uint64_t contended_acquisitions() const EXCLUDES(mutex_);
 
  private:
   struct LockState {
@@ -43,10 +43,14 @@ class LockTable {
     int hold_count = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<std::string, LockState> locks_;
-  uint64_t contended_ = 0;
+  /// True when `session` may take (or re-enter) the lock on `key`.
+  bool CanTake(const std::string& key, uint64_t session) const
+      REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::map<std::string, LockState> locks_ GUARDED_BY(mutex_);
+  uint64_t contended_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace metacomm::ltap

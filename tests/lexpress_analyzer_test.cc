@@ -1,0 +1,430 @@
+#include "lexpress/analyzer.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/integrated_schema.h"
+#include "core/mapping_gen.h"
+#include "ldap/schema.h"
+
+namespace metacomm::lexpress {
+namespace {
+
+/// Golden tests per analyzer rule: each seeded defect class must be
+/// flagged with its rule id, and the clean programs (including the
+/// repo's own generated mappings) must produce zero diagnostics.
+
+std::vector<Diagnostic> RunAnalyzer(std::string_view source,
+                            AnalyzerOptions options = {}) {
+  return Analyzer(std::move(options)).AnalyzeSource(source);
+}
+
+bool Has(const std::vector<Diagnostic>& diags, const std::string& rule,
+         const std::string& mapping = "") {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) {
+                       return d.rule_id == rule &&
+                              (mapping.empty() || d.mapping == mapping);
+                     });
+}
+
+size_t Count(const std::vector<Diagnostic>& diags,
+             const std::string& rule) {
+  return std::count_if(diags.begin(), diags.end(),
+                       [&](const Diagnostic& d) {
+                         return d.rule_id == rule;
+                       });
+}
+
+AnalyzerOptions DirectoryOptions() {
+  AnalyzerOptions options;
+  for (const std::string& name :
+       core::BuildIntegratedSchema().AttributeNames()) {
+    options.schemas["ldap"].insert(name);
+  }
+  options.schemas["pbx"] = {"Extension",    "Name",    "Room",   "Cos",
+                            "CoveragePath", "SetType", "Port"};
+  options.schemas["mp"] = {"MailboxNumber", "SubscriberName",
+                           "SubscriberId",  "Pin",
+                           "Greeting",      "EmailAddress"};
+  return options;
+}
+
+TEST(AnalyzerTest, ParseErrorIsLx000) {
+  auto diags = RunAnalyzer("mapping broken from a to b {");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule_id, "LX000");
+  EXPECT_EQ(diags[0].severity, DiagSeverity::kError);
+  EXPECT_TRUE(HasErrors(diags));
+}
+
+TEST(AnalyzerTest, CompileErrorIsLx000) {
+  auto diags = RunAnalyzer(
+      "mapping bad from a to b {\n"
+      "  map nosuchfn(X) -> Y;\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule_id, "LX000");
+  EXPECT_EQ(diags[0].mapping, "bad");
+}
+
+TEST(AnalyzerTest, NonConvergentCycleIsLx001) {
+  auto diags = RunAnalyzer(
+      "mapping fwd from a to b {\n"
+      "  map upper(X) -> Y;\n"
+      "}\n"
+      "mapping back from b to a {\n"
+      "  map lower(Y) -> X;\n"
+      "}\n");
+  ASSERT_TRUE(Has(diags, "LX001"));
+  EXPECT_TRUE(HasErrors(diags));
+  // The message names every mapping that could opt out of the error.
+  auto it = std::find_if(diags.begin(), diags.end(),
+                         [](const Diagnostic& d) {
+                           return d.rule_id == "LX001";
+                         });
+  EXPECT_NE(it->message.find("fwd"), std::string::npos);
+  EXPECT_NE(it->message.find("back"), std::string::npos);
+}
+
+TEST(AnalyzerTest, AllowCyclesSilencesLx001) {
+  auto diags = RunAnalyzer(
+      "mapping fwd from a to b {\n"
+      "  option allow_cycles = true;\n"
+      "  map upper(X) -> Y;\n"
+      "}\n"
+      "mapping back from b to a {\n"
+      "  option allow_cycles = true;\n"
+      "  map lower(Y) -> X;\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(AnalyzerTest, ConvergentIdentityCycleIsSilent) {
+  auto diags = RunAnalyzer(
+      "mapping fwd from a to b {\n"
+      "  map X -> Y;\n"
+      "}\n"
+      "mapping back from b to a {\n"
+      "  map Y -> X;\n"
+      "}\n");
+  EXPECT_FALSE(Has(diags, "LX001"));
+}
+
+TEST(AnalyzerTest, PartitionOverlapIsLx002) {
+  // "45" is a prefix of "451": every 451x extension satisfies both.
+  auto diags = RunAnalyzer(
+      "mapping east from ldap to pbx {\n"
+      "  option target_name = \"east\";\n"
+      "  partition when prefix(Ext, \"45\");\n"
+      "  map Cn -> Name;\n"
+      "}\n"
+      "mapping west from ldap to pbx {\n"
+      "  option target_name = \"west\";\n"
+      "  partition when prefix(Ext, \"451\");\n"
+      "  map Cn -> Name;\n"
+      "}\n");
+  EXPECT_TRUE(Has(diags, "LX002", "east"));
+  EXPECT_TRUE(HasErrors(diags));
+}
+
+TEST(AnalyzerTest, MissingPartitionOverlapsSiblingInstance) {
+  // A mapping with no partition accepts everything, so it collides
+  // with any sibling instance of the same schema pair.
+  auto diags = RunAnalyzer(
+      "mapping east from ldap to pbx {\n"
+      "  option target_name = \"east\";\n"
+      "  partition when prefix(Ext, \"45\");\n"
+      "  map Cn -> Name;\n"
+      "}\n"
+      "mapping anywhere from ldap to pbx {\n"
+      "  option target_name = \"roam\";\n"
+      "  map Cn -> Name;\n"
+      "}\n");
+  EXPECT_TRUE(Has(diags, "LX002"));
+}
+
+TEST(AnalyzerTest, DisjointPartitionsAreSilent) {
+  auto diags = RunAnalyzer(
+      "mapping east from ldap to pbx {\n"
+      "  option target_name = \"east\";\n"
+      "  partition when prefix(Ext, \"45\");\n"
+      "  map Cn -> Name;\n"
+      "}\n"
+      "mapping west from ldap to pbx {\n"
+      "  option target_name = \"west\";\n"
+      "  partition when prefix(Ext, \"46\");\n"
+      "  map Cn -> Name;\n"
+      "}\n");
+  EXPECT_FALSE(Has(diags, "LX002"));
+}
+
+TEST(AnalyzerTest, DisjunctsOnDifferentAttrsDoNotProveOverlap) {
+  // The paper-style partition pairs an extension prefix with a phone
+  // prefix; the cross terms constrain different attributes, and the
+  // analyzer must not call that an overlap.
+  auto diags = RunAnalyzer(
+      "mapping east from ldap to pbx {\n"
+      "  option target_name = \"east\";\n"
+      "  partition when prefix(Ext, \"45\") or prefix(Tel, \"+1 45\");\n"
+      "  map Cn -> Name;\n"
+      "}\n"
+      "mapping west from ldap to pbx {\n"
+      "  option target_name = \"west\";\n"
+      "  partition when prefix(Ext, \"46\") or prefix(Tel, \"+1 46\");\n"
+      "  map Cn -> Name;\n"
+      "}\n");
+  EXPECT_FALSE(Has(diags, "LX002"));
+}
+
+TEST(AnalyzerTest, UnsatisfiablePartitionIsLx003) {
+  auto diags = RunAnalyzer(
+      "mapping never from ldap to pbx {\n"
+      "  partition when eq(Cos, \"1\") and eq(Cos, \"2\");\n"
+      "  map Cn -> Name;\n"
+      "}\n");
+  ASSERT_TRUE(Has(diags, "LX003", "never"));
+  EXPECT_FALSE(HasErrors(diags));  // Warning, not error.
+}
+
+TEST(AnalyzerTest, ConflictingPrefixAndEqIsLx003) {
+  auto diags = RunAnalyzer(
+      "mapping never from ldap to pbx {\n"
+      "  partition when prefix(Ext, \"45\") and eq(Ext, \"9000\");\n"
+      "  map Cn -> Name;\n"
+      "}\n");
+  EXPECT_TRUE(Has(diags, "LX003", "never"));
+}
+
+TEST(AnalyzerTest, SatisfiableDisjunctKeepsPartitionAlive) {
+  // One dead disjunct is fine as long as another can hold.
+  auto diags = RunAnalyzer(
+      "mapping ok from ldap to pbx {\n"
+      "  partition when (eq(Cos, \"1\") and eq(Cos, \"2\"))"
+      " or prefix(Ext, \"45\");\n"
+      "  map Cn -> Name;\n"
+      "}\n");
+  EXPECT_FALSE(Has(diags, "LX003"));
+}
+
+TEST(AnalyzerTest, UnguardedWriteWriteIsLx004) {
+  auto diags = RunAnalyzer(
+      "mapping hr from hr to ldap {\n"
+      "  map JobTitle -> title;\n"
+      "}\n"
+      "mapping crm from crm to ldap {\n"
+      "  map Role -> title;\n"
+      "}\n");
+  EXPECT_TRUE(Has(diags, "LX004", "hr"));
+  EXPECT_TRUE(Has(diags, "LX004", "crm"));
+}
+
+TEST(AnalyzerTest, OriginatorOptionGuardsLx004) {
+  auto diags = RunAnalyzer(
+      "mapping hr from hr to ldap {\n"
+      "  option originator = \"LastUpdater\";\n"
+      "  map JobTitle -> title;\n"
+      "}\n"
+      "mapping crm from crm to ldap {\n"
+      "  map Role -> title;\n"
+      "}\n");
+  EXPECT_FALSE(Has(diags, "LX004", "hr"));
+  EXPECT_TRUE(Has(diags, "LX004", "crm"));
+}
+
+TEST(AnalyzerTest, LastUpdaterStampGuardsLx004) {
+  // Stamping the origin marker is the §5.4 protocol; both mappings do
+  // it, so neither is flagged and the marker itself is never treated
+  // as a conflicting target.
+  auto diags = RunAnalyzer(
+      "mapping hr from hr to ldap {\n"
+      "  map \"hr\" -> LastUpdater;\n"
+      "  map JobTitle -> title;\n"
+      "}\n"
+      "mapping crm from crm to ldap {\n"
+      "  map \"crm\" -> LastUpdater;\n"
+      "  map Role -> title;\n"
+      "}\n");
+  EXPECT_FALSE(Has(diags, "LX004"));
+}
+
+TEST(AnalyzerTest, SameSourceSchemaWritersAreNotLx004) {
+  // Two instances of one schema write through the same mapping text;
+  // conflicts need *different* source schemas.
+  auto diags = RunAnalyzer(
+      "mapping a from pbx to ldap {\n"
+      "  map Name -> cn;\n"
+      "}\n"
+      "mapping b from pbx to ldap {\n"
+      "  map Name -> cn;\n"
+      "}\n");
+  EXPECT_FALSE(Has(diags, "LX004"));
+}
+
+TEST(AnalyzerTest, UnknownAttributesAreLx005) {
+  auto diags = RunAnalyzer(
+      "mapping m from pbx to ldap {\n"
+      "  map Extensoin -> telephoneNumber;\n"
+      "  map Name -> commonNmae;\n"
+      "  map Name -> cn when present(Roome);\n"
+      "}\n",
+      DirectoryOptions());
+  EXPECT_EQ(Count(diags, "LX005"), 3u);  // read, target, guard read.
+  EXPECT_TRUE(HasErrors(diags));
+}
+
+TEST(AnalyzerTest, UndeclaredSchemasSkipLx005) {
+  auto diags = RunAnalyzer(
+      "mapping m from hr to crm {\n"
+      "  map Anything -> Whatever;\n"
+      "}\n",
+      DirectoryOptions());
+  EXPECT_FALSE(Has(diags, "LX005"));
+}
+
+TEST(AnalyzerTest, AttributeAliasesAreKnownToLx005) {
+  // surname/commonName alias sn/cn in the directory schema.
+  auto diags = RunAnalyzer(
+      "mapping m from pbx to ldap {\n"
+      "  map Name -> commonName;\n"
+      "  map Name -> surname;\n"
+      "}\n",
+      DirectoryOptions());
+  EXPECT_FALSE(Has(diags, "LX005"));
+}
+
+TEST(AnalyzerTest, DeadMappingIsLx006) {
+  auto diags = RunAnalyzer(
+      "mapping orphan from fax to ldap {\n"
+      "  map FaxNumber -> facsimileTelephoneNumber;\n"
+      "}\n",
+      DirectoryOptions());
+  ASSERT_TRUE(Has(diags, "LX006", "orphan"));
+  EXPECT_FALSE(HasErrors(diags));
+}
+
+TEST(AnalyzerTest, MappingFedByAnotherMappingIsNotDead) {
+  // "fax" is not a declared repository, but ldapToFax targets it, so
+  // faxToLdap can fire on reflected updates.
+  auto diags = RunAnalyzer(
+      "mapping ldapToFax from ldap to fax {\n"
+      "  map facsimileTelephoneNumber -> FaxNumber;\n"
+      "}\n"
+      "mapping faxToLdap from fax to ldap {\n"
+      "  map FaxNumber -> facsimileTelephoneNumber;\n"
+      "}\n",
+      DirectoryOptions());
+  EXPECT_FALSE(Has(diags, "LX006"));
+}
+
+TEST(AnalyzerTest, ShadowedRuleIsLx007) {
+  auto diags = RunAnalyzer(
+      "mapping m from pbx to ldap {\n"
+      "  map \"station\" -> description;\n"
+      "  map SetType -> description;\n"
+      "}\n");
+  ASSERT_TRUE(Has(diags, "LX007", "m"));
+}
+
+TEST(AnalyzerTest, GuardedFirstRuleDoesNotShadow) {
+  auto diags = RunAnalyzer(
+      "mapping m from pbx to ldap {\n"
+      "  map \"station\" -> description when present(SetType);\n"
+      "  map Name -> description;\n"
+      "}\n");
+  EXPECT_FALSE(Has(diags, "LX007"));
+}
+
+TEST(AnalyzerTest, FallibleFirstRuleDoesNotShadow) {
+  // An attribute reference may evaluate empty, so later rules live.
+  auto diags = RunAnalyzer(
+      "mapping m from pbx to ldap {\n"
+      "  map SetType -> description;\n"
+      "  map Name -> description;\n"
+      "}\n");
+  EXPECT_FALSE(Has(diags, "LX007"));
+}
+
+TEST(AnalyzerTest, CleanProgramHasZeroDiagnostics) {
+  auto diags = RunAnalyzer(
+      "mapping pbxToLdap from pbx to ldap {\n"
+      "  option target_name = \"ldap\";\n"
+      "  option allow_cycles = true;\n"
+      "  key Extension -> DefinityExtension;\n"
+      "  map \"pbx1\" -> LastUpdater;\n"
+      "  map Name -> cn;\n"
+      "  map surname(Name) -> sn;\n"
+      "}\n"
+      "mapping ldapToPbx from ldap to pbx {\n"
+      "  option target_name = \"pbx1\";\n"
+      "  option originator = \"LastUpdater\";\n"
+      "  option allow_cycles = true;\n"
+      "  partition when prefix(DefinityExtension, \"45\");\n"
+      "  key DefinityExtension -> Extension;\n"
+      "  map cn -> Name;\n"
+      "}\n",
+      DirectoryOptions());
+  EXPECT_TRUE(diags.empty()) << diags.size() << " unexpected findings, "
+                             << "first: "
+                             << (diags.empty() ? ""
+                                               : diags[0].ToString());
+}
+
+TEST(AnalyzerTest, GeneratedMappingsAreClean) {
+  // Acceptance gate: the repo's own mapping generator must pass its own
+  // linter with zero findings, under the real integrated schema.
+  std::string source = core::GeneratePbxMappings({}) + "\n" +
+                       core::GenerateMpMappings({});
+  auto diags = RunAnalyzer(source, DirectoryOptions());
+  EXPECT_TRUE(diags.empty())
+      << "first: " << (diags.empty() ? "" : diags[0].ToString());
+}
+
+TEST(AnalyzerTest, TwoPbxGeneratedTopologyIsClean) {
+  // Disjoint dial plans (45xx vs 46xx) must not trip LX002.
+  core::PbxMappingParams pbx1;
+  pbx1.name = "pbx1";
+  pbx1.extension_prefix = "45";
+  core::PbxMappingParams pbx2;
+  pbx2.name = "pbx2";
+  pbx2.extension_prefix = "46";
+  std::string source = core::GeneratePbxMappings(pbx1) + "\n" +
+                       core::GeneratePbxMappings(pbx2) + "\n" +
+                       core::GenerateMpMappings({});
+  auto diags = RunAnalyzer(source, DirectoryOptions());
+  EXPECT_TRUE(diags.empty())
+      << "first: " << (diags.empty() ? "" : diags[0].ToString());
+}
+
+TEST(AnalyzerTest, DiagnosticToStringFormat) {
+  Diagnostic d;
+  d.rule_id = "LX005";
+  d.severity = DiagSeverity::kError;
+  d.mapping = "m";
+  d.line = 12;
+  d.message = "boom";
+  EXPECT_EQ(d.ToString(), "12: error: [LX005] boom (mapping m)");
+  EXPECT_STREQ(DiagSeverityName(DiagSeverity::kWarning), "warning");
+}
+
+TEST(AnalyzerTest, DiagnosticsAreOrderedByLine) {
+  auto diags = RunAnalyzer(
+      "mapping m from pbx to ldap {\n"
+      "  map Extensoin -> telephoneNumber;\n"
+      "  map Name -> commonNmae;\n"
+      "}\n"
+      "mapping orphan from fax to ldap {\n"
+      "  map FaxNumber -> facsimileTelephoneNumber;\n"
+      "}\n",
+      DirectoryOptions());
+  ASSERT_GE(diags.size(), 2u);
+  for (size_t i = 1; i < diags.size(); ++i) {
+    EXPECT_LE(diags[i - 1].line, diags[i].line);
+  }
+}
+
+}  // namespace
+}  // namespace metacomm::lexpress

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Full static + dynamic gate for MetaComm. Run from the repo root:
+#
+#   tools/check.sh
+#
+# Stages:
+#   1. Clang thread-safety-analysis build (-Wthread-safety as error)
+#      — skipped with a notice when clang++ is not installed; the
+#      annotations compile as no-ops elsewhere.
+#   2. Regular build + full tier-1 ctest suite.
+#   3. ThreadSanitizer build and run of the concurrency tests
+#      (threaded_test, parallel_um_test).
+#   4. lexpress_check over the generated mappings and every example
+#      mapping file (defects.lex is the linter's own fixture and is
+#      expected to FAIL; it is checked for non-zero exit).
+#   5. clang-tidy over the core sources — skipped when absent.
+set -u
+
+cd "$(dirname "$0")/.."
+failures=0
+
+note()  { printf '\n== %s ==\n' "$*"; }
+fail()  { printf 'FAIL: %s\n' "$*"; failures=$((failures + 1)); }
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+# -- 1. Clang thread-safety analysis ---------------------------------
+note "clang -Wthread-safety"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DMETACOMM_THREAD_SAFETY_ANALYSIS=ON >/dev/null \
+    && cmake --build build-tsa -j "$jobs" \
+    || fail "thread-safety-analysis build"
+else
+  echo "clang++ not installed; skipping (annotations are no-ops under gcc)"
+fi
+
+# -- 2. Tier-1 build + tests -----------------------------------------
+note "tier-1 build + ctest"
+cmake -B build -S . >/dev/null \
+  && cmake --build build -j "$jobs" \
+  && ctest --test-dir build --output-on-failure -j "$jobs" \
+  || fail "tier-1 tests"
+
+# -- 3. TSan concurrency tests ---------------------------------------
+note "ThreadSanitizer: threaded_test + parallel_um_test"
+if cmake -B build-tsan -S . -DMETACOMM_SANITIZE=thread >/dev/null \
+   && cmake --build build-tsan -j "$jobs" \
+        --target threaded_test parallel_um_test; then
+  ./build-tsan/tests/threaded_test    || fail "threaded_test under TSan"
+  ./build-tsan/tests/parallel_um_test || fail "parallel_um_test under TSan"
+else
+  fail "TSan build"
+fi
+
+# -- 4. lexpress check ------------------------------------------------
+note "lexpress_check"
+check=./build/tools/lexpress_check
+if [ -x "$check" ]; then
+  "$check" --builtin-schemas --gen -v \
+    || fail "generated mappings are not clean"
+  for lex in examples/mappings/*.lex; do
+    case "$lex" in
+      *defects.lex)
+        # The seeded-defect fixture must trip the linter.
+        if "$check" --builtin-schemas \
+             --schema hr=EmployeeId,FullName,JobTitle \
+             --schema crm=AccountId,ContactName,Role \
+             "$lex" 2>/dev/null; then
+          fail "$lex should produce errors and did not"
+        else
+          echo "$lex: defects flagged as expected"
+        fi
+        ;;
+      *)
+        "$check" --builtin-schemas -v "$lex" || fail "$lex"
+        ;;
+    esac
+  done
+else
+  fail "lexpress_check not built"
+fi
+
+# -- 5. clang-tidy (optional) ----------------------------------------
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  run-clang-tidy -p build -quiet "src/.*" || fail "clang-tidy"
+else
+  echo "clang-tidy not installed; skipping (.clang-tidy documents the profile)"
+fi
+
+# --------------------------------------------------------------------
+echo
+if [ "$failures" -eq 0 ]; then
+  echo "check.sh: all stages passed"
+else
+  echo "check.sh: $failures stage(s) FAILED"
+fi
+exit "$((failures > 0))"

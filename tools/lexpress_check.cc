@@ -1,0 +1,160 @@
+// lexpress check — static analysis over lexpress mapping programs.
+//
+// Usage:
+//   lexpress_check [options] [file.lex ...]
+//     --schema name=attr1,attr2,...  declare a repository schema for
+//                                    unknown-attribute / dead-mapping
+//                                    analysis (repeatable)
+//     --builtin-schemas              declare the ldap/pbx/mp schemas the
+//                                    repo itself integrates
+//     --gen                          also analyze the mapping program
+//                                    core/mapping_gen emits for the
+//                                    default pbx1 + mp1 topology
+//     -v                             print a per-file summary even when
+//                                    clean
+//
+// Output: one `file:line: severity: [LXnnn] message` line per finding
+// (rule ids documented in docs/LEXPRESS.md "Diagnostics"). Exit status:
+// 0 clean or warnings only, 1 any error-severity finding, 2 a file
+// could not be read.
+//
+// Each file is one program: cycle and partition analysis relate the
+// mappings *within* a file (plus, with --gen, within the generated
+// program). Mappings split across files are not correlated.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/integrated_schema.h"
+#include "core/mapping_gen.h"
+#include "ldap/schema.h"
+#include "lexpress/analyzer.h"
+
+namespace {
+
+using metacomm::Split;
+using metacomm::lexpress::Analyzer;
+using metacomm::lexpress::AnalyzerOptions;
+using metacomm::lexpress::Diagnostic;
+using metacomm::lexpress::HasErrors;
+
+void AddBuiltinSchemas(AnalyzerOptions* options) {
+  // "ldap" is the integrated directory schema (standard subset plus the
+  // MetaComm device attributes); "pbx" and "mp" are the device-side
+  // schemas the simulated Definity PBX and messaging platform expose.
+  auto& ldap = options->schemas["ldap"];
+  for (const std::string& name :
+       metacomm::core::BuildIntegratedSchema().AttributeNames()) {
+    ldap.insert(name);
+  }
+  options->schemas["pbx"] = {"Extension",    "Name",    "Room",   "Cos",
+                             "CoveragePath", "SetType", "Port"};
+  options->schemas["mp"] = {"MailboxNumber", "SubscriberName",
+                            "SubscriberId",  "Pin",
+                            "Greeting",      "EmailAddress"};
+}
+
+bool ParseSchemaFlag(const std::string& spec, AnalyzerOptions* options) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  auto& attrs = options->schemas[spec.substr(0, eq)];
+  for (const std::string& attr : Split(spec.substr(eq + 1), ',')) {
+    if (!attr.empty()) attrs.insert(attr);
+  }
+  return true;
+}
+
+/// Analyzes one named source; returns the number of error findings.
+int RunOne(const Analyzer& analyzer, const std::string& label,
+           const std::string& source, bool verbose, bool* any_error) {
+  std::vector<Diagnostic> diags = analyzer.AnalyzeSource(source);
+  for (const Diagnostic& d : diags) {
+    std::fprintf(stderr, "%s:%s\n", label.c_str(), d.ToString().c_str());
+  }
+  if (HasErrors(diags)) *any_error = true;
+  if (verbose || !diags.empty()) {
+    std::fprintf(stderr, "%s: %zu finding(s)\n", label.c_str(),
+                 diags.size());
+  }
+  return static_cast<int>(diags.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AnalyzerOptions options;
+  std::vector<std::string> files;
+  bool gen = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--builtin-schemas") {
+      AddBuiltinSchemas(&options);
+    } else if (arg == "--gen") {
+      gen = true;
+    } else if (arg == "-v" || arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--schema") {
+      if (i + 1 >= argc || !ParseSchemaFlag(argv[++i], &options)) {
+        std::fprintf(stderr,
+                     "lexpress_check: --schema wants name=a,b,c\n");
+        return 2;
+      }
+    } else if (arg.rfind("--schema=", 0) == 0) {
+      if (!ParseSchemaFlag(arg.substr(9), &options)) {
+        std::fprintf(stderr,
+                     "lexpress_check: --schema wants name=a,b,c\n");
+        return 2;
+      }
+    } else if (arg == "-h" || arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: lexpress_check [--schema name=a,b,...] "
+                   "[--builtin-schemas] [--gen] [-v] [file.lex ...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lexpress_check: unknown flag %s\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && !gen) {
+    std::fprintf(stderr,
+                 "lexpress_check: nothing to check (pass files or "
+                 "--gen)\n");
+    return 2;
+  }
+
+  Analyzer analyzer(options);
+  bool any_error = false;
+
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "lexpress_check: cannot read %s\n",
+                   path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    RunOne(analyzer, path, buf.str(), verbose, &any_error);
+  }
+
+  if (gen) {
+    // One pseudo-file so the pbx <-> ldap <-> mp cycles are visible to
+    // the analysis exactly as the update manager loads them.
+    std::string source =
+        metacomm::core::GeneratePbxMappings({}) + "\n" +
+        metacomm::core::GenerateMpMappings({});
+    RunOne(analyzer, "<generated>", source, verbose, &any_error);
+  }
+
+  return any_error ? 1 : 0;
+}
