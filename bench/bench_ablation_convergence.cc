@@ -187,4 +187,8 @@ BENCHMARK(BM_LockingAblation)
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("ablation_convergence", argc, argv);
+}

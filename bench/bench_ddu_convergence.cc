@@ -169,4 +169,8 @@ BENCHMARK(BM_RacingLdapAndDdu)
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("ddu_convergence", argc, argv);
+}

@@ -188,4 +188,8 @@ BENCHMARK(BM_TextProtocolSearch);
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("directory", argc, argv);
+}

@@ -120,4 +120,8 @@ BENCHMARK(BM_ReadThroughput)
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("gateway_vs_library", argc, argv);
+}

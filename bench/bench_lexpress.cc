@@ -213,4 +213,8 @@ BENCHMARK(BM_ClosureStandardDeployment);
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("lexpress", argc, argv);
+}

@@ -196,4 +196,8 @@ BENCHMARK(BM_SpreadEntryContention)
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("ltap", argc, argv);
+}

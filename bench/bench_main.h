@@ -1,0 +1,18 @@
+#ifndef METACOMM_BENCH_BENCH_MAIN_H_
+#define METACOMM_BENCH_BENCH_MAIN_H_
+
+#include <string>
+
+namespace metacomm::bench {
+
+/// Shared main() for every bench binary: google-benchmark plus the
+/// repo-local `--json` flag. With --json, a machine-readable summary
+/// is written to BENCH_<name>.json in the current working directory:
+/// per-run time and ops/sec (with every user counter), p50/p99 of the
+/// per-iteration wall time across runs, and the invocation arguments.
+/// tools/bench_report.sh drives this across all benches.
+int RunBenchMain(const std::string& name, int argc, char** argv);
+
+}  // namespace metacomm::bench
+
+#endif  // METACOMM_BENCH_BENCH_MAIN_H_

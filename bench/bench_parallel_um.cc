@@ -214,4 +214,8 @@ BENCHMARK(BM_SameEntryDduBurst)
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("parallel_um", argc, argv);
+}

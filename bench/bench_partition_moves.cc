@@ -91,4 +91,8 @@ BENCHMARK(BM_CrossPartitionMove);
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("partition_moves", argc, argv);
+}

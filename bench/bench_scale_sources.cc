@@ -115,4 +115,8 @@ BENCHMARK(BM_ProvisionWithManySources)->Arg(1)->Arg(4)->Arg(12);
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("scale_sources", argc, argv);
+}

@@ -122,4 +122,8 @@ BENCHMARK(BM_IncrementalResync)
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("sync", argc, argv);
+}

@@ -174,4 +174,8 @@ BENCHMARK(BM_MetaCommLdapRead);
 }  // namespace
 }  // namespace metacomm::bench
 
-BENCHMARK_MAIN();
+#include "bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("update_paths", argc, argv);
+}

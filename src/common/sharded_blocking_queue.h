@@ -86,6 +86,29 @@ class ShardedBlockingQueue {
     return item;
   }
 
+  /// Blocks like Pop, then drains up to `max_n` items from `shard` in
+  /// one wakeup, preserving the shard's FIFO order. Returns an empty
+  /// vector on close — like Pop, close means abort and the remaining
+  /// items (including any the worker never saw) are left for Drain().
+  /// `max_n < 1` is treated as 1.
+  std::vector<T> PopBatch(size_t shard, size_t max_n) {
+    max_n = std::max<size_t>(1, max_n);
+    Shard& s = *shards_[shard % shards_.size()];
+    MutexLock lock(&s.mutex);
+    while (s.queue.empty() && !closed_.load(std::memory_order_acquire)) {
+      s.cv.Wait(lock);
+    }
+    std::vector<T> items;
+    if (closed_.load(std::memory_order_acquire)) return items;
+    const size_t n = std::min(max_n, s.queue.size());
+    items.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      items.push_back(std::move(s.queue.front()));
+      s.queue.pop_front();
+    }
+    return items;
+  }
+
   /// Non-blocking pop from `shard`; nullopt when empty or closed.
   std::optional<T> TryPop(size_t shard) {
     Shard& s = *shards_[shard % shards_.size()];

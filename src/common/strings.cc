@@ -28,6 +28,11 @@ std::string ToLower(std::string_view s) {
   return out;
 }
 
+void ToLowerInto(std::string_view s, std::string* out) {
+  out->resize(s.size());
+  std::transform(s.begin(), s.end(), out->begin(), AsciiLower);
+}
+
 std::string ToUpper(std::string_view s) {
   std::string out(s);
   std::transform(out.begin(), out.end(), out.begin(), AsciiUpper);
@@ -57,6 +62,21 @@ std::string NormalizeSpace(std::string_view s) {
   }
   if (!out.empty() && out.back() == ' ') out.pop_back();
   return out;
+}
+
+void NormalizeSpaceLowerInto(std::string_view s, std::string* out) {
+  out->clear();
+  bool in_space = true;  // Suppress leading spaces.
+  for (char c : s) {
+    if (IsSpace(c)) {
+      if (!in_space) out->push_back(' ');
+      in_space = true;
+    } else {
+      out->push_back(AsciiLower(c));
+      in_space = false;
+    }
+  }
+  if (!out->empty() && out->back() == ' ') out->pop_back();
 }
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {

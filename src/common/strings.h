@@ -17,6 +17,10 @@ namespace metacomm {
 /// Returns `s` with ASCII letters lower-cased.
 std::string ToLower(std::string_view s);
 
+/// Writes lower(`s`) into `*out`, reusing its capacity. In-place
+/// variant for hot paths that fold many strings in a loop.
+void ToLowerInto(std::string_view s, std::string* out);
+
 /// Returns `s` with ASCII letters upper-cased.
 std::string ToUpper(std::string_view s);
 
@@ -27,6 +31,12 @@ std::string Trim(std::string_view s);
 /// spaces and leading/trailing whitespace removed. This is the
 /// "insignificant space" handling LDAP matching rules prescribe.
 std::string NormalizeSpace(std::string_view s);
+
+/// Single-pass NormalizeSpace + ToLower written into `*out`, reusing
+/// its capacity. This is the canonical key form of the LDAP equality
+/// index; the in-place single scan avoids the two temporaries of
+/// ToLower(NormalizeSpace(s)) on indexing/search hot paths.
+void NormalizeSpaceLowerInto(std::string_view s, std::string* out);
 
 /// Case-insensitive equality over ASCII.
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);

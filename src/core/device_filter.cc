@@ -112,6 +112,15 @@ StatusOr<lexpress::Record> DeviceFilter::Apply(
   return *result;
 }
 
+std::vector<StatusOr<lexpress::Record>> DeviceFilter::ApplyBatch(
+    const std::vector<lexpress::UpdateDescriptor>& updates) {
+  // One administrative session for the whole batch: the emulated link
+  // RTT is paid once, and every converter command inside — including
+  // conditional-fallback retries and result fetches — rides it.
+  devices::LatencyEmulator::SessionScope session(&device_->latency());
+  return RepositoryFilter::ApplyBatch(updates);
+}
+
 StatusOr<std::optional<lexpress::Record>> DeviceFilter::Fetch(
     const std::string& key) {
   return converter_->Get(key);

@@ -46,6 +46,8 @@ class DeviceFilter : public RepositoryFilter {
   }
   StatusOr<lexpress::Record> Apply(
       const lexpress::UpdateDescriptor& update) override;
+  std::vector<StatusOr<lexpress::Record>> ApplyBatch(
+      const std::vector<lexpress::UpdateDescriptor>& updates) override;
   StatusOr<std::optional<lexpress::Record>> Fetch(
       const std::string& key) override;
   StatusOr<std::vector<lexpress::Record>> DumpAll() override;

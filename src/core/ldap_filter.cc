@@ -144,7 +144,23 @@ std::vector<ldap::Modification> LdapFilter::DiffMods(
 
 StatusOr<lexpress::Record> LdapFilter::Apply(
     const lexpress::UpdateDescriptor& update) {
+  return ApplyWithContext(InternalContext(), update);
+}
+
+std::vector<StatusOr<lexpress::Record>> LdapFilter::ApplyBatch(
+    const std::vector<lexpress::UpdateDescriptor>& updates) {
+  // One internal context — one LTAP session — carries the whole batch.
   ldap::OpContext ctx = InternalContext();
+  std::vector<StatusOr<lexpress::Record>> results;
+  results.reserve(updates.size());
+  for (const lexpress::UpdateDescriptor& update : updates) {
+    results.push_back(ApplyWithContext(ctx, update));
+  }
+  return results;
+}
+
+StatusOr<lexpress::Record> LdapFilter::ApplyWithContext(
+    const ldap::OpContext& ctx, const lexpress::UpdateDescriptor& update) {
   std::string old_key = update.old_record.GetFirst(config_.key_attr);
   std::string new_key = update.new_record.GetFirst(config_.key_attr);
 

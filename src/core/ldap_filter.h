@@ -66,6 +66,13 @@ class LdapFilter {
   /// for deletes).
   StatusOr<lexpress::Record> Apply(const lexpress::UpdateDescriptor& update);
 
+  /// Applies a batch of canonical updates under ONE internal LTAP
+  /// session (a single gateway context instead of one per update —
+  /// the directory-side half of batched propagation). Results are
+  /// positional; a failing update does not stop the rest.
+  std::vector<StatusOr<lexpress::Record>> ApplyBatch(
+      const std::vector<lexpress::UpdateDescriptor>& updates);
+
   /// Installs a hook invoked between ModifyRDN and Modify of a pair.
   /// A non-OK return aborts before the second half (simulated crash).
   void set_pair_crash_hook(std::function<Status()> hook) {
@@ -85,6 +92,11 @@ class LdapFilter {
   std::vector<ldap::Modification> DiffMods(
       const ldap::Entry& current, const lexpress::Record& old_image,
       const lexpress::Record& target) const;
+
+  /// Apply against a caller-provided gateway context (shared by every
+  /// update of an ApplyBatch call).
+  StatusOr<lexpress::Record> ApplyWithContext(
+      const ldap::OpContext& ctx, const lexpress::UpdateDescriptor& update);
 
   ldap::OpContext InternalContext() const;
 

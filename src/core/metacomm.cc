@@ -85,6 +85,7 @@ Status MetaCommSystem::Init() {
   for (const PbxMappingParams& params : config_.pbxs) {
     devices::PbxConfig pbx_config;
     pbx_config.name = params.name;
+    pbx_config.command_rtt_micros = config_.device_command_rtt_micros;
     if (!params.extension_prefix.empty()) {
       pbx_config.extension_prefixes = {params.extension_prefix};
     }
@@ -107,6 +108,7 @@ Status MetaCommSystem::Init() {
   for (const MpMappingParams& params : config_.mps) {
     devices::MpConfig mp_config;
     mp_config.name = params.name;
+    mp_config.command_rtt_micros = config_.device_command_rtt_micros;
     auto mp = std::make_unique<devices::MessagingPlatform>(mp_config);
 
     METACOMM_ASSIGN_OR_RETURN(

@@ -31,6 +31,12 @@ struct SystemConfig {
   /// Messaging platforms to instantiate. Default: one platform "mp1".
   std::vector<MpMappingParams> mps = {MpMappingParams{}};
 
+  /// Emulated per-conversation round-trip latency of every device's
+  /// administrative link (devices::LatencyEmulator). Zero (the default)
+  /// keeps the simulators instantaneous; benches set it to model the
+  /// slow proprietary interfaces the paper's devices sit behind.
+  int64_t device_command_rtt_micros = 0;
+
   /// Update Manager settings (threading, ablations, extensions).
   UpdateManagerConfig um;
   /// Gateway settings (lock/quiesce timeouts, ablations).

@@ -76,7 +76,23 @@ Status MonitorPublisher::Refresh() {
        {"closureIterations", um_stats.closure_iterations},
        {"syncs", um_stats.syncs},
        {"lockRetries", um_stats.lock_retries},
-       {"shutdownDrained", um_stats.shutdown_drained}}));
+       {"shutdownDrained", um_stats.shutdown_drained},
+       {"batches", um_stats.batches},
+       {"coalesced", um_stats.coalesced},
+       {"rttsSaved", um_stats.rtts_saved}}));
+
+  // Batch size histogram under its own monitored object; the bucket
+  // edges mirror UpdateManager::Stats::batch_size_buckets.
+  {
+    const std::vector<uint64_t>& buckets = um_stats.batch_size_buckets;
+    static const char* kBucketNames[] = {"size1",    "size2",  "size3to4",
+                                         "size5to8", "size9to16", "sizeOver16"};
+    std::vector<std::pair<std::string, uint64_t>> histogram;
+    for (size_t i = 0; i < buckets.size() && i < 6; ++i) {
+      histogram.emplace_back(kBucketNames[i], buckets[i]);
+    }
+    METACOMM_RETURN_IF_ERROR(Publish("um-batches", histogram));
+  }
 
   // One monitored object per update-queue shard (cn=um-shard-N).
   for (size_t shard = 0; shard < um_stats.shards.size(); ++shard) {

@@ -46,6 +46,22 @@ class RepositoryFilter {
   virtual StatusOr<lexpress::Record> Apply(
       const lexpress::UpdateDescriptor& update) = 0;
 
+  /// Applies several already-translated updates over ONE repository
+  /// conversation. Results are positional; a failing update does not
+  /// stop the rest (the Update Manager settles per update). The
+  /// default pays the per-command conversation cost for every update;
+  /// device filters override it to share a single administrative
+  /// session, paying the emulated link RTT once per batch.
+  virtual std::vector<StatusOr<lexpress::Record>> ApplyBatch(
+      const std::vector<lexpress::UpdateDescriptor>& updates) {
+    std::vector<StatusOr<lexpress::Record>> results;
+    results.reserve(updates.size());
+    for (const lexpress::UpdateDescriptor& update : updates) {
+      results.push_back(Apply(update));
+    }
+    return results;
+  }
+
   /// Fetches the record with the given key value; nullopt when absent.
   virtual StatusOr<std::optional<lexpress::Record>> Fetch(
       const std::string& key) = 0;

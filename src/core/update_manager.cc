@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "core/coalescer.h"
 #include "core/device_filter.h"
 #include "core/integrated_schema.h"
 
@@ -105,13 +106,34 @@ void UpdateManager::Stop() {
 }
 
 void UpdateManager::WorkerLoop(size_t shard) {
+  const size_t max_batch =
+      static_cast<size_t>(std::max(1, config_.max_batch_size));
   while (true) {
-    std::optional<WorkItem> item = queue_.Pop(shard);
-    if (!item.has_value()) return;  // Closed; Stop() reclaims the rest.
-    RecordDequeue(*item);
-    Status status = ProcessItem(*item);
-    if (item->done) item->done->set_value(status);
+    std::vector<WorkItem> batch = queue_.PopBatch(shard, max_batch);
+    if (batch.empty()) return;  // Closed; Stop() reclaims the rest.
+    for (WorkItem& item : batch) RecordDequeue(item);
+    RecordBatch(batch.size());
+    if (batch.size() == 1) {
+      // The paper shape — and the max_batch_size=1 default — bypasses
+      // the coalescer entirely.
+      WorkItem& item = batch.front();
+      Status status = ProcessItem(item);
+      if (item.done) item.done->set_value(status);
+      continue;
+    }
+    ProcessBatch(std::move(batch));
   }
+}
+
+void UpdateManager::RecordBatch(size_t batch_size) {
+  size_t bucket = batch_size <= 2    ? batch_size - 1
+                  : batch_size <= 4  ? 2
+                  : batch_size <= 8  ? 3
+                  : batch_size <= 16 ? 4
+                                     : 5;
+  MutexLock lock(&stats_mutex_);
+  ++stats_.batches;
+  ++stats_.batch_size_buckets[bucket];
 }
 
 bool UpdateManager::Enqueue(WorkItem item) {
@@ -561,11 +583,6 @@ Status UpdateManager::Propagate(
   Status first_error = Status::Ok();
   std::vector<std::pair<RepositoryFilter*, lexpress::UpdateDescriptor>>
       applied_for_undo;
-  struct DeviceResult {
-    RepositoryFilter* filter;
-    lexpress::Record sent;    // The image we asked the device to hold.
-    lexpress::Record result;  // What the device actually holds now.
-  };
   std::vector<DeviceResult> results;
   bool aborted = false;
 
@@ -662,12 +679,19 @@ Status UpdateManager::Propagate(
     }
   }
 
-  if (ldap_update.op == lexpress::DescriptorOp::kDelete) {
+  if (ldap_update.op != lexpress::DescriptorOp::kDelete) {
     // Deletes mint no device-generated information.
-    (void)first_error;
-    return Status::Ok();
+    (void)BackfillGeneratedInfo(ldap_update, *plan, results);
   }
+  // Device-side failures were logged and the administrator notified
+  // (§4.4); they do not fail the originating client operation.
+  (void)first_error;
+  return Status::Ok();
+}
 
+Status UpdateManager::BackfillGeneratedInfo(
+    const lexpress::UpdateDescriptor& ldap_update, const UpdatePlan& plan,
+    const std::vector<DeviceResult>& results) {
   // Device-generated information (§5.5): after all other devices are
   // updated, fold anything the devices MINTED (e.g. the messaging
   // platform's SubscriberId) back into the directory. Minted means it
@@ -687,32 +711,250 @@ Status UpdateManager::Propagate(
       if (sent_mapped.ok() && sent_mapped->Get(attr) == value) {
         continue;  // Echo of what we sent, not device-generated.
       }
-      if (!(plan->final_ldap.Get(attr) == value)) {
+      if (!(plan.final_ldap.Get(attr) == value)) {
         generated.Set(attr, value);
       }
     }
   }
-  if (!generated.empty()) {
-    lexpress::UpdateDescriptor backfill;
-    backfill.op = lexpress::DescriptorOp::kModify;
-    backfill.schema = "ldap";
-    backfill.source = ldap_update.source;
-    backfill.conditional = true;
-    backfill.old_record = plan->final_ldap;
-    backfill.new_record = MergeRecords(plan->final_ldap, generated);
-    StatusOr<lexpress::Record> applied = ldap_filter_->Apply(backfill);
-    if (applied.ok()) {
+  if (generated.empty()) return Status::Ok();
+  lexpress::UpdateDescriptor backfill;
+  backfill.op = lexpress::DescriptorOp::kModify;
+  backfill.schema = "ldap";
+  backfill.source = ldap_update.source;
+  backfill.conditional = true;
+  backfill.old_record = plan.final_ldap;
+  backfill.new_record = MergeRecords(plan.final_ldap, generated);
+  StatusOr<lexpress::Record> applied = ldap_filter_->Apply(backfill);
+  if (!applied.ok()) {
+    HandleError(applied.status(), backfill);
+    return applied.status();
+  }
+  MutexLock lock(&stats_mutex_);
+  ++stats_.generated_info;
+  return Status::Ok();
+}
+
+void UpdateManager::SettleUnit(const UnitWork& unit,
+                               std::vector<WorkItem>& items,
+                               const Status& status) {
+  for (size_t index : unit.constituents) {
+    WorkItem& item = items[index];
+    ReleaseLocks(item.locked, item.lock_session);
+    if (item.done) item.done->set_value(status);
+  }
+}
+
+void UpdateManager::ProcessBatch(std::vector<WorkItem> items) {
+  if (config_.saga_undo) {
+    // Saga compensation reasons about ONE update sequence at a time;
+    // merged units have no single pre-image to restore. Fall back to
+    // the sequential path rather than guess.
+    for (WorkItem& item : items) {
+      Status status = ProcessItem(item);
+      if (item.done) item.done->set_value(status);
+    }
+    return;
+  }
+
+  // Normalize every popped item into the integrated schema so the
+  // coalescer compares like with like: Path A items already are; Path B
+  // items were translated on their device thread (prepared == true).
+  std::vector<lexpress::UpdateDescriptor> descriptors;
+  descriptors.reserve(items.size());
+  for (const WorkItem& item : items) descriptors.push_back(item.descriptor);
+  CoalesceResult folded =
+      CoalesceBatch(descriptors, ldap_filter_->key_attr());
+  if (folded.coalesced_away > 0) {
+    MutexLock lock(&stats_mutex_);
+    stats_.coalesced += folded.coalesced_away;
+  }
+
+  std::vector<UnitWork> units;
+  units.reserve(folded.units.size());
+  for (CoalescedUnit& folded_unit : folded.units) {
+    UnitWork unit;
+    unit.update = std::move(folded_unit.update);
+    unit.constituents = std::move(folded_unit.constituents);
+    unit.annihilated = folded_unit.annihilated;
+    // A unit is Path A exactly when its FIRST constituent came from an
+    // LTAP trigger (un-prepared "ldap"-schema item): the directory then
+    // already reflects that operation. Merging never changes this — the
+    // coalescer only folds a later item into an earlier unit, and the
+    // first constituent decides what the directory has seen.
+    const WorkItem& first = items[unit.constituents.front()];
+    unit.ldap_current =
+        !first.prepared && EqualsIgnoreCase(first.descriptor.schema, "ldap");
+    units.push_back(std::move(unit));
+  }
+
+  // Wave partitioning: consecutive units touching DISJOINT entities
+  // propagate together; a repeated entity starts the next wave so
+  // per-entity ordering is preserved exactly.
+  const std::string& key_attr = ldap_filter_->key_attr();
+  size_t next = 0;
+  while (next < units.size()) {
+    if (queue_.closed()) {
+      // Shutdown raced the batch: fail what we have not yet propagated,
+      // exactly as Stop()'s drain fails items still in the queue.
+      size_t drained = 0;
+      for (; next < units.size(); ++next) {
+        drained += units[next].constituents.size();
+        SettleUnit(units[next], items,
+                   Status::Unavailable("update manager is shut down"));
+      }
       MutexLock lock(&stats_mutex_);
-      ++stats_.generated_info;
-    } else {
-      HandleError(applied.status(), backfill);
-      if (first_error.ok()) first_error = applied.status();
+      stats_.shutdown_drained += drained;
+      return;
+    }
+    std::set<std::string, CaseInsensitiveLess> wave_keys;
+    std::vector<size_t> wave;
+    for (; next < units.size(); ++next) {
+      UnitWork& unit = units[next];
+      if (unit.annihilated) {
+        // Add+...+Delete folded to nothing: the entity never existed
+        // as far as any repository is concerned. Settle as success.
+        SettleUnit(unit, items, Status::Ok());
+        continue;
+      }
+      std::vector<std::string> unit_keys;
+      for (const std::string& key :
+           {unit.update.old_record.GetFirst(key_attr),
+            unit.update.new_record.GetFirst(key_attr)}) {
+        if (!key.empty()) unit_keys.push_back(key);
+      }
+      bool conflicts = false;
+      for (const std::string& key : unit_keys) {
+        if (wave_keys.count(key) > 0) conflicts = true;
+      }
+      if (conflicts) break;  // Same entity again: next wave.
+      for (const std::string& key : unit_keys) wave_keys.insert(key);
+      wave.push_back(next);
+    }
+    if (!wave.empty()) PropagateWave(units, wave, items);
+  }
+}
+
+void UpdateManager::PropagateWave(std::vector<UnitWork>& units,
+                                  const std::vector<size_t>& wave,
+                                  std::vector<WorkItem>& items) {
+  // One planned-and-alive propagation per unit in the wave.
+  struct LiveUnit {
+    UnitWork* unit;
+    lexpress::UpdateDescriptor update;  // Hydrated, integrated schema.
+    UpdatePlan plan;
+    std::vector<DeviceResult> results;
+    Status status = Status::Ok();
+    bool dead = false;  // Directory write failed: skip device fan-out.
+  };
+  std::vector<LiveUnit> live;
+  live.reserve(wave.size());
+  for (size_t index : wave) {
+    UnitWork& unit = units[index];
+    LiveUnit lu;
+    lu.unit = &unit;
+    lu.update = unit.ldap_current ? unit.update
+                                  : HydrateDeviceUpdate(unit.update);
+    StatusOr<UpdatePlan> plan = PlanUpdate(lu.update, unit.ldap_current);
+    if (!plan.ok()) {
+      HandleError(plan.status(), lu.update);
+      SettleUnit(unit, items, plan.status());
+      continue;
+    }
+    {
+      MutexLock lock(&stats_mutex_);
+      stats_.closure_iterations +=
+          static_cast<uint64_t>(plan->closure_iterations);
+    }
+    lu.plan = std::move(*plan);
+    live.push_back(std::move(lu));
+  }
+  if (live.empty()) return;
+
+  // The emulated per-conversation processing cost is paid ONCE for the
+  // whole wave — this sharing, together with the shared device
+  // sessions below, is where batching buys its throughput.
+  if (config_.artificial_processing_delay_micros > 0) {
+    RealClock::Get()->SleepMicros(
+        config_.artificial_processing_delay_micros);
+    if (live.size() > 1) {
+      MutexLock lock(&stats_mutex_);
+      stats_.rtts_saved += live.size() - 1;
     }
   }
-  // Device-side failures were logged and the administrator notified
-  // (§4.4); they do not fail the originating client operation.
-  (void)first_error;
-  return Status::Ok();
+
+  // Phase 1 — directory writes, all under one LTAP session. A failed
+  // view write aborts THAT unit's sequence (§4.4), not the wave.
+  std::vector<lexpress::UpdateDescriptor> ldap_ops;
+  std::vector<size_t> ldap_owner;
+  for (size_t i = 0; i < live.size(); ++i) {
+    for (const PlannedOp& op : live[i].plan.ops) {
+      if (!EqualsIgnoreCase(op.repository, "ldap")) continue;
+      ldap_ops.push_back(op.update);
+      ldap_owner.push_back(i);
+    }
+  }
+  if (!ldap_ops.empty()) {
+    std::vector<StatusOr<lexpress::Record>> applied =
+        ldap_filter_->ApplyBatch(ldap_ops);
+    for (size_t i = 0; i < applied.size(); ++i) {
+      if (applied[i].ok()) continue;
+      LiveUnit& owner = live[ldap_owner[i]];
+      HandleError(applied[i].status(), ldap_ops[i]);
+      if (owner.status.ok()) owner.status = applied[i].status();
+      owner.dead = true;
+    }
+  }
+
+  // Phase 2 — device fan-out, one shared session (one emulated RTT)
+  // per repository for the whole wave. Device-side failures are logged
+  // and notified but do not fail the originating operation (§4.4).
+  for (RepositoryFilter* filter : filters_) {
+    std::vector<lexpress::UpdateDescriptor> updates;
+    std::vector<size_t> owners;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (live[i].dead) continue;
+      for (const PlannedOp& op : live[i].plan.ops) {
+        if (!EqualsIgnoreCase(op.repository, filter->name())) continue;
+        if (op.update.conditional) {
+          // Reapplication to the originator (§5.4).
+          if (!config_.reapply_to_originator) continue;
+          MutexLock lock(&stats_mutex_);
+          ++stats_.reapplications;
+        }
+        updates.push_back(op.update);
+        owners.push_back(i);
+      }
+    }
+    if (updates.empty()) continue;
+    std::vector<StatusOr<lexpress::Record>> applied =
+        filter->ApplyBatch(updates);
+    if (updates.size() > 1) {
+      MutexLock lock(&stats_mutex_);
+      stats_.rtts_saved += updates.size() - 1;
+    }
+    for (size_t i = 0; i < applied.size(); ++i) {
+      if (!applied[i].ok()) {
+        HandleError(applied[i].status(), updates[i]);
+        continue;
+      }
+      {
+        MutexLock lock(&stats_mutex_);
+        ++stats_.device_applies;
+      }
+      if (updates[i].op != lexpress::DescriptorOp::kDelete) {
+        live[owners[i]].results.push_back(DeviceResult{
+            filter, updates[i].new_record, std::move(*applied[i])});
+      }
+    }
+  }
+
+  // Phase 3 — §5.5 generated-information round, then settle.
+  for (LiveUnit& lu : live) {
+    if (!lu.dead && lu.update.op != lexpress::DescriptorOp::kDelete) {
+      (void)BackfillGeneratedInfo(lu.update, lu.plan, lu.results);
+    }
+    SettleUnit(*lu.unit, items, lu.status);
+  }
 }
 
 void UpdateManager::UndoApplied(

@@ -56,8 +56,19 @@ struct UpdateManagerConfig {
   /// Experiment instrumentation: sleep this long between computing an
   /// update's closure and writing it back, widening the window in
   /// which concurrent updates can interleave. Used by the locking
-  /// ablation (EXPERIMENTS.md A2); zero in production.
+  /// ablation (EXPERIMENTS.md A2); zero in production. In the batched
+  /// path the delay models the per-conversation device cost and is
+  /// paid once per WAVE, not once per update.
   int64_t artificial_processing_delay_micros = 0;
+  /// Most items a worker drains from its shard per wakeup. 1 (the
+  /// default) is the paper's one-update-per-device-conversation shape
+  /// and leaves every existing code path untouched; larger values
+  /// enable the batched, coalescing propagation pipeline (DESIGN.md
+  /// "Batching & coalescing"): redundant same-entity updates fold
+  /// together and each repository pays its conversation cost once per
+  /// batch instead of once per update. Incompatible with `saga_undo`
+  /// (batches fall back to sequential processing when both are set).
+  int max_batch_size = 1;
 };
 
 /// One step of an update execution plan: a canonical update aimed at a
@@ -189,6 +200,13 @@ class UpdateManager : public ltap::TriggerActionServer {
     uint64_t syncs = 0;
     uint64_t lock_retries = 0;       // DDU lock retry attempts.
     uint64_t shutdown_drained = 0;   // Items failed by Stop()'s drain.
+    uint64_t batches = 0;            // Worker queue drains (incl. size 1).
+    uint64_t coalesced = 0;          // Items folded away by the coalescer.
+    uint64_t rtts_saved = 0;         // Repository conversations amortized
+                                     // away by batching (device sessions
+                                     // shared + per-wave delay sharing).
+    /// Histogram of popped batch sizes: {1, 2, 3-4, 5-8, 9-16, >16}.
+    std::vector<uint64_t> batch_size_buckets = std::vector<uint64_t>(6, 0);
     std::vector<ShardStats> shards;  // One per update-queue shard.
   };
   Stats stats() const EXCLUDES(stats_mutex_);
@@ -265,6 +283,48 @@ class UpdateManager : public ltap::TriggerActionServer {
   /// directory already reflects update.new_record's explicit changes.
   Status Propagate(const lexpress::UpdateDescriptor& ldap_update,
                    bool ldap_current);
+
+  /// One device's answer to an update, kept for the §5.5 round.
+  struct DeviceResult {
+    RepositoryFilter* filter;
+    lexpress::Record sent;    // The image we asked the device to hold.
+    lexpress::Record result;  // What the device actually holds now.
+  };
+
+  /// The §5.5 device-generated-information round: folds attributes the
+  /// devices MINTED (differ from what we sent) back into the directory.
+  /// Shared by the sequential and the batched propagation paths.
+  Status BackfillGeneratedInfo(const lexpress::UpdateDescriptor& ldap_update,
+                               const UpdatePlan& plan,
+                               const std::vector<DeviceResult>& results);
+
+  /// A coalesced unit of batch work: the effective update plus the
+  /// queue items it settles (promises + entry-lock sessions).
+  struct UnitWork {
+    lexpress::UpdateDescriptor update;
+    std::vector<size_t> constituents;  // Indices into the popped batch.
+    bool annihilated = false;
+    bool ldap_current = false;  // Path A unit: directory already current.
+  };
+
+  /// The batched path (max_batch_size > 1): coalesces the popped
+  /// items, partitions the units into entity-disjoint waves, and
+  /// propagates each wave with shared repository conversations.
+  void ProcessBatch(std::vector<WorkItem> items);
+
+  /// Plans and executes one wave of entity-disjoint units: one shared
+  /// processing delay, one LTAP session for all directory writes, one
+  /// device session per repository. Settles every constituent.
+  void PropagateWave(std::vector<UnitWork>& units,
+                     const std::vector<size_t>& wave,
+                     std::vector<WorkItem>& items);
+
+  /// Releases each constituent's locks and completes its promise.
+  void SettleUnit(const UnitWork& unit, std::vector<WorkItem>& items,
+                  const Status& status);
+
+  /// Batch-size telemetry for one worker queue drain.
+  void RecordBatch(size_t batch_size) EXCLUDES(stats_mutex_);
 
   /// Writes an error entry and notifies the administrator.
   void HandleError(const Status& error,

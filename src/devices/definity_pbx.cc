@@ -52,7 +52,9 @@ StatusOr<std::vector<std::string>> TokenizeCommand(
 
 }  // namespace
 
-DefinityPbx::DefinityPbx(PbxConfig config) : config_(std::move(config)) {}
+DefinityPbx::DefinityPbx(PbxConfig config) : config_(std::move(config)) {
+  latency_.set_rtt_micros(config_.command_rtt_micros);
+}
 
 bool DefinityPbx::AcceptsExtension(const std::string& extension) const {
   if (config_.extension_prefixes.empty()) return true;
@@ -131,6 +133,7 @@ void DefinityPbx::Notify(lexpress::DescriptorOp op,
 }
 
 Status DefinityPbx::AddRecord(const lexpress::Record& record) {
+  latency_.OnCommand();
   METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
   lexpress::Record station = record;
   station.set_schema(schema_);
@@ -152,6 +155,7 @@ Status DefinityPbx::AddRecord(const lexpress::Record& record) {
 Status DefinityPbx::ModifyRecord(
     const std::string& key, const lexpress::Record& record,
     const std::vector<std::string>& clear_fields) {
+  latency_.OnCommand();
   METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
   lexpress::Record old_record(schema_);
   lexpress::Record new_record = record;
@@ -191,6 +195,7 @@ Status DefinityPbx::ModifyRecord(
 }
 
 Status DefinityPbx::DeleteRecord(const std::string& key) {
+  latency_.OnCommand();
   METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
   lexpress::Record old_record(schema_);
   {
@@ -209,6 +214,7 @@ Status DefinityPbx::DeleteRecord(const std::string& key) {
 }
 
 StatusOr<lexpress::Record> DefinityPbx::GetRecord(const std::string& key) {
+  latency_.OnCommand();
   if (faults_.disconnected()) {
     return Status::Unavailable(config_.name + ": link down");
   }
@@ -222,6 +228,7 @@ StatusOr<lexpress::Record> DefinityPbx::GetRecord(const std::string& key) {
 }
 
 StatusOr<std::vector<lexpress::Record>> DefinityPbx::DumpAll() {
+  latency_.OnCommand();
   if (faults_.disconnected()) {
     return Status::Unavailable(config_.name + ": link down");
   }
@@ -244,6 +251,9 @@ size_t DefinityPbx::StationCount() const {
 
 StatusOr<std::string> DefinityPbx::ExecuteCommand(
     const std::string& command) {
+  // One command = one administrative round-trip; the typed operations
+  // the command dispatches to below ride this session for free.
+  LatencyEmulator::SessionScope rtt_session(&latency_);
   METACOMM_ASSIGN_OR_RETURN(std::vector<std::string> words,
                             TokenizeCommand(command));
   if (words.empty()) {

@@ -20,6 +20,10 @@ struct PbxConfig {
   /// updates for phone numbers beginning with +1 908-582-9..." — the
   /// device itself enforces its dial-plan partition.
   std::vector<std::string> extension_prefixes;
+  /// Emulated administration-link round-trip per command (0 = direct
+  /// call). One LatencyEmulator session pays this once for a whole
+  /// command batch.
+  int64_t command_rtt_micros = 0;
 };
 
 /// Simulated Lucent Definity PBX.
@@ -58,6 +62,7 @@ class DefinityPbx : public Device {
   StatusOr<std::vector<lexpress::Record>> DumpAll() override;
   void SetNotificationHandler(NotificationHandler handler) override;
   FaultInjector& faults() override { return faults_; }
+  LatencyEmulator& latency() override { return latency_; }
 
   /// Number of stations configured.
   size_t StationCount() const;
@@ -82,6 +87,7 @@ class DefinityPbx : public Device {
   std::map<std::string, lexpress::Record> stations_ GUARDED_BY(mutex_);
   NotificationHandler handler_ GUARDED_BY(mutex_);
   FaultInjector faults_;
+  LatencyEmulator latency_;
 };
 
 }  // namespace metacomm::devices

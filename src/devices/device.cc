@@ -1,0 +1,65 @@
+#include "devices/device.h"
+
+#include <iterator>
+
+#include "common/clock.h"
+
+namespace metacomm::devices {
+
+thread_local std::vector<const LatencyEmulator*>
+    LatencyEmulator::open_sessions_;
+
+bool LatencyEmulator::InSession() const {
+  for (const LatencyEmulator* open : open_sessions_) {
+    if (open == this) return true;
+  }
+  return false;
+}
+
+void LatencyEmulator::Charge() {
+  int64_t rtt = rtt_micros();
+  if (rtt <= 0) return;
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+  RealClock::Get()->SleepMicros(rtt);
+}
+
+void LatencyEmulator::OnCommand() {
+  if (InSession()) return;
+  Charge();
+}
+
+LatencyEmulator::SessionScope::SessionScope(LatencyEmulator* emulator)
+    : emulator_(emulator) {
+  if (emulator_ == nullptr) return;
+  // An already-open outer session covers this one; only the outermost
+  // scope pays (and registers) the round-trip.
+  if (!emulator_->InSession()) {
+    emulator_->Charge();
+    open_sessions_.push_back(emulator_);
+    opened_ = true;
+  }
+}
+
+LatencyEmulator::SessionScope::~SessionScope() {
+  if (!opened_) return;
+  for (auto it = open_sessions_.rbegin(); it != open_sessions_.rend();
+       ++it) {
+    if (*it == emulator_) {
+      open_sessions_.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+std::vector<StatusOr<std::string>> Device::ExecuteBatch(
+    const std::vector<std::string>& commands) {
+  LatencyEmulator::SessionScope session(&latency());
+  std::vector<StatusOr<std::string>> results;
+  results.reserve(commands.size());
+  for (const std::string& command : commands) {
+    results.push_back(ExecuteCommand(command));
+  }
+  return results;
+}
+
+}  // namespace metacomm::devices

@@ -65,6 +65,52 @@ class FaultInjector {
   std::atomic<int> fail_next_{0};
 };
 
+/// Emulated administrative-link latency for a device simulator.
+///
+/// The paper's devices sit behind slow administration links (ossi
+/// scripts to the Definity, per-session Messaging Platform commands);
+/// each command normally pays one round-trip. A *session* models one
+/// administrative conversation: the opener pays a single RTT and every
+/// command issued on the same thread while the session is open rides
+/// it for free — which is what makes batched propagation pay the link
+/// cost once per batch instead of once per update.
+class LatencyEmulator {
+ public:
+  void set_rtt_micros(int64_t rtt_micros) { rtt_micros_.store(rtt_micros); }
+  int64_t rtt_micros() const { return rtt_micros_.load(); }
+
+  /// Charges one round-trip, unless this thread already holds an open
+  /// session on this emulator (the session paid when it opened).
+  void OnCommand();
+
+  /// Total round-trips actually charged (telemetry: commands minus
+  /// session savings).
+  uint64_t round_trips() const { return round_trips_.load(); }
+
+  /// RAII administrative session: pays one RTT on open; commands on
+  /// this thread are then free until the scope closes. Nests safely.
+  class SessionScope {
+   public:
+    explicit SessionScope(LatencyEmulator* emulator);
+    ~SessionScope();
+    SessionScope(const SessionScope&) = delete;
+    SessionScope& operator=(const SessionScope&) = delete;
+
+   private:
+    LatencyEmulator* emulator_;
+    bool opened_ = false;
+  };
+
+ private:
+  bool InSession() const;
+  void Charge();
+
+  std::atomic<int64_t> rtt_micros_{0};
+  std::atomic<uint64_t> round_trips_{0};
+  // Emulators this thread holds open sessions on (defined in device.cc).
+  static thread_local std::vector<const LatencyEmulator*> open_sessions_;
+};
+
 /// Common interface over the simulated legacy devices.
 ///
 /// Devices have two faces:
@@ -92,6 +138,13 @@ class Device {
   /// Runs one proprietary command; returns the device's textual reply.
   virtual StatusOr<std::string> ExecuteCommand(const std::string& command) = 0;
 
+  /// Runs several proprietary commands over ONE administrative session:
+  /// the emulated link RTT (see `latency()`) is paid once for the whole
+  /// batch instead of once per command. Results are positional; a
+  /// failing command does not stop the rest.
+  virtual std::vector<StatusOr<std::string>> ExecuteBatch(
+      const std::vector<std::string>& commands);
+
   /// Fetches the record with the given key value.
   virtual StatusOr<lexpress::Record> GetRecord(const std::string& key) = 0;
 
@@ -116,6 +169,9 @@ class Device {
 
   /// Fault-injection controls.
   virtual FaultInjector& faults() = 0;
+
+  /// Emulated administrative-link latency controls.
+  virtual LatencyEmulator& latency() = 0;
 };
 
 }  // namespace metacomm::devices

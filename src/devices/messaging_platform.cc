@@ -58,7 +58,9 @@ StatusOr<lexpress::Record> ParseAssignments(const std::string& command,
 }  // namespace
 
 MessagingPlatform::MessagingPlatform(MpConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  latency_.set_rtt_micros(config_.command_rtt_micros);
+}
 
 Status MessagingPlatform::CheckMutationAllowed() {
   if (faults_.disconnected()) {
@@ -125,6 +127,7 @@ void MessagingPlatform::Notify(lexpress::DescriptorOp op,
 }
 
 Status MessagingPlatform::AddRecord(const lexpress::Record& record) {
+  latency_.OnCommand();
   METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
   lexpress::Record mailbox = record;
   mailbox.set_schema(schema_);
@@ -148,6 +151,7 @@ Status MessagingPlatform::AddRecord(const lexpress::Record& record) {
 Status MessagingPlatform::ModifyRecord(
     const std::string& key, const lexpress::Record& record,
     const std::vector<std::string>& clear_fields) {
+  latency_.OnCommand();
   METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
   lexpress::Record old_record(schema_);
   lexpress::Record new_record = record;
@@ -189,6 +193,7 @@ Status MessagingPlatform::ModifyRecord(
 }
 
 Status MessagingPlatform::DeleteRecord(const std::string& key) {
+  latency_.OnCommand();
   METACOMM_RETURN_IF_ERROR(CheckMutationAllowed());
   lexpress::Record old_record(schema_);
   {
@@ -208,6 +213,7 @@ Status MessagingPlatform::DeleteRecord(const std::string& key) {
 
 StatusOr<lexpress::Record> MessagingPlatform::GetRecord(
     const std::string& key) {
+  latency_.OnCommand();
   if (faults_.disconnected()) {
     return Status::Unavailable(config_.name + ": platform unreachable");
   }
@@ -221,6 +227,7 @@ StatusOr<lexpress::Record> MessagingPlatform::GetRecord(
 }
 
 StatusOr<std::vector<lexpress::Record>> MessagingPlatform::DumpAll() {
+  latency_.OnCommand();
   if (faults_.disconnected()) {
     return Status::Unavailable(config_.name + ": platform unreachable");
   }
@@ -243,6 +250,9 @@ size_t MessagingPlatform::MailboxCount() const {
 
 StatusOr<std::string> MessagingPlatform::ExecuteCommand(
     const std::string& command) {
+  // One command = one administrative round-trip; the typed operations
+  // the command dispatches to below ride this session for free.
+  LatencyEmulator::SessionScope rtt_session(&latency_);
   std::string trimmed = Trim(command);
   std::vector<std::string> head = Split(trimmed, ' ');
   if (head.size() < 2) {

@@ -18,6 +18,10 @@ struct MpConfig {
   std::string name = "mp1";
   /// Prefix of generated subscriber ids ("SUB" -> SUB000001, ...).
   std::string subscriber_id_prefix = "SUB";
+  /// Emulated administration-link round-trip per command (0 = direct
+  /// call). One LatencyEmulator session pays this once for a whole
+  /// command batch.
+  int64_t command_rtt_micros = 0;
 };
 
 /// Simulated voice messaging platform (Octel/Intuity style).
@@ -61,6 +65,7 @@ class MessagingPlatform : public Device {
   StatusOr<std::vector<lexpress::Record>> DumpAll() override;
   void SetNotificationHandler(NotificationHandler handler) override;
   FaultInjector& faults() override { return faults_; }
+  LatencyEmulator& latency() override { return latency_; }
 
   size_t MailboxCount() const;
 
@@ -78,6 +83,7 @@ class MessagingPlatform : public Device {
   std::map<std::string, lexpress::Record> mailboxes_ GUARDED_BY(mutex_);
   NotificationHandler handler_ GUARDED_BY(mutex_);
   FaultInjector faults_;
+  LatencyEmulator latency_;
   uint64_t next_subscriber_ GUARDED_BY(mutex_) = 1;
 };
 

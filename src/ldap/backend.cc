@@ -7,15 +7,6 @@
 
 namespace metacomm::ldap {
 
-namespace {
-
-/// Normalized index key for one attribute value.
-std::string IndexValueKey(std::string_view value) {
-  return ToLower(NormalizeSpace(value));
-}
-
-}  // namespace
-
 Backend::Node* Backend::FindNode(const Dn& dn) const {
   // Walk from the root; DN rdns are leaf-first, so iterate backwards.
   const Node* node = &root_;
@@ -335,10 +326,16 @@ StatusOr<SearchResult> Backend::Search(const SearchRequest& request) const {
   // equality index.
   if (request.scope == Scope::kSubtree &&
       request.filter.kind() == Filter::Kind::kEquality) {
-    auto attr_it = index_.find(ToLower(request.filter.attribute()));
+    // Lexpress closure turns every propagation into a burst of indexed
+    // searches, so this path is hot: normalize the probes into one
+    // reused scratch buffer instead of materializing fresh key strings
+    // per call (the maps have transparent comparators).
+    thread_local std::string probe;
+    ToLowerInto(request.filter.attribute(), &probe);
+    auto attr_it = index_.find(probe);
     if (attr_it != index_.end()) {
-      auto value_it =
-          attr_it->second.find(IndexValueKey(request.filter.value()));
+      NormalizeSpaceLowerInto(request.filter.value(), &probe);
+      auto value_it = attr_it->second.find(probe);
       if (value_it != attr_it->second.end()) {
         for (const auto& [norm_dn, dn] : value_it->second) {
           if (!dn.IsWithin(request.base)) continue;
@@ -395,10 +392,13 @@ StatusOr<SearchResult> Backend::Search(const SearchRequest& request) const {
 
 void Backend::IndexEntry(const Entry& entry, bool insert) {
   std::string norm_dn = entry.dn().Normalized();
+  // Scratch keys reused across every attribute/value of the entry.
+  std::string attr_key;
+  std::string value_key;
   for (const auto& [name, attr] : entry.attributes()) {
-    std::string attr_key = ToLower(name);
+    ToLowerInto(name, &attr_key);
     for (const std::string& value : attr.values()) {
-      std::string value_key = IndexValueKey(value);
+      NormalizeSpaceLowerInto(value, &value_key);
       if (insert) {
         index_[attr_key][value_key].emplace(norm_dn, entry.dn());
       } else {

@@ -136,8 +136,12 @@ class Backend {
   // Virtual root; root_.entry has the empty DN.
   Node root_ GUARDED_BY(mutex_);
   // Equality index: lower(attr) -> normalized value -> normalized DNs.
-  std::map<std::string, std::map<std::string, std::map<std::string, Dn>>>
-      index_ GUARDED_BY(mutex_);
+  // Transparent comparators so the Search fast path and IndexEntry can
+  // probe with string_views over reused scratch buffers instead of
+  // materializing a fresh key string per lookup.
+  using DnByNormDn = std::map<std::string, Dn, std::less<>>;
+  using ValueIndex = std::map<std::string, DnByNormDn, std::less<>>;
+  std::map<std::string, ValueIndex, std::less<>> index_ GUARDED_BY(mutex_);
   std::vector<Listener> listeners_ GUARDED_BY(mutex_);
   uint64_t sequence_ GUARDED_BY(mutex_) = 0;
 };

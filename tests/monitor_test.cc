@@ -36,10 +36,10 @@ TEST_F(MonitorTest, RefreshPublishesAllSections) {
   auto entries = client.Search("cn=monitor,o=Lucent",
                                "(objectClass=monitoredObject)");
   ASSERT_TRUE(entries.ok()) << entries.status();
-  // Container + gateway + update-manager + directory + one
-  // um-shard-N per update-queue shard (one at default
+  // Container + gateway + update-manager + um-batches + directory +
+  // one um-shard-N per update-queue shard (one at default
   // worker_threads=1).
-  EXPECT_EQ(entries->size(), 5u);
+  EXPECT_EQ(entries->size(), 6u);
 }
 
 TEST_F(MonitorTest, CountersTrackActivity) {
@@ -84,7 +84,7 @@ TEST_F(MonitorTest, RefreshIsRepeatableAndUpdatesInPlace) {
   auto entries = client.Search("cn=monitor,o=Lucent",
                                "(objectClass=monitoredObject)");
   ASSERT_TRUE(entries.ok());
-  EXPECT_EQ(entries->size(), 5u);  // No duplicates.
+  EXPECT_EQ(entries->size(), 6u);  // No duplicates.
 }
 
 TEST_F(MonitorTest, MonitorWritesDoNotTriggerPropagation) {

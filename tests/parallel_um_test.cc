@@ -262,6 +262,52 @@ TEST_P(ParallelUmTest, StopReleasesQueuedLocksAndFailsCallers) {
   EXPECT_EQ(after.code(), StatusCode::kUnavailable) << after;
 }
 
+/// Stop() racing a popped-but-unfinished batch: a worker holding a
+/// multi-item batch (max_batch_size > 1) must fail the units it has
+/// not yet propagated with Unavailable and release their entry locks —
+/// the drain guarantee extends past the queue into partially-processed
+/// batches.
+TEST_P(ParallelUmTest, StopDrainsPartiallyPoppedBatches) {
+  SystemConfig config;
+  config.um.max_batch_size = 8;
+  // Each wave pays this, so a popped batch of DDUs straddles Stop().
+  config.um.artificial_processing_delay_micros = 50'000;
+  BuildSystem(std::move(config));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(system_
+                    ->AddPerson("B " + std::to_string(4600 + i),
+                                {{"telephoneNumber",
+                                  "+1 908 582 " + std::to_string(4600 + i)}})
+                    .ok());
+  }
+
+  // DDUs return at enqueue time; their entry locks ride the queue (and,
+  // after a pop, the worker's in-hand batch).
+  for (int i = 0; i < 4; ++i) {
+    auto reply = system_->pbx("pbx1")->ExecuteCommand(
+        "change station " + std::to_string(4600 + i) + " Room DRAIN-" +
+        std::to_string(i));
+    ASSERT_TRUE(reply.ok()) << reply.status();
+  }
+  // Let a worker pop its batch and enter the first wave's delay.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  system_->update_manager().Stop();
+
+  // Every lock must be free afterwards — both the queue-drained items
+  // and the ones abandoned mid-batch.
+  for (int i = 0; i < 4; ++i) {
+    ldap::Dn dn = *ldap::Dn::Parse("cn=B " + std::to_string(4600 + i) +
+                                   ",ou=People,o=Lucent");
+    EXPECT_FALSE(system_->gateway().lock_table().IsLocked(dn))
+        << "entry lock leaked across Stop(): " << dn.ToString();
+  }
+  // Callers arriving after Stop get Unavailable, not a hang.
+  ldap::Client client = system_->NewClient();
+  Status after = client.Replace("cn=B 4600,ou=People,o=Lucent",
+                                "roomNumber", "AFTER-STOP");
+  EXPECT_EQ(after.code(), StatusCode::kUnavailable) << after;
+}
+
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelUmTest,
                          ::testing::Values(1, 4),
                          [](const ::testing::TestParamInfo<int>& info) {

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs every bench binary with --json and collects the BENCH_<name>.json
+# reports at the repo root. Run from anywhere:
+#
+#   tools/bench_report.sh              # full run (default min time)
+#   tools/bench_report.sh --smoke      # 1 quick pass per bench (CI)
+#   tools/bench_report.sh bench_batching bench_parallel_um
+#
+# Each report carries per-run wall time, ops/sec, user counters, and
+# p50/p99 across the runs — see bench/bench_main.h. The benches must
+# already be built (cmake --build build).
+set -u
+
+cd "$(dirname "$0")/.."
+bindir=build/bench
+
+min_time=""
+benches=()
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) min_time="--benchmark_min_time=0.01" ;;
+    *)       benches+=("$arg") ;;
+  esac
+done
+if [ "${#benches[@]}" -eq 0 ]; then
+  for bin in "$bindir"/bench_*; do
+    [ -x "$bin" ] && benches+=("$(basename "$bin")")
+  done
+fi
+if [ "${#benches[@]}" -eq 0 ]; then
+  echo "no bench binaries under $bindir — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+failures=0
+for name in "${benches[@]}"; do
+  bin="$bindir/$name"
+  if [ ! -x "$bin" ]; then
+    echo "SKIP $name (not built)"
+    continue
+  fi
+  printf '\n== %s ==\n' "$name"
+  # shellcheck disable=SC2086
+  if ! "$bin" --json $min_time; then
+    echo "FAIL: $name"
+    failures=$((failures + 1))
+  fi
+done
+
+printf '\nreports:\n'
+ls -1 BENCH_*.json 2>/dev/null || echo "  (none)"
+exit "$((failures > 0))"

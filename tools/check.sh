@@ -14,6 +14,8 @@
 #      mapping file (defects.lex is the linter's own fixture and is
 #      expected to FAIL; it is checked for non-zero exit).
 #   5. clang-tidy over the core sources — skipped when absent.
+#   6. Bench smoke: one quick pass of bench_batching with --json and a
+#      parse of the emitted BENCH_batching.json.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -89,6 +91,25 @@ if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null
   run-clang-tidy -p build -quiet "src/.*" || fail "clang-tidy"
 else
   echo "clang-tidy not installed; skipping (.clang-tidy documents the profile)"
+fi
+
+# -- 6. Bench smoke ---------------------------------------------------
+note "bench smoke (--json)"
+if [ -x build/bench/bench_batching ]; then
+  rm -f BENCH_batching.json
+  if ./build/bench/bench_batching --json --benchmark_min_time=0.01 \
+       --benchmark_filter='batch:(1|16)/' >/dev/null; then
+    if python3 -c "import json; json.load(open('BENCH_batching.json'))" \
+         2>/dev/null; then
+      echo "BENCH_batching.json: valid JSON"
+    else
+      fail "BENCH_batching.json missing or unparsable"
+    fi
+  else
+    fail "bench_batching smoke run"
+  fi
+else
+  fail "bench_batching not built"
 fi
 
 # --------------------------------------------------------------------
