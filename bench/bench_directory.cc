@@ -4,6 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
 #include "bench/workload.h"
 #include "core/integrated_schema.h"
 #include "ldap/ldif.h"
@@ -131,6 +138,143 @@ void BM_SearchSubstringScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SearchSubstringScan)->Arg(100)->Arg(1000)->Arg(5000);
+
+/// Substring search whose pattern carries a literal prefix
+/// ("+1 908 582 4123*"): the ordered value index turns this into a
+/// range scan instead of a full subtree walk.
+void BM_SearchSubstringPrefix(benchmark::State& state) {
+  auto backend = BuildTree(static_cast<size_t>(state.range(0)));
+  WorkloadGenerator gen(61);
+  Person target = gen.People(static_cast<size_t>(state.range(0)))
+                      [static_cast<size_t>(state.range(0)) / 2];
+  ldap::SearchRequest request;
+  request.base = *Dn::Parse("o=Lucent");
+  request.scope = ldap::Scope::kSubtree;
+  request.filter =
+      Filter::Substring("telephoneNumber", "+1 908 582 " + target.extension + "*");
+  for (auto _ : state) {
+    auto result = backend->Search(request);
+    if (!result.ok() || result->entries.size() != 1) {
+      state.SkipWithError("search failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SearchSubstringPrefix)->Arg(100)->Arg(1000)->Arg(5000);
+
+/// Nearest-rank percentile of per-operation latencies.
+double LatencyPercentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(p * static_cast<double>(values.size()));
+  if (rank >= values.size()) rank = values.size() - 1;
+  return values[rank];
+}
+
+/// Reader scaling under a writer storm: N closed-loop reader threads
+/// (50us think time, like real lookup clients) run indexed equality
+/// searches while one dedicated thread writes flat-out — a stream of
+/// multi-valued attribute Modifys punctuated every 64 writes by a
+/// subtree-wide case-only rename of ou=People (2000 descendant DNs
+/// rewritten and reindexed: the cost shape of a UM propagation wave or
+/// a bulk reorg). This is the materialized-view serving scenario
+/// (paper §1): lookup traffic must not stall behind integration
+/// writes. Readers are paced rather than open-loop because an
+/// open-loop reader swarm starves the writer outright on the seed's
+/// reader-preferring rwlock, which hides the very contention being
+/// measured. Reported per-thread latency percentiles
+/// (p50_us/p99_us, averaged across reader threads) are the acceptance
+/// metric for the snapshot read path; `writes` shows how much writer
+/// progress the read traffic allows.
+void BM_SearchUnderWriterStorm(benchmark::State& state) {
+  static std::unique_ptr<Backend> backend;
+  static std::atomic<bool> stop_writer{false};
+  static std::thread writer;
+  static std::atomic<uint64_t> writes{0};
+  constexpr size_t kPopulation = 2000;
+  if (state.thread_index() == 0) {
+    backend = BuildTree(kPopulation);
+    stop_writer.store(false);
+    writes.store(0);
+    writer = std::thread([] {
+      WorkloadGenerator gen(7);
+      std::vector<Person> people = gen.People(kPopulation);
+      std::vector<Dn> dns;
+      dns.reserve(people.size());
+      for (const Person& p : people) dns.push_back(*Dn::Parse(p.dn));
+      Dn people_dn = *Dn::Parse("ou=People,o=Lucent");
+      size_t i = 0;
+      uint64_t stamp = 0;
+      bool upper = false;
+      while (!stop_writer.load(std::memory_order_relaxed)) {
+        if (++stamp % 64 == 0) {
+          // Case-only rename: same normalized RDN, so reader DNs keep
+          // resolving, but every descendant DN is rewritten and the
+          // subtree reindexed — a long exclusive hold on the seed.
+          upper = !upper;
+          backend->ModifyRdn(people_dn,
+                             Rdn("ou", upper ? "PEOPLE" : "People"),
+                             /*delete_old_rdn=*/true);
+        } else {
+          // A UM wave writes several generated attributes per entry;
+          // emulate that weight with a multi-valued replace.
+          ldap::Modification mod;
+          mod.type = ldap::Modification::Type::kReplace;
+          mod.attribute = "description";
+          for (int k = 0; k < 16; ++k) {
+            mod.values.push_back("storm-" + std::to_string(stamp) + "-" +
+                                 std::to_string(k));
+          }
+          backend->Modify(dns[i++ % dns.size()], {std::move(mod)});
+        }
+        writes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  WorkloadGenerator gen(61);
+  std::vector<Person> people = gen.People(kPopulation);
+  ldap::SearchRequest request;
+  request.base = *Dn::Parse("o=Lucent");
+  request.scope = ldap::Scope::kSubtree;
+  size_t pick = static_cast<size_t>(state.thread_index()) * 37 + 1;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(1 << 16);
+  for (auto _ : state) {
+    const Person& target = people[pick++ % people.size()];
+    request.filter = Filter::Equality("telephoneNumber",
+                                      "+1 908 582 " + target.extension);
+    auto start = std::chrono::steady_clock::now();
+    auto result = backend->Search(request);
+    auto stop = std::chrono::steady_clock::now();
+    if (!result.ok() || result->entries.size() != 1) {
+      state.SkipWithError("search failed");
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["p50_us"] = benchmark::Counter(
+      LatencyPercentile(latencies_us, 0.50), benchmark::Counter::kAvgThreads);
+  state.counters["p99_us"] = benchmark::Counter(
+      LatencyPercentile(latencies_us, 0.99), benchmark::Counter::kAvgThreads);
+  if (state.thread_index() == 0) {
+    stop_writer.store(true);
+    writer.join();
+    state.counters["writes"] = benchmark::Counter(
+        static_cast<double>(writes.load()));
+    backend.reset();
+  }
+}
+BENCHMARK(BM_SearchUnderWriterStorm)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 void BM_LdifExportImport(benchmark::State& state) {
   auto backend = BuildTree(static_cast<size_t>(state.range(0)));

@@ -1,0 +1,63 @@
+#ifndef METACOMM_COMMON_ATOMIC_SHARED_PTR_H_
+#define METACOMM_COMMON_ATOMIC_SHARED_PTR_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace metacomm::common {
+
+/// A concurrently replaceable `shared_ptr<T>` publication slot.
+///
+/// Functionally `std::atomic<std::shared_ptr<T>>`, which libstdc++ also
+/// implements with an embedded spin bit (it is not lock-free either).
+/// We carry our own because GCC 12's `_Sp_atomic::load` releases that
+/// bit with `memory_order_relaxed`, leaving the guarded pointer read
+/// unordered against the next store's write — a data race under the
+/// memory model that ThreadSanitizer rightly reports. This cell is the
+/// same design with acquire/release on the bit, so the guarded section
+/// is properly ordered and TSan-clean.
+///
+/// The bit is held only for the duration of a `shared_ptr` copy or swap
+/// (a refcount bump and two word moves) — never across any caller work
+/// — so readers cannot be blocked behind a writer's critical section.
+template <typename T>
+class AtomicSharedPtr {
+ public:
+  AtomicSharedPtr() = default;
+  explicit AtomicSharedPtr(std::shared_ptr<T> value)
+      : value_(std::move(value)) {}
+
+  AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+  AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
+
+  /// Returns a reference-holding copy of the current value.
+  std::shared_ptr<T> load() const {
+    Lock();
+    std::shared_ptr<T> copy = value_;
+    Unlock();
+    return copy;
+  }
+
+  /// Publishes `next`. The previous value's reference is dropped after
+  /// the bit is released, so a final destruction runs outside it.
+  void store(std::shared_ptr<T> next) {
+    Lock();
+    value_.swap(next);
+    Unlock();
+  }
+
+ private:
+  void Lock() const {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() const { locked_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<T> value_;
+};
+
+}  // namespace metacomm::common
+
+#endif  // METACOMM_COMMON_ATOMIC_SHARED_PTR_H_

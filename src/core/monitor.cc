@@ -1,5 +1,7 @@
 #include "core/monitor.h"
 
+#include "common/clock.h"
+
 namespace metacomm::core {
 
 MonitorPublisher::MonitorPublisher(ldap::LdapServer* server,
@@ -106,9 +108,31 @@ Status MonitorPublisher::Refresh() {
                  {"queueWaitMicros", s.queue_wait_micros}}));
   }
 
-  return Publish("directory",
-                 {{"entries", server_->backend().Size()},
-                  {"changes", server_->backend().ChangeCount()}});
+  METACOMM_RETURN_IF_ERROR(
+      Publish("directory", {{"entries", server_->backend().Size()},
+                            {"changes", server_->backend().ChangeCount()}}));
+
+  // Read-path health: how searches are being answered (index plan vs
+  // subtree scan), how selective the plans are, and how fresh the
+  // published snapshot is. Sampled before Publish() below bumps the
+  // counters with its own upsert reads.
+  ldap::Backend::ReadStats read_stats = server_->backend().read_stats();
+  ldap::Backend::SnapshotPtr snapshot = server_->backend().GetSnapshot();
+  int64_t now_micros = RealClock::Get()->NowMicros();
+  uint64_t age_micros =
+      now_micros > snapshot->published_micros
+          ? static_cast<uint64_t>(now_micros - snapshot->published_micros)
+          : 0;
+  return Publish("ldap-reads",
+                 {{"searches", read_stats.searches},
+                  {"gets", read_stats.gets},
+                  {"exists", read_stats.exists},
+                  {"indexedPlans", read_stats.indexed_plans},
+                  {"scanPlans", read_stats.scan_plans},
+                  {"candidatesExamined", read_stats.candidates_examined},
+                  {"candidatesMatched", read_stats.candidates_matched},
+                  {"snapshotVersion", snapshot->version},
+                  {"snapshotAgeMicros", age_micros}});
 }
 
 }  // namespace metacomm::core

@@ -21,6 +21,9 @@ namespace metacomm::core {
 ///   cn=gateway,cn=monitor,<suffix>         LTAP counters
 ///   cn=update-manager,cn=monitor,<suffix>  UM counters
 ///   cn=directory,cn=monitor,<suffix>       backend size/changes
+///   cn=ldap-reads,cn=monitor,<suffix>      read path: search counts,
+///                                          plan mix, candidate
+///                                          selectivity, snapshot age
 ///
 /// Counters are point-in-time snapshots; call Refresh() to update.
 /// Writes go straight to the backend (monitor data is operational, not

@@ -1,22 +1,197 @@
 #include "ldap/backend.h"
 
 #include <algorithm>
+#include <deque>
+#include <utility>
 
-
+#include "common/clock.h"
 #include "common/strings.h"
+#include "ldap/query_planner.h"
 
 namespace metacomm::ldap {
 
-Backend::Node* Backend::FindNode(const Dn& dn) const {
+namespace {
+
+using TreeNodePtr = std::shared_ptr<const Backend::TreeNode>;
+
+Entry Project(const Entry& entry,
+              const std::vector<std::string>& attributes) {
+  if (attributes.empty()) return entry;
+  Entry out(entry.dn());
+  for (const std::string& name : attributes) {
+    auto it = entry.attributes().find(name);
+    if (it != entry.attributes().end()) {
+      out.Set(it->second.name(), it->second.values());
+    }
+  }
+  return out;
+}
+
+/// Adds (or removes) index postings for one attribute of one entry,
+/// deriving the new index layers by copy-on-write. Empty postings and
+/// empty value maps are erased so absent attributes stay absent.
+void IndexValues(Backend::AttrIndex* index, const std::string& norm_dn,
+                 const Dn& dn, std::string_view name,
+                 const std::vector<std::string>& values, bool insert) {
+  // Scratch keys reused across every value of the attribute.
+  thread_local std::string attr_key;
+  thread_local std::string value_key;
+  ToLowerInto(name, &attr_key);
+  const Backend::ValueIndex* found = index->Find(attr_key);
+  if (found == nullptr && !insert) return;
+  Backend::ValueIndex value_index =
+      found != nullptr ? *found : Backend::ValueIndex();
+  for (const std::string& value : values) {
+    NormalizeSpaceLowerInto(value, &value_key);
+    const Backend::Postings* existing = value_index.Find(value_key);
+    if (insert) {
+      Backend::Postings postings =
+          existing != nullptr ? *existing : Backend::Postings();
+      value_index = value_index.Insert(value_key, postings.Insert(norm_dn, dn));
+    } else {
+      if (existing == nullptr) continue;
+      Backend::Postings postings = existing->Erase(norm_dn);
+      value_index = postings.empty()
+                        ? value_index.Erase(value_key)
+                        : value_index.Insert(value_key, std::move(postings));
+    }
+  }
+  *index = value_index.empty() ? index->Erase(attr_key)
+                               : index->Insert(attr_key, std::move(value_index));
+}
+
+void IndexEntry(Backend::AttrIndex* index, const Entry& entry, bool insert) {
+  std::string norm_dn = entry.dn().Normalized();
+  for (const auto& [name, attr] : entry.attributes()) {
+    IndexValues(index, norm_dn, entry.dn(), name, attr.values(), insert);
+  }
+}
+
+void ReindexSubtree(Backend::AttrIndex* index,
+                    const Backend::TreeNode* node, bool insert) {
+  IndexEntry(index, node->entry, insert);
+  node->children.ForEach(
+      [index, insert](const std::string&, const TreeNodePtr& child) {
+        ReindexSubtree(index, child.get(), insert);
+        return true;
+      });
+}
+
+/// Deep-copies `node` rebasing its DN (and its descendants') under
+/// `new_dn` — the ModifyRDN subtree rewrite, expressed as fresh
+/// immutable nodes instead of in-place mutation.
+TreeNodePtr CloneWithNewDn(const Backend::TreeNode& node, const Dn& new_dn) {
+  auto fresh = std::make_shared<Backend::TreeNode>();
+  fresh->entry = node.entry;
+  fresh->entry.set_dn(new_dn);
+  node.children.ForEach(
+      [&fresh, &new_dn](const std::string& key, const TreeNodePtr& child) {
+        fresh->children = fresh->children.Insert(
+            key,
+            CloneWithNewDn(*child, new_dn.Child(child->entry.dn().leaf())));
+        return true;
+      });
+  return fresh;
+}
+
+/// Path-copies from `node` down to the entry named by `rdns[size-1-i]..`
+/// and grafts `replacement` there (nullptr erases it). Every node on
+/// the path must exist; siblings off the path are shared, not copied.
+TreeNodePtr ReplaceAt(const TreeNodePtr& node, const std::vector<Rdn>& rdns,
+                      size_t i, const TreeNodePtr& replacement) {
+  if (i == rdns.size()) return replacement;
+  std::string key = rdns[rdns.size() - 1 - i].Normalized();
+  const TreeNodePtr* child = node->children.Find(key);
+  TreeNodePtr new_child = ReplaceAt(*child, rdns, i + 1, replacement);
+  auto fresh = std::make_shared<Backend::TreeNode>();
+  fresh->entry = node->entry;
+  fresh->children = new_child == nullptr ? node->children.Erase(key)
+                                         : node->children.Insert(key, new_child);
+  return fresh;
+}
+
+TreeNodePtr ReplaceAt(const TreeNodePtr& root, const Dn& dn,
+                      const TreeNodePtr& replacement) {
+  return ReplaceAt(root, dn.rdns(), 0, replacement);
+}
+
+void CollectScan(const Backend::TreeNode* node, const SearchRequest& request,
+                 std::vector<Entry>* out, Status* limit_status) {
+  if (!limit_status->ok()) return;
+  if (request.size_limit > 0 && out->size() >= request.size_limit) {
+    *limit_status = Status::DeadlineExceeded("size limit exceeded");
+    return;
+  }
+  if (request.filter.Matches(node->entry)) {
+    out->push_back(Project(node->entry, request.attributes));
+  }
+  node->children.ForEach(
+      [&](const std::string&, const TreeNodePtr& child) {
+        CollectScan(child.get(), request, out, limit_status);
+        return limit_status->ok();
+      });
+}
+
+}  // namespace
+
+Backend::Backend(const Schema* schema) : schema_(schema) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->root = std::make_shared<TreeNode>();
+  snapshot->published_micros = RealClock::Get()->NowMicros();
+  snapshot_.store(std::move(snapshot));
+}
+
+const Backend::TreeNode* Backend::FindNode(const Snapshot& snapshot,
+                                           const Dn& dn) {
   // Walk from the root; DN rdns are leaf-first, so iterate backwards.
-  const Node* node = &root_;
+  const TreeNode* node = snapshot.root.get();
   const auto& rdns = dn.rdns();
   for (auto it = rdns.rbegin(); it != rdns.rend(); ++it) {
-    auto child = node->children.find(it->Normalized());
-    if (child == node->children.end()) return nullptr;
-    node = child->second.get();
+    const TreeNodePtr* child = node->children.Find(it->Normalized());
+    if (child == nullptr) return nullptr;
+    node = child->get();
   }
-  return const_cast<Node*>(node);
+  return node;
+}
+
+void Backend::ForEachEntry(const Snapshot& snapshot,
+                           const std::function<bool(const Entry&)>& fn) {
+  // BFS guarantees parents precede children.
+  std::deque<const TreeNode*> frontier{snapshot.root.get()};
+  bool stopped = false;
+  while (!frontier.empty() && !stopped) {
+    const TreeNode* node = frontier.front();
+    frontier.pop_front();
+    node->children.ForEach(
+        [&](const std::string&, const TreeNodePtr& child) {
+          if (!fn(child->entry)) {
+            stopped = true;
+            return false;
+          }
+          frontier.push_back(child.get());
+          return true;
+        });
+  }
+}
+
+Backend::SnapshotPtr Backend::GetSnapshot() const {
+  return snapshot_.load();
+}
+
+Backend::SnapshotPtr Backend::WriterSnapshot() const {
+  // Writers serialize on write_mutex_, which orders their stores; the
+  // cell's acquire/release pairs Commit with the unlocked readers.
+  return snapshot_.load();
+}
+
+void Backend::Commit(Snapshot snapshot, ChangeRecord record) {
+  record.sequence = ++sequence_;
+  snapshot.version = sequence_;
+  snapshot.published_micros = RealClock::Get()->NowMicros();
+  snapshot_.store(std::make_shared<const Snapshot>(std::move(snapshot)));
+  for (const Listener& listener : listeners_) {
+    listener(record);
+  }
 }
 
 Status Backend::Add(const Entry& entry) {
@@ -26,28 +201,35 @@ Status Backend::Add(const Entry& entry) {
   if (schema_ != nullptr) {
     METACOMM_RETURN_IF_ERROR(schema_->ValidateEntry(entry));
   }
-  WriterMutexLock lock(&mutex_);
-  Node* parent = FindNode(entry.dn().Parent());
+  MutexLock lock(&write_mutex_);
+  SnapshotPtr current = WriterSnapshot();
+  Dn parent_dn = entry.dn().Parent();
+  const TreeNode* parent = FindNode(*current, parent_dn);
   if (parent == nullptr) {
-    return Status::NotFound("parent does not exist: " +
-                            entry.dn().Parent().ToString());
+    return Status::NotFound("parent does not exist: " + parent_dn.ToString());
   }
   std::string key = entry.dn().leaf().Normalized();
-  if (parent->children.count(key) > 0) {
+  if (parent->children.Find(key) != nullptr) {
     return Status::AlreadyExists("entry already exists: " +
                                  entry.dn().ToString());
   }
-  auto node = std::make_unique<Node>();
-  node->entry = entry;
-  parent->children.emplace(key, std::move(node));
-  IndexEntry(entry, /*insert=*/true);
+  auto leaf = std::make_shared<TreeNode>();
+  leaf->entry = entry;
+  auto new_parent = std::make_shared<TreeNode>();
+  new_parent->entry = parent->entry;
+  new_parent->children = parent->children.Insert(key, std::move(leaf));
+
+  Snapshot next;
+  next.root = ReplaceAt(current->root, parent_dn, std::move(new_parent));
+  next.index = current->index;
+  IndexEntry(&next.index, entry, /*insert=*/true);
+  next.entry_count = current->entry_count + 1;
 
   ChangeRecord record;
-  record.sequence = ++sequence_;
   record.op = UpdateOp::kAdd;
   record.dn = entry.dn();
   record.new_entry = entry;
-  Notify(std::move(record));
+  Commit(std::move(next), std::move(record));
   return Status::Ok();
 }
 
@@ -55,29 +237,33 @@ Status Backend::Delete(const Dn& dn) {
   if (dn.IsRoot()) {
     return Status::InvalidArgument("cannot delete the root DSE");
   }
-  WriterMutexLock lock(&mutex_);
-  Node* parent = FindNode(dn.Parent());
+  MutexLock lock(&write_mutex_);
+  SnapshotPtr current = WriterSnapshot();
+  const TreeNode* parent = FindNode(*current, dn.Parent());
   if (parent == nullptr) {
     return Status::NotFound("no such object: " + dn.ToString());
   }
-  auto it = parent->children.find(dn.leaf().Normalized());
-  if (it == parent->children.end()) {
+  const TreeNodePtr* node = parent->children.Find(dn.leaf().Normalized());
+  if (node == nullptr) {
     return Status::NotFound("no such object: " + dn.ToString());
   }
-  if (!it->second->children.empty()) {
+  if (!(*node)->children.empty()) {
     return Status::SchemaViolation("not allowed on non-leaf: " +
                                    dn.ToString());
   }
-  Entry old_entry = it->second->entry;
-  IndexEntry(old_entry, /*insert=*/false);
-  parent->children.erase(it);
+  Entry old_entry = (*node)->entry;
+
+  Snapshot next;
+  next.root = ReplaceAt(current->root, dn, nullptr);
+  next.index = current->index;
+  IndexEntry(&next.index, old_entry, /*insert=*/false);
+  next.entry_count = current->entry_count - 1;
 
   ChangeRecord record;
-  record.sequence = ++sequence_;
   record.op = UpdateOp::kDelete;
   record.dn = dn;
   record.old_entry = std::move(old_entry);
-  Notify(std::move(record));
+  Commit(std::move(next), std::move(record));
   return Status::Ok();
 }
 
@@ -149,8 +335,9 @@ Status Backend::ApplyMods(const Rdn& rdn,
 }
 
 Status Backend::Modify(const Dn& dn, const std::vector<Modification>& mods) {
-  WriterMutexLock lock(&mutex_);
-  Node* node = FindNode(dn);
+  MutexLock lock(&write_mutex_);
+  SnapshotPtr current = WriterSnapshot();
+  const TreeNode* node = FindNode(*current, dn);
   if (node == nullptr) {
     return Status::NotFound("no such object: " + dn.ToString());
   }
@@ -160,17 +347,42 @@ Status Backend::Modify(const Dn& dn, const std::vector<Modification>& mods) {
     METACOMM_RETURN_IF_ERROR(schema_->ValidateEntry(updated));
   }
   Entry old_entry = node->entry;
-  IndexEntry(old_entry, /*insert=*/false);
-  node->entry = updated;
-  IndexEntry(node->entry, /*insert=*/true);
+
+  auto replacement = std::make_shared<TreeNode>();
+  replacement->entry = updated;
+  replacement->children = node->children;
+
+  Snapshot next;
+  next.root = ReplaceAt(current->root, dn, std::move(replacement));
+  next.index = current->index;
+  // Reindex only the attributes the mods actually changed — the COW
+  // index pays per touched value, so skipping unchanged attributes
+  // keeps Modify cost proportional to the modification.
+  std::string norm_dn = dn.Normalized();
+  const AttributeMap& before = old_entry.attributes();
+  const AttributeMap& after = updated.attributes();
+  for (const auto& [name, attr] : before) {
+    auto it = after.find(name);
+    if (it == after.end() || it->second.values() != attr.values()) {
+      IndexValues(&next.index, norm_dn, dn, name, attr.values(),
+                  /*insert=*/false);
+    }
+  }
+  for (const auto& [name, attr] : after) {
+    auto it = before.find(name);
+    if (it == before.end() || it->second.values() != attr.values()) {
+      IndexValues(&next.index, norm_dn, dn, name, attr.values(),
+                  /*insert=*/true);
+    }
+  }
+  next.entry_count = current->entry_count;
 
   ChangeRecord record;
-  record.sequence = ++sequence_;
   record.op = UpdateOp::kModify;
   record.dn = dn;
   record.old_entry = std::move(old_entry);
-  record.new_entry = node->entry;
-  Notify(std::move(record));
+  record.new_entry = std::move(updated);
+  Commit(std::move(next), std::move(record));
   return Status::Ok();
 }
 
@@ -179,25 +391,26 @@ Status Backend::ModifyRdn(const Dn& dn, const Rdn& new_rdn,
   if (dn.IsRoot()) {
     return Status::InvalidArgument("cannot rename the root DSE");
   }
-  WriterMutexLock lock(&mutex_);
-  Node* parent = FindNode(dn.Parent());
+  MutexLock lock(&write_mutex_);
+  SnapshotPtr current = WriterSnapshot();
+  Dn parent_dn = dn.Parent();
+  const TreeNode* parent = FindNode(*current, parent_dn);
   if (parent == nullptr) {
     return Status::NotFound("no such object: " + dn.ToString());
   }
-  auto it = parent->children.find(dn.leaf().Normalized());
-  if (it == parent->children.end()) {
+  std::string old_key = dn.leaf().Normalized();
+  const TreeNodePtr* node = parent->children.Find(old_key);
+  if (node == nullptr) {
     return Status::NotFound("no such object: " + dn.ToString());
   }
   std::string new_key = new_rdn.Normalized();
-  if (new_key != dn.leaf().Normalized() &&
-      parent->children.count(new_key) > 0) {
+  if (new_key != old_key && parent->children.Find(new_key) != nullptr) {
     return Status::AlreadyExists("sibling already exists: " +
                                  new_rdn.ToString());
   }
 
   // Build the post-rename entry.
-  Node* node = it->second.get();
-  Entry updated = node->entry;
+  Entry updated = (*node)->entry;
   Dn new_dn = dn.WithLeaf(new_rdn);
   updated.set_dn(new_dn);
   for (const Ava& ava : new_rdn.avas()) {
@@ -220,40 +433,45 @@ Status Backend::ModifyRdn(const Dn& dn, const Rdn& new_rdn,
     METACOMM_RETURN_IF_ERROR(schema_->ValidateEntry(updated));
   }
 
-  Entry old_entry = node->entry;
+  Entry old_entry = (*node)->entry;
 
-  // De-index the whole subtree (descendant DNs change too).
-  ReindexSubtree(node, /*insert=*/false);
-  node->entry = updated;
-  RewriteDns(node, new_dn);
-  ReindexSubtree(node, /*insert=*/true);
+  Snapshot next;
+  next.index = current->index;
+  // De-index the whole subtree (descendant DNs change too), rebuild it
+  // under the new DN, then re-index the rebuilt copy.
+  ReindexSubtree(&next.index, node->get(), /*insert=*/false);
+  auto renamed = std::make_shared<TreeNode>();
+  renamed->entry = updated;
+  (*node)->children.ForEach(
+      [&renamed, &new_dn](const std::string& key, const TreeNodePtr& child) {
+        renamed->children = renamed->children.Insert(
+            key,
+            CloneWithNewDn(*child, new_dn.Child(child->entry.dn().leaf())));
+        return true;
+      });
+  ReindexSubtree(&next.index, renamed.get(), /*insert=*/true);
 
-  // Re-key under the parent.
-  std::unique_ptr<Node> owned = std::move(it->second);
-  parent->children.erase(it);
-  parent->children.emplace(new_key, std::move(owned));
+  auto new_parent = std::make_shared<TreeNode>();
+  new_parent->entry = parent->entry;
+  new_parent->children =
+      parent->children.Erase(old_key).Insert(new_key, std::move(renamed));
+  next.root = ReplaceAt(current->root, parent_dn, std::move(new_parent));
+  next.entry_count = current->entry_count;
 
   ChangeRecord record;
-  record.sequence = ++sequence_;
   record.op = UpdateOp::kModifyRdn;
   record.dn = dn;
   record.new_dn = new_dn;
   record.old_entry = std::move(old_entry);
-  record.new_entry = updated;
-  Notify(std::move(record));
+  record.new_entry = std::move(updated);
+  Commit(std::move(next), std::move(record));
   return Status::Ok();
 }
 
-void Backend::RewriteDns(Node* node, const Dn& new_dn) {
-  node->entry.set_dn(new_dn);
-  for (auto& [key, child] : node->children) {
-    RewriteDns(child.get(), new_dn.Child(child->entry.dn().leaf()));
-  }
-}
-
 StatusOr<Entry> Backend::Get(const Dn& dn) const {
-  ReaderMutexLock lock(&mutex_);
-  Node* node = FindNode(dn);
+  read_stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  SnapshotPtr snapshot = GetSnapshot();
+  const TreeNode* node = FindNode(*snapshot, dn);
   if (node == nullptr || dn.IsRoot()) {
     return Status::NotFound("no such object: " + dn.ToString());
   }
@@ -261,197 +479,131 @@ StatusOr<Entry> Backend::Get(const Dn& dn) const {
 }
 
 bool Backend::Exists(const Dn& dn) const {
-  ReaderMutexLock lock(&mutex_);
-  return !dn.IsRoot() && FindNode(dn) != nullptr;
+  read_stats_.exists.fetch_add(1, std::memory_order_relaxed);
+  SnapshotPtr snapshot = GetSnapshot();
+  return !dn.IsRoot() && FindNode(*snapshot, dn) != nullptr;
 }
 
 size_t Backend::Size() const {
-  ReaderMutexLock lock(&mutex_);
-  size_t count = 0;
-  // Iterative DFS over the tree.
-  std::vector<const Node*> stack{&root_};
-  while (!stack.empty()) {
-    const Node* node = stack.back();
-    stack.pop_back();
-    for (const auto& [key, child] : node->children) {
-      ++count;
-      stack.push_back(child.get());
-    }
-  }
-  return count;
-}
-
-Entry Backend::Project(const Entry& entry,
-                       const std::vector<std::string>& attributes) {
-  if (attributes.empty()) return entry;
-  Entry out(entry.dn());
-  for (const std::string& name : attributes) {
-    auto it = entry.attributes().find(name);
-    if (it != entry.attributes().end()) {
-      out.Set(it->second.name(), it->second.values());
-    }
-  }
-  return out;
-}
-
-void Backend::CollectMatches(const Node* node, const SearchRequest& request,
-                             size_t depth_remaining,
-                             std::vector<Entry>* out,
-                             Status* limit_status) const {
-  if (!limit_status->ok()) return;
-  if (request.size_limit > 0 && out->size() >= request.size_limit) {
-    *limit_status = Status::DeadlineExceeded("size limit exceeded");
-    return;
-  }
-  if (request.filter.Matches(node->entry)) {
-    out->push_back(Project(node->entry, request.attributes));
-  }
-  if (depth_remaining == 0) return;
-  for (const auto& [key, child] : node->children) {
-    CollectMatches(child.get(), request, depth_remaining - 1, out,
-                   limit_status);
-  }
+  return GetSnapshot()->entry_count;
 }
 
 StatusOr<SearchResult> Backend::Search(const SearchRequest& request) const {
-  ReaderMutexLock lock(&mutex_);
-  Node* base = FindNode(request.base);
+  read_stats_.searches.fetch_add(1, std::memory_order_relaxed);
+  SnapshotPtr snapshot = GetSnapshot();
+  const TreeNode* base = FindNode(*snapshot, request.base);
   if (base == nullptr) {
     return Status::NotFound("no such object: " + request.base.ToString());
   }
   SearchResult result;
-  Status limit_status = Status::Ok();
-
-  // Fast path: subtree search with a top-level equality filter uses the
-  // equality index.
-  if (request.scope == Scope::kSubtree &&
-      request.filter.kind() == Filter::Kind::kEquality) {
-    // Lexpress closure turns every propagation into a burst of indexed
-    // searches, so this path is hot: normalize the probes into one
-    // reused scratch buffer instead of materializing fresh key strings
-    // per call (the maps have transparent comparators).
-    thread_local std::string probe;
-    ToLowerInto(request.filter.attribute(), &probe);
-    auto attr_it = index_.find(probe);
-    if (attr_it != index_.end()) {
-      NormalizeSpaceLowerInto(request.filter.value(), &probe);
-      auto value_it = attr_it->second.find(probe);
-      if (value_it != attr_it->second.end()) {
-        for (const auto& [norm_dn, dn] : value_it->second) {
-          if (!dn.IsWithin(request.base)) continue;
-          Node* node = FindNode(dn);
-          if (node != nullptr && request.filter.Matches(node->entry)) {
-            if (request.size_limit > 0 &&
-                result.entries.size() >= request.size_limit) {
-              return Status::DeadlineExceeded("size limit exceeded");
-            }
-            result.entries.push_back(
-                Project(node->entry, request.attributes));
-          }
-        }
-      }
-      return result;
-    }
-  }
-
   switch (request.scope) {
     case Scope::kBase:
       if (!request.base.IsRoot() && request.filter.Matches(base->entry)) {
         result.entries.push_back(Project(base->entry, request.attributes));
       }
       break;
-    case Scope::kOneLevel:
-      for (const auto& [key, child] : base->children) {
-        if (request.filter.Matches(child->entry)) {
+    case Scope::kOneLevel: {
+      Status limit_status = Status::Ok();
+      base->children.ForEach(
+          [&](const std::string&, const TreeNodePtr& child) {
+            if (!request.filter.Matches(child->entry)) return true;
+            if (request.size_limit > 0 &&
+                result.entries.size() >= request.size_limit) {
+              limit_status = Status::DeadlineExceeded("size limit exceeded");
+              return false;
+            }
+            result.entries.push_back(
+                Project(child->entry, request.attributes));
+            return true;
+          });
+      if (!limit_status.ok()) return limit_status;
+      break;
+    }
+    case Scope::kSubtree: {
+      QueryPlan plan = PlanFilter(snapshot->index, request.filter);
+      if (plan.indexed) {
+        read_stats_.indexed_plans.fetch_add(1, std::memory_order_relaxed);
+        read_stats_.candidates_examined.fetch_add(
+            plan.candidates.size(), std::memory_order_relaxed);
+        // Emit in subtree-scan order so planned and scanned searches
+        // are indistinguishable to callers.
+        std::sort(plan.candidates.begin(), plan.candidates.end(),
+                  [](const auto& a, const auto& b) {
+                    return TreeOrderLess(a.second, b.second);
+                  });
+        uint64_t matched = 0;
+        for (const auto& [norm_dn, dn] : plan.candidates) {
+          if (!dn.IsWithin(request.base)) continue;
+          const TreeNode* node = FindNode(*snapshot, dn);
+          if (node == nullptr || !request.filter.Matches(node->entry)) {
+            continue;
+          }
+          ++matched;
           if (request.size_limit > 0 &&
               result.entries.size() >= request.size_limit) {
+            read_stats_.candidates_matched.fetch_add(
+                matched, std::memory_order_relaxed);
             return Status::DeadlineExceeded("size limit exceeded");
           }
-          result.entries.push_back(
-              Project(child->entry, request.attributes));
+          result.entries.push_back(Project(node->entry, request.attributes));
         }
-      }
-      break;
-    case Scope::kSubtree: {
-      if (request.base.IsRoot()) {
-        // The virtual root is not a real entry: search its subtrees.
-        for (const auto& [key, child] : base->children) {
-          CollectMatches(child.get(), request, SIZE_MAX - 1, &result.entries,
-                         &limit_status);
-        }
+        read_stats_.candidates_matched.fetch_add(matched,
+                                                 std::memory_order_relaxed);
       } else {
-        CollectMatches(base, request, SIZE_MAX - 1, &result.entries,
-                       &limit_status);
+        read_stats_.scan_plans.fetch_add(1, std::memory_order_relaxed);
+        Status limit_status = Status::Ok();
+        if (request.base.IsRoot()) {
+          // The virtual root is not a real entry: search its subtrees.
+          base->children.ForEach(
+              [&](const std::string&, const TreeNodePtr& child) {
+                CollectScan(child.get(), request, &result.entries,
+                            &limit_status);
+                return limit_status.ok();
+              });
+        } else {
+          CollectScan(base, request, &result.entries, &limit_status);
+        }
+        if (!limit_status.ok()) return limit_status;
       }
-      if (!limit_status.ok()) return limit_status;
       break;
     }
   }
   return result;
 }
 
-void Backend::IndexEntry(const Entry& entry, bool insert) {
-  std::string norm_dn = entry.dn().Normalized();
-  // Scratch keys reused across every attribute/value of the entry.
-  std::string attr_key;
-  std::string value_key;
-  for (const auto& [name, attr] : entry.attributes()) {
-    ToLowerInto(name, &attr_key);
-    for (const std::string& value : attr.values()) {
-      NormalizeSpaceLowerInto(value, &value_key);
-      if (insert) {
-        index_[attr_key][value_key].emplace(norm_dn, entry.dn());
-      } else {
-        auto attr_it = index_.find(attr_key);
-        if (attr_it == index_.end()) continue;
-        auto value_it = attr_it->second.find(value_key);
-        if (value_it == attr_it->second.end()) continue;
-        value_it->second.erase(norm_dn);
-        if (value_it->second.empty()) attr_it->second.erase(value_it);
-      }
-    }
-  }
-}
-
-void Backend::ReindexSubtree(Node* node, bool insert) {
-  IndexEntry(node->entry, insert);
-  for (auto& [key, child] : node->children) {
-    ReindexSubtree(child.get(), insert);
-  }
-}
-
 void Backend::AddListener(Listener listener) {
-  WriterMutexLock lock(&mutex_);
+  MutexLock lock(&write_mutex_);
   listeners_.push_back(std::move(listener));
 }
 
-void Backend::Notify(ChangeRecord record) {
-  for (const Listener& listener : listeners_) {
-    listener(record);
-  }
-}
-
 std::vector<Entry> Backend::DumpAll() const {
-  ReaderMutexLock lock(&mutex_);
+  SnapshotPtr snapshot = GetSnapshot();
   std::vector<Entry> out;
-  // BFS guarantees parents precede children.
-  std::vector<const Node*> frontier{&root_};
-  while (!frontier.empty()) {
-    std::vector<const Node*> next;
-    for (const Node* node : frontier) {
-      for (const auto& [key, child] : node->children) {
-        out.push_back(child->entry);
-        next.push_back(child.get());
-      }
-    }
-    frontier = std::move(next);
-  }
+  out.reserve(snapshot->entry_count);
+  ForEachEntry(*snapshot, [&out](const Entry& entry) {
+    out.push_back(entry);
+    return true;
+  });
   return out;
 }
 
 uint64_t Backend::ChangeCount() const {
-  ReaderMutexLock lock(&mutex_);
-  return sequence_;
+  return GetSnapshot()->version;
+}
+
+Backend::ReadStats Backend::read_stats() const {
+  ReadStats stats;
+  stats.searches = read_stats_.searches.load(std::memory_order_relaxed);
+  stats.gets = read_stats_.gets.load(std::memory_order_relaxed);
+  stats.exists = read_stats_.exists.load(std::memory_order_relaxed);
+  stats.indexed_plans =
+      read_stats_.indexed_plans.load(std::memory_order_relaxed);
+  stats.scan_plans = read_stats_.scan_plans.load(std::memory_order_relaxed);
+  stats.candidates_examined =
+      read_stats_.candidates_examined.load(std::memory_order_relaxed);
+  stats.candidates_matched =
+      read_stats_.candidates_matched.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace metacomm::ldap

@@ -1,15 +1,17 @@
 #ifndef METACOMM_LDAP_BACKEND_H_
 #define METACOMM_LDAP_BACKEND_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/atomic_shared_ptr.h"
 #include "common/mutex.h"
+#include "common/persistent_map.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "ldap/entry.h"
@@ -39,111 +41,178 @@ struct ChangeRecord {
 ///    so "rename + change extension" is inherently two operations;
 ///  * deletes apply to leaves only.
 ///
-/// A per-attribute equality index accelerates subtree searches; the
-/// whole tree is guarded by a readers-writer lock, so the heavily
-/// read-oriented LDAP workloads the paper mentions scale across reader
-/// threads.
+/// Concurrency model — snapshot isolation (RCU-style):
+///  * The entire directory state (entry tree + value index) lives in an
+///    immutable Snapshot published through one atomic shared_ptr.
+///  * Readers (Get/Exists/Search/DumpAll/Size/ChangeCount) load the
+///    current snapshot and never take a mutex: they cannot block
+///    behind writers, and they observe a single consistent version for
+///    the whole operation.
+///  * Writers serialize on `write_mutex_`, derive the next version by
+///    copy-on-write (persistent maps share all untouched structure),
+///    and publish it with one pointer swap. Old snapshots are freed by
+///    shared_ptr refcounting once the last reader drops them.
+///
+/// The value index keeps ordered keys, so subtree searches are planned
+/// (see ldap/query_planner.h): equality and prefix-substring atoms —
+/// including under and/or composition — resolve to candidate DN sets
+/// before any entry is touched, and only unindexable filters fall back
+/// to the subtree scan.
 class Backend {
  public:
   using Listener = std::function<void(const ChangeRecord&)>;
+
+  /// One immutable node of a published tree version.
+  struct TreeNode {
+    Entry entry;
+    // Normalized child RDN -> node. Ordered, so iteration is
+    // deterministic (stable search results, stable dumps).
+    PersistentMap<std::shared_ptr<const TreeNode>> children;
+  };
+
+  /// Equality/ordered index layers: lower(attr) -> normalized value ->
+  /// normalized DN -> DN. All layers are persistent maps, so a writer
+  /// touches O(log n) nodes per indexed value and the ordered middle
+  /// layer supports range scans for prefix plans.
+  using Postings = PersistentMap<Dn>;
+  using ValueIndex = PersistentMap<Postings>;
+  using AttrIndex = PersistentMap<ValueIndex>;
+
+  /// One immutable published version of the whole directory.
+  struct Snapshot {
+    /// Sequence number of the last change folded in (== ChangeCount).
+    uint64_t version = 0;
+    /// Virtual root; root->entry has the empty DN.
+    std::shared_ptr<const TreeNode> root;
+    AttrIndex index;
+    size_t entry_count = 0;
+    /// RealClock micros at publication (drives monitor snapshot age).
+    int64_t published_micros = 0;
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+  /// Read-side counters. Loads are lock-free; see read_stats().
+  struct ReadStats {
+    uint64_t searches = 0;
+    uint64_t gets = 0;
+    uint64_t exists = 0;
+    /// Subtree searches answered from an index-derived candidate set.
+    uint64_t indexed_plans = 0;
+    /// Subtree searches that fell back to the full scan.
+    uint64_t scan_plans = 0;
+    /// Candidate entries examined by indexed plans.
+    uint64_t candidates_examined = 0;
+    /// Candidates that actually matched the filter.
+    uint64_t candidates_matched = 0;
+  };
 
   /// `schema` may be nullptr to run schema-less (some unit tests and
   /// the raw-directory baselines do this); when set, every resulting
   /// entry is validated before commit. The schema must outlive the
   /// backend.
-  explicit Backend(const Schema* schema = nullptr) : schema_(schema) {}
+  explicit Backend(const Schema* schema = nullptr);
 
   Backend(const Backend&) = delete;
   Backend& operator=(const Backend&) = delete;
 
   /// Adds a leaf entry. The parent must exist, except for depth-1
   /// entries which act as directory suffixes.
-  Status Add(const Entry& entry) EXCLUDES(mutex_);
+  Status Add(const Entry& entry) EXCLUDES(write_mutex_);
 
   /// Deletes a leaf entry.
-  Status Delete(const Dn& dn) EXCLUDES(mutex_);
+  Status Delete(const Dn& dn) EXCLUDES(write_mutex_);
 
   /// Applies a modification sequence to one entry atomically. Rejects
   /// changes that would remove an RDN attribute value
   /// (kNotAllowedOnRdn semantics).
   Status Modify(const Dn& dn, const std::vector<Modification>& mods)
-      EXCLUDES(mutex_);
+      EXCLUDES(write_mutex_);
 
   /// Renames a leaf entry. Descendant DNs are rewritten.
   Status ModifyRdn(const Dn& dn, const Rdn& new_rdn, bool delete_old_rdn)
-      EXCLUDES(mutex_);
+      EXCLUDES(write_mutex_);
 
-  /// Returns a copy of the entry at `dn`.
-  StatusOr<Entry> Get(const Dn& dn) const EXCLUDES(mutex_);
+  /// Returns a copy of the entry at `dn`. Lock-free.
+  StatusOr<Entry> Get(const Dn& dn) const;
 
-  /// True if an entry exists at `dn`.
-  bool Exists(const Dn& dn) const EXCLUDES(mutex_);
+  /// True if an entry exists at `dn`. Lock-free.
+  bool Exists(const Dn& dn) const;
 
-  /// Search over the tree.
-  StatusOr<SearchResult> Search(const SearchRequest& request) const
-      EXCLUDES(mutex_);
+  /// Search over the tree. Lock-free: runs entirely on one snapshot.
+  StatusOr<SearchResult> Search(const SearchRequest& request) const;
 
-  /// Number of entries.
-  size_t Size() const EXCLUDES(mutex_);
+  /// Number of entries. Lock-free (maintained per snapshot).
+  size_t Size() const;
 
   /// Registers a post-commit listener. Listeners run under the
-  /// backend's exclusive lock (so they observe changes in commit
-  /// order) and must not call back into the backend.
-  void AddListener(Listener listener) EXCLUDES(mutex_);
+  /// backend's write mutex (so they observe changes in commit order)
+  /// and must not write back into the backend; snapshot reads are
+  /// safe.
+  void AddListener(Listener listener) EXCLUDES(write_mutex_);
 
   /// Snapshot of every entry, parents before children (suitable for
-  /// reloading via Add).
-  std::vector<Entry> DumpAll() const EXCLUDES(mutex_);
+  /// reloading via Add). Lock-free.
+  std::vector<Entry> DumpAll() const;
 
-  /// Number of committed changes so far.
-  uint64_t ChangeCount() const EXCLUDES(mutex_);
+  /// Number of committed changes so far. Lock-free.
+  uint64_t ChangeCount() const;
+
+  /// The current published version. Readers that need multiple
+  /// consistent lookups (LDIF export, the query planner tests) hold
+  /// one snapshot and resolve everything against it.
+  SnapshotPtr GetSnapshot() const;
+
+  /// Point-in-time copy of the read-side counters.
+  ReadStats read_stats() const;
+
+  /// Finds the node for `dn` in `snapshot`; nullptr when absent.
+  static const TreeNode* FindNode(const Snapshot& snapshot, const Dn& dn);
+
+  /// Visits every entry of `snapshot`, parents before children.
+  /// `fn(entry)` returns false to stop.
+  static void ForEachEntry(const Snapshot& snapshot,
+                           const std::function<bool(const Entry&)>& fn);
 
  private:
-  struct Node {
-    Entry entry;
-    // Normalized child RDN -> node. Ordered map gives deterministic
-    // iteration (stable search results, stable dumps).
-    std::map<std::string, std::unique_ptr<Node>> children;
-  };
-
-  /// Finds the node for `dn`; nullptr when absent. Requires at least a
-  /// shared hold (writers hold exclusive, which satisfies it).
-  Node* FindNode(const Dn& dn) const REQUIRES_SHARED(mutex_);
+  using TreeNodePtr = std::shared_ptr<const TreeNode>;
 
   /// Applies `mods` to `entry` (already a copy). Also enforces
   /// RDN-attribute protection using `rdn`. Touches no guarded state.
   Status ApplyMods(const Rdn& rdn, const std::vector<Modification>& mods,
                    Entry* entry) const;
 
-  void IndexEntry(const Entry& entry, bool insert) REQUIRES(mutex_);
-  void ReindexSubtree(Node* node, bool insert) REQUIRES(mutex_);
+  /// Current snapshot as seen by the write path (writers are the only
+  /// mutators, so this is also the parent of the next version).
+  SnapshotPtr WriterSnapshot() const REQUIRES(write_mutex_);
 
-  /// Rewrites the DNs of `node` and descendants to live under
-  /// `new_parent_dn`. Caller handles indexes.
-  void RewriteDns(Node* node, const Dn& new_dn) REQUIRES(mutex_);
-
-  void CollectMatches(const Node* node, const SearchRequest& request,
-                      size_t depth_remaining, std::vector<Entry>* out,
-                      Status* limit_status) const REQUIRES_SHARED(mutex_);
-
-  void Notify(ChangeRecord record) REQUIRES(mutex_);
-
-  static Entry Project(const Entry& entry,
-                       const std::vector<std::string>& attributes);
+  /// Publishes `snapshot` (stamping version/time) as the new current
+  /// version and notifies listeners with `record`.
+  void Commit(Snapshot snapshot, ChangeRecord record)
+      REQUIRES(write_mutex_);
 
   const Schema* schema_;
-  mutable SharedMutex mutex_;
-  // Virtual root; root_.entry has the empty DN.
-  Node root_ GUARDED_BY(mutex_);
-  // Equality index: lower(attr) -> normalized value -> normalized DNs.
-  // Transparent comparators so the Search fast path and IndexEntry can
-  // probe with string_views over reused scratch buffers instead of
-  // materializing a fresh key string per lookup.
-  using DnByNormDn = std::map<std::string, Dn, std::less<>>;
-  using ValueIndex = std::map<std::string, DnByNormDn, std::less<>>;
-  std::map<std::string, ValueIndex, std::less<>> index_ GUARDED_BY(mutex_);
-  std::vector<Listener> listeners_ GUARDED_BY(mutex_);
-  uint64_t sequence_ GUARDED_BY(mutex_) = 0;
+
+  /// Serializes the write path; never taken by readers.
+  mutable Mutex write_mutex_;
+  /// The published version. Readers copy the pointer through a cell
+  /// whose spin bit covers only the refcount bump (see
+  /// common/atomic_shared_ptr.h) — writers swap the pointer, they
+  /// never lock readers out of the snapshot they hold.
+  common::AtomicSharedPtr<const Snapshot> snapshot_;
+  std::vector<Listener> listeners_ GUARDED_BY(write_mutex_);
+  uint64_t sequence_ GUARDED_BY(write_mutex_) = 0;
+
+  /// Read counters; relaxed atomics so the read path stays lock-free.
+  struct AtomicReadStats {
+    std::atomic<uint64_t> searches{0};
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> exists{0};
+    std::atomic<uint64_t> indexed_plans{0};
+    std::atomic<uint64_t> scan_plans{0};
+    std::atomic<uint64_t> candidates_examined{0};
+    std::atomic<uint64_t> candidates_matched{0};
+  };
+  mutable AtomicReadStats read_stats_;
 };
 
 }  // namespace metacomm::ldap

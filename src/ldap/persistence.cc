@@ -7,7 +7,19 @@
 namespace metacomm::ldap {
 
 std::string ExportLdif(const Backend& backend) {
-  return ToLdif(backend.DumpAll());
+  // Stream straight off one published snapshot: the export is
+  // internally consistent without blocking writers for its duration,
+  // and skips materializing the intermediate entry vector.
+  Backend::SnapshotPtr snapshot = backend.GetSnapshot();
+  std::string out;
+  bool first = true;
+  Backend::ForEachEntry(*snapshot, [&out, &first](const Entry& entry) {
+    if (!first) out += "\n";
+    first = false;
+    out += ToLdif(entry);
+    return true;
+  });
+  return out;
 }
 
 StatusOr<size_t> ImportLdif(Backend* backend, const std::string& text) {

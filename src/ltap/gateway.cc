@@ -373,20 +373,15 @@ StatusOr<ldap::SearchResult> LtapGateway::Search(
     const ldap::OpContext& ctx, const ldap::SearchRequest& request) {
   // Reads bypass locking, triggers and quiesce — the gateway/UM
   // separation exists so the UM machine "does not need to do any read
-  // processing" (paper §5.5).
-  {
-    MutexLock lock(&stats_mutex_);
-    ++stats_.reads;
-  }
+  // processing" (paper §5.5). The counter is atomic for the same
+  // reason: the read path takes no mutex anywhere.
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return backend_->Search(ctx, request);
 }
 
 Status LtapGateway::Compare(const ldap::OpContext& ctx,
                             const ldap::CompareRequest& request) {
-  {
-    MutexLock lock(&stats_mutex_);
-    ++stats_.reads;
-  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return backend_->Compare(ctx, request);
 }
 
@@ -395,8 +390,13 @@ StatusOr<std::string> LtapGateway::Bind(const ldap::BindRequest& request) {
 }
 
 LtapGateway::Stats LtapGateway::stats() const {
-  MutexLock lock(&stats_mutex_);
-  return stats_;
+  Stats out;
+  {
+    MutexLock lock(&stats_mutex_);
+    out = stats_;
+  }
+  out.reads = reads_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace metacomm::ltap

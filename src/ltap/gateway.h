@@ -88,7 +88,9 @@ class LtapGateway : public ldap::LdapService {
                    int64_t timeout_micros);
   void UnlockEntry(const ldap::Dn& dn, uint64_t session);
 
-  /// Operation counters (drive the E7 benches).
+  /// Operation counters (drive the E7 benches). `reads` is maintained
+  /// as a lone atomic so the read path never touches stats_mutex_
+  /// (reads are lock-free end to end through the snapshot backend).
   struct Stats {
     uint64_t updates = 0;
     uint64_t reads = 0;
@@ -150,7 +152,9 @@ class LtapGateway : public ldap::LdapService {
 
   std::atomic<uint64_t> next_session_{1};
   mutable Mutex stats_mutex_;
+  /// Update-side counters; Stats::reads is unused here (see reads_).
   Stats stats_ GUARDED_BY(stats_mutex_);
+  std::atomic<uint64_t> reads_{0};
 };
 
 }  // namespace metacomm::ltap

@@ -37,9 +37,14 @@ TEST_F(MonitorTest, RefreshPublishesAllSections) {
                                "(objectClass=monitoredObject)");
   ASSERT_TRUE(entries.ok()) << entries.status();
   // Container + gateway + update-manager + um-batches + directory +
-  // one um-shard-N per update-queue shard (one at default
+  // ldap-reads + one um-shard-N per update-queue shard (one at default
   // worker_threads=1).
-  EXPECT_EQ(entries->size(), 6u);
+  EXPECT_EQ(entries->size(), 7u);
+
+  auto reads = client.Get("cn=ldap-reads,cn=monitor,o=Lucent");
+  ASSERT_TRUE(reads.ok());
+  EXPECT_NE(Counter(*reads, "searches"), "");
+  EXPECT_NE(Counter(*reads, "snapshotVersion"), "0");
 }
 
 TEST_F(MonitorTest, CountersTrackActivity) {
@@ -84,7 +89,7 @@ TEST_F(MonitorTest, RefreshIsRepeatableAndUpdatesInPlace) {
   auto entries = client.Search("cn=monitor,o=Lucent",
                                "(objectClass=monitoredObject)");
   ASSERT_TRUE(entries.ok());
-  EXPECT_EQ(entries->size(), 6u);  // No duplicates.
+  EXPECT_EQ(entries->size(), 7u);  // No duplicates.
 }
 
 TEST_F(MonitorTest, MonitorWritesDoNotTriggerPropagation) {

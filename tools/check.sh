@@ -9,13 +9,16 @@
 #      annotations compile as no-ops elsewhere.
 #   2. Regular build + full tier-1 ctest suite.
 #   3. ThreadSanitizer build and run of the concurrency tests
-#      (threaded_test, parallel_um_test).
+#      (threaded_test, parallel_um_test, snapshot_stress_test).
 #   4. lexpress_check over the generated mappings and every example
 #      mapping file (defects.lex is the linter's own fixture and is
 #      expected to FAIL; it is checked for non-zero exit).
 #   5. clang-tidy over the core sources — skipped when absent.
 #   6. Bench smoke: one quick pass of bench_batching with --json and a
 #      parse of the emitted BENCH_batching.json.
+#   7. Bench regression compare: quick reruns diffed against the
+#      committed BENCH_*.json baselines (>20% slowdowns flagged).
+#      Non-fatal — smoke-length runs are too noisy to gate on.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -46,12 +49,14 @@ cmake -B build -S . >/dev/null \
   || fail "tier-1 tests"
 
 # -- 3. TSan concurrency tests ---------------------------------------
-note "ThreadSanitizer: threaded_test + parallel_um_test"
+note "ThreadSanitizer: threaded_test + parallel_um_test + snapshot_stress_test"
 if cmake -B build-tsan -S . -DMETACOMM_SANITIZE=thread >/dev/null \
    && cmake --build build-tsan -j "$jobs" \
-        --target threaded_test parallel_um_test; then
+        --target threaded_test parallel_um_test snapshot_stress_test; then
   ./build-tsan/tests/threaded_test    || fail "threaded_test under TSan"
   ./build-tsan/tests/parallel_um_test || fail "parallel_um_test under TSan"
+  ./build-tsan/tests/snapshot_stress_test \
+    || fail "snapshot_stress_test under TSan"
 else
   fail "TSan build"
 fi
@@ -110,6 +115,18 @@ if [ -x build/bench/bench_batching ]; then
   fi
 else
   fail "bench_batching not built"
+fi
+
+# -- 7. Bench regression compare (non-fatal) -------------------------
+note "bench compare vs committed baselines (non-fatal)"
+if tools/bench_report.sh --compare --smoke >/tmp/bench_compare.log 2>&1; then
+  grep -E '^(  |no regressions|SKIP)' /tmp/bench_compare.log || true
+  echo "bench compare: no regressions flagged"
+else
+  grep -E 'REGRESSION|regressed|FAIL' /tmp/bench_compare.log || true
+  echo "WARN: bench compare flagged >20% slowdowns vs committed" \
+       "baselines (informational; smoke runs are noisy, not failing" \
+       "the gate)"
 fi
 
 # --------------------------------------------------------------------
