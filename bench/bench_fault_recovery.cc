@@ -1,0 +1,215 @@
+// Fault recovery — breaker fast-fail latency and repair throughput.
+//
+// Two questions from DESIGN.md "Fault tolerance":
+//
+//  1. BM_HealthyPathDuringOutage — while one device is down behind a
+//     slow failing link (every mutation stalls `fail_latency` before
+//     erroring), what happens to the latency of the client write
+//     path? With the circuit breaker the first few attempts pay the
+//     stall, the circuit opens, and every later update to the dead
+//     repository fast-fails into cn=errors — so the measured p99
+//     stays within 2x of the no-fault baseline (the acceptance bar).
+//     The workload alternates updates bound for the healthy PBX
+//     (roomNumber) and the dead MP (MpPin), the §4.4 mixed-fan-out
+//     shape where a naive UM would stall every other op.
+//
+//  2. BM_ReconvergeTime — after the outage ends, how long does the
+//     error-log-driven repair pass take to replay a backlog of N
+//     logged updates and drive the device back to convergence? One
+//     timed RunRepairPass() per iteration, N on the x-axis.
+//
+// Both benches run the Update Manager synchronously (threaded=false)
+// so op latency and repair time are measured on the calling thread.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_main.h"
+#include "bench/workload.h"
+#include "common/clock.h"
+#include "core/circuit_breaker.h"
+
+namespace metacomm::bench {
+namespace {
+
+constexpr size_t kPopulation = 24;
+constexpr int64_t kRttMicros = 100;
+
+int64_t NowMicros() { return RealClock::Get()->NowMicros(); }
+
+/// Nearest-rank percentile, in place.
+double PercentileUs(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(p * static_cast<double>(samples.size()));
+  if (rank >= samples.size()) rank = samples.size() - 1;
+  return samples[rank];
+}
+
+uint64_t BacklogFor(core::MetaCommSystem& system,
+                    const std::string& repository) {
+  for (const core::UpdateManager::Stats::RepositoryStats& repo :
+       system.update_manager().stats().repositories) {
+    if (repo.name == repository) return repo.replay_backlog;
+  }
+  return 0;
+}
+
+/// args: [0] outage (0 = no-fault baseline, 1 = MP down behind a
+/// 2ms-stall failing link for the whole measured window).
+void BM_HealthyPathDuringOutage(benchmark::State& state) {
+  const bool outage = state.range(0) != 0;
+  core::SystemConfig config = ConfigForPopulation(kPopulation);
+  config.device_command_rtt_micros = kRttMicros;
+  // No probes during the measured window: each one would re-pay the
+  // injected stall, and this bench isolates the steady open state.
+  config.um.breaker_open_backoff_micros = 10'000'000;
+  WorkloadGenerator gen(11);
+  std::vector<Person> population = gen.People(kPopulation);
+  auto system = BuildPopulatedSystem(population, config);
+
+  if (outage) {
+    // A link that times out rather than failing fast — the cost the
+    // breaker exists to amortize.
+    system->mp("mp1")->faults().set_error_probability(1.0);
+    system->mp("mp1")->faults().set_fail_latency_micros(2'000);
+    // Trip the threshold outside the timed window; the steady state
+    // under an outage is "circuit open", not "discovering the outage".
+    ldap::Client warm = system->NewClient();
+    for (int i = 0; i < 4; ++i) {
+      (void)warm.Replace(population[0].dn, "MpPin",
+                         std::to_string(9900 + i));
+    }
+  }
+
+  ldap::Client client = system->NewClient();
+  std::vector<double> op_micros;
+  int seq = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < 2 * kPopulation; ++i) {
+      const Person& person = population[i % kPopulation];
+      ++seq;
+      int64_t start = NowMicros();
+      // Even ops ride the healthy PBX path, odd ops target the dead
+      // MP — client writes must succeed either way.
+      Status status =
+          (i % 2 == 0)
+              ? client.Replace(person.dn, "roomNumber",
+                               "B" + std::to_string(seq))
+              : client.Replace(person.dn, "MpPin",
+                               std::to_string(1000 + seq % 9000));
+      op_micros.push_back(static_cast<double>(NowMicros() - start));
+      if (!status.ok()) {
+        state.SkipWithError("client write failed");
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(op_micros.size()));
+
+  core::UpdateManager::Stats stats = system->update_manager().stats();
+  state.counters["p50_us"] = PercentileUs(op_micros, 0.50);
+  state.counters["p99_us"] = PercentileUs(op_micros, 0.99);
+  state.counters["breaker_open_skips"] =
+      static_cast<double>(stats.breaker_open_skips);
+  state.counters["errors"] = static_cast<double>(stats.errors);
+
+  if (outage) {
+    core::CircuitBreaker* breaker =
+        system->update_manager().breaker("mp1");
+    if (breaker == nullptr ||
+        breaker->state() != core::CircuitBreaker::State::kOpen) {
+      state.SkipWithError("circuit did not open during the outage");
+    }
+  }
+}
+BENCHMARK(BM_HealthyPathDuringOutage)
+    ->ArgNames({"outage"})
+    ->Args({0})
+    ->Args({1})
+    ->Iterations(3)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// args: [0] backlog size N (logged updates awaiting replay).
+void BM_ReconvergeTime(benchmark::State& state) {
+  const size_t backlog = static_cast<size_t>(state.range(0));
+  core::SystemConfig config = ConfigForPopulation(kPopulation);
+  config.device_command_rtt_micros = kRttMicros;
+  config.um.breaker_failure_threshold = 2;
+  config.um.breaker_open_backoff_micros = 1'000;
+  config.um.breaker_max_backoff_micros = 10'000;
+  WorkloadGenerator gen(13);
+  std::vector<Person> population = gen.People(kPopulation);
+  auto system = BuildPopulatedSystem(population, config);
+  ldap::Client client = system->NewClient();
+
+  int seq = 0;
+  for (auto _ : state) {
+    // Outage: N pin changes land in cn=errors (the first couple pay a
+    // real refused attempt, the rest fast-fail on the open circuit).
+    system->mp("mp1")->faults().set_disconnected(true);
+    for (size_t i = 0; i < backlog; ++i) {
+      ++seq;
+      Status status =
+          client.Replace(population[i % kPopulation].dn, "MpPin",
+                         std::to_string(1000 + seq % 9000));
+      if (!status.ok()) {
+        state.SkipWithError("client write failed");
+        return;
+      }
+    }
+    if (BacklogFor(*system, "mp1") < backlog) {
+      state.SkipWithError("backlog was not fully logged");
+      return;
+    }
+    // The outage ends; wait out the (tiny) breaker backoff so the
+    // first replay is admitted as the half-open probe, then time the
+    // repair pass: replay in order, verify, drain the log.
+    system->mp("mp1")->faults().set_disconnected(false);
+    RealClock::Get()->SleepMicros(20'000);
+    int64_t start = NowMicros();
+    Status repaired = system->update_manager().RunRepairPass();
+    int64_t elapsed = NowMicros() - start;
+    if (!repaired.ok() || BacklogFor(*system, "mp1") != 0) {
+      state.SkipWithError("repair pass did not drain the backlog");
+      return;
+    }
+    state.SetIterationTime(static_cast<double>(elapsed) / 1e6);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(backlog));
+
+  core::UpdateManager::Stats stats = system->update_manager().stats();
+  state.counters["replayed"] = static_cast<double>(stats.replayed);
+  state.counters["repair_syncs"] = static_cast<double>(stats.repair_syncs);
+
+  // Spot-check convergence once, after timing: the device must hold
+  // the last pin the directory logged for the last person updated.
+  size_t last = (backlog - 1) % kPopulation;
+  auto entry = client.Get(population[last].dn);
+  auto mailbox = system->mp("mp1")->GetRecord(population[last].extension);
+  if (!entry.ok() || !mailbox.ok() ||
+      entry->GetFirst("MpPin") != mailbox->GetFirst("Pin")) {
+    state.SkipWithError("device did not converge to the directory");
+  }
+}
+BENCHMARK(BM_ReconvergeTime)
+    ->ArgNames({"backlog"})
+    ->Args({8})
+    ->Args({32})
+    ->Args({128})
+    ->Iterations(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace metacomm::bench
+
+int main(int argc, char** argv) {
+  return metacomm::bench::RunBenchMain("fault_recovery", argc, argv);
+}

@@ -154,6 +154,10 @@ class ShardedBlockingQueue {
     return items;
   }
 
+  /// Re-admits pushes and pops after a Close (Stop/Start round-trips).
+  /// Call only while no workers are blocked on the queue.
+  void Reopen() { closed_.store(false, std::memory_order_release); }
+
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   /// Items currently queued on `shard`.

@@ -30,6 +30,29 @@ const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
+const char* ApplyOutcomeName(ApplyOutcome outcome) {
+  switch (outcome) {
+    case ApplyOutcome::kApplied:
+      return "applied";
+    case ApplyOutcome::kRetryable:
+      return "retryable";
+    case ApplyOutcome::kPermanent:
+      return "permanent";
+    case ApplyOutcome::kSkippedOpenCircuit:
+      return "skipped-open-circuit";
+  }
+  return "unknown";
+}
+
+std::optional<ApplyOutcome> ParseApplyOutcome(const std::string& text) {
+  for (ApplyOutcome outcome :
+       {ApplyOutcome::kApplied, ApplyOutcome::kRetryable,
+        ApplyOutcome::kPermanent, ApplyOutcome::kSkippedOpenCircuit}) {
+    if (text == ApplyOutcomeName(outcome)) return outcome;
+  }
+  return std::nullopt;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -44,6 +44,32 @@ enum class StatusCode {
 /// Returns a stable, human-readable name for `code` ("NOT_FOUND", ...).
 const char* StatusCodeName(StatusCode code);
 
+/// Typed per-item outcome of applying one update to one repository —
+/// the vocabulary the redesigned repository API (RepositoryFilter,
+/// Device, Update Manager) speaks instead of a collapsed bare Status.
+/// The split retryable/permanent drives both the circuit breaker and
+/// the error-log repair worker: retryable failures are replayed once
+/// the repository is back, permanent ones are audit-only.
+enum class ApplyOutcome {
+  /// The repository holds the update.
+  kApplied,
+  /// Transient repository-side failure (link down, timeout, contention,
+  /// device-internal error): retrying the same update can succeed.
+  kRetryable,
+  /// The repository rejected the update (validation, schema, duplicate
+  /// key): retrying verbatim will fail again.
+  kPermanent,
+  /// The update never reached the repository — its circuit breaker was
+  /// open. Always replayable once the circuit closes.
+  kSkippedOpenCircuit,
+};
+
+/// Stable name: "applied" / "retryable" / "permanent" / "skipped-open-circuit".
+const char* ApplyOutcomeName(ApplyOutcome outcome);
+
+/// Parses an ApplyOutcomeName back; nullopt for unknown text.
+std::optional<ApplyOutcome> ParseApplyOutcome(const std::string& text);
+
 /// A success-or-error result, modeled after absl::Status.
 ///
 /// MetaComm is built without exceptions (the subsystems it glues together
@@ -109,6 +135,23 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Maps a Status onto the apply-outcome vocabulary. OK is kApplied;
+/// kUnavailable / kDeadlineExceeded / kConflict / kInternal are
+/// retryable (the repository or its link misbehaved, not the update);
+/// everything else is permanent (the update itself was rejected).
+inline ApplyOutcome ClassifyStatus(const Status& status) {
+  if (status.ok()) return ApplyOutcome::kApplied;
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kConflict:
+    case StatusCode::kInternal:
+      return ApplyOutcome::kRetryable;
+    default:
+      return ApplyOutcome::kPermanent;
+  }
+}
 
 /// Holds either a value of type T or an error Status.
 template <typename T>

@@ -1,0 +1,97 @@
+#include "core/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace metacomm::core {
+
+bool CircuitBreaker::Allow(int64_t now_micros) {
+  if (!options_.enabled) return true;
+  MutexLock lock(&mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_micros >= retry_at_micros_) {
+        state_ = State::kHalfOpen;
+        last_probe_micros_ = now_micros;
+        return true;
+      }
+      ++skipped_;
+      return false;
+    case State::kHalfOpen:
+      // One probe at a time — unless the outstanding probe is stale
+      // (admitted over a full backoff interval ago and never reported
+      // back), in which case it is presumed abandoned.
+      if (now_micros - last_probe_micros_ > backoff_micros_) {
+        last_probe_micros_ = now_micros;
+        return true;
+      }
+      ++skipped_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::OnSuccess() {
+  if (!options_.enabled) return;
+  MutexLock lock(&mutex_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  backoff_micros_ = 0;
+}
+
+void CircuitBreaker::OnRetryableFailure(int64_t now_micros) {
+  if (!options_.enabled) return;
+  MutexLock lock(&mutex_);
+  ++consecutive_failures_;
+  bool open_now = state_ == State::kHalfOpen ||
+                  consecutive_failures_ >= options_.failure_threshold;
+  if (!open_now) return;
+  if (state_ != State::kOpen) ++open_transitions_;
+  // Failed probe doubles the wait; fresh trip starts at the base.
+  backoff_micros_ =
+      backoff_micros_ == 0
+          ? options_.open_backoff_micros
+          : std::min(backoff_micros_ * 2, options_.max_backoff_micros);
+  state_ = State::kOpen;
+  retry_at_micros_ = now_micros + backoff_micros_;
+}
+
+void CircuitBreaker::ForceClose() {
+  MutexLock lock(&mutex_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  backoff_micros_ = 0;
+  retry_at_micros_ = 0;
+}
+
+CircuitBreaker::Snapshot CircuitBreaker::snapshot() const {
+  MutexLock lock(&mutex_);
+  Snapshot snap;
+  snap.state = state_;
+  snap.consecutive_failures = consecutive_failures_;
+  snap.open_transitions = open_transitions_;
+  snap.skipped = skipped_;
+  snap.backoff_micros = backoff_micros_;
+  snap.last_probe_micros = last_probe_micros_;
+  return snap;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  MutexLock lock(&mutex_);
+  return state_;
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace metacomm::core

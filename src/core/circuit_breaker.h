@@ -1,0 +1,100 @@
+#ifndef METACOMM_CORE_CIRCUIT_BREAKER_H_
+#define METACOMM_CORE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace metacomm::core {
+
+/// Per-repository circuit breaker guarding the Update Manager's
+/// propagation path.
+///
+/// The paper logs failed updates for administrator-driven recovery
+/// (§4.4) but says nothing about *how long* to keep hammering a dead
+/// administrative link. With emulated link timeouts a down device can
+/// stall every propagation wave for its full fail-latency; the breaker
+/// bounds that cost: after `failure_threshold` consecutive retryable
+/// failures the circuit opens and further updates to the repository
+/// fast-fail into the error log without touching the device. After an
+/// exponentially growing backoff one probe update is let through
+/// (half-open); success re-closes the circuit, failure re-opens it
+/// with a doubled backoff.
+///
+/// Permanent failures (the device responded and rejected the command)
+/// count as proof of life: they reset the consecutive-failure streak.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive retryable failures before the circuit opens.
+    int failure_threshold = 3;
+    /// First open interval; doubles on every failed probe.
+    int64_t open_backoff_micros = 50'000;
+    /// Backoff growth cap.
+    int64_t max_backoff_micros = 5'000'000;
+    /// Disabled breakers admit everything and never open.
+    bool enabled = true;
+  };
+
+  /// Point-in-time view for the monitor and tests.
+  struct Snapshot {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    /// Times the circuit transitioned closed/half-open -> open.
+    uint64_t open_transitions = 0;
+    /// Updates fast-failed while the circuit was open.
+    uint64_t skipped = 0;
+    /// Current open interval (what the next failed probe doubles).
+    int64_t backoff_micros = 0;
+    /// NowMicros timestamp of the last half-open probe admission; 0 if
+    /// never probed.
+    int64_t last_probe_micros = 0;
+  };
+
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  /// Asks to send one update. Closed: admitted. Open: admitted once
+  /// the backoff deadline passed (the caller becomes the half-open
+  /// probe), otherwise refused and counted as skipped. Half-open: the
+  /// in-flight probe blocks other updates, but a probe admitted more
+  /// than one backoff interval ago is presumed lost (its wave died
+  /// with Stop(), say) and a new probe is admitted.
+  bool Allow(int64_t now_micros) EXCLUDES(mutex_);
+
+  /// Reports the outcome of an admitted update. Success closes the
+  /// circuit and resets the streak and backoff; a retryable failure
+  /// extends the streak (opening the circuit at the threshold, or
+  /// immediately when it was a failed half-open probe).
+  void OnSuccess() EXCLUDES(mutex_);
+  void OnRetryableFailure(int64_t now_micros) EXCLUDES(mutex_);
+
+  /// Administrative reset: Synchronize(device) re-closes the circuit
+  /// before dumping the repository, since sync *is* the recovery path.
+  void ForceClose() EXCLUDES(mutex_);
+
+  Snapshot snapshot() const EXCLUDES(mutex_);
+  State state() const EXCLUDES(mutex_);
+
+  static const char* StateName(State state);
+
+ private:
+  const Options options_;
+
+  mutable Mutex mutex_;
+  State state_ GUARDED_BY(mutex_) = State::kClosed;
+  int consecutive_failures_ GUARDED_BY(mutex_) = 0;
+  uint64_t open_transitions_ GUARDED_BY(mutex_) = 0;
+  uint64_t skipped_ GUARDED_BY(mutex_) = 0;
+  int64_t backoff_micros_ GUARDED_BY(mutex_) = 0;
+  /// NowMicros deadline after which an open circuit admits a probe.
+  int64_t retry_at_micros_ GUARDED_BY(mutex_) = 0;
+  int64_t last_probe_micros_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace metacomm::core
+
+#endif  // METACOMM_CORE_CIRCUIT_BREAKER_H_

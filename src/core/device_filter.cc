@@ -54,8 +54,7 @@ void DeviceFilter::SetDduHandler(DduHandler handler) {
       });
 }
 
-StatusOr<lexpress::Record> DeviceFilter::Apply(
-    const lexpress::UpdateDescriptor& update) {
+ApplyResult DeviceFilter::Apply(const lexpress::UpdateDescriptor& update) {
   SelfApplyScope self_apply;
   std::string old_key = update.old_record.GetFirst(key_attr_);
   std::string new_key = update.new_record.GetFirst(key_attr_);
@@ -112,13 +111,22 @@ StatusOr<lexpress::Record> DeviceFilter::Apply(
   return *result;
 }
 
-std::vector<StatusOr<lexpress::Record>> DeviceFilter::ApplyBatch(
+std::vector<ApplyResult> DeviceFilter::ApplyBatch(
     const std::vector<lexpress::UpdateDescriptor>& updates) {
   // One administrative session for the whole batch: the emulated link
   // RTT is paid once, and every converter command inside — including
   // conditional-fallback retries and result fetches — rides it.
   devices::LatencyEmulator::SessionScope session(&device_->latency());
   return RepositoryFilter::ApplyBatch(updates);
+}
+
+RepositoryHealth DeviceFilter::Health() const {
+  devices::FaultInjector& faults = device_->faults();
+  RepositoryHealth health;
+  health.reachable = !faults.outage_active();
+  health.commands = faults.mutations_seen();
+  health.injected_failures = faults.injected_failures();
+  return health;
 }
 
 StatusOr<std::optional<lexpress::Record>> DeviceFilter::Fetch(

@@ -44,14 +44,14 @@ class DeviceFilter : public RepositoryFilter {
   const lexpress::Mapping& from_ldap() const override {
     return from_ldap_;
   }
-  StatusOr<lexpress::Record> Apply(
-      const lexpress::UpdateDescriptor& update) override;
-  std::vector<StatusOr<lexpress::Record>> ApplyBatch(
+  ApplyResult Apply(const lexpress::UpdateDescriptor& update) override;
+  std::vector<ApplyResult> ApplyBatch(
       const std::vector<lexpress::UpdateDescriptor>& updates) override;
   StatusOr<std::optional<lexpress::Record>> Fetch(
       const std::string& key) override;
   StatusOr<std::vector<lexpress::Record>> DumpAll() override;
   const std::string& key_attr() const override { return key_attr_; }
+  RepositoryHealth Health() const override;
 
   /// Number of conditional operations that needed the fallback path
   /// (conditional modify failed -> add attempted; §5.4).

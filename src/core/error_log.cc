@@ -1,0 +1,175 @@
+#include "core/error_log.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace metacomm::core {
+
+namespace {
+
+/// Decodes "attr=v1,v2" (escaped) into the record.
+Status DecodeImageLine(const std::string& line, lexpress::Record* record) {
+  size_t eq = line.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("error image line without '=': " + line);
+  }
+  METACOMM_ASSIGN_OR_RETURN(std::string attr,
+                            UnescapeErrorToken(line.substr(0, eq)));
+  lexpress::Value values;
+  std::string rest = line.substr(eq + 1);
+  size_t start = 0;
+  while (true) {
+    size_t comma = rest.find(',', start);
+    std::string token = comma == std::string::npos
+                            ? rest.substr(start)
+                            : rest.substr(start, comma - start);
+    METACOMM_ASSIGN_OR_RETURN(std::string value,
+                              UnescapeErrorToken(token));
+    values.push_back(std::move(value));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  record->Set(attr, std::move(values));
+  return Status::Ok();
+}
+
+std::vector<std::string> EncodeImage(const lexpress::Record& record) {
+  std::vector<std::string> lines;
+  for (const auto& [attr, values] : record.attrs()) {
+    std::string line = EscapeErrorToken(attr) + "=";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) line += ',';
+      line += EscapeErrorToken(values[i]);
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+Status DecodeImage(const std::vector<std::string>& lines,
+                   const std::string& schema, lexpress::Record* record) {
+  record->set_schema(schema);
+  for (const std::string& line : lines) {
+    METACOMM_RETURN_IF_ERROR(DecodeImageLine(line, record));
+  }
+  return Status::Ok();
+}
+
+StatusOr<lexpress::DescriptorOp> ParseOp(const std::string& name) {
+  if (EqualsIgnoreCase(name, "add")) return lexpress::DescriptorOp::kAdd;
+  if (EqualsIgnoreCase(name, "modify")) {
+    return lexpress::DescriptorOp::kModify;
+  }
+  if (EqualsIgnoreCase(name, "delete")) {
+    return lexpress::DescriptorOp::kDelete;
+  }
+  return Status::InvalidArgument("unknown errorOp '" + name + "'");
+}
+
+}  // namespace
+
+std::string EscapeErrorToken(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '%' || c == ',' || c == '=') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> UnescapeErrorToken(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size() || !std::isxdigit(escaped[i + 1]) ||
+        !std::isxdigit(escaped[i + 2])) {
+      return Status::InvalidArgument("bad escape in error token: " +
+                                     escaped);
+    }
+    char hex[3] = {escaped[i + 1], escaped[i + 2], '\0'};
+    out.push_back(static_cast<char>(std::strtol(hex, nullptr, 16)));
+    i += 2;
+  }
+  return out;
+}
+
+void EncodeFailure(const LoggedFailure& failure, ldap::Entry* entry) {
+  entry->SetOne("errorSeq", std::to_string(failure.sequence));
+  if (!failure.repository.empty()) {
+    entry->SetOne("errorRepository", failure.repository);
+  }
+  entry->SetOne("errorClass", ApplyOutcomeName(failure.outcome));
+  entry->SetOne("errorOp",
+                lexpress::DescriptorOpName(failure.update.op));
+  if (!failure.update.source.empty()) {
+    entry->SetOne("errorSource", failure.update.source);
+  }
+  entry->SetOne("errorSchema", failure.update.schema);
+  entry->SetOne("errorConditional",
+                failure.update.conditional ? "true" : "false");
+  std::vector<std::string> explicit_attrs(
+      failure.update.explicit_attrs.begin(),
+      failure.update.explicit_attrs.end());
+  if (!explicit_attrs.empty()) {
+    entry->Set("errorExplicitAttr", std::move(explicit_attrs));
+  }
+  std::vector<std::string> old_image = EncodeImage(failure.update.old_record);
+  if (!old_image.empty()) entry->Set("errorOldImage", std::move(old_image));
+  std::vector<std::string> new_image = EncodeImage(failure.update.new_record);
+  if (!new_image.empty()) entry->Set("errorNewImage", std::move(new_image));
+}
+
+StatusOr<LoggedFailure> ParseErrorEntry(const ldap::Entry& entry) {
+  std::string seq_text = entry.GetFirst("errorSeq");
+  if (seq_text.empty()) {
+    return Status::InvalidArgument(entry.dn().ToString() +
+                                   ": no errorSeq (audit-only entry)");
+  }
+  LoggedFailure failure;
+  failure.sequence = std::strtoull(seq_text.c_str(), nullptr, 10);
+  failure.repository = entry.GetFirst("errorRepository");
+  std::optional<ApplyOutcome> outcome =
+      ParseApplyOutcome(entry.GetFirst("errorClass"));
+  if (!outcome.has_value()) {
+    return Status::InvalidArgument(entry.dn().ToString() +
+                                   ": bad errorClass '" +
+                                   entry.GetFirst("errorClass") + "'");
+  }
+  failure.outcome = *outcome;
+  failure.error =
+      Status::Unavailable(entry.GetFirst("errorText"));
+  METACOMM_ASSIGN_OR_RETURN(failure.update.op,
+                            ParseOp(entry.GetFirst("errorOp")));
+  failure.update.schema = entry.GetFirst("errorSchema");
+  failure.update.source = entry.GetFirst("errorSource");
+  failure.update.conditional =
+      EqualsIgnoreCase(entry.GetFirst("errorConditional"), "true");
+  for (const std::string& attr : entry.GetAll("errorExplicitAttr")) {
+    failure.update.explicit_attrs.insert(attr);
+  }
+  METACOMM_RETURN_IF_ERROR(DecodeImage(entry.GetAll("errorOldImage"),
+                                       failure.update.schema,
+                                       &failure.update.old_record));
+  METACOMM_RETURN_IF_ERROR(DecodeImage(entry.GetAll("errorNewImage"),
+                                       failure.update.schema,
+                                       &failure.update.new_record));
+  return failure;
+}
+
+}  // namespace metacomm::core

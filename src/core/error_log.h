@@ -1,0 +1,67 @@
+#ifndef METACOMM_CORE_ERROR_LOG_H_
+#define METACOMM_CORE_ERROR_LOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "ldap/entry.h"
+#include "lexpress/record.h"
+
+namespace metacomm::core {
+
+/// One failed propagation, as recorded under cn=errors,o=Lucent.
+///
+/// The paper's error log holds "the cause of the error and the failed
+/// update" so an administrator can recover (§4.4). PR 5 makes the
+/// second half literal: retryable failures are serialized with the
+/// complete update descriptor, and the repair worker replays them —
+/// in sequence order — once the repository's circuit re-closes.
+struct LoggedFailure {
+  /// Global error sequence (monotonic; replay order within a
+  /// repository follows it).
+  uint64_t sequence = 0;
+  /// Repository the update failed against; empty for failures that
+  /// have no replay target (directory aborts, planning errors) —
+  /// those entries are audit-only.
+  std::string repository;
+  /// Classification at failure time. Only kRetryable and
+  /// kSkippedOpenCircuit failures are worth replaying.
+  ApplyOutcome outcome = ApplyOutcome::kPermanent;
+  /// The failure itself (mirrors the entry's errorText).
+  Status error;
+  /// The failed update, already translated to `repository`'s schema.
+  lexpress::UpdateDescriptor update;
+
+  /// True when the repair worker should replay this entry.
+  bool replayable() const {
+    return !repository.empty() &&
+           (outcome == ApplyOutcome::kRetryable ||
+            outcome == ApplyOutcome::kSkippedOpenCircuit);
+  }
+};
+
+/// Serializes the replay payload of `failure` onto an error entry:
+/// errorSeq, errorRepository, errorClass, errorOp, errorSource,
+/// errorSchema, errorConditional, errorExplicitAttr, errorOldImage,
+/// errorNewImage. Record images are encoded one attribute per value,
+/// "attr=v1,v2" with '%'/','/'=' percent-escaped, so the descriptor
+/// round-trips byte-identically through the directory. The caller owns
+/// the human-facing attributes (cn, errorText, errorTarget, errorTime,
+/// description, objectClass).
+void EncodeFailure(const LoggedFailure& failure, ldap::Entry* entry);
+
+/// Reconstructs a LoggedFailure from an error entry written by
+/// EncodeFailure. Entries without errorSeq (the container itself, or
+/// audit-only records from earlier releases) are rejected with
+/// kInvalidArgument — the repair worker leaves them in place.
+StatusOr<LoggedFailure> ParseErrorEntry(const ldap::Entry& entry);
+
+/// Percent-escapes '%', ',' and '=' (the image-encoding
+/// metacharacters). Exposed for tests.
+std::string EscapeErrorToken(const std::string& raw);
+StatusOr<std::string> UnescapeErrorToken(const std::string& escaped);
+
+}  // namespace metacomm::core
+
+#endif  // METACOMM_CORE_ERROR_LOG_H_

@@ -42,6 +42,17 @@ ldap::Schema BuildIntegratedSchema() {
   attr("errorOp", /*single=*/true);
   attr("errorTarget", /*single=*/true);
   attr("errorTime", /*single=*/true);
+  // Replay payload (PR 5): the failed update serialized well enough to
+  // reapply it verbatim once the repository's circuit re-closes.
+  attr("errorSeq", /*single=*/true);
+  attr("errorRepository", /*single=*/true);
+  attr("errorClass", /*single=*/true);
+  attr("errorSource", /*single=*/true);
+  attr("errorSchema", /*single=*/true);
+  attr("errorConditional", /*single=*/true);
+  attr("errorExplicitAttr");
+  attr("errorOldImage");
+  attr("errorNewImage");
   attr("monitorInfo");  // "counter=value" strings, cn=monitor subtree.
 
   auto cls = [&schema](std::string name, ldap::ObjectClassKind kind,
@@ -77,7 +88,9 @@ ldap::Schema BuildIntegratedSchema() {
       {kLastUpdaterAttr});
   cls(kMetacommErrorClass, ldap::ObjectClassKind::kStructural, "top",
       {"cn"}, {"errorText", "errorOp", "errorTarget", "errorTime",
-               "description"});
+               "description", "errorSeq", "errorRepository", "errorClass",
+               "errorSource", "errorSchema", "errorConditional",
+               "errorExplicitAttr", "errorOldImage", "errorNewImage"});
   cls("monitoredObject", ldap::ObjectClassKind::kStructural, "top",
       {"cn"}, {"monitorInfo", "description"});
   return schema;

@@ -142,16 +142,15 @@ std::vector<ldap::Modification> LdapFilter::DiffMods(
   return mods;
 }
 
-StatusOr<lexpress::Record> LdapFilter::Apply(
-    const lexpress::UpdateDescriptor& update) {
+ApplyResult LdapFilter::Apply(const lexpress::UpdateDescriptor& update) {
   return ApplyWithContext(InternalContext(), update);
 }
 
-std::vector<StatusOr<lexpress::Record>> LdapFilter::ApplyBatch(
+std::vector<ApplyResult> LdapFilter::ApplyBatch(
     const std::vector<lexpress::UpdateDescriptor>& updates) {
   // One internal context — one LTAP session — carries the whole batch.
   ldap::OpContext ctx = InternalContext();
-  std::vector<StatusOr<lexpress::Record>> results;
+  std::vector<ApplyResult> results;
   results.reserve(updates.size());
   for (const lexpress::UpdateDescriptor& update : updates) {
     results.push_back(ApplyWithContext(ctx, update));
@@ -159,7 +158,7 @@ std::vector<StatusOr<lexpress::Record>> LdapFilter::ApplyBatch(
   return results;
 }
 
-StatusOr<lexpress::Record> LdapFilter::ApplyWithContext(
+ApplyResult LdapFilter::ApplyWithContext(
     const ldap::OpContext& ctx, const lexpress::UpdateDescriptor& update) {
   std::string old_key = update.old_record.GetFirst(config_.key_attr);
   std::string new_key = update.new_record.GetFirst(config_.key_attr);

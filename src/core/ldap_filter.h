@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/repository_filter.h"
 #include "ldap/entry.h"
 #include "ldap/service.h"
 #include "lexpress/record.h"
@@ -64,13 +65,13 @@ class LdapFilter {
   /// paper analyzes. Conditional updates degrade gracefully
   /// (add->modify fallback etc.). Returns the resulting record (empty
   /// for deletes).
-  StatusOr<lexpress::Record> Apply(const lexpress::UpdateDescriptor& update);
+  ApplyResult Apply(const lexpress::UpdateDescriptor& update);
 
   /// Applies a batch of canonical updates under ONE internal LTAP
   /// session (a single gateway context instead of one per update —
   /// the directory-side half of batched propagation). Results are
   /// positional; a failing update does not stop the rest.
-  std::vector<StatusOr<lexpress::Record>> ApplyBatch(
+  std::vector<ApplyResult> ApplyBatch(
       const std::vector<lexpress::UpdateDescriptor>& updates);
 
   /// Installs a hook invoked between ModifyRDN and Modify of a pair.
@@ -95,7 +96,7 @@ class LdapFilter {
 
   /// Apply against a caller-provided gateway context (shared by every
   /// update of an ApplyBatch call).
-  StatusOr<lexpress::Record> ApplyWithContext(
+  ApplyResult ApplyWithContext(
       const ldap::OpContext& ctx, const lexpress::UpdateDescriptor& update);
 
   ldap::OpContext InternalContext() const;

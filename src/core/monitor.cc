@@ -16,14 +16,18 @@ MonitorPublisher::MonitorPublisher(ldap::LdapServer* server,
 Status MonitorPublisher::Publish(
     const std::string& name,
     const std::vector<std::pair<std::string, uint64_t>>& counters) {
-  METACOMM_ASSIGN_OR_RETURN(ldap::Dn base, ldap::Dn::Parse(base_dn()));
-  ldap::Dn dn = base.Child(ldap::Rdn("cn", name));
-
   std::vector<std::string> info;
   info.reserve(counters.size());
   for (const auto& [key, value] : counters) {
     info.push_back(key + "=" + std::to_string(value));
   }
+  return PublishInfo(name, std::move(info));
+}
+
+Status MonitorPublisher::PublishInfo(const std::string& name,
+                                     std::vector<std::string> info) {
+  METACOMM_ASSIGN_OR_RETURN(ldap::Dn base, ldap::Dn::Parse(base_dn()));
+  ldap::Dn dn = base.Child(ldap::Rdn("cn", name));
 
   if (server_->backend().Exists(dn)) {
     ldap::Modification replace;
@@ -81,7 +85,40 @@ Status MonitorPublisher::Refresh() {
        {"shutdownDrained", um_stats.shutdown_drained},
        {"batches", um_stats.batches},
        {"coalesced", um_stats.coalesced},
-       {"rttsSaved", um_stats.rtts_saved}}));
+       {"rttsSaved", um_stats.rtts_saved},
+       {"breakerOpenSkips", um_stats.breaker_open_skips},
+       {"replayed", um_stats.replayed},
+       {"repairPasses", um_stats.repair_passes},
+       {"repairSyncs", um_stats.repair_syncs}}));
+
+  // Per-repository fault surface (cn=um-health-<repo>): breaker state,
+  // replay backlog, and the device's own fault telemetry. This is what
+  // an administrator watches during an outage (§4.4).
+  for (const UpdateManager::Stats::RepositoryStats& repo :
+       um_stats.repositories) {
+    std::vector<std::string> info;
+    info.push_back(std::string("breakerState=") +
+                   CircuitBreaker::StateName(repo.breaker.state));
+    info.push_back("consecutiveFailures=" +
+                   std::to_string(repo.breaker.consecutive_failures));
+    info.push_back("openTransitions=" +
+                   std::to_string(repo.breaker.open_transitions));
+    info.push_back("skippedOpenCircuit=" +
+                   std::to_string(repo.breaker.skipped));
+    info.push_back("backoffMicros=" +
+                   std::to_string(repo.breaker.backoff_micros));
+    info.push_back("lastProbeMicros=" +
+                   std::to_string(repo.breaker.last_probe_micros));
+    info.push_back("replayBacklog=" +
+                   std::to_string(repo.replay_backlog));
+    info.push_back(std::string("reachable=") +
+                   (repo.health.reachable ? "1" : "0"));
+    info.push_back("commands=" + std::to_string(repo.health.commands));
+    info.push_back("injectedFailures=" +
+                   std::to_string(repo.health.injected_failures));
+    METACOMM_RETURN_IF_ERROR(
+        PublishInfo("um-health-" + repo.name, std::move(info)));
+  }
 
   // Batch size histogram under its own monitored object; the bucket
   // edges mirror UpdateManager::Stats::batch_size_buckets.

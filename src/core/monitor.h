@@ -24,6 +24,12 @@ namespace metacomm::core {
 ///   cn=ldap-reads,cn=monitor,<suffix>      read path: search counts,
 ///                                          plan mix, candidate
 ///                                          selectivity, snapshot age
+///   cn=um-health-<repo>,cn=monitor,<suffix> per-repository fault
+///                                          surface: circuit-breaker
+///                                          state, consecutive
+///                                          failures, open skips,
+///                                          replay backlog, injected
+///                                          fault telemetry
 ///
 /// Counters are point-in-time snapshots; call Refresh() to update.
 /// Writes go straight to the backend (monitor data is operational, not
@@ -45,6 +51,11 @@ class MonitorPublisher {
   Status Publish(const std::string& name,
                  const std::vector<std::pair<std::string, uint64_t>>&
                      counters);
+
+  /// Upserts one monitor entry from pre-rendered "key=value" strings
+  /// (for non-numeric values like the breaker state name).
+  Status PublishInfo(const std::string& name,
+                     std::vector<std::string> info);
 
   ldap::LdapServer* server_;
   ltap::LtapGateway* gateway_;

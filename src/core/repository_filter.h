@@ -1,8 +1,10 @@
 #ifndef METACOMM_CORE_REPOSITORY_FILTER_H_
 #define METACOMM_CORE_REPOSITORY_FILTER_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -10,6 +12,73 @@
 #include "lexpress/record.h"
 
 namespace metacomm::core {
+
+/// The typed per-item result of applying one update to one repository.
+///
+/// This replaces the old collapsed `StatusOr<Record>`: every apply now
+/// carries an ApplyOutcome so the Update Manager can decide uniformly —
+/// feed the circuit breaker, log a replayable error entry, or abort —
+/// without re-deriving transience from status codes at every call site.
+/// The accessors mirror StatusOr<Record> (ok()/status()/operator*) and
+/// it converts implicitly from Status and Record, so the
+/// METACOMM_RETURN_IF_ERROR / METACOMM_ASSIGN_OR_RETURN style of the
+/// implementations keeps working unchanged.
+class ApplyResult {
+ public:
+  /// Applied, empty record (deletes).
+  ApplyResult() : outcome_(ApplyOutcome::kApplied) {}
+
+  /// Applied with the repository's resulting record.
+  ApplyResult(lexpress::Record record)  // NOLINT: deliberate conversion
+      : outcome_(ApplyOutcome::kApplied), record_(std::move(record)) {}
+
+  /// Failure, classified via ClassifyStatus (an OK status degenerates
+  /// to an applied empty record).
+  ApplyResult(Status status)  // NOLINT: deliberate conversion
+      : outcome_(ClassifyStatus(status)), status_(std::move(status)) {}
+
+  /// The update never reached the repository: its circuit was open.
+  static ApplyResult SkippedOpenCircuit(const std::string& repository) {
+    ApplyResult result;
+    result.outcome_ = ApplyOutcome::kSkippedOpenCircuit;
+    result.status_ = Status::Unavailable(
+        repository + ": circuit open, update skipped");
+    return result;
+  }
+
+  ApplyOutcome outcome() const { return outcome_; }
+  bool ok() const { return outcome_ == ApplyOutcome::kApplied; }
+  /// True when retrying (replaying) the same update can succeed.
+  bool retryable() const {
+    return outcome_ == ApplyOutcome::kRetryable ||
+           outcome_ == ApplyOutcome::kSkippedOpenCircuit;
+  }
+  const Status& status() const { return status_; }
+
+  /// Resulting record; only meaningful when ok().
+  const lexpress::Record& record() const { return record_; }
+  const lexpress::Record& operator*() const { return record_; }
+  lexpress::Record& operator*() { return record_; }
+  const lexpress::Record* operator->() const { return &record_; }
+  lexpress::Record* operator->() { return &record_; }
+
+ private:
+  ApplyOutcome outcome_;
+  Status status_;
+  lexpress::Record record_;
+};
+
+/// A repository's health surface, consumed by the Update Manager, the
+/// cn=um-health monitor subtree, and the fault-tolerance tests.
+struct RepositoryHealth {
+  /// False while the repository reports an active outage (manual
+  /// disconnect or a scheduled fault-injection window).
+  bool reachable = true;
+  /// Mutating commands the repository has been asked to run.
+  uint64_t commands = 0;
+  /// Commands that failed with an injected fault.
+  uint64_t injected_failures = 0;
+};
 
 /// A MetaComm filter: the per-repository wrapper combining a *protocol
 /// converter* (speaks the repository's native interface) and a *mapper*
@@ -39,12 +108,12 @@ class RepositoryFilter {
 
   /// Applies a translated update descriptor (already in this
   /// repository's schema) through the protocol converter, honoring the
-  /// descriptor's conditional flag (§5.4 reapply semantics). Returns
-  /// the repository's resulting record — which may contain
-  /// device-generated information the Update Manager must propagate
-  /// (§5.5); returns an empty record for deletes.
-  virtual StatusOr<lexpress::Record> Apply(
-      const lexpress::UpdateDescriptor& update) = 0;
+  /// descriptor's conditional flag (§5.4 reapply semantics). On success
+  /// the result carries the repository's resulting record — which may
+  /// contain device-generated information the Update Manager must
+  /// propagate (§5.5); an empty record for deletes. On failure the
+  /// outcome says whether the update is worth replaying.
+  virtual ApplyResult Apply(const lexpress::UpdateDescriptor& update) = 0;
 
   /// Applies several already-translated updates over ONE repository
   /// conversation. Results are positional; a failing update does not
@@ -52,9 +121,9 @@ class RepositoryFilter {
   /// default pays the per-command conversation cost for every update;
   /// device filters override it to share a single administrative
   /// session, paying the emulated link RTT once per batch.
-  virtual std::vector<StatusOr<lexpress::Record>> ApplyBatch(
+  virtual std::vector<ApplyResult> ApplyBatch(
       const std::vector<lexpress::UpdateDescriptor>& updates) {
-    std::vector<StatusOr<lexpress::Record>> results;
+    std::vector<ApplyResult> results;
     results.reserve(updates.size());
     for (const lexpress::UpdateDescriptor& update : updates) {
       results.push_back(Apply(update));
@@ -71,6 +140,10 @@ class RepositoryFilter {
 
   /// Name of the key attribute in this repository's schema.
   virtual const std::string& key_attr() const = 0;
+
+  /// Reachability and fault telemetry. The default says "always
+  /// healthy"; device filters surface their device's fault injector.
+  virtual RepositoryHealth Health() const { return {}; }
 };
 
 }  // namespace metacomm::core

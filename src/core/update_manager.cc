@@ -1,6 +1,7 @@
 #include "core/update_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/clock.h"
@@ -43,6 +44,13 @@ void UpdateManager::AddDeviceFilter(RepositoryFilter* filter) {
   filters_.push_back(filter);
   mappings_.Add(filter->to_ldap());
   mappings_.Add(filter->from_ldap());
+  CircuitBreaker::Options breaker_options;
+  breaker_options.failure_threshold = config_.breaker_failure_threshold;
+  breaker_options.open_backoff_micros = config_.breaker_open_backoff_micros;
+  breaker_options.max_backoff_micros = config_.breaker_max_backoff_micros;
+  breaker_options.enabled = config_.breaker_enabled;
+  breakers_.emplace(filter->name(),
+                    std::make_unique<CircuitBreaker>(breaker_options));
   if (auto* device_filter = dynamic_cast<DeviceFilter*>(filter)) {
     device_filter->SetDduHandler(
         [this](lexpress::UpdateDescriptor update) {
@@ -70,6 +78,11 @@ Status UpdateManager::InstallTrigger(const std::string& base_dn) {
 void UpdateManager::Start() {
   if (!config_.threaded) return;
   if (running_.exchange(true)) return;
+  {
+    MutexLock lock(&shutdown_mutex_);
+    stopping_ = false;  // A restarted UM sleeps and repairs again.
+  }
+  queue_.Reopen();  // Stop() closed it; restarts take updates again.
   // "The main thread of the UM, the coordinator, iterates through the
   // global update queue" (§4.4). worker_threads=1 reproduces that
   // single coordinator; more workers keep one strict FIFO per shard,
@@ -79,15 +92,30 @@ void UpdateManager::Start() {
   for (size_t shard = 0; shard < queue_.shard_count(); ++shard) {
     workers_.emplace_back([this, shard] { WorkerLoop(shard); });
   }
+  if (config_.repair_enabled) {
+    repair_thread_ = std::thread([this] { RepairLoop(); });
+  }
 }
 
 void UpdateManager::Stop() {
   if (!running_.exchange(false)) return;
+  // Raise the stop flag FIRST: in-flight lock backoffs, artificial
+  // processing delays, a running Synchronize, and the repair worker's
+  // scan sleep all watch it, so workers reach their release paths
+  // promptly instead of sleeping out their full backoff schedules —
+  // and every path still releases its LTAP locks on the way out.
+  {
+    MutexLock lock(&shutdown_mutex_);
+    stopping_ = true;
+    ++stop_epoch_;
+  }
+  shutdown_cv_.NotifyAll();
   queue_.Close();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  if (repair_thread_.joinable()) repair_thread_.join();
   // The queue died with items still in it: release their entry locks
   // and fail their callers, instead of leaving locks held forever and
   // threaded OnUpdate callers hanging in done.get().
@@ -444,10 +472,33 @@ Status UpdateManager::AcquireEntryLock(const ldap::Dn& dn,
     // instead of sleeping for geometric ages.
     int64_t backoff = config_.ddu_lock_retry_backoff_micros
                       << std::min(attempt, 6);
-    if (backoff > 0) RealClock::Get()->SleepMicros(backoff);
+    if (!SleepInterruptible(backoff)) {
+      return Status::Unavailable("update manager is shut down");
+    }
     status = gateway_->LockEntry(dn, session);
   }
   return status;
+}
+
+bool UpdateManager::SleepInterruptible(int64_t micros) {
+  if (micros <= 0) return !stopping();
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(micros);
+  MutexLock lock(&shutdown_mutex_);
+  while (!stopping_) {
+    if (!shutdown_cv_.WaitUntil(lock, deadline)) return true;  // Slept.
+  }
+  return false;  // Stopping: the caller bails to its release path.
+}
+
+bool UpdateManager::stopping() const {
+  MutexLock lock(&shutdown_mutex_);
+  return stopping_;
+}
+
+uint64_t UpdateManager::stop_epoch() const {
+  MutexLock lock(&shutdown_mutex_);
+  return stop_epoch_;
 }
 
 void UpdateManager::ReleaseLocks(const std::vector<ldap::Dn>& locked,
@@ -575,9 +626,9 @@ Status UpdateManager::Propagate(
         static_cast<uint64_t>(plan->closure_iterations);
   }
 
-  if (config_.artificial_processing_delay_micros > 0) {
-    RealClock::Get()->SleepMicros(
-        config_.artificial_processing_delay_micros);
+  if (config_.artificial_processing_delay_micros > 0 &&
+      !SleepInterruptible(config_.artificial_processing_delay_micros)) {
+    return Status::Unavailable("update manager is shut down");
   }
 
   Status first_error = Status::Ok();
@@ -589,7 +640,7 @@ Status UpdateManager::Propagate(
   for (const PlannedOp& op : plan->ops) {
     if (aborted) break;
     if (EqualsIgnoreCase(op.repository, "ldap")) {
-      StatusOr<lexpress::Record> applied = ldap_filter_->Apply(op.update);
+      ApplyResult applied = ldap_filter_->Apply(op.update);
       if (!applied.ok()) {
         // The view write failed: abort the sequence (§4.4).
         HandleError(applied.status(), op.update);
@@ -627,9 +678,10 @@ Status UpdateManager::Propagate(
       if (fetched.ok()) prior = *fetched;
     }
 
-    StatusOr<lexpress::Record> applied = filter->Apply(op.update);
+    ApplyResult applied = ApplyToRepository(filter, op.update);
     if (!applied.ok()) {
-      HandleError(applied.status(), op.update);
+      HandleFailure(filter->name(), applied.outcome(), applied.status(),
+                    op.update);
       if (first_error.ok()) first_error = applied.status();
       if (config_.saga_undo) {
         // Compensate the devices already updated in this sequence,
@@ -724,7 +776,7 @@ Status UpdateManager::BackfillGeneratedInfo(
   backfill.conditional = true;
   backfill.old_record = plan.final_ldap;
   backfill.new_record = MergeRecords(plan.final_ldap, generated);
-  StatusOr<lexpress::Record> applied = ldap_filter_->Apply(backfill);
+  ApplyResult applied = ldap_filter_->Apply(backfill);
   if (!applied.ok()) {
     HandleError(applied.status(), backfill);
     return applied.status();
@@ -874,8 +926,11 @@ void UpdateManager::PropagateWave(std::vector<UnitWork>& units,
   // whole wave — this sharing, together with the shared device
   // sessions below, is where batching buys its throughput.
   if (config_.artificial_processing_delay_micros > 0) {
-    RealClock::Get()->SleepMicros(
-        config_.artificial_processing_delay_micros);
+    if (!SleepInterruptible(config_.artificial_processing_delay_micros)) {
+      Status stopped = Status::Unavailable("update manager is shut down");
+      for (LiveUnit& lu : live) SettleUnit(*lu.unit, items, stopped);
+      return;
+    }
     if (live.size() > 1) {
       MutexLock lock(&stats_mutex_);
       stats_.rtts_saved += live.size() - 1;
@@ -894,8 +949,7 @@ void UpdateManager::PropagateWave(std::vector<UnitWork>& units,
     }
   }
   if (!ldap_ops.empty()) {
-    std::vector<StatusOr<lexpress::Record>> applied =
-        ldap_filter_->ApplyBatch(ldap_ops);
+    std::vector<ApplyResult> applied = ldap_filter_->ApplyBatch(ldap_ops);
     for (size_t i = 0; i < applied.size(); ++i) {
       if (applied[i].ok()) continue;
       LiveUnit& owner = live[ldap_owner[i]];
@@ -926,15 +980,43 @@ void UpdateManager::PropagateWave(std::vector<UnitWork>& units,
       }
     }
     if (updates.empty()) continue;
-    std::vector<StatusOr<lexpress::Record>> applied =
-        filter->ApplyBatch(updates);
+    CircuitBreaker* breaker = BreakerFor(filter->name());
+    if (breaker != nullptr &&
+        !breaker->Allow(RealClock::Get()->NowMicros())) {
+      // Open circuit: the whole wave fast-fails for this repository —
+      // no administrative conversation is even opened. Each update is
+      // logged replayably; the healthy repositories' fan-out below is
+      // untouched, which is the breaker's whole point.
+      {
+        MutexLock lock(&stats_mutex_);
+        stats_.breaker_open_skips += updates.size();
+      }
+      for (const lexpress::UpdateDescriptor& update : updates) {
+        ApplyResult skipped = ApplyResult::SkippedOpenCircuit(filter->name());
+        HandleFailure(filter->name(), skipped.outcome(), skipped.status(),
+                      update);
+      }
+      continue;
+    }
+    std::vector<ApplyResult> applied = filter->ApplyBatch(updates);
     if (updates.size() > 1) {
       MutexLock lock(&stats_mutex_);
       stats_.rtts_saved += updates.size() - 1;
     }
     for (size_t i = 0; i < applied.size(); ++i) {
+      if (breaker != nullptr) {
+        // Feed the breaker in batch order so consecutive-failure
+        // counting matches the sequential path exactly. A permanent
+        // rejection means the device responded: proof of life.
+        if (applied[i].outcome() == ApplyOutcome::kRetryable) {
+          breaker->OnRetryableFailure(RealClock::Get()->NowMicros());
+        } else {
+          breaker->OnSuccess();
+        }
+      }
       if (!applied[i].ok()) {
-        HandleError(applied[i].status(), updates[i]);
+        HandleFailure(filter->name(), applied[i].outcome(),
+                      applied[i].status(), updates[i]);
         continue;
       }
       {
@@ -963,10 +1045,10 @@ void UpdateManager::UndoApplied(
   // Compensate in reverse order, saga-style (§4.4's planned "later
   // version", built as an extension here).
   for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
-    StatusOr<lexpress::Record> status = it->first->Apply(it->second);
-    if (!status.ok()) {
+    ApplyResult result = it->first->Apply(it->second);
+    if (!result.ok()) {
       METACOMM_LOG(kWarning) << "saga undo failed at " << it->first->name()
-                             << ": " << status.status().ToString();
+                             << ": " << result.status().ToString();
       continue;
     }
     MutexLock lock(&stats_mutex_);
@@ -976,6 +1058,19 @@ void UpdateManager::UndoApplied(
 
 void UpdateManager::HandleError(const Status& error,
                                 const lexpress::UpdateDescriptor& update) {
+  // No replay target: the entry is audit-only (kPermanent, no
+  // errorRepository), whatever the status code said.
+  HandleFailure(/*repository=*/"", ApplyOutcome::kPermanent, error, update);
+}
+
+void UpdateManager::HandleFailure(const std::string& repository,
+                                  ApplyOutcome outcome, const Status& error,
+                                  const lexpress::UpdateDescriptor& update) {
+  // Saga mode compensates the whole sequence on failure; replaying the
+  // failed update later would undo the compensation, so its error
+  // entry is audit-only.
+  const std::string replay_repository =
+      config_.saga_undo ? "" : repository;
   {
     MutexLock lock(&stats_mutex_);
     ++stats_.errors;
@@ -985,6 +1080,9 @@ void UpdateManager::HandleError(const Status& error,
   // "an error is logged into the directory, and a notification is sent
   // to the administrator. The administrator can browse through the
   // errors and manually fix the resulting inconsistencies" (§4.4).
+  // Retryable failures additionally carry the serialized descriptor,
+  // so "manually" is now optional: the repair worker replays them once
+  // the repository recovers.
   if (!config_.error_base.empty()) {
     uint64_t seq = error_sequence_.fetch_add(1) + 1;
     StatusOr<ldap::Dn> base = ldap::Dn::Parse(config_.error_base);
@@ -995,9 +1093,17 @@ void UpdateManager::HandleError(const Status& error,
       entry.AddObjectClass(kMetacommErrorClass);
       entry.SetOne("cn", "error-" + std::to_string(seq));
       entry.SetOne("errorText", error.ToString());
-      entry.SetOne("errorOp", lexpress::DescriptorOpName(update.op));
       entry.SetOne("errorTarget", update.schema);
+      entry.SetOne("errorTime",
+                   std::to_string(RealClock::Get()->NowMicros()));
       entry.SetOne("description", update.ToString());
+      LoggedFailure failure;
+      failure.sequence = seq;
+      failure.repository = replay_repository;
+      failure.outcome = outcome;
+      failure.error = error;
+      failure.update = update;
+      EncodeFailure(failure, &entry);
       ldap::OpContext ctx;
       ctx.principal = "cn=metacomm";
       ctx.internal = true;
@@ -1005,6 +1111,9 @@ void UpdateManager::HandleError(const Status& error,
       if (!logged.ok()) {
         METACOMM_LOG(kWarning) << "error-log write failed: "
                                << logged.ToString();
+      } else if (failure.replayable()) {
+        MutexLock lock(&stats_mutex_);
+        ++replay_backlog_[replay_repository];
       }
     }
   }
@@ -1019,11 +1128,343 @@ void UpdateManager::HandleError(const Status& error,
   if (callback) callback(error, update);
 }
 
+CircuitBreaker* UpdateManager::BreakerFor(
+    const std::string& repository) const {
+  auto it = breakers_.find(repository);
+  return it == breakers_.end() ? nullptr : it->second.get();
+}
+
+CircuitBreaker* UpdateManager::breaker(const std::string& repository) const {
+  return BreakerFor(repository);
+}
+
+ApplyResult UpdateManager::ApplyToRepository(
+    RepositoryFilter* filter, const lexpress::UpdateDescriptor& update) {
+  CircuitBreaker* breaker = BreakerFor(filter->name());
+  if (breaker != nullptr &&
+      !breaker->Allow(RealClock::Get()->NowMicros())) {
+    {
+      MutexLock lock(&stats_mutex_);
+      ++stats_.breaker_open_skips;
+    }
+    return ApplyResult::SkippedOpenCircuit(filter->name());
+  }
+  ApplyResult result = filter->Apply(update);
+  if (breaker != nullptr) {
+    if (result.outcome() == ApplyOutcome::kRetryable) {
+      breaker->OnRetryableFailure(RealClock::Get()->NowMicros());
+    } else {
+      // Applied, or permanently rejected — either way the device
+      // responded, so the administrative link is alive.
+      breaker->OnSuccess();
+    }
+  }
+  return result;
+}
+
+void UpdateManager::RepairLoop() {
+  // SleepInterruptible returns false the moment Stop() raises
+  // stopping_, so shutdown never waits out a scan interval.
+  while (SleepInterruptible(config_.repair_scan_interval_micros)) {
+    Status status = RunRepairPass();
+    if (!status.ok()) {
+      METACOMM_LOG(kWarning) << "repair pass failed: "
+                             << status.ToString();
+    }
+  }
+}
+
+Status UpdateManager::RunRepairPass() {
+  {
+    MutexLock lock(&stats_mutex_);
+    ++stats_.repair_passes;
+  }
+  if (config_.error_base.empty()) return Status::Ok();
+
+  METACOMM_ASSIGN_OR_RETURN(ldap::Dn base,
+                            ldap::Dn::Parse(config_.error_base));
+  ldap::SearchRequest request;
+  request.base = std::move(base);
+  request.scope = ldap::Scope::kOneLevel;
+  request.filter =
+      ldap::Filter::Equality("objectClass", kMetacommErrorClass);
+  ldap::OpContext ctx;
+  ctx.principal = "cn=metacomm";
+  ctx.internal = true;
+  StatusOr<ldap::SearchResult> result = gateway_->Search(ctx, request);
+  if (!result.ok()) {
+    // No error container (or nothing logged yet): nothing to repair.
+    if (result.status().code() == StatusCode::kNotFound) {
+      return Status::Ok();
+    }
+    return result.status();
+  }
+
+  // Group the replayable backlog by repository, in errorSeq order.
+  // Audit-only entries (no errorSeq, no errorRepository, or permanent
+  // outcomes) stay in the log for the administrator.
+  std::map<std::string, std::vector<std::pair<LoggedFailure, ldap::Dn>>,
+           CaseInsensitiveLess>
+      pending;
+  for (ldap::Entry& entry : result->entries) {
+    StatusOr<LoggedFailure> parsed = ParseErrorEntry(entry);
+    if (!parsed.ok() || !parsed->replayable()) continue;
+    if (FindFilter(parsed->repository) == nullptr) continue;
+    pending[parsed->repository].emplace_back(std::move(*parsed),
+                                             entry.dn());
+  }
+
+  Status first_error = Status::Ok();
+  for (auto& [repository, items] : pending) {
+    if (stopping()) break;
+    RepositoryFilter* filter = FindFilter(repository);
+    std::sort(items.begin(), items.end(),
+              [](const std::pair<LoggedFailure, ldap::Dn>& a,
+                 const std::pair<LoggedFailure, ldap::Dn>& b) {
+                return a.first.sequence < b.first.sequence;
+              });
+    std::vector<LoggedFailure> failures;
+    std::vector<ldap::Dn> entry_dns;
+    failures.reserve(items.size());
+    entry_dns.reserve(items.size());
+    for (auto& [failure, dn] : items) {
+      failures.push_back(std::move(failure));
+      entry_dns.push_back(std::move(dn));
+    }
+
+    std::vector<ldap::Dn> replayed_dns;
+    bool need_sync =
+        ReplayRepository(filter, failures, entry_dns, &replayed_dns);
+    if (need_sync && !stopping()) {
+      // Replay could not converge (permanent rejection, or the
+      // directory drifted past the logged images): fall back to full
+      // resynchronization (§4.1), which subsumes the whole backlog.
+      {
+        MutexLock lock(&stats_mutex_);
+        ++stats_.repair_syncs;
+      }
+      Status synced = Synchronize(repository);
+      if (!synced.ok()) {
+        if (first_error.ok()) first_error = synced;
+        // Device still down: keep the backlog for the next pass.
+        continue;
+      }
+      for (const ldap::Dn& dn : entry_dns) {
+        DeleteErrorEntry(dn, repository);
+      }
+    } else {
+      for (const ldap::Dn& dn : replayed_dns) {
+        DeleteErrorEntry(dn, repository);
+      }
+    }
+  }
+  return first_error;
+}
+
+bool UpdateManager::ReplayRepository(
+    RepositoryFilter* filter, const std::vector<LoggedFailure>& failures,
+    const std::vector<ldap::Dn>& entry_dns,
+    std::vector<ldap::Dn>* replayed_dns) {
+  const std::string& ldap_key = filter->to_ldap().key_target_attr();
+  // Convergence is checked once per entity, against the LAST replayed
+  // update: intermediate replays legitimately disagree with the
+  // directory's final image while the backlog drains.
+  std::map<std::string, lexpress::UpdateDescriptor, CaseInsensitiveLess>
+      last_by_key;
+  for (size_t i = 0; i < failures.size(); ++i) {
+    if (stopping()) return false;
+    const LoggedFailure& failure = failures[i];
+
+    // Serialize the replay against concurrent client writes via the
+    // integrated entry's LTAP lock (best-effort: a record the
+    // directory does not know yet has no entry to lock).
+    uint64_t lock_session = gateway_->NewSession();
+    std::optional<ldap::Dn> locked;
+    if (!ldap_key.empty()) {
+      const lexpress::Record& image =
+          failure.update.new_record.attrs().empty()
+              ? failure.update.old_record
+              : failure.update.new_record;
+      StatusOr<lexpress::Record> mapped =
+          filter->to_ldap().MapRecord(image);
+      if (mapped.ok()) {
+        std::string key_value = mapped->GetFirst(ldap_key);
+        if (!key_value.empty()) {
+          StatusOr<std::optional<ldap::Entry>> entry =
+              ldap_filter_->FindByAttr(ldap_key, key_value);
+          if (entry.ok() && entry->has_value()) {
+            Status lock_status =
+                AcquireEntryLock((*entry)->dn(), lock_session);
+            if (lock_status.ok()) locked = (*entry)->dn();
+          }
+        }
+      }
+    }
+    struct Unlock {
+      UpdateManager* um;
+      std::optional<ldap::Dn>* dn;
+      uint64_t session;
+      ~Unlock() {
+        if (dn->has_value()) um->gateway_->UnlockEntry(**dn, session);
+      }
+    } unlock{this, &locked, lock_session};
+
+    // Replay conditionally (§5.4): the update may have partially
+    // applied before the outage, or a later sync may have carried it.
+    lexpress::UpdateDescriptor replay = failure.update;
+    replay.conditional = true;
+    ApplyResult result = ApplyToRepository(filter, replay);
+    if (result.retryable()) {
+      // Repository still down (or its circuit still open): leave this
+      // and every later entry for the next pass — replay order within
+      // the repository must hold.
+      return false;
+    }
+    if (result.outcome() == ApplyOutcome::kPermanent) {
+      METACOMM_LOG(kWarning)
+          << filter->name() << ": replay of error-"
+          << failure.sequence
+          << " permanently rejected, falling back to sync: "
+          << result.status().ToString();
+      return true;
+    }
+
+    {
+      MutexLock lock(&stats_mutex_);
+      ++stats_.replayed;
+    }
+    BackfillFromReplay(filter, result.record());
+    replayed_dns->push_back(entry_dns[i]);
+    std::string key = replay.new_record.GetFirst(filter->key_attr());
+    if (key.empty()) {
+      key = replay.old_record.GetFirst(filter->key_attr());
+    }
+    if (!key.empty()) last_by_key[key] = std::move(replay);
+  }
+  for (const auto& [key, update] : last_by_key) {
+    if (!ReplayConverged(filter, update)) {
+      METACOMM_LOG(kWarning)
+          << filter->name() << ": replayed backlog for key " << key
+          << " did not converge, falling back to sync";
+      return true;
+    }
+  }
+  return false;
+}
+
+void UpdateManager::BackfillFromReplay(
+    RepositoryFilter* filter, const lexpress::Record& device_result) {
+  // Deletes return an empty record; nothing to backfill.
+  if (device_result.attrs().empty()) return;
+  const std::string& ldap_key = filter->to_ldap().key_target_attr();
+  if (ldap_key.empty()) return;
+  StatusOr<lexpress::Record> mapped =
+      filter->to_ldap().MapRecord(device_result);
+  if (!mapped.ok()) return;
+  std::string key_value = mapped->GetFirst(ldap_key);
+  if (key_value.empty()) return;
+  StatusOr<std::optional<ldap::Entry>> found =
+      ldap_filter_->FindByAttr(ldap_key, key_value);
+  if (!found.ok() || !found->has_value()) return;
+
+  // Fill directory gaps only. The logged update predates whatever the
+  // directory holds now, so overwriting present values would regress
+  // the integrated view from a stale image; absent attributes are the
+  // §5.5 device-generated round the outage swallowed.
+  lexpress::Record current = ldap_filter_->ToRecord(**found);
+  lexpress::UpdateDescriptor upsert;
+  upsert.op = lexpress::DescriptorOp::kModify;
+  upsert.schema = "ldap";
+  upsert.source = filter->name();
+  upsert.conditional = true;
+  upsert.old_record = current;
+  upsert.new_record = current;
+  bool changed = false;
+  for (const auto& [attr, value] : mapped->attrs()) {
+    if (current.Has(attr)) continue;
+    upsert.new_record.Set(attr, value);
+    upsert.explicit_attrs.insert(attr);
+    changed = true;
+  }
+  if (!changed) return;
+  upsert.explicit_attrs.erase(kLastUpdaterAttr);
+  ApplyResult applied = ldap_filter_->Apply(upsert);
+  if (!applied.ok()) {
+    METACOMM_LOG(kWarning) << "replay backfill failed: "
+                           << applied.status().ToString();
+  }
+}
+
+bool UpdateManager::ReplayConverged(
+    RepositoryFilter* filter, const lexpress::UpdateDescriptor& update) {
+  const std::string& device_key_attr = filter->key_attr();
+  std::string key = update.new_record.GetFirst(device_key_attr);
+  if (key.empty()) key = update.old_record.GetFirst(device_key_attr);
+  if (key.empty()) return true;  // Keyless update: nothing to check.
+
+  StatusOr<std::optional<lexpress::Record>> device = filter->Fetch(key);
+  if (!device.ok()) return false;
+  if (update.op == lexpress::DescriptorOp::kDelete) {
+    return !device->has_value();
+  }
+  if (!device->has_value()) return false;
+
+  const std::string& ldap_key = filter->to_ldap().key_target_attr();
+  if (ldap_key.empty()) return true;
+  StatusOr<lexpress::Record> mapped =
+      filter->to_ldap().MapRecord(**device);
+  if (!mapped.ok()) return false;
+  StatusOr<std::optional<ldap::Entry>> entry =
+      ldap_filter_->FindByAttr(ldap_key, mapped->GetFirst(ldap_key));
+  if (!entry.ok() || !entry->has_value()) return false;
+
+  // Subset compare: every attribute the directory's image maps into
+  // this repository's schema must match the device byte-for-byte.
+  // Device-only attributes (never mapped to the directory) are out of
+  // scope, and an attribute absent on both sides is converged.
+  StatusOr<lexpress::Record> expectation =
+      filter->from_ldap().MapRecord(ldap_filter_->ToRecord(**entry));
+  if (!expectation.ok()) return false;
+  for (const auto& [attr, value] : expectation->attrs()) {
+    if (!(device->value().Get(attr) == value)) return false;
+  }
+  return true;
+}
+
+void UpdateManager::DeleteErrorEntry(const ldap::Dn& dn,
+                                     const std::string& repository) {
+  ldap::OpContext ctx;
+  ctx.principal = "cn=metacomm";
+  ctx.internal = true;
+  Status status = gateway_->Delete(ctx, ldap::DeleteRequest{dn});
+  if (!status.ok() && status.code() != StatusCode::kNotFound) {
+    METACOMM_LOG(kWarning) << "error-log delete failed: "
+                           << status.ToString();
+    return;
+  }
+  MutexLock lock(&stats_mutex_);
+  auto it = replay_backlog_.find(repository);
+  if (it != replay_backlog_.end() && it->second > 0) --it->second;
+}
+
 Status UpdateManager::Synchronize(const std::string& device_name) {
   MutexLock sync_lock(&sync_mutex_);
   RepositoryFilter* filter = FindFilter(device_name);
   if (filter == nullptr) {
     return Status::NotFound("no filter for device: " + device_name);
+  }
+  // A Stop() *during* this synchronize interrupts it (the record loops
+  // below bail on an epoch change), but a synchronize started after a
+  // completed Stop() runs: resync after a UM halt is the §4.4 recovery
+  // path and needs no workers.
+  const uint64_t entry_epoch = stop_epoch();
+
+  // Synchronize IS the administrative recovery path: re-admit traffic
+  // to this repository unconditionally. If the device is still down,
+  // the DumpAll below fails fast and the breaker re-opens on the next
+  // propagation failures.
+  if (CircuitBreaker* target_breaker = BreakerFor(device_name)) {
+    target_breaker->ForceClose();
   }
 
   // Quiesce: synchronization "must be applied in isolation" (§5.1).
@@ -1046,6 +1487,9 @@ Status UpdateManager::Synchronize(const std::string& device_name) {
   std::set<std::string> device_keys;
   Status first_error = Status::Ok();
   for (const lexpress::Record& record : *dump) {
+    if (stop_epoch() != entry_epoch) {
+      return Status::Unavailable("update manager is shut down");
+    }
     device_keys.insert(record.GetFirst(device_key_attr));
 
     lexpress::UpdateDescriptor as_add;
@@ -1093,6 +1537,9 @@ Status UpdateManager::Synchronize(const std::string& device_name) {
       ldap_filter_->DumpAll();
   if (!directory.ok()) return directory.status();
   for (const lexpress::Record& ldap_record : *directory) {
+    if (stop_epoch() != entry_epoch) {
+      return Status::Unavailable("update manager is shut down");
+    }
     lexpress::UpdateDescriptor as_add;
     as_add.op = lexpress::DescriptorOp::kAdd;
     as_add.schema = "ldap";
@@ -1105,9 +1552,10 @@ Status UpdateManager::Synchronize(const std::string& device_name) {
     std::string key = device_add.new_record.GetFirst(device_key_attr);
     if (key.empty() || device_keys.count(key) > 0) continue;
     device_add.conditional = true;  // Upsert semantics.
-    StatusOr<lexpress::Record> applied = filter->Apply(device_add);
+    ApplyResult applied = ApplyToRepository(filter, device_add);
     if (!applied.ok()) {
-      HandleError(applied.status(), device_add);
+      HandleFailure(filter->name(), applied.outcome(), applied.status(),
+                    device_add);
       if (first_error.ok()) first_error = applied.status();
     }
   }
@@ -1133,6 +1581,20 @@ UpdateManager::Stats UpdateManager::stats() const {
   Stats snapshot = stats_;
   for (size_t shard = 0; shard < snapshot.shards.size(); ++shard) {
     snapshot.shards[shard].depth = queue_.Depth(shard);
+  }
+  snapshot.repositories.reserve(filters_.size());
+  for (RepositoryFilter* filter : filters_) {
+    Stats::RepositoryStats repo;
+    repo.name = filter->name();
+    if (const CircuitBreaker* breaker = BreakerFor(filter->name())) {
+      repo.breaker = breaker->snapshot();
+    }
+    repo.health = filter->Health();
+    auto backlog = replay_backlog_.find(filter->name());
+    repo.replay_backlog = backlog == replay_backlog_.end()
+                              ? 0
+                              : backlog->second;
+    snapshot.repositories.push_back(std::move(repo));
   }
   return snapshot;
 }

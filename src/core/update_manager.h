@@ -4,6 +4,7 @@
 #include <atomic>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -13,6 +14,8 @@
 #include "common/mutex.h"
 #include "common/sharded_blocking_queue.h"
 #include "common/thread_annotations.h"
+#include "core/circuit_breaker.h"
+#include "core/error_log.h"
 #include "core/ldap_filter.h"
 #include "core/repository_filter.h"
 #include "lexpress/closure.h"
@@ -69,6 +72,27 @@ struct UpdateManagerConfig {
   /// batch instead of once per update. Incompatible with `saga_undo`
   /// (batches fall back to sequential processing when both are set).
   int max_batch_size = 1;
+  /// Per-repository circuit breaker (DESIGN.md "Fault tolerance").
+  /// When a device's administrative link is down, every propagation
+  /// attempt pays the full (possibly injected-timeout) link cost; the
+  /// breaker bounds it: after `breaker_failure_threshold` consecutive
+  /// retryable failures further updates to that repository fast-fail
+  /// into the §4.4 error log while propagation to healthy repositories
+  /// continues undisturbed.
+  bool breaker_enabled = true;
+  int breaker_failure_threshold = 3;
+  /// First open interval; doubles per failed half-open probe, capped
+  /// at breaker_max_backoff_micros.
+  int64_t breaker_open_backoff_micros = 50'000;
+  int64_t breaker_max_backoff_micros = 5'000'000;
+  /// Background repair worker (threaded mode): scans the error log
+  /// every repair_scan_interval_micros and, once a repository's
+  /// circuit re-closes, replays its logged failed updates in sequence
+  /// order — falling back to a targeted Synchronize(device) when
+  /// replay cannot converge. Non-threaded assemblies drive repair
+  /// explicitly via RunRepairPass().
+  bool repair_enabled = true;
+  int64_t repair_scan_interval_micros = 500'000;
 };
 
 /// One step of an update execution plan: a canonical update aimed at a
@@ -164,6 +188,21 @@ class UpdateManager : public ltap::TriggerActionServer {
   /// Synchronizes every registered device.
   Status SynchronizeAll();
 
+  /// One pass of the error-log repair protocol: scans error_base,
+  /// groups replayable entries by repository, and for every repository
+  /// whose circuit admits traffic replays them in errorSeq order
+  /// (conditional semantics, under the entity's LTAP lock).
+  /// Successfully replayed entries are deleted; a replay that cannot
+  /// converge falls back to Synchronize(repository) and clears that
+  /// repository's backlog. The repair worker calls this periodically
+  /// in threaded mode; tests and synchronous assemblies call it
+  /// directly.
+  Status RunRepairPass() EXCLUDES(sync_mutex_);
+
+  /// The repository's circuit breaker (nullptr for unknown names).
+  /// Exposed for the monitor and the fault-tolerance tests.
+  CircuitBreaker* breaker(const std::string& repository) const;
+
   /// Builds (without executing) the execution plan for an update in
   /// the integrated schema. `ldap_current` marks the directory as
   /// already reflecting the update's explicit changes (Path A).
@@ -205,9 +244,22 @@ class UpdateManager : public ltap::TriggerActionServer {
     uint64_t rtts_saved = 0;         // Repository conversations amortized
                                      // away by batching (device sessions
                                      // shared + per-wave delay sharing).
+    uint64_t breaker_open_skips = 0;  // Updates fast-failed, circuit open.
+    uint64_t replayed = 0;            // Error-log entries replayed ok.
+    uint64_t repair_passes = 0;       // RunRepairPass invocations.
+    uint64_t repair_syncs = 0;        // Repair fell back to Synchronize.
     /// Histogram of popped batch sizes: {1, 2, 3-4, 5-8, 9-16, >16}.
     std::vector<uint64_t> batch_size_buckets = std::vector<uint64_t>(6, 0);
     std::vector<ShardStats> shards;  // One per update-queue shard.
+    /// Per-repository fault-tolerance surface (breaker state, device
+    /// health, replay backlog) — what cn=um-health publishes.
+    struct RepositoryStats {
+      std::string name;
+      CircuitBreaker::Snapshot breaker;
+      RepositoryHealth health;
+      uint64_t replay_backlog = 0;  // Replayable error entries pending.
+    };
+    std::vector<RepositoryStats> repositories;
   };
   Stats stats() const EXCLUDES(stats_mutex_);
 
@@ -326,10 +378,68 @@ class UpdateManager : public ltap::TriggerActionServer {
   /// Batch-size telemetry for one worker queue drain.
   void RecordBatch(size_t batch_size) EXCLUDES(stats_mutex_);
 
-  /// Writes an error entry and notifies the administrator.
+  /// Writes an audit-only error entry (no replay target) and notifies
+  /// the administrator. Directory aborts and planning failures land
+  /// here.
   void HandleError(const Status& error,
                    const lexpress::UpdateDescriptor& update)
       EXCLUDES(admin_mutex_);
+
+  /// Repository-aware failure path: the error entry carries the
+  /// serialized update so the repair worker can replay it once
+  /// `repository`'s circuit re-closes. Outcome kRetryable /
+  /// kSkippedOpenCircuit entries are replayable; kPermanent entries
+  /// are audit-only (the device rejected the command — replaying it
+  /// verbatim would fail again).
+  void HandleFailure(const std::string& repository, ApplyOutcome outcome,
+                     const Status& error,
+                     const lexpress::UpdateDescriptor& update)
+      EXCLUDES(admin_mutex_);
+
+  /// Sends one update through the repository's circuit breaker: an
+  /// open circuit yields kSkippedOpenCircuit without touching the
+  /// repository; otherwise the apply result feeds the breaker (a
+  /// permanent rejection is proof of life and counts as success).
+  ApplyResult ApplyToRepository(RepositoryFilter* filter,
+                                const lexpress::UpdateDescriptor& update);
+
+  CircuitBreaker* BreakerFor(const std::string& repository) const;
+
+  /// Sleeps up to `micros`, waking early when Stop() is called.
+  /// Returns false when the UM is stopping (the caller should bail).
+  bool SleepInterruptible(int64_t micros) EXCLUDES(shutdown_mutex_);
+  bool stopping() const EXCLUDES(shutdown_mutex_);
+  /// Count of Stop() calls so far. In-flight work bails when the epoch
+  /// it captured at entry changes — which distinguishes "a Stop was
+  /// requested while I ran" from "the UM is currently stopped" (a
+  /// post-Stop Synchronize must still run; it is the recovery path).
+  uint64_t stop_epoch() const EXCLUDES(shutdown_mutex_);
+
+  /// Repair worker body: periodic RunRepairPass until Stop().
+  void RepairLoop();
+
+  /// Replays one repository's backlog in sequence order. Returns true
+  /// when replay could not converge and the caller must fall back to
+  /// Synchronize. `replayed_dns` collects the error entries to delete.
+  bool ReplayRepository(RepositoryFilter* filter,
+                        const std::vector<LoggedFailure>& failures,
+                        const std::vector<ldap::Dn>& entry_dns,
+                        std::vector<ldap::Dn>* replayed_dns);
+
+  /// After a successful replay, folds device-minted attributes the
+  /// directory never saw (the §5.5 round the outage swallowed) into
+  /// the entry — fills gaps only, never overwrites directory values.
+  void BackfillFromReplay(RepositoryFilter* filter,
+                          const lexpress::Record& device_result);
+
+  /// True when the directory's image of the replayed entity matches
+  /// the repository's record (subset compare over mapped attributes).
+  bool ReplayConverged(RepositoryFilter* filter,
+                       const lexpress::UpdateDescriptor& update);
+
+  /// Deletes an error-log entry and maintains the backlog counter.
+  void DeleteErrorEntry(const ldap::Dn& dn, const std::string& repository)
+      EXCLUDES(stats_mutex_);
 
   /// Reverts already-applied device updates (saga extension).
   void UndoApplied(
@@ -359,14 +469,34 @@ class UpdateManager : public ltap::TriggerActionServer {
   lexpress::MappingSet mappings_;
   uint64_t um_session_ = 0;
 
+  /// One breaker per registered repository, created alongside the
+  /// filter in AddDeviceFilter (setup-only map; the breakers
+  /// themselves are thread-safe).
+  std::map<std::string, std::unique_ptr<CircuitBreaker>,
+           CaseInsensitiveLess>
+      breakers_;
+
   ShardedBlockingQueue<WorkItem> queue_;
   std::vector<std::thread> workers_;
+  std::thread repair_thread_;
   std::atomic<bool> running_{false};
+
+  /// Stop() interruption plumbing: backoff sleeps and the repair
+  /// worker's scan interval watch `stopping_`; Synchronize's record
+  /// loops watch `stop_epoch_` instead (a post-Stop resync must run).
+  /// Shutdown is prompt without abandoning LTAP locks.
+  mutable Mutex shutdown_mutex_;
+  CondVar shutdown_cv_;
+  bool stopping_ GUARDED_BY(shutdown_mutex_) = false;
+  uint64_t stop_epoch_ GUARDED_BY(shutdown_mutex_) = 0;
 
   mutable Mutex admin_mutex_;
   AdminCallback admin_callback_ GUARDED_BY(admin_mutex_);
   mutable Mutex stats_mutex_;
   Stats stats_ GUARDED_BY(stats_mutex_);
+  /// Replayable error-log entries not yet replayed, per repository.
+  std::map<std::string, uint64_t, CaseInsensitiveLess> replay_backlog_
+      GUARDED_BY(stats_mutex_);
   std::atomic<uint64_t> error_sequence_{0};
   Mutex sync_mutex_;  // One synchronization at a time.
 };

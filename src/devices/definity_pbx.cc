@@ -66,13 +66,10 @@ bool DefinityPbx::AcceptsExtension(const std::string& extension) const {
 }
 
 Status DefinityPbx::CheckMutationAllowed() {
-  if (faults_.disconnected()) {
-    return Status::Unavailable(config_.name + ": link down");
-  }
-  if (faults_.ConsumeFailure()) {
-    return Status::Internal(config_.name + ": translation error (injected)");
-  }
-  return Status::Ok();
+  // One gate for the whole fault schedule: manual disconnect,
+  // scheduled outage windows, flaky FailNext sequences, probabilistic
+  // errors, and injected timeout stalls.
+  return faults_.OnMutation(config_.name);
 }
 
 Status DefinityPbx::ValidateStation(const lexpress::Record& record) const {
@@ -215,7 +212,7 @@ Status DefinityPbx::DeleteRecord(const std::string& key) {
 
 StatusOr<lexpress::Record> DefinityPbx::GetRecord(const std::string& key) {
   latency_.OnCommand();
-  if (faults_.disconnected()) {
+  if (faults_.ReadBlocked()) {
     return Status::Unavailable(config_.name + ": link down");
   }
   MutexLock lock(&mutex_);
@@ -229,7 +226,7 @@ StatusOr<lexpress::Record> DefinityPbx::GetRecord(const std::string& key) {
 
 StatusOr<std::vector<lexpress::Record>> DefinityPbx::DumpAll() {
   latency_.OnCommand();
-  if (faults_.disconnected()) {
+  if (faults_.ReadBlocked()) {
     return Status::Unavailable(config_.name + ": link down");
   }
   MutexLock lock(&mutex_);
@@ -265,7 +262,7 @@ StatusOr<std::string> DefinityPbx::ExecuteCommand(
     if (words.size() < 2 || !EqualsIgnoreCase(words[1], "station")) {
       return Status::InvalidArgument(config_.name + ": usage: list station");
     }
-    if (faults_.disconnected()) {
+    if (faults_.ReadBlocked()) {
       return Status::Unavailable(config_.name + ": link down");
     }
     std::string out;

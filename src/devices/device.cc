@@ -6,6 +6,102 @@
 
 namespace metacomm::devices {
 
+void FaultInjector::ScheduleOutage(uint64_t after_commands,
+                                   uint64_t length_commands) {
+  uint64_t seen = mutations_seen_.load();
+  MutexLock lock(&mutex_);
+  outages_.emplace_back(seen + after_commands,
+                        seen + after_commands + length_commands);
+}
+
+void FaultInjector::set_error_probability(double p) {
+  MutexLock lock(&mutex_);
+  error_probability_ = p;
+}
+
+void FaultInjector::set_error_code(StatusCode code) {
+  MutexLock lock(&mutex_);
+  error_code_ = code;
+}
+
+void FaultInjector::set_seed(uint64_t seed) {
+  MutexLock lock(&mutex_);
+  rng_.seed(seed);
+}
+
+Status FaultInjector::Fail(const std::string& device_name, StatusCode code,
+                           const char* what) {
+  injected_failures_.fetch_add(1);
+  int64_t stall = fail_latency_micros_.load();
+  if (stall > 0) RealClock::Get()->SleepMicros(stall);
+  return Status(code, device_name + ": " + what);
+}
+
+Status FaultInjector::OnMutation(const std::string& device_name) {
+  uint64_t seq = mutations_seen_.fetch_add(1);
+  if (disconnected_.load()) {
+    return Fail(device_name, StatusCode::kUnavailable, "link down");
+  }
+  bool in_window = false;
+  {
+    MutexLock lock(&mutex_);
+    for (const auto& [start, end] : outages_) {
+      if (seq >= start && seq < end) {
+        in_window = true;
+        break;
+      }
+    }
+  }
+  if (in_window) {
+    return Fail(device_name, StatusCode::kUnavailable,
+                "link down (scheduled outage)");
+  }
+  if (ConsumeFailure()) {
+    return Fail(device_name,
+                static_cast<StatusCode>(fail_next_code_.load()),
+                "injected transient fault");
+  }
+  bool random_fail = false;
+  StatusCode random_code = StatusCode::kUnavailable;
+  {
+    MutexLock lock(&mutex_);
+    if (error_probability_ > 0.0) {
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      if (uniform(rng_) < error_probability_) {
+        random_fail = true;
+        random_code = error_code_;
+      }
+    }
+  }
+  if (random_fail) {
+    // Fail() may stall (fail-latency injection); the lock is dropped.
+    return Fail(device_name, random_code, "injected random fault");
+  }
+  return Status::Ok();
+}
+
+bool FaultInjector::ReadBlocked() const {
+  if (disconnected_.load()) return true;
+  uint64_t seen = mutations_seen_.load();
+  MutexLock lock(&mutex_);
+  for (const auto& [start, end] : outages_) {
+    if (seen >= start && seen < end) return true;
+  }
+  return false;
+}
+
+CommandResult CommandResult::From(StatusOr<std::string> reply) {
+  CommandResult result;
+  if (reply.ok()) {
+    result.outcome = ApplyOutcome::kApplied;
+    result.reply = std::move(reply).value();
+  } else {
+    result.status = reply.status();
+    result.outcome = ClassifyStatus(result.status);
+  }
+  return result;
+}
+
 thread_local std::vector<const LatencyEmulator*>
     LatencyEmulator::open_sessions_;
 
@@ -51,13 +147,13 @@ LatencyEmulator::SessionScope::~SessionScope() {
   }
 }
 
-std::vector<StatusOr<std::string>> Device::ExecuteBatch(
+std::vector<CommandResult> Device::ExecuteBatch(
     const std::vector<std::string>& commands) {
   LatencyEmulator::SessionScope session(&latency());
-  std::vector<StatusOr<std::string>> results;
+  std::vector<CommandResult> results;
   results.reserve(commands.size());
   for (const std::string& command : commands) {
-    results.push_back(ExecuteCommand(command));
+    results.push_back(Execute(command));
   }
   return results;
 }

@@ -4,10 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "lexpress/record.h"
 
 namespace metacomm::devices {
@@ -29,10 +33,17 @@ struct DeviceNotification {
 };
 
 /// Simulated fault state shared by the device simulators. MetaComm's
-/// recovery story (resynchronization after "catastrophic communication
-/// or storage errors", §4) is exercised by flipping these switches.
+/// recovery story (error logging, circuit breaking, resynchronization
+/// after "catastrophic communication or storage errors", §4) is
+/// exercised through this injector: beyond the original manual
+/// switches it drives scripted outage windows, flaky
+/// fails-N-then-succeeds sequences, probabilistic per-command errors,
+/// and injected command timeouts — on every device that routes its
+/// mutations through OnMutation().
 class FaultInjector {
  public:
+  // ---- Manual switches (the original API) --------------------------
+
   /// Device unreachable: every command fails with kUnavailable.
   void set_disconnected(bool disconnected) {
     disconnected_.store(disconnected);
@@ -44,11 +55,17 @@ class FaultInjector {
   void set_drop_notifications(bool drop) { drop_notifications_.store(drop); }
   bool drop_notifications() const { return drop_notifications_.load(); }
 
-  /// The next `n` mutating commands fail with kInternal (models
-  /// transient device errors that abort an update mid-sequence).
-  void FailNext(int n) { fail_next_.store(n); }
+  /// The next `n` mutating commands fail, then the device recovers
+  /// (flaky behaviour). The one-argument form keeps the original
+  /// kInternal flavour; the two-argument form types the failure.
+  void FailNext(int n) { FailNext(n, StatusCode::kInternal); }
+  void FailNext(int n, StatusCode code) {
+    fail_next_code_.store(static_cast<int>(code));
+    fail_next_.store(n);
+  }
 
-  /// Consumes one pending injected failure; true if one fired.
+  /// Consumes one pending FailNext slot; true if one fired. Exposed
+  /// for devices with bespoke failure text; OnMutation() calls it.
   bool ConsumeFailure() {
     int current = fail_next_.load();
     while (current > 0) {
@@ -59,10 +76,72 @@ class FaultInjector {
     return false;
   }
 
+  // ---- Scripted / probabilistic schedules --------------------------
+
+  /// Schedules a full outage covering the mutation-command window
+  /// [seen + after, seen + after + length): those commands fail with
+  /// kUnavailable, where `seen` is the mutation count at call time.
+  /// Windows may be stacked; reads are refused while a window is
+  /// active but do not advance it.
+  void ScheduleOutage(uint64_t after_commands, uint64_t length_commands)
+      EXCLUDES(mutex_);
+
+  /// Each mutating command independently fails with probability `p`
+  /// (code from set_error_code, default kUnavailable). Deterministic
+  /// under set_seed.
+  void set_error_probability(double p) EXCLUDES(mutex_);
+  void set_error_code(StatusCode code) EXCLUDES(mutex_);
+  void set_seed(uint64_t seed) EXCLUDES(mutex_);
+
+  /// Stall injected before a *failing* command returns — models an
+  /// administrative link that times out instead of failing fast. This
+  /// is the cost the Update Manager's circuit breaker exists to avoid.
+  void set_fail_latency_micros(int64_t micros) {
+    fail_latency_micros_.store(micros);
+  }
+  int64_t fail_latency_micros() const { return fail_latency_micros_.load(); }
+
+  // ---- Device hooks ------------------------------------------------
+
+  /// Central mutation gate: counts the command, evaluates the fault
+  /// schedule, and returns the injected failure (or OK). `device_name`
+  /// prefixes the diagnostic. Devices call this from their
+  /// mutation-allowed check AFTER their own disconnected() fast path.
+  Status OnMutation(const std::string& device_name) EXCLUDES(mutex_);
+
+  /// True while reads should be refused: manual disconnect or an
+  /// active scheduled outage window. Does not consume a command slot.
+  bool ReadBlocked() const EXCLUDES(mutex_);
+
+  /// True while the device is observably down (ReadBlocked alias with
+  /// telemetry-friendly naming).
+  bool outage_active() const { return ReadBlocked(); }
+
+  // ---- Telemetry (feeds RepositoryFilter::Health) ------------------
+
+  /// Mutating commands that reached the injector.
+  uint64_t mutations_seen() const { return mutations_seen_.load(); }
+  /// Commands that failed with an injected fault.
+  uint64_t injected_failures() const { return injected_failures_.load(); }
+
  private:
+  Status Fail(const std::string& device_name, StatusCode code,
+              const char* what);
+
   std::atomic<bool> disconnected_{false};
   std::atomic<bool> drop_notifications_{false};
   std::atomic<int> fail_next_{0};
+  std::atomic<int> fail_next_code_{static_cast<int>(StatusCode::kInternal)};
+  std::atomic<int64_t> fail_latency_micros_{0};
+  std::atomic<uint64_t> mutations_seen_{0};
+  std::atomic<uint64_t> injected_failures_{0};
+
+  mutable Mutex mutex_;
+  /// Outage windows in absolute mutation counts [start, end).
+  std::vector<std::pair<uint64_t, uint64_t>> outages_ GUARDED_BY(mutex_);
+  double error_probability_ GUARDED_BY(mutex_) = 0.0;
+  StatusCode error_code_ GUARDED_BY(mutex_) = StatusCode::kUnavailable;
+  std::mt19937_64 rng_ GUARDED_BY(mutex_){0xfa17ed};
 };
 
 /// Emulated administrative-link latency for a device simulator.
@@ -111,6 +190,22 @@ class LatencyEmulator {
   static thread_local std::vector<const LatencyEmulator*> open_sessions_;
 };
 
+/// The typed outcome of one proprietary device command — the
+/// device-level face of the ApplyOutcome vocabulary. Replaces the old
+/// collapsed StatusOr<string> in batch interfaces so callers can tell
+/// a down device (retryable, worth replaying) from a rejected command
+/// (permanent) without parsing status codes.
+struct CommandResult {
+  ApplyOutcome outcome = ApplyOutcome::kApplied;
+  Status status;      // Ok iff outcome == kApplied.
+  std::string reply;  // The device's textual reply when applied.
+
+  bool ok() const { return outcome == ApplyOutcome::kApplied; }
+  bool retryable() const { return outcome == ApplyOutcome::kRetryable; }
+
+  static CommandResult From(StatusOr<std::string> reply);
+};
+
 /// Common interface over the simulated legacy devices.
 ///
 /// Devices have two faces:
@@ -136,13 +231,21 @@ class Device {
   virtual const std::string& schema() const = 0;
 
   /// Runs one proprietary command; returns the device's textual reply.
+  /// This is the raw administrator-facing wire interface; Execute()
+  /// wraps it with the typed outcome vocabulary.
   virtual StatusOr<std::string> ExecuteCommand(const std::string& command) = 0;
+
+  /// Runs one proprietary command, classifying the result: a down
+  /// device yields kRetryable, a rejected command kPermanent.
+  CommandResult Execute(const std::string& command) {
+    return CommandResult::From(ExecuteCommand(command));
+  }
 
   /// Runs several proprietary commands over ONE administrative session:
   /// the emulated link RTT (see `latency()`) is paid once for the whole
-  /// batch instead of once per command. Results are positional; a
-  /// failing command does not stop the rest.
-  virtual std::vector<StatusOr<std::string>> ExecuteBatch(
+  /// batch instead of once per command. Results are positional and
+  /// typed; a failing command does not stop the rest.
+  virtual std::vector<CommandResult> ExecuteBatch(
       const std::vector<std::string>& commands);
 
   /// Fetches the record with the given key value.

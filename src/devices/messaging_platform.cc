@@ -63,13 +63,10 @@ MessagingPlatform::MessagingPlatform(MpConfig config)
 }
 
 Status MessagingPlatform::CheckMutationAllowed() {
-  if (faults_.disconnected()) {
-    return Status::Unavailable(config_.name + ": platform unreachable");
-  }
-  if (faults_.ConsumeFailure()) {
-    return Status::Internal(config_.name + ": disk error (injected)");
-  }
-  return Status::Ok();
+  // One gate for the whole fault schedule: manual disconnect,
+  // scheduled outage windows, flaky FailNext sequences, probabilistic
+  // errors, and injected timeout stalls.
+  return faults_.OnMutation(config_.name);
 }
 
 Status MessagingPlatform::ValidateMailbox(
@@ -214,7 +211,7 @@ Status MessagingPlatform::DeleteRecord(const std::string& key) {
 StatusOr<lexpress::Record> MessagingPlatform::GetRecord(
     const std::string& key) {
   latency_.OnCommand();
-  if (faults_.disconnected()) {
+  if (faults_.ReadBlocked()) {
     return Status::Unavailable(config_.name + ": platform unreachable");
   }
   MutexLock lock(&mutex_);
@@ -228,7 +225,7 @@ StatusOr<lexpress::Record> MessagingPlatform::GetRecord(
 
 StatusOr<std::vector<lexpress::Record>> MessagingPlatform::DumpAll() {
   latency_.OnCommand();
-  if (faults_.disconnected()) {
+  if (faults_.ReadBlocked()) {
     return Status::Unavailable(config_.name + ": platform unreachable");
   }
   MutexLock lock(&mutex_);
@@ -261,7 +258,7 @@ StatusOr<std::string> MessagingPlatform::ExecuteCommand(
   const std::string& verb = head[0];
 
   if (EqualsIgnoreCase(verb, "LIST")) {
-    if (faults_.disconnected()) {
+    if (faults_.ReadBlocked()) {
       return Status::Unavailable(config_.name + ": platform unreachable");
     }
     std::string out;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "core/integrated_schema.h"
 #include "core/metacomm.h"
@@ -16,6 +17,52 @@ struct PropertyParams {
   double ddu_fraction;  // Probability an operation is a DDU.
 };
 
+/// Checks that every person entry agrees with the PBX and MP images
+/// of the same user on all mapped fields.
+void VerifyRepositoriesConverged(MetaCommSystem& system) {
+  ldap::Client client = system.NewClient();
+  auto people = client.Search("ou=People,o=Lucent",
+                              "(objectClass=person)");
+  ASSERT_TRUE(people.ok());
+  for (const ldap::Entry& entry : *people) {
+    SCOPED_TRACE(entry.dn().ToString());
+    std::string extension = entry.GetFirst("DefinityExtension");
+    if (!extension.empty()) {
+      auto station = system.pbx("pbx1")->GetRecord(extension);
+      ASSERT_TRUE(station.ok())
+          << "PBX missing station " << extension << " for "
+          << entry.dn().ToString();
+      EXPECT_EQ(station->GetFirst("Name"), entry.GetFirst("cn"));
+      if (entry.Has("roomNumber")) {
+        EXPECT_EQ(station->GetFirst("Room"),
+                  entry.GetFirst("roomNumber"));
+      }
+      EXPECT_EQ("+1 908 582 " + extension,
+                entry.GetFirst("telephoneNumber"));
+    }
+    std::string mailbox_number = entry.GetFirst("MpMailboxNumber");
+    if (!mailbox_number.empty()) {
+      auto mailbox = system.mp("mp1")->GetRecord(mailbox_number);
+      ASSERT_TRUE(mailbox.ok())
+          << "MP missing mailbox " << mailbox_number;
+      EXPECT_EQ(mailbox->GetFirst("SubscriberName"),
+                entry.GetFirst("cn"));
+      EXPECT_EQ(mailbox->GetFirst("SubscriberId"),
+                entry.GetFirst("MpSubscriberId"));
+    }
+  }
+  // And the reverse inclusion: every station corresponds to an entry.
+  auto dump = system.pbx("pbx1")->DumpAll();
+  ASSERT_TRUE(dump.ok());
+  for (const lexpress::Record& station : *dump) {
+    auto found = system.ldap_filter().FindByAttr(
+        "DefinityExtension", station.GetFirst("Extension"));
+    ASSERT_TRUE(found.ok());
+    EXPECT_TRUE(found->has_value())
+        << "orphan station " << station.GetFirst("Extension");
+  }
+}
+
 class ConsistencyPropertyTest
     : public ::testing::TestWithParam<PropertyParams> {
  protected:
@@ -25,51 +72,7 @@ class ConsistencyPropertyTest
     system_ = std::move(*system);
   }
 
-  /// Checks that every person entry agrees with the PBX and MP images
-  /// of the same user on all mapped fields.
-  void VerifyConverged() {
-    ldap::Client client = system_->NewClient();
-    auto people = client.Search("ou=People,o=Lucent",
-                                "(objectClass=person)");
-    ASSERT_TRUE(people.ok());
-    for (const ldap::Entry& entry : *people) {
-      SCOPED_TRACE(entry.dn().ToString());
-      std::string extension = entry.GetFirst("DefinityExtension");
-      if (!extension.empty()) {
-        auto station = system_->pbx("pbx1")->GetRecord(extension);
-        ASSERT_TRUE(station.ok())
-            << "PBX missing station " << extension << " for "
-            << entry.dn().ToString();
-        EXPECT_EQ(station->GetFirst("Name"), entry.GetFirst("cn"));
-        if (entry.Has("roomNumber")) {
-          EXPECT_EQ(station->GetFirst("Room"),
-                    entry.GetFirst("roomNumber"));
-        }
-        EXPECT_EQ("+1 908 582 " + extension,
-                  entry.GetFirst("telephoneNumber"));
-      }
-      std::string mailbox_number = entry.GetFirst("MpMailboxNumber");
-      if (!mailbox_number.empty()) {
-        auto mailbox = system_->mp("mp1")->GetRecord(mailbox_number);
-        ASSERT_TRUE(mailbox.ok())
-            << "MP missing mailbox " << mailbox_number;
-        EXPECT_EQ(mailbox->GetFirst("SubscriberName"),
-                  entry.GetFirst("cn"));
-        EXPECT_EQ(mailbox->GetFirst("SubscriberId"),
-                  entry.GetFirst("MpSubscriberId"));
-      }
-    }
-    // And the reverse inclusion: every station corresponds to an entry.
-    auto dump = system_->pbx("pbx1")->DumpAll();
-    ASSERT_TRUE(dump.ok());
-    for (const lexpress::Record& station : *dump) {
-      auto found = system_->ldap_filter().FindByAttr(
-          "DefinityExtension", station.GetFirst("Extension"));
-      ASSERT_TRUE(found.ok());
-      EXPECT_TRUE(found->has_value())
-          << "orphan station " << station.GetFirst("Extension");
-    }
-  }
+  void VerifyConverged() { VerifyRepositoriesConverged(*system_); }
 
   std::unique_ptr<MetaCommSystem> system_;
 };
@@ -192,6 +195,104 @@ TEST(ConsistencyRecoveryTest, ConvergesAfterLostNotificationsAndResync) {
               "LOST-" + std::to_string(i));
   }
 }
+
+/// Randomized fault schedule: the messaging platform fails a fraction
+/// of its commands (deterministically, under a seed) while a random
+/// workload runs. Client writes keep succeeding — failures land in the
+/// error log — and once the faults clear, the error-log-driven repair
+/// protocol must reach the same convergence property as the fault-free
+/// runs, with every repository backlog drained.
+struct FaultPropertyParams {
+  uint64_t seed;
+  int operations;
+  double fault_probability;
+};
+
+class FaultRecoveryPropertyTest
+    : public ::testing::TestWithParam<FaultPropertyParams> {};
+
+TEST_P(FaultRecoveryPropertyTest, RandomFaultsThenRepairConverges) {
+  const FaultPropertyParams& params = GetParam();
+  SystemConfig config;
+  config.um.breaker_failure_threshold = 2;
+  config.um.breaker_open_backoff_micros = 1'000;
+  config.um.breaker_max_backoff_micros = 20'000;
+  auto system_or = MetaCommSystem::Create(config);
+  ASSERT_TRUE(system_or.ok()) << system_or.status();
+  auto& system = **system_or;
+
+  devices::FaultInjector& faults = system.mp("mp1")->faults();
+  faults.set_seed(params.seed);
+  faults.set_error_probability(params.fault_probability);
+
+  Random rng(params.seed);
+  ldap::Client client = system.NewClient();
+  std::vector<std::string> population;
+  const char* const kRooms[] = {"1A-1", "2B-2", "3C-3"};
+
+  for (int op = 0; op < params.operations; ++op) {
+    double action = rng.NextDouble();
+    if (population.empty() || action < 0.45) {
+      std::string extension = "4" + rng.DigitString(3);
+      bool exists = false;
+      for (const std::string& e : population) {
+        if (e == extension) exists = true;
+      }
+      if (exists) continue;
+      Status status = system.AddPerson(
+          "Person " + extension,
+          {{"telephoneNumber", "+1 908 582 " + extension}});
+      ASSERT_TRUE(status.ok()) << status;
+      population.push_back(extension);
+    } else if (action < 0.8) {
+      const std::string& extension = rng.Choice(population);
+      auto found = system.ldap_filter().FindByAttr("DefinityExtension",
+                                                   extension);
+      ASSERT_TRUE(found.ok());
+      ASSERT_TRUE(found->has_value());
+      std::string room = rng.Choice(std::vector<std::string>(
+          std::begin(kRooms), std::end(kRooms)));
+      ASSERT_TRUE(client
+                      .Replace((*found)->dn().ToString(), "roomNumber",
+                               room)
+                      .ok());
+    } else if (action < 0.92) {
+      const std::string& extension = rng.Choice(population);
+      auto reply = system.pbx("pbx1")->ExecuteCommand(
+          "change station " + extension + " Room DDU-" +
+          rng.DigitString(2));
+      ASSERT_TRUE(reply.ok()) << reply.status();
+    } else {
+      size_t index = rng.Uniform(population.size());
+      std::string extension = population[index];
+      auto found = system.ldap_filter().FindByAttr("DefinityExtension",
+                                                   extension);
+      ASSERT_TRUE(found.ok());
+      if (found->has_value()) {
+        ASSERT_TRUE(client.Delete((*found)->dn().ToString()).ok());
+      }
+      population.erase(population.begin() + static_cast<long>(index));
+    }
+  }
+
+  // The outage ends; the repair protocol takes over. Sleep past the
+  // (capped) breaker backoff so replay probes are admitted.
+  faults.set_error_probability(0.0);
+  RealClock::Get()->SleepMicros(30'000);
+  ASSERT_TRUE(system.update_manager().RunRepairPass().ok());
+
+  for (const UpdateManager::Stats::RepositoryStats& repo :
+       system.update_manager().stats().repositories) {
+    EXPECT_EQ(repo.replay_backlog, 0u) << repo.name;
+  }
+  VerifyRepositoriesConverged(system);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultSeeds, FaultRecoveryPropertyTest,
+    ::testing::Values(FaultPropertyParams{7, 60, 0.15},
+                      FaultPropertyParams{11, 60, 0.35},
+                      FaultPropertyParams{13, 100, 0.25}));
 
 }  // namespace
 }  // namespace metacomm::core

@@ -38,8 +38,15 @@ TEST_F(MonitorTest, RefreshPublishesAllSections) {
   ASSERT_TRUE(entries.ok()) << entries.status();
   // Container + gateway + update-manager + um-batches + directory +
   // ldap-reads + one um-shard-N per update-queue shard (one at default
-  // worker_threads=1).
-  EXPECT_EQ(entries->size(), 7u);
+  // worker_threads=1) + one um-health-<repo> per repository (pbx1 and
+  // mp1 in the default assembly).
+  EXPECT_EQ(entries->size(), 9u);
+
+  auto health = client.Get("cn=um-health-mp1,cn=monitor,o=Lucent");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(Counter(*health, "breakerState"), "closed");
+  EXPECT_EQ(Counter(*health, "replayBacklog"), "0");
+  EXPECT_EQ(Counter(*health, "reachable"), "1");
 
   auto reads = client.Get("cn=ldap-reads,cn=monitor,o=Lucent");
   ASSERT_TRUE(reads.ok());
@@ -89,7 +96,7 @@ TEST_F(MonitorTest, RefreshIsRepeatableAndUpdatesInPlace) {
   auto entries = client.Search("cn=monitor,o=Lucent",
                                "(objectClass=monitoredObject)");
   ASSERT_TRUE(entries.ok());
-  EXPECT_EQ(entries->size(), 7u);  // No duplicates.
+  EXPECT_EQ(entries->size(), 9u);  // No duplicates.
 }
 
 TEST_F(MonitorTest, MonitorWritesDoNotTriggerPropagation) {

@@ -10,6 +10,10 @@
 #   2. Regular build + full tier-1 ctest suite.
 #   3. ThreadSanitizer build and run of the concurrency tests
 #      (threaded_test, parallel_um_test, snapshot_stress_test).
+#   3b. Fault-injection stress under TSan: fault_tolerance_test (the
+#       breaker/repair end-to-end suite, including the threaded
+#       Stop-vs-repair-worker shutdown race) and the randomized
+#       FaultRecoveryPropertyTest seeds.
 #   4. lexpress_check over the generated mappings and every example
 #      mapping file (defects.lex is the linter's own fixture and is
 #      expected to FAIL; it is checked for non-zero exit).
@@ -59,6 +63,19 @@ if cmake -B build-tsan -S . -DMETACOMM_SANITIZE=thread >/dev/null \
     || fail "snapshot_stress_test under TSan"
 else
   fail "TSan build"
+fi
+
+# -- 3b. Fault-injection stress under TSan ---------------------------
+note "ThreadSanitizer: fault-injection stress"
+if cmake --build build-tsan -j "$jobs" \
+     --target fault_tolerance_test consistency_property_test; then
+  ./build-tsan/tests/fault_tolerance_test \
+    || fail "fault_tolerance_test under TSan"
+  ./build-tsan/tests/consistency_property_test \
+      --gtest_filter='FaultSeeds/*' \
+    || fail "FaultRecoveryPropertyTest under TSan"
+else
+  fail "TSan fault-stress build"
 fi
 
 # -- 4. lexpress check ------------------------------------------------
