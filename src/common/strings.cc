@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <limits>
 
 namespace metacomm {
 
@@ -178,6 +180,25 @@ bool IsAllDigits(std::string_view s) {
   return std::all_of(s.begin(), s.end(), [](char c) {
     return c >= '0' && c <= '9';
   });
+}
+
+std::optional<uint64_t> ParseUint64(std::string_view s) {
+  if (!IsAllDigits(s)) return std::nullopt;
+  uint64_t value = 0;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view s) {
+  std::optional<uint64_t> value = ParseUint64(s);
+  if (!value.has_value() ||
+      *value > static_cast<uint64_t>(
+                   std::numeric_limits<int64_t>::max())) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(*value);
 }
 
 namespace {

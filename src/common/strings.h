@@ -2,6 +2,8 @@
 #define METACOMM_COMMON_STRINGS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -73,6 +75,14 @@ std::string FormatPercentS(std::string_view fmt,
 
 /// True if all characters of non-empty `s` are ASCII digits.
 bool IsAllDigits(std::string_view s);
+
+/// Checked decimal parse of the complete string: nullopt unless `s` is
+/// a non-empty run of ASCII digits (no sign, no surrounding space)
+/// whose value fits the result type. The protocol parsers use these
+/// instead of atoi/atoll, which silently saturate or overflow on long
+/// digit strings.
+std::optional<int64_t> ParseInt64(std::string_view s);
+std::optional<uint64_t> ParseUint64(std::string_view s);
 
 /// Simple glob match supporting '*' (any run) and '?' (any one char).
 /// Used by LDAP substring filters and lexpress patterns.

@@ -263,6 +263,12 @@ class UpdateManager : public ltap::TriggerActionServer {
   };
   Stats stats() const EXCLUDES(stats_mutex_);
 
+  /// Items currently queued across every update-queue shard. Cheap
+  /// enough for a per-request admission check — the wire server sheds
+  /// load with LDAP busy (51) when this crosses its admission limit,
+  /// instead of letting the queue grow without bound.
+  size_t QueueDepth() const { return queue_.Size(); }
+
   // ltap::TriggerActionServer:
   Status OnUpdate(const ltap::UpdateNotification& notification) override;
 

@@ -1,5 +1,7 @@
 #include "ldap/client.h"
 
+#include "ldap/result.h"
+
 namespace metacomm::ldap {
 
 Status Client::Bind(std::string_view dn, std::string password) {
@@ -11,7 +13,10 @@ Status Client::Bind(std::string_view dn, std::string password) {
   return Status::Ok();
 }
 
-void Client::Unbind() { context_.principal.clear(); }
+void Client::Unbind() {
+  service_->Unbind();
+  context_.principal.clear();
+}
 
 Status Client::Add(
     std::string_view dn,
@@ -101,10 +106,7 @@ StatusOr<bool> Client::Compare(std::string_view dn,
   request.value = std::string(value);
   Status status = service_->Compare(context_, request);
   if (status.ok()) return true;
-  if (status.code() == StatusCode::kNotFound &&
-      status.message() == "compare false") {
-    return false;
-  }
+  if (IsCompareFalse(status)) return false;
   return status;
 }
 

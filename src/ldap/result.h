@@ -34,13 +34,30 @@ enum class ResultCode {
   kOther = 80,
 };
 
+/// The canonical Status carrying a compareFalse outcome. LDAP's
+/// compare is three-valued (true / false / error) while Status is
+/// two-valued, so "false" travels as a distinguished NotFound. All
+/// construction and detection goes through these two helpers — the
+/// wire protocol maps it to/from ResultCode::kCompareFalse and nothing
+/// outside this header depends on the message text.
+inline Status CompareFalseStatus() {
+  return Status::NotFound("compare false");
+}
+
+/// True if `status` is the CompareFalseStatus() marker.
+inline bool IsCompareFalse(const Status& status) {
+  return status.code() == StatusCode::kNotFound &&
+         status.message() == "compare false";
+}
+
 /// Maps an LDAP result code into MetaComm's canonical Status space.
 inline Status ResultToStatus(ResultCode code, std::string message) {
   switch (code) {
     case ResultCode::kSuccess:
     case ResultCode::kCompareTrue:
-    case ResultCode::kCompareFalse:
       return Status::Ok();
+    case ResultCode::kCompareFalse:
+      return CompareFalseStatus();
     case ResultCode::kNoSuchObject:
     case ResultCode::kNoSuchAttribute:
       return Status::NotFound(std::move(message));
@@ -75,6 +92,7 @@ inline Status ResultToStatus(ResultCode code, std::string message) {
 /// Maps a canonical Status back onto the closest LDAP result code —
 /// the inverse direction, used by the wire protocol.
 inline ResultCode StatusToResult(const Status& status) {
+  if (IsCompareFalse(status)) return ResultCode::kCompareFalse;
   switch (status.code()) {
     case StatusCode::kOk:
       return ResultCode::kSuccess;

@@ -1,5 +1,7 @@
 #include "ldap/server.h"
 
+#include "ldap/result.h"
+
 namespace metacomm::ldap {
 
 LdapServer::LdapServer(Schema schema, ServerConfig config)
@@ -85,7 +87,7 @@ Status LdapServer::Compare(const OpContext& ctx,
     return Status::NotFound("no such attribute: " + request.attribute);
   }
   if (it->second.HasValue(request.value)) return Status::Ok();
-  return Status::NotFound("compare false");
+  return CompareFalseStatus();
 }
 
 StatusOr<std::string> LdapServer::Bind(const BindRequest& request) {

@@ -38,13 +38,21 @@ class LdapService {
   virtual StatusOr<SearchResult> Search(const OpContext& ctx,
                                         const SearchRequest& request) = 0;
 
-  /// Compares one attribute value. OK means "true"; kCompareFalse maps
-  /// to a NotFound status with message "compare false".
+  /// Compares one attribute value. OK means "true"; a false outcome is
+  /// the canonical CompareFalseStatus() marker from ldap/result.h
+  /// (detect with IsCompareFalse, never by matching message text).
   virtual Status Compare(const OpContext& ctx,
                          const CompareRequest& request) = 0;
 
   /// Authenticates; on success fills ctx-style principal via return.
   virtual StatusOr<std::string> Bind(const BindRequest& request) = 0;
+
+  /// Discards authentication state held by the service session, if
+  /// any. Stateless services (the server and gateway authenticate per
+  /// OpContext) need nothing; session-holding transports such as
+  /// TextProtocolClient forward this over the wire so the remote
+  /// handler's bind state is actually dropped.
+  virtual void Unbind() {}
 };
 
 }  // namespace metacomm::ldap

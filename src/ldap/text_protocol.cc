@@ -8,11 +8,52 @@ namespace metacomm::ldap {
 
 namespace {
 
+/// RESULT is a single-line frame, but a Status message can carry
+/// newlines (e.g. a multi-line parse diagnostic quoted verbatim). An
+/// unescaped newline would split the RESULT line in two and
+/// desynchronize the client, which parses replies as
+/// first-line/remainder. Escape backslash first so the encoding is
+/// invertible; UnescapeResultMessage restores the original text.
+std::string EscapeResultMessage(std::string_view message) {
+  std::string out;
+  out.reserve(message.size());
+  for (char c : message) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeResultMessage(std::string_view message) {
+  std::string out;
+  out.reserve(message.size());
+  for (size_t i = 0; i < message.size(); ++i) {
+    if (message[i] != '\\' || i + 1 == message.size()) {
+      out.push_back(message[i]);
+      continue;
+    }
+    switch (message[++i]) {
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      default:  // Unknown escape: keep both characters verbatim.
+        out.push_back('\\');
+        out.push_back(message[i]);
+    }
+  }
+  return out;
+}
+
 /// "RESULT <code> <message>".
 std::string ResultLine(const Status& status) {
   return "RESULT " +
          std::to_string(static_cast<int>(StatusToResult(status))) + " " +
-         (status.ok() ? "success" : status.ToString()) + "\n";
+         EscapeResultMessage(status.ok() ? "success" : status.ToString()) +
+         "\n";
 }
 
 /// Extracts "key: value" from a request line; empty when absent.
@@ -36,25 +77,43 @@ std::string Body(const std::string& request) {
 }
 
 Status ParseResultLine(const std::string& line) {
-  // "RESULT <code> <message...>"
-  std::vector<std::string> words = Split(Trim(line), ' ');
-  if (words.size() < 2 || words[0] != "RESULT") {
+  // "RESULT <code> <message...>". The message is everything after the
+  // single space following the code, verbatim — re-splitting it on
+  // spaces would collapse runs of spaces the server sent.
+  constexpr std::string_view kPrefix = "RESULT ";
+  if (!StartsWith(line, kPrefix)) {
     return Status::Internal("malformed protocol reply: " + line);
   }
-  if (!IsAllDigits(words[1])) {
+  size_t code_end = line.find(' ', kPrefix.size());
+  std::string_view code_text =
+      code_end == std::string::npos
+          ? std::string_view(line).substr(kPrefix.size())
+          : std::string_view(line).substr(kPrefix.size(),
+                                          code_end - kPrefix.size());
+  // Checked parse: a run of digits longer than the int range must be
+  // rejected, not silently wrapped the way atoi would.
+  std::optional<int64_t> code = ParseInt64(code_text);
+  if (!code.has_value() || *code > 127) {
     return Status::Internal("malformed result code: " + line);
   }
-  int code = std::atoi(words[1].c_str());
-  std::string message;
-  for (size_t i = 2; i < words.size(); ++i) {
-    if (i > 2) message += " ";
-    message += words[i];
-  }
-  if (code == 0) return Status::Ok();
-  return ResultToStatus(static_cast<ResultCode>(code), std::move(message));
+  std::string message =
+      code_end == std::string::npos
+          ? std::string()
+          : UnescapeResultMessage(
+                std::string_view(line).substr(code_end + 1));
+  if (*code == 0) return Status::Ok();
+  return ResultToStatus(static_cast<ResultCode>(*code), std::move(message));
 }
 
 }  // namespace
+
+std::string BusyReply() {
+  return ResultLine(Status::Conflict("busy"));  // StatusToResult -> 51.
+}
+
+std::string FramingErrorReply() {
+  return ResultLine(Status::InvalidArgument("wire framing violation"));
+}
 
 TextProtocolHandler::TextProtocolHandler(LdapService* service)
     : service_(service) {}
@@ -151,8 +210,15 @@ std::string TextProtocolHandler::Handle(const std::string& request) {
       }
     }
     std::string limit = HeaderValue(lines, "limit");
-    if (IsAllDigits(limit)) {
-      search.size_limit = static_cast<size_t>(std::atoll(limit.c_str()));
+    if (!limit.empty()) {
+      // Checked parse: atoll on a long digit string would silently
+      // overflow into a bogus (possibly zero/negative) limit.
+      std::optional<int64_t> parsed = ParseInt64(limit);
+      if (!parsed.has_value()) {
+        return ResultLine(
+            Status::InvalidArgument("bad limit: " + limit));
+      }
+      search.size_limit = static_cast<size_t>(*parsed);
     }
     StatusOr<SearchResult> result = service_->Search(context_, search);
     if (!result.ok()) return ResultLine(result.status());
@@ -168,10 +234,16 @@ std::string TextProtocolHandler::Handle(const std::string& request) {
     compare.attribute = HeaderValue(lines, "attr");
     compare.value = HeaderValue(lines, "value");
     Status status = service_->Compare(context_, compare);
-    if (status.ok()) return ResultLine(Status::Ok()) + "TRUE\n";
-    if (status.code() == StatusCode::kNotFound &&
-        status.message() == "compare false") {
-      return ResultLine(Status::Ok()) + "FALSE\n";
+    // Compare is three-valued on the wire, as in LDAP proper: result
+    // code 6 (compareTrue) or 5 (compareFalse) — detected via the
+    // canonical marker, not by matching the message text.
+    if (status.ok()) {
+      return "RESULT " +
+             std::to_string(static_cast<int>(ResultCode::kCompareTrue)) +
+             " compare true\nTRUE\n";
+    }
+    if (IsCompareFalse(status)) {
+      return ResultLine(status) + "FALSE\n";
     }
     return ResultLine(status);
   }
@@ -276,12 +348,22 @@ StatusOr<SearchResult> TextProtocolClient::Search(
 Status TextProtocolClient::Compare(const OpContext& ctx,
                                    const CompareRequest& request) {
   (void)ctx;
+  // A compareFalse reply (RESULT 5) surfaces from Roundtrip as the
+  // canonical CompareFalseStatus() — the marker travels as a result
+  // code, so no message-string matching happens on either side.
   METACOMM_ASSIGN_OR_RETURN(
       std::string body,
       Roundtrip("COMPARE dn: " + request.dn.ToString() + "\nattr: " +
                 request.attribute + "\nvalue: " + request.value + "\n"));
   if (Trim(body) == "TRUE") return Status::Ok();
-  return Status::NotFound("compare false");
+  if (Trim(body) == "FALSE") return CompareFalseStatus();
+  return Status::Internal("malformed COMPARE reply: " + body);
+}
+
+void TextProtocolClient::Unbind() {
+  // Fire-and-forget: the handler clears its session principal; the
+  // reply is RESULT 0.
+  (void)Roundtrip("UNBIND\n");
 }
 
 StatusOr<std::string> TextProtocolClient::Bind(const BindRequest& request) {

@@ -31,6 +31,16 @@ namespace metacomm::ldap {
 /// followed, for SEARCH, by one LDIF block per entry separated by
 /// blank lines, and for COMPARE by "TRUE"/"FALSE" on its own line.
 
+/// Canonical reply a wire server sheds load with — "RESULT 51 ...
+/// busy" (LDAP busy). Configured as net::TcpServerConfig::busy_reply
+/// so both admission-control sheds and connection-budget sheds speak
+/// the protocol's own vocabulary.
+std::string BusyReply();
+
+/// Canonical reply sent before tearing down a connection whose byte
+/// stream violated the wire framing — "RESULT 2 ..." (protocolError).
+std::string FramingErrorReply();
+
 /// Server side: parses requests, runs them against a wrapped
 /// LdapService (normally the LTAP gateway), serializes responses.
 /// One handler instance per connection — it carries the bind state.
@@ -72,6 +82,7 @@ class TextProtocolClient : public LdapService {
   Status Compare(const OpContext& ctx,
                  const CompareRequest& request) override;
   StatusOr<std::string> Bind(const BindRequest& request) override;
+  void Unbind() override;
 
  private:
   /// Sends and splits the reply into the RESULT line and the body.

@@ -1,0 +1,138 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace metacomm::net {
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() { Stop(); }
+
+Status EventLoop::Start() {
+  epoll_fd_.Reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) return ErrnoStatus("epoll_create1");
+  wake_fd_.Reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wake_fd_.valid()) return ErrnoStatus("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) <
+      0) {
+    return ErrnoStatus("epoll_ctl(wakeup)");
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+  return Status::Ok();
+}
+
+void EventLoop::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  Wakeup();
+  if (thread_.joinable()) thread_.join();
+  // Run what RunInLoop queued after the loop exited, so handed-off
+  // connections get closed rather than leaked.
+  DrainTasks();
+}
+
+Status EventLoop::Register(int fd, uint32_t events,
+                           EventCallback callback) {
+  {
+    MutexLock lock(&mutex_);
+    callbacks_[fd] = std::move(callback);
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    MutexLock lock(&mutex_);
+    callbacks_.erase(fd);
+    return ErrnoStatus("epoll_ctl(add)");
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(mod)");
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Unregister(int fd) {
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  MutexLock lock(&mutex_);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::RunInLoop(Task task) {
+  if (InLoopThread()) {
+    task();
+    return;
+  }
+  {
+    MutexLock lock(&mutex_);
+    pending_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  if (!wake_fd_.valid()) return;
+  uint64_t one = 1;
+  ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+  (void)n;  // EAGAIN just means a wakeup is already pending.
+}
+
+void EventLoop::DrainTasks() {
+  std::vector<Task> tasks;
+  {
+    MutexLock lock(&mutex_);
+    tasks.swap(pending_);
+  }
+  for (Task& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, /*timeout=*/
+                         1000);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // Unrecoverable epoll failure; Stop() still joins us.
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_.get()) {
+        uint64_t drained;
+        while (::read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      EventCallback callback;
+      {
+        MutexLock lock(&mutex_);
+        auto it = callbacks_.find(fd);
+        if (it == callbacks_.end()) continue;  // Unregistered mid-batch.
+        callback = it->second;  // Copy: callback may unregister itself.
+      }
+      callback(events[i].events);
+    }
+    DrainTasks();
+  }
+}
+
+}  // namespace metacomm::net

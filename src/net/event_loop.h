@@ -1,0 +1,86 @@
+#ifndef METACOMM_NET_EVENT_LOOP_H_
+#define METACOMM_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "net/socket.h"
+
+namespace metacomm::net {
+
+/// A single-threaded epoll reactor: the unit the TCP servers are built
+/// from. Each loop owns one epoll instance and one thread; fds are
+/// registered with an event-mask callback and all callbacks for a
+/// given loop run on that loop's thread — per-connection state needs
+/// no locking as long as a connection stays pinned to one loop.
+///
+/// Cross-thread work (accepting loop handing a connection to a worker
+/// loop, Stop() from anywhere) goes through RunInLoop, which enqueues
+/// the task and wakes the epoll_wait via an eventfd.
+class EventLoop {
+ public:
+  /// Called with the ready EPOLL* event mask for the registered fd.
+  using EventCallback = std::function<void(uint32_t events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and starts the loop thread.
+  Status Start();
+
+  /// Asks the loop to exit, joins the thread, then runs any tasks
+  /// still queued (so handed-off resources are not leaked). Idempotent.
+  void Stop();
+
+  /// Watches `fd` for `events` (EPOLLIN/EPOLLOUT/...); `callback`
+  /// fires on the loop thread. Call from the loop thread or before
+  /// concurrent use of the fd.
+  Status Register(int fd, uint32_t events, EventCallback callback);
+
+  /// Changes the watched event mask of a registered fd.
+  Status Modify(int fd, uint32_t events);
+
+  /// Stops watching `fd` and drops its callback. Safe to call from
+  /// within the fd's own callback.
+  void Unregister(int fd);
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop.
+  /// Runs inline when already called on the loop thread.
+  void RunInLoop(Task task);
+
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+ private:
+  void Run();
+  void DrainTasks();
+  void Wakeup();
+
+  ScopedFd epoll_fd_;
+  ScopedFd wake_fd_;  // eventfd: RunInLoop / Stop wakeups.
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  // Callbacks are only touched on the loop thread once it runs;
+  // registration before Start and the pending task queue need the
+  // mutex.
+  Mutex mutex_;
+  std::map<int, EventCallback> callbacks_ GUARDED_BY(mutex_);
+  std::vector<Task> pending_ GUARDED_BY(mutex_);
+};
+
+}  // namespace metacomm::net
+
+#endif  // METACOMM_NET_EVENT_LOOP_H_

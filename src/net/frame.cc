@@ -1,0 +1,89 @@
+#include "net/frame.h"
+
+#include <utility>
+
+namespace metacomm::net {
+
+namespace {
+
+/// Longest header we accept. 12 digits (frames up to ~1TB) is far
+/// beyond any real max_frame_bytes and keeps the accumulating parse
+/// below — a digit-by-digit length = length * 10 + d — overflow-free,
+/// so an absurd digit run can never wrap into a small bogus length.
+constexpr size_t kMaxHeaderDigits = 12;
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out = std::to_string(payload.size());
+  out.push_back('\n');
+  out.append(payload);
+  return out;
+}
+
+bool FrameDecoder::Feed(std::string_view data) {
+  if (state_ != State::kOk) return false;
+  buffer_.append(data);
+  // Decode as many complete frames as the buffer holds.
+  size_t pos = 0;
+  while (true) {
+    size_t newline = buffer_.find('\n', pos);
+    if (newline == std::string::npos) {
+      // Incomplete header. Bound it: the digits seen so far must
+      // still be a plausible header.
+      size_t header_len = buffer_.size() - pos;
+      if (header_len > kMaxHeaderDigits) {
+        state_ = State::kMalformed;
+        break;
+      }
+      bool digits_ok = true;
+      for (size_t i = pos; i < buffer_.size(); ++i) {
+        if (buffer_[i] < '0' || buffer_[i] > '9') {
+          digits_ok = false;
+          break;
+        }
+      }
+      if (!digits_ok) state_ = State::kMalformed;
+      break;
+    }
+    size_t header_len = newline - pos;
+    if (header_len == 0 || header_len > kMaxHeaderDigits) {
+      state_ = State::kMalformed;
+      break;
+    }
+    uint64_t length = 0;
+    bool digits_ok = true;
+    for (size_t i = pos; i < newline; ++i) {
+      char c = buffer_[i];
+      if (c < '0' || c > '9') {
+        digits_ok = false;
+        break;
+      }
+      length = length * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (!digits_ok) {
+      state_ = State::kMalformed;
+      break;
+    }
+    if (length > max_frame_bytes_) {
+      state_ = State::kOversized;
+      violating_length_ = static_cast<size_t>(length);
+      break;
+    }
+    size_t body_start = newline + 1;
+    if (buffer_.size() - body_start < length) break;  // Partial payload.
+    ready_.push_back(buffer_.substr(body_start, length));
+    pos = body_start + static_cast<size_t>(length);
+  }
+  if (pos > 0) buffer_.erase(0, pos);
+  return state_ == State::kOk;
+}
+
+bool FrameDecoder::Pop(std::string* payload) {
+  if (ready_.empty()) return false;
+  *payload = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace metacomm::net

@@ -1,0 +1,72 @@
+#ifndef METACOMM_NET_FRAME_H_
+#define METACOMM_NET_FRAME_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace metacomm::net {
+
+/// Wire framing for the text protocol (DESIGN.md "Wire boundary").
+///
+/// The in-process text protocol has no way to delimit a message on a
+/// byte stream: requests are multi-line, LDIF bodies contain blank
+/// lines, and SEARCH replies are a RESULT line followed by any number
+/// of LDIF blocks. Every message therefore travels length-prefixed:
+///
+///   frame   := header payload
+///   header  := decimal-length "\n"          (ASCII digits, no sign)
+///   payload := exactly decimal-length bytes (the text-protocol
+///              message, verbatim)
+///
+/// The same framing is used in both directions. A header longer than
+/// 20 digits, a non-digit byte where a digit is expected, or a length
+/// above the receiver's max_frame_bytes is a framing violation — the
+/// stream is unrecoverable past that point and the connection must be
+/// torn down after an optional final reply.
+
+/// Frames `payload` for the wire.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental decoder: feed bytes as they arrive (in any
+/// fragmentation — single bytes, split headers, many coalesced frames
+/// per read), pop complete payloads in order.
+class FrameDecoder {
+ public:
+  enum class State {
+    kOk,         // Feeding and popping normally.
+    kOversized,  // Declared length exceeded max_frame_bytes.
+    kMalformed,  // Header was not a digit run + newline.
+  };
+
+  /// `max_frame_bytes` bounds the declared payload length; it also
+  /// implicitly bounds decoder memory.
+  explicit FrameDecoder(size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes `data`, decoding eagerly. Returns false once the stream
+  /// is in violation (state() says why); frames decoded before the
+  /// violation stay poppable, further bytes are ignored.
+  bool Feed(std::string_view data);
+
+  /// Moves the next complete payload into `*payload`; false when no
+  /// complete frame is buffered.
+  bool Pop(std::string* payload);
+
+  State state() const { return state_; }
+
+  /// Declared length of the oversized frame (state kOversized).
+  size_t violating_length() const { return violating_length_; }
+
+ private:
+  size_t max_frame_bytes_;
+  State state_ = State::kOk;
+  std::string buffer_;  // Bytes of the (incomplete) frame in progress.
+  std::deque<std::string> ready_;  // Decoded payloads awaiting Pop.
+  size_t violating_length_ = 0;
+};
+
+}  // namespace metacomm::net
+
+#endif  // METACOMM_NET_FRAME_H_

@@ -1,0 +1,53 @@
+#include "net/tcp_client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <unistd.h>
+
+namespace metacomm::net {
+
+Status TcpClient::Connect(const std::string& host, uint16_t port) {
+  METACOMM_ASSIGN_OR_RETURN(fd_, ConnectTcp(host, port));
+  decoder_ = FrameDecoder(max_reply_bytes_);
+  return Status::Ok();
+}
+
+std::string TcpClient::TransportError(const std::string& reason) {
+  // 52 is LDAP unavailable; ParseResultLine maps it to
+  // Status::Unavailable with this reason.
+  Close();
+  return "RESULT 52 transport: " + reason + "\n";
+}
+
+std::string TcpClient::Call(const std::string& request) {
+  if (!fd_.valid()) return TransportError("not connected");
+  std::string frame = EncodeFrame(request);
+  size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n =
+        ::write(fd_.get(), frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return TransportError(std::string("write: ") + ::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  // The connection is strict request/response from this side, so the
+  // next complete frame is our reply.
+  std::string reply;
+  char buf[64 * 1024];
+  while (!decoder_.Pop(&reply)) {
+    ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n == 0) return TransportError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return TransportError(std::string("read: ") + ::strerror(errno));
+    }
+    if (!decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)))) {
+      return TransportError("malformed reply framing");
+    }
+  }
+  return reply;
+}
+
+}  // namespace metacomm::net

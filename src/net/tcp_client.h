@@ -1,0 +1,56 @@
+#ifndef METACOMM_NET_TCP_CLIENT_H_
+#define METACOMM_NET_TCP_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace metacomm::net {
+
+/// A blocking framed request/response client over one persistent TCP
+/// connection — the socket transport for TextProtocolClient: the
+/// existing in-process Transport is `std::function<std::string(const
+/// std::string&)>`, and Transport() returns exactly that shape, so
+/// every client-side protocol path runs unchanged over a real wire.
+///
+/// Not thread-safe: one TcpClient per client thread, matching the
+/// one-handler-per-connection session model on the server side.
+class TcpClient {
+ public:
+  /// `max_reply_bytes` bounds a reply frame (server SEARCH results can
+  /// be large; the default admits 64 MiB).
+  explicit TcpClient(size_t max_reply_bytes = 64u << 20)
+      : max_reply_bytes_(max_reply_bytes) {}
+
+  /// Opens the persistent connection.
+  Status Connect(const std::string& host, uint16_t port);
+
+  void Close() { fd_.Reset(); }
+  bool connected() const { return fd_.valid(); }
+
+  /// One framed round trip. Transport errors (connection refused or
+  /// torn down, malformed reply framing) are reported in-band as a
+  /// "RESULT 52 ..." line so the text-protocol reply parser surfaces
+  /// them as Status::Unavailable — the transport has no side channel.
+  std::string Call(const std::string& request);
+
+  /// This client as a TextProtocolClient::Transport.
+  std::function<std::string(const std::string&)> Transport() {
+    return [this](const std::string& request) { return Call(request); };
+  }
+
+ private:
+  std::string TransportError(const std::string& reason);
+
+  size_t max_reply_bytes_;
+  ScopedFd fd_;
+  FrameDecoder decoder_{0};  // Re-created per Connect.
+};
+
+}  // namespace metacomm::net
+
+#endif  // METACOMM_NET_TCP_CLIENT_H_

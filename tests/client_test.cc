@@ -2,16 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "ldap/server.h"
+#include "ldap/text_protocol.h"
+#include "net/tcp_client.h"
+#include "net/tcp_server.h"
 
 namespace metacomm::ldap {
 namespace {
 
-class ClientTest : public ::testing::Test {
+/// Runs the whole client suite twice: once against the LdapServer as a
+/// plain in-process LdapService, and once with every operation
+/// serialized through the text protocol over a real TCP connection.
+/// The bodies are identical — the Client must not be able to tell.
+class ClientTest : public ::testing::TestWithParam<bool> {
  protected:
   ClientTest()
       : server_(Schema::Standard(), ServerConfig{}),
-        client_(&server_) {
+        client_(PickService()) {
     Entry suffix(*Dn::Parse("o=Lucent"));
     suffix.AddObjectClass("top");
     suffix.AddObjectClass("organization");
@@ -20,11 +30,44 @@ class ClientTest : public ::testing::Test {
     server_.AddUser(*Dn::Parse("cn=admin,o=Lucent"), "secret");
   }
 
+  /// In-process: the server itself. TCP: a TextProtocolClient whose
+  /// transport is one persistent socket into a TcpServer hosting
+  /// per-connection handler sessions around the same server.
+  LdapService* PickService() {
+    if (!GetParam()) return &server_;
+    net::TcpServerConfig config;
+    config.busy_reply = BusyReply();
+    config.error_reply = FramingErrorReply();
+    tcp_server_ = std::make_unique<net::TcpServer>(
+        std::move(config), [this] {
+          auto session = std::make_shared<TextProtocolHandler>(&server_);
+          return [session](const std::string& request) {
+            return session->Handle(request);
+          };
+        });
+    EXPECT_TRUE(tcp_server_->Start().ok());
+    tcp_client_ = std::make_unique<net::TcpClient>();
+    EXPECT_TRUE(
+        tcp_client_->Connect("127.0.0.1", tcp_server_->port()).ok());
+    remote_ =
+        std::make_unique<TextProtocolClient>(tcp_client_->Transport());
+    return remote_.get();
+  }
+
   LdapServer server_;  // Writes require bind (default config).
+  std::unique_ptr<net::TcpServer> tcp_server_;   // TCP mode only.
+  std::unique_ptr<net::TcpClient> tcp_client_;
+  std::unique_ptr<TextProtocolClient> remote_;
   Client client_;
 };
 
-TEST_F(ClientTest, WritesRequireBind) {
+INSTANTIATE_TEST_SUITE_P(
+    Transports, ClientTest, ::testing::Bool(),
+    [](const ::testing::TestParamInfo<bool>& info) {
+      return info.param ? "Tcp" : "InProcess";
+    });
+
+TEST_P(ClientTest, WritesRequireBind) {
   Status status = client_.Add("cn=X,o=Lucent", {{"objectClass", "top"},
                                                 {"objectClass", "person"},
                                                 {"cn", "X"},
@@ -41,7 +84,7 @@ TEST_F(ClientTest, WritesRequireBind) {
             StatusCode::kPermissionDenied);
 }
 
-TEST_F(ClientTest, BadCredentialsRejected) {
+TEST_P(ClientTest, BadCredentialsRejected) {
   EXPECT_EQ(client_.Bind("cn=admin,o=Lucent", "wrong").code(),
             StatusCode::kPermissionDenied);
   EXPECT_EQ(client_.Bind("cn=ghost,o=Lucent", "x").code(),
@@ -51,7 +94,7 @@ TEST_F(ClientTest, BadCredentialsRejected) {
   EXPECT_TRUE(client_.context().principal.empty());
 }
 
-TEST_F(ClientTest, CrudRoundTrip) {
+TEST_P(ClientTest, CrudRoundTrip) {
   ASSERT_TRUE(client_.Bind("cn=admin,o=Lucent", "secret").ok());
   ASSERT_TRUE(client_
                   .Add("cn=John Doe,o=Lucent",
@@ -94,7 +137,7 @@ TEST_F(ClientTest, CrudRoundTrip) {
             StatusCode::kNotFound);
 }
 
-TEST_F(ClientTest, SearchAndCompare) {
+TEST_P(ClientTest, SearchAndCompare) {
   ASSERT_TRUE(client_.Bind("cn=admin,o=Lucent", "secret").ok());
   for (const char* cn : {"Ada", "Grace", "Edsger"}) {
     ASSERT_TRUE(client_
@@ -128,7 +171,7 @@ TEST_F(ClientTest, SearchAndCompare) {
             StatusCode::kNotFound);
 }
 
-TEST_F(ClientTest, MalformedInputsSurfaceAsErrors) {
+TEST_P(ClientTest, MalformedInputsSurfaceAsErrors) {
   EXPECT_EQ(client_.Get("not a dn,,,").status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(client_.Search("o=Lucent", "(unbalanced").status().code(),

@@ -2,21 +2,34 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "core/metacomm.h"
 #include "ldap/client.h"
+#include "ldap/result.h"
 #include "ldap/server.h"
+#include "net/tcp_client.h"
+#include "net/tcp_server.h"
 
 namespace metacomm::ldap {
 namespace {
 
-class TextProtocolTest : public ::testing::Test {
+/// The whole protocol suite runs twice: once with the in-process
+/// transport (handler called directly) and once over a real TCP
+/// connection through net::TcpServer/TcpClient. The test bodies are
+/// identical — the wire must be indistinguishable from the function
+/// call.
+class TextProtocolTest : public ::testing::TestWithParam<bool> {
  protected:
   TextProtocolTest()
       : server_(Schema::Standard(),
                 ServerConfig{.allow_anonymous_writes = true}),
         handler_(&server_),
         remote_([this](const std::string& request) {
-          return handler_.Handle(request);
+          return Transport(request);
         }),
         client_(&remote_) {
     Entry suffix(*Dn::Parse("o=Lucent"));
@@ -25,15 +38,49 @@ class TextProtocolTest : public ::testing::Test {
     suffix.SetOne("o", "Lucent");
     EXPECT_TRUE(server_.backend().Add(suffix).ok());
     server_.AddUser(*Dn::Parse("cn=admin,o=Lucent"), "secret");
+    if (GetParam()) StartWire();
+  }
+
+  /// Brings up a real socket server around server_ and connects one
+  /// persistent client connection; Transport() then routes every
+  /// request through it.
+  void StartWire() {
+    net::TcpServerConfig config;
+    config.busy_reply = BusyReply();
+    config.error_reply = FramingErrorReply();
+    tcp_server_ = std::make_unique<net::TcpServer>(
+        std::move(config), [this] {
+          auto session = std::make_shared<TextProtocolHandler>(&server_);
+          return [session](const std::string& request) {
+            return session->Handle(request);
+          };
+        });
+    EXPECT_TRUE(tcp_server_->Start().ok());
+    tcp_client_ = std::make_unique<net::TcpClient>();
+    EXPECT_TRUE(
+        tcp_client_->Connect("127.0.0.1", tcp_server_->port()).ok());
+  }
+
+  std::string Transport(const std::string& request) {
+    return tcp_client_ ? tcp_client_->Call(request)
+                       : handler_.Handle(request);
   }
 
   LdapServer server_;
-  TextProtocolHandler handler_;   // The "remote" end.
+  TextProtocolHandler handler_;   // The "remote" end (in-process mode).
+  std::unique_ptr<net::TcpServer> tcp_server_;   // TCP mode only.
+  std::unique_ptr<net::TcpClient> tcp_client_;
   TextProtocolClient remote_;     // LdapService over the wire.
   Client client_;                 // Ordinary client on top of it.
 };
 
-TEST_F(TextProtocolTest, CrudOverTheWire) {
+INSTANTIATE_TEST_SUITE_P(
+    Transports, TextProtocolTest, ::testing::Bool(),
+    [](const ::testing::TestParamInfo<bool>& info) {
+      return info.param ? "Tcp" : "InProcess";
+    });
+
+TEST_P(TextProtocolTest, CrudOverTheWire) {
   ASSERT_TRUE(client_
                   .Add("cn=John Doe,o=Lucent",
                        {{"objectClass", "top"},
@@ -58,7 +105,7 @@ TEST_F(TextProtocolTest, CrudOverTheWire) {
             StatusCode::kNotFound);
 }
 
-TEST_F(TextProtocolTest, SearchWithFilterAttrsAndScope) {
+TEST_P(TextProtocolTest, SearchWithFilterAttrsAndScope) {
   for (const char* cn : {"Ada", "Grace"}) {
     ASSERT_TRUE(client_
                     .Add(std::string("cn=") + cn + ",o=Lucent",
@@ -86,7 +133,7 @@ TEST_F(TextProtocolTest, SearchWithFilterAttrsAndScope) {
   EXPECT_FALSE(projected->entries[0].Has("telephoneNumber"));
 }
 
-TEST_F(TextProtocolTest, CompareAndBind) {
+TEST_P(TextProtocolTest, CompareAndBind) {
   ASSERT_TRUE(client_
                   .Add("cn=Ada,o=Lucent", {{"objectClass", "top"},
                                            {"objectClass", "person"},
@@ -105,7 +152,7 @@ TEST_F(TextProtocolTest, CompareAndBind) {
             StatusCode::kPermissionDenied);
 }
 
-TEST_F(TextProtocolTest, BindStateLivesInTheHandlerSession) {
+TEST_P(TextProtocolTest, BindStateLivesInTheHandlerSession) {
   // Against a server that requires authentication, the handler carries
   // the bind across subsequent operations — like a real connection.
   LdapServer secured(Schema::Standard(), ServerConfig{});
@@ -128,7 +175,7 @@ TEST_F(TextProtocolTest, BindStateLivesInTheHandlerSession) {
   EXPECT_EQ(client.Delete("cn=X,o=Lucent").code(), StatusCode::kNotFound);
 }
 
-TEST_F(TextProtocolTest, MalformedRequestsRejected) {
+TEST_P(TextProtocolTest, MalformedRequestsRejected) {
   EXPECT_NE(handler_.Handle(""), "");
   EXPECT_TRUE(StartsWith(handler_.Handle("FROBNICATE"), "RESULT 2"));
   EXPECT_TRUE(StartsWith(handler_.Handle("ADD\nnot ldif"), "RESULT 2"));
@@ -136,7 +183,7 @@ TEST_F(TextProtocolTest, MalformedRequestsRejected) {
       StartsWith(handler_.Handle("SEARCH base: ,,bad,,\n"), "RESULT 2"));
 }
 
-TEST_F(TextProtocolTest, ValuesNeedingBase64SurviveTheWire) {
+TEST_P(TextProtocolTest, ValuesNeedingBase64SurviveTheWire) {
   ASSERT_TRUE(client_
                   .Add("cn=Spacey,o=Lucent",
                        {{"objectClass", "top"},
@@ -182,6 +229,154 @@ TEST(TextProtocolMetaCommTest, FullStackOverTheWire) {
                   .ok());
   EXPECT_TRUE((*system)->pbx("pbx1")->GetRecord("4567").ok());
   EXPECT_TRUE((*system)->mp("mp1")->GetRecord("4567").ok());
+}
+
+/// An LdapService that fails every operation with a fixed status —
+/// lets the tests below steer exactly what travels in a RESULT line.
+class FailingService : public LdapService {
+ public:
+  explicit FailingService(Status result) : result_(std::move(result)) {}
+
+  Status Add(const OpContext&, const AddRequest&) override {
+    return result_;
+  }
+  Status Delete(const OpContext&, const DeleteRequest&) override {
+    return result_;
+  }
+  Status Modify(const OpContext&, const ModifyRequest&) override {
+    return result_;
+  }
+  Status ModifyRdn(const OpContext&, const ModifyRdnRequest&) override {
+    return result_;
+  }
+  StatusOr<SearchResult> Search(const OpContext&,
+                                const SearchRequest&) override {
+    return result_;
+  }
+  Status Compare(const OpContext&, const CompareRequest&) override {
+    return result_;
+  }
+  StatusOr<std::string> Bind(const BindRequest&) override {
+    return result_;
+  }
+
+ private:
+  Status result_;
+};
+
+// Regression (newline framing): a Status message carrying newlines
+// used to be emitted verbatim into the RESULT line, splitting it in
+// two and desynchronizing the reply stream. It must arrive as ONE line
+// on the wire and reconstruct the original text — including runs of
+// spaces, which the old split-on-whitespace parser collapsed.
+TEST(TextProtocolResultTest, ResultMessagesWithNewlinesStayOneLine) {
+  const std::string gnarly = "line one\nline  two\twith \\ backslash";
+  FailingService failing(Status::Internal(gnarly));
+  TextProtocolHandler handler(&failing);
+
+  std::string reply = handler.Handle("DELETE dn: cn=X,o=Lucent");
+  // Exactly one line: the only newline is the terminator.
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(reply.find('\n'), reply.size() - 1) << reply;
+
+  TextProtocolClient wire(
+      [&handler](const std::string& r) { return handler.Handle(r); });
+  OpContext ctx;
+  Status status = wire.Delete(ctx, DeleteRequest{*Dn::Parse("cn=X,o=Lucent")});
+  EXPECT_FALSE(status.ok());
+  // The message survives the round trip byte-for-byte: embedded
+  // newline, double space, tab and backslash all intact.
+  EXPECT_NE(status.message().find(gnarly), std::string::npos)
+      << status.message();
+}
+
+// Regression (compare-false sentinel): COMPARE results used to ride on
+// a magic message string; they now travel as the LDAP result codes
+// 5/6, and the client decides from the code + TRUE/FALSE body alone —
+// the message text must not matter.
+TEST(TextProtocolResultTest, CompareFalseTravelsAsResultCode5) {
+  LdapServer server(Schema::Standard(),
+                    ServerConfig{.allow_anonymous_writes = true});
+  Entry suffix(*Dn::Parse("o=Lucent"));
+  suffix.AddObjectClass("top");
+  suffix.AddObjectClass("organization");
+  suffix.SetOne("o", "Lucent");
+  ASSERT_TRUE(server.backend().Add(suffix).ok());
+  TextProtocolHandler handler(&server);
+  ASSERT_TRUE(StartsWith(
+      handler.Handle("ADD\ndn: cn=Ada,o=Lucent\nobjectClass: top\n"
+                     "objectClass: person\ncn: Ada\nsn: L\n"),
+      "RESULT 0"));
+
+  EXPECT_TRUE(StartsWith(
+      handler.Handle("COMPARE dn: cn=Ada,o=Lucent\nattr: sn\nvalue: L"),
+      "RESULT 6"));
+  EXPECT_TRUE(StartsWith(
+      handler.Handle("COMPARE dn: cn=Ada,o=Lucent\nattr: sn\nvalue: X"),
+      "RESULT 5"));
+
+  // Client side keys on the code, whatever the message says.
+  TextProtocolClient wire([](const std::string&) {
+    return std::string("RESULT 5 some unrelated text\nFALSE\n");
+  });
+  OpContext ctx;
+  CompareRequest request{*Dn::Parse("cn=Ada,o=Lucent"), "sn", "X"};
+  Status verdict = wire.Compare(ctx, request);
+  EXPECT_TRUE(IsCompareFalse(verdict)) << verdict;
+
+  TextProtocolClient wire_true([](const std::string&) {
+    return std::string("RESULT 6 whatever\nTRUE\n");
+  });
+  EXPECT_TRUE(wire_true.Compare(ctx, request).ok());
+}
+
+// Regression (unchecked atoi): a RESULT code wider than the integer
+// range used to wrap silently into a bogus small code; it must be
+// rejected as a malformed reply instead.
+TEST(TextProtocolResultTest, OverflowingResultCodeRejected) {
+  TextProtocolClient wire([](const std::string&) {
+    return std::string("RESULT 99999999999999999999999 oops\n");
+  });
+  OpContext ctx;
+  Status status = wire.Delete(ctx, DeleteRequest{*Dn::Parse("cn=X,o=L")});
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << status;
+
+  TextProtocolClient wire_negative([](const std::string&) {
+    return std::string("RESULT -3 oops\n");
+  });
+  EXPECT_EQ(
+      wire_negative.Delete(ctx, DeleteRequest{*Dn::Parse("cn=X,o=L")})
+          .code(),
+      StatusCode::kInternal);
+}
+
+// Regression (unchecked atoll): an overflowing or trailing-garbage
+// SEARCH limit: header used to be silently misread; it must be a
+// protocol error.
+TEST(TextProtocolResultTest, OverflowingSearchLimitRejected) {
+  LdapServer server(Schema::Standard(),
+                    ServerConfig{.allow_anonymous_writes = true});
+  Entry suffix(*Dn::Parse("o=Lucent"));
+  suffix.AddObjectClass("top");
+  suffix.AddObjectClass("organization");
+  suffix.SetOne("o", "Lucent");
+  ASSERT_TRUE(server.backend().Add(suffix).ok());
+  TextProtocolHandler handler(&server);
+
+  EXPECT_TRUE(StartsWith(
+      handler.Handle("SEARCH base: o=Lucent\nscope: sub\n"
+                     "filter: (objectClass=*)\n"
+                     "limit: 99999999999999999999999\n"),
+      "RESULT 2"));
+  EXPECT_TRUE(StartsWith(
+      handler.Handle("SEARCH base: o=Lucent\nscope: sub\n"
+                     "filter: (objectClass=*)\nlimit: 12x\n"),
+      "RESULT 2"));
+  // A sane limit still works.
+  EXPECT_TRUE(StartsWith(
+      handler.Handle("SEARCH base: o=Lucent\nscope: sub\n"
+                     "filter: (objectClass=*)\nlimit: 5\n"),
+      "RESULT 0"));
 }
 
 }  // namespace

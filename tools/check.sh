@@ -9,7 +9,9 @@
 #      annotations compile as no-ops elsewhere.
 #   2. Regular build + full tier-1 ctest suite.
 #   3. ThreadSanitizer build and run of the concurrency tests
-#      (threaded_test, parallel_um_test, snapshot_stress_test).
+#      (threaded_test, parallel_um_test, snapshot_stress_test,
+#      wire_test — the epoll socket server under adversarial byte
+#      patterns and concurrent connections).
 #   3b. Fault-injection stress under TSan: fault_tolerance_test (the
 #       breaker/repair end-to-end suite, including the threaded
 #       Stop-vs-repair-worker shutdown race) and the randomized
@@ -20,6 +22,8 @@
 #   5. clang-tidy over the core sources — skipped when absent.
 #   6. Bench smoke: one quick pass of bench_batching with --json and a
 #      parse of the emitted BENCH_batching.json.
+#   6b. Wire bench smoke: bench_wire's 100-connection point (real
+#       sockets end to end) with --json, parsing BENCH_wire.json.
 #   7. Bench regression compare: quick reruns diffed against the
 #      committed BENCH_*.json baselines (>20% slowdowns flagged).
 #      Non-fatal — smoke-length runs are too noisy to gate on.
@@ -53,14 +57,16 @@ cmake -B build -S . >/dev/null \
   || fail "tier-1 tests"
 
 # -- 3. TSan concurrency tests ---------------------------------------
-note "ThreadSanitizer: threaded_test + parallel_um_test + snapshot_stress_test"
+note "ThreadSanitizer: threaded_test + parallel_um_test + snapshot_stress_test + wire_test"
 if cmake -B build-tsan -S . -DMETACOMM_SANITIZE=thread >/dev/null \
    && cmake --build build-tsan -j "$jobs" \
-        --target threaded_test parallel_um_test snapshot_stress_test; then
+        --target threaded_test parallel_um_test snapshot_stress_test \
+                 wire_test; then
   ./build-tsan/tests/threaded_test    || fail "threaded_test under TSan"
   ./build-tsan/tests/parallel_um_test || fail "parallel_um_test under TSan"
   ./build-tsan/tests/snapshot_stress_test \
     || fail "snapshot_stress_test under TSan"
+  ./build-tsan/tests/wire_test || fail "wire_test under TSan"
 else
   fail "TSan build"
 fi
@@ -132,6 +138,25 @@ if [ -x build/bench/bench_batching ]; then
   fi
 else
   fail "bench_batching not built"
+fi
+
+# -- 6b. Wire bench smoke ---------------------------------------------
+note "bench_wire smoke (100-connection point, --json)"
+if [ -x build/bench/bench_wire ]; then
+  rm -f BENCH_wire.json
+  if ./build/bench/bench_wire --json --benchmark_min_time=0.01 \
+       --benchmark_filter='/100/' >/dev/null; then
+    if python3 -c "import json; json.load(open('BENCH_wire.json'))" \
+         2>/dev/null; then
+      echo "BENCH_wire.json: valid JSON"
+    else
+      fail "BENCH_wire.json missing or unparsable"
+    fi
+  else
+    fail "bench_wire smoke run"
+  fi
+else
+  fail "bench_wire not built"
 fi
 
 # -- 7. Bench regression compare (non-fatal) -------------------------
