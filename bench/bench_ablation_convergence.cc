@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "bench/workload.h"
+#include "common/strings.h"
 
 namespace metacomm::bench {
 namespace {
@@ -121,15 +122,18 @@ void BM_LockingAblation(benchmark::State& state) {
 
     std::thread reader([&] {
       ldap::Client client = system->NewClient();
-      int max_seen = 0;
+      int64_t max_seen = 0;
       while (!stop.load()) {
         auto entry = client.Get(hot.dn);
         if (entry.ok()) {
           std::string value = entry->GetFirst("roomNumber");
-          if (value.size() > 1 && value[0] == 'V') {
-            int seen = std::atoi(value.c_str() + 1);
-            if (seen < max_seen) regressions.fetch_add(1);
-            if (seen > max_seen) max_seen = seen;
+          std::optional<int64_t> seen =
+              value.size() > 1 && value[0] == 'V'
+                  ? ParseInt64(std::string_view(value).substr(1))
+                  : std::nullopt;
+          if (seen.has_value()) {
+            if (*seen < max_seen) regressions.fetch_add(1);
+            if (*seen > max_seen) max_seen = *seen;
             reads.fetch_add(1);
           }
         }

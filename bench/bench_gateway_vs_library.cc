@@ -14,10 +14,10 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "bench/workload.h"
+#include "common/mutex.h"
 
 namespace metacomm::bench {
 namespace {
@@ -31,7 +31,9 @@ struct Deployment {
   /// The "library coupling" lock: in library mode every read takes it,
   /// modeling the single LTAP+UM process doing read processing between
   /// update sequences. Updates always take it (they run in the UM).
-  std::mutex um_process;
+  /// Held across whole client calls into the gateway, hence the outer
+  /// kHarness rank.
+  Mutex um_process{LockRank::kHarness, "bench.um_process"};
   std::atomic<bool> stop{false};
   std::thread updater;
   std::atomic<uint64_t> updates_done{0};
@@ -47,7 +49,7 @@ struct Deployment {
         int i = 0;
         while (!stop.load()) {
           const Person& person = population[rng.Uniform(kPopulation)];
-          std::lock_guard<std::mutex> lock(um_process);
+          MutexLock lock(&um_process);
           Status status = client.Replace(person.dn, "roomNumber",
                                          "U-" + std::to_string(i++));
           (void)status;
@@ -88,7 +90,7 @@ void BM_ReadThroughput(benchmark::State& state) {
     const Person& person =
         g_deployment->population[rng.Uniform(kPopulation)];
     if (library_mode) {
-      std::lock_guard<std::mutex> lock(g_deployment->um_process);
+      MutexLock lock(&g_deployment->um_process);
       auto entry = client.Get(person.dn);
       benchmark::DoNotOptimize(entry);
     } else {

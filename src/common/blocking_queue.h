@@ -77,7 +77,8 @@ class BlockingQueue {
   bool Empty() const EXCLUDES(mutex_) { return Size() == 0; }
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kBlockingQueue,
+                       "common.blocking_queue"};
   CondVar cv_;
   std::deque<T> queue_ GUARDED_BY(mutex_);
   bool closed_ GUARDED_BY(mutex_) = false;

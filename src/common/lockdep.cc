@@ -1,0 +1,338 @@
+#include "common/lockdep.h"
+
+#if METACOMM_LOCKDEP
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>  // The validator's own lock sits beneath the
+                         // instrumented wrapper layer and must not
+                         // recurse into it (metalint allowlists this
+                         // file for exactly that reason).
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace metacomm::lockdep {
+namespace {
+
+constexpr int kMaxHeld = 32;    // Deepest legal nesting per thread.
+constexpr int kMaxFrames = 24;  // Backtrace depth captured per edge.
+
+struct Held {
+  const void* lock;
+  int rank;
+  const char* name;
+};
+
+// Trivially-destructible TLS: lock activity during static/TLS
+// destruction (e.g. a destructor that logs) must not touch a dead
+// vector, so the stack is a flat array with no destructor at all.
+struct HeldStack {
+  Held entries[kMaxHeld];
+  int count;
+};
+thread_local HeldStack tls_held;
+
+std::atomic<uint64_t> g_checked{0};
+std::atomic<size_t> g_edges{0};
+
+struct EdgeInfo {
+  void* frames[kMaxFrames];
+  int frame_count = 0;
+};
+
+// Acquisition-order graph over lock-class names: graph["A"]["B"]
+// exists iff some thread acquired class B while holding class A, and
+// holds the backtrace of the acquisition that first created the edge.
+struct Graph {
+  std::shared_mutex mu;
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, EdgeInfo>>
+      adj;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // Leaked: outlives static dtors.
+  return *g;
+}
+
+void PrintHeldLocks(const HeldStack& stack) {
+  fprintf(stderr, "held locks (outermost first):\n");
+  for (int i = 0; i < stack.count; ++i) {
+    fprintf(stderr, "  #%d \"%s\" (rank %d) @ %p\n", i,
+            stack.entries[i].name, stack.entries[i].rank,
+            stack.entries[i].lock);
+  }
+}
+
+void PrintLiveStack(const char* label) {
+  void* frames[kMaxFrames];
+  int n = backtrace(frames, kMaxFrames);
+  fprintf(stderr, "\n%s:\n", label);
+  fflush(stderr);
+  backtrace_symbols_fd(frames, n, STDERR_FILENO);
+}
+
+// Prints the stored first-recording stack for edge from->to, if the
+// edge exists. Returns true when a stack was printed.
+bool PrintEdgeStack(const char* from, const char* to) {
+  EdgeInfo info;
+  {
+    std::shared_lock<std::shared_mutex> g(graph().mu);
+    auto it = graph().adj.find(from);
+    if (it == graph().adj.end()) return false;
+    auto jt = it->second.find(to);
+    if (jt == it->second.end()) return false;
+    info = jt->second;
+  }
+  fprintf(stderr,
+          "\nconflicting prior order \"%s\" -> \"%s\" was first "
+          "recorded at this acquisition stack:\n",
+          from, to);
+  fflush(stderr);
+  backtrace_symbols_fd(info.frames, info.frame_count, STDERR_FILENO);
+  return true;
+}
+
+[[noreturn]] void Abort() {
+  fprintf(stderr,
+          "======================================================\n");
+  fflush(stderr);
+  abort();
+}
+
+[[noreturn]] void ReportRecursive(const HeldStack& stack,
+                                  const void* lock, const char* name) {
+  fprintf(stderr,
+          "\n==== metacomm lockdep: FATAL lock-order violation ====\n"
+          "recursive acquisition: this thread already holds \"%s\" "
+          "@ %p\n",
+          name, lock);
+  PrintHeldLocks(stack);
+  PrintLiveStack("this (violating) acquisition stack");
+  Abort();
+}
+
+[[noreturn]] void ReportRankRegression(const HeldStack& stack,
+                                       const Held& held, int rank,
+                                       const char* name) {
+  fprintf(stderr,
+          "\n==== metacomm lockdep: FATAL lock-order violation ====\n"
+          "rank regression: acquiring \"%s\" (rank %d) while holding "
+          "\"%s\" (rank %d)\n"
+          "ranks must strictly increase from outermost to innermost; "
+          "see src/common/lock_rank.h\n",
+          name, rank, held.name, held.rank);
+  PrintHeldLocks(stack);
+  PrintLiveStack("this (violating) acquisition stack");
+  if (!PrintEdgeStack(name, held.name)) {
+    fprintf(stderr,
+            "\n(no prior \"%s\" -> \"%s\" acquisition recorded in "
+            "this process; the rank table itself forbids this "
+            "order)\n",
+            name, held.name);
+  }
+  Abort();
+}
+
+[[noreturn]] void ReportCycle(const HeldStack& stack, const Held& held,
+                              int rank, const char* name,
+                              const std::string& via) {
+  fprintf(stderr,
+          "\n==== metacomm lockdep: FATAL lock-order violation ====\n"
+          "acquisition-graph cycle: acquiring \"%s\" (rank %d) while "
+          "holding \"%s\" (rank %d), but the order \"%s\" ... -> "
+          "\"%s\" is already recorded\n",
+          name, rank, held.name, held.rank, name, held.name);
+  PrintHeldLocks(stack);
+  PrintLiveStack("this (violating) acquisition stack");
+  if (!PrintEdgeStack(name, via.c_str())) {
+    fprintf(stderr, "\n(stored stack for \"%s\" -> \"%s\" missing)\n",
+            name, via.c_str());
+  }
+  Abort();
+}
+
+[[noreturn]] void ReportOverflow(const char* name) {
+  fprintf(stderr,
+          "\n==== metacomm lockdep: FATAL ====\n"
+          "held-lock stack overflow (> %d) acquiring \"%s\"\n",
+          kMaxHeld, name);
+  PrintLiveStack("this acquisition stack");
+  Abort();
+}
+
+void Push(const void* lock, LockRank rank, const char* name) {
+  HeldStack& stack = tls_held;
+  if (stack.count >= kMaxHeld) ReportOverflow(name);
+  stack.entries[stack.count++] =
+      Held{lock, LockRankValue(rank), name};
+}
+
+// Is `to` reachable from `from` in the class graph? Caller holds
+// graph().mu (shared). On success *via receives from's first hop on
+// the discovered path (for stack reporting).
+bool Reachable(const std::string& from, const std::string& to,
+               std::string* via) {
+  std::deque<std::pair<std::string, std::string>> queue;  // node, first hop
+  std::unordered_map<std::string, bool> seen;
+  queue.emplace_back(from, "");
+  seen[from] = true;
+  while (!queue.empty()) {
+    auto [node, hop] = queue.front();
+    queue.pop_front();
+    auto it = graph().adj.find(node);
+    if (it == graph().adj.end()) continue;
+    for (const auto& [next, info] : it->second) {
+      (void)info;
+      const std::string& first = hop.empty() ? next : hop;
+      if (next == to) {
+        *via = first;
+        return true;
+      }
+      if (!seen[next]) {
+        seen[next] = true;
+        queue.emplace_back(next, first);
+      }
+    }
+  }
+  return false;
+}
+
+// Records held->name edges for every held lock, capturing a backtrace
+// the first time each class pair is seen. Steady state (all edges
+// known) takes only the shared lock and allocates nothing.
+void RecordEdges(const HeldStack& stack, const char* name) {
+  bool all_known = true;
+  {
+    std::shared_lock<std::shared_mutex> g(graph().mu);
+    for (int i = 0; i < stack.count; ++i) {
+      auto it = graph().adj.find(stack.entries[i].name);
+      if (it == graph().adj.end() ||
+          it->second.find(name) == it->second.end()) {
+        all_known = false;
+        break;
+      }
+    }
+  }
+  if (all_known) return;
+
+  void* frames[kMaxFrames];
+  int n = backtrace(frames, kMaxFrames);
+  std::unique_lock<std::shared_mutex> g(graph().mu);
+  for (int i = 0; i < stack.count; ++i) {
+    EdgeInfo& info = graph().adj[stack.entries[i].name][name];
+    if (info.frame_count == 0) {
+      info.frame_count = n;
+      std::memcpy(info.frames, frames, sizeof(void*) * n);
+      g_edges.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+void OnAcquire(const void* lock, LockRank rank, const char* name) {
+  HeldStack& stack = tls_held;
+  g_checked.fetch_add(1, std::memory_order_relaxed);
+  for (int i = 0; i < stack.count; ++i) {
+    if (stack.entries[i].lock == lock)
+      ReportRecursive(stack, lock, name);
+  }
+  if (stack.count == 0) {
+    Push(lock, rank, name);
+    return;
+  }
+  const int value = LockRankValue(rank);
+  for (int i = 0; i < stack.count; ++i) {
+    if (stack.entries[i].rank >= value)
+      ReportRankRegression(stack, stack.entries[i], value, name);
+  }
+  // Cycle check: would recording held -> name close a loop? Only
+  // possible between classes whose ranks tie or were mis-assigned;
+  // the rank check above already rejects same/descending ranks, so
+  // this is a second line of defense for graph states imported by
+  // try-locks (pushed unchecked) and future same-rank refinements.
+  {
+    std::shared_lock<std::shared_mutex> g(graph().mu);
+    for (int i = 0; i < stack.count; ++i) {
+      if (std::strcmp(stack.entries[i].name, name) == 0) continue;
+      std::string via;
+      if (Reachable(name, stack.entries[i].name, &via)) {
+        g.unlock();
+        ReportCycle(stack, stack.entries[i], value, name, via);
+      }
+    }
+  }
+  RecordEdges(stack, name);
+  Push(lock, rank, name);
+}
+
+void OnTryAcquire(const void* lock, LockRank rank, const char* name) {
+  // A successful try-lock cannot block, hence cannot deadlock by
+  // itself: record it as held (it constrains later blocking
+  // acquisitions) but run no order checks and add no edges.
+  Push(lock, rank, name);
+}
+
+void OnRelease(const void* lock) {
+  HeldStack& stack = tls_held;
+  for (int i = stack.count - 1; i >= 0; --i) {
+    if (stack.entries[i].lock == lock) {
+      for (int j = i; j + 1 < stack.count; ++j)
+        stack.entries[j] = stack.entries[j + 1];
+      --stack.count;
+      return;
+    }
+  }
+  fprintf(stderr,
+          "\n==== metacomm lockdep: FATAL ====\n"
+          "releasing a lock this thread does not hold (@ %p)\n",
+          lock);
+  PrintHeldLocks(stack);
+  PrintLiveStack("this release stack");
+  Abort();
+}
+
+void OnCvWaitBegin(const void* lock) {
+  HeldStack& stack = tls_held;
+  if (stack.count == 0 ||
+      stack.entries[stack.count - 1].lock != lock) {
+    fprintf(stderr,
+            "\n==== metacomm lockdep: FATAL ====\n"
+            "condition wait on a lock that is not this thread's "
+            "innermost held lock (@ %p)\n",
+            lock);
+    PrintHeldLocks(stack);
+    PrintLiveStack("this wait stack");
+    Abort();
+  }
+  --stack.count;
+}
+
+void OnCvWaitEnd(const void* lock, LockRank rank, const char* name) {
+  // The wait reacquires the same lock the matching OnCvWaitBegin
+  // popped; the original OnAcquire validated this ordering.
+  Push(lock, rank, name);
+}
+
+size_t HeldCount() { return static_cast<size_t>(tls_held.count); }
+
+uint64_t CheckedAcquisitions() {
+  return g_checked.load(std::memory_order_relaxed);
+}
+
+size_t RecordedEdges() {
+  return g_edges.load(std::memory_order_relaxed);
+}
+
+}  // namespace metacomm::lockdep
+
+#endif  // METACOMM_LOCKDEP

@@ -1,0 +1,78 @@
+#ifndef METACOMM_COMMON_LOCKDEP_H_
+#define METACOMM_COMMON_LOCKDEP_H_
+
+/// Runtime lock-order validator ("lockdep", after the Linux kernel's).
+///
+/// Compiled in when METACOMM_LOCKDEP=1 (the default for Debug, TSan
+/// and RelWithDebInfo builds; Release and METACOMM_RELEASE_NATIVE
+/// compile it out — common::Mutex then costs exactly a std::mutex).
+///
+/// Every common::Mutex / SharedMutex acquisition reports here before
+/// blocking. Two structures back the checks:
+///
+///  - A thread-local held-lock stack: {instance, rank, class name} per
+///    lock this thread currently holds, in acquisition order.
+///  - A global acquisition-order graph keyed by lock-CLASS name pairs:
+///    the edge "A" -> "B" means some thread once acquired class B
+///    while holding class A. The backtrace of the acquisition that
+///    first established each edge is stored with it.
+///
+/// A blocking acquisition aborts the process when it would
+///  (a) re-acquire an instance the thread already holds,
+///  (b) regress the rank order (new rank <= any held rank), or
+///  (c) close a cycle in the class graph (belt and braces for locks
+///      that share a rank across unrelated classes).
+/// The report prints the live backtrace of the violating acquisition
+/// AND the stored backtrace of the conflicting recorded order — the
+/// "both acquisition stacks" a deadlock post-mortem needs — then
+/// calls abort(), so death tests and CI both see it.
+///
+/// TryLock never blocks, so a successful try-acquire is pushed on the
+/// held stack WITHOUT order checks (it cannot deadlock by itself), but
+/// it still constrains every later blocking acquire on the thread.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/lock_rank.h"
+
+#if METACOMM_LOCKDEP
+
+namespace metacomm::lockdep {
+
+/// Validates a blocking acquisition about to happen, records the
+/// class-graph edges it implies, and pushes it on the held stack.
+/// Aborts with a two-stack report on a violation.
+void OnAcquire(const void* lock, LockRank rank, const char* name);
+
+/// Records a successful non-blocking (try) acquisition: pushed on the
+/// held stack, no order checks, no graph edges.
+void OnTryAcquire(const void* lock, LockRank rank, const char* name);
+
+/// Pops `lock` from the held stack (any position: unlock order is
+/// not required to mirror lock order).
+void OnRelease(const void* lock);
+
+/// CondVar support: a wait releases the mutex inside the native wait
+/// and reacquires it before returning. The reacquisition re-joins the
+/// stack at the top without re-running order checks — the original
+/// OnAcquire already validated this ordering, and any locks acquired
+/// below it have been released (checked here).
+void OnCvWaitBegin(const void* lock);
+void OnCvWaitEnd(const void* lock, LockRank rank, const char* name);
+
+/// Number of locks the calling thread currently holds (tests).
+size_t HeldCount();
+
+/// Total blocking acquisitions validated process-wide (tests; proves
+/// the hooks are live in an instrumented run).
+uint64_t CheckedAcquisitions();
+
+/// Number of distinct class-order edges recorded so far (tests).
+size_t RecordedEdges();
+
+}  // namespace metacomm::lockdep
+
+#endif  // METACOMM_LOCKDEP
+
+#endif  // METACOMM_COMMON_LOCKDEP_H_

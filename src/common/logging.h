@@ -45,7 +45,9 @@ class Logger {
  private:
   Logger();
   std::atomic<LogLevel> min_level_;
-  Mutex mutex_;
+  // LOG() may run under any other lock in the system, so the sink
+  // lock ranks innermost of all (kLogging).
+  Mutex mutex_{LockRank::kLogging, "common.logging"};
   Sink sink_ GUARDED_BY(mutex_);
 };
 

@@ -6,7 +6,19 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_rank.h"
+#include "common/lockdep.h"
 #include "common/thread_annotations.h"
+
+// Lockdep hook shims: expand to the runtime-validator calls when
+// METACOMM_LOCKDEP is on and to nothing otherwise, so the wrappers
+// below read identically in both configurations and a Release-built
+// Mutex is exactly a std::mutex.
+#if METACOMM_LOCKDEP
+#define METACOMM_LOCKDEP_HOOK(call) ::metacomm::lockdep::call
+#else
+#define METACOMM_LOCKDEP_HOOK(call) ((void)0)
+#endif
 
 namespace metacomm {
 
@@ -17,19 +29,53 @@ class MutexLock;
 /// std::lock_guard carry no thread-safety attributes, so Clang's
 /// analysis cannot see acquisitions through them; this wrapper is the
 /// capability the whole tree locks with GUARDED_BY/REQUIRES against.
+///
+/// Every instance is constructed with a LockRank and a stable class
+/// name (see common/lock_rank.h for the global hierarchy). In lockdep
+/// builds each blocking acquisition is validated against the calling
+/// thread's held-lock stack and the global acquisition-order graph; a
+/// rank regression or cycle aborts with both acquisition stacks.
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// `name` identifies the lock CLASS in diagnostics and the
+  /// acquisition-order graph; it must be a string literal (the
+  /// pointer is retained, not copied).
+  explicit Mutex(LockRank rank, const char* name)
+#if METACOMM_LOCKDEP
+      : rank_(rank), name_(name) {
+  }
+#else
+  {
+    (void)rank;
+    (void)name;
+  }
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    METACOMM_LOCKDEP_HOOK(OnAcquire(this, rank_, name_));
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    METACOMM_LOCKDEP_HOOK(OnRelease(this));
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    METACOMM_LOCKDEP_HOOK(OnTryAcquire(this, rank_, name_));
+    return true;
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if METACOMM_LOCKDEP
+  // Set once at construction; not const-qualified so containing
+  // objects stay asm-output-compatible (benchmark::DoNotOptimize).
+  LockRank rank_;
+  const char* name_;
+#endif
 };
 
 /// RAII holder for Mutex; the scoped acquisition the analysis tracks.
@@ -58,17 +104,23 @@ class CondVar {
 
   /// Atomically releases `lock`'s mutex, waits, and reacquires.
   void Wait(MutexLock& lock) {
-    std::unique_lock<std::mutex> native(lock.mu_->mu_, std::adopt_lock);
+    Mutex* mu = lock.mu_;
+    METACOMM_LOCKDEP_HOOK(OnCvWaitBegin(mu));
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+    METACOMM_LOCKDEP_HOOK(OnCvWaitEnd(mu, mu->rank_, mu->name_));
   }
 
   /// Waits until woken or `deadline`. Returns false on timeout.
   bool WaitUntil(MutexLock& lock,
                  std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> native(lock.mu_->mu_, std::adopt_lock);
+    Mutex* mu = lock.mu_;
+    METACOMM_LOCKDEP_HOOK(OnCvWaitBegin(mu));
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
     std::cv_status status = cv_.wait_until(native, deadline);
     native.release();
+    METACOMM_LOCKDEP_HOOK(OnCvWaitEnd(mu, mu->rank_, mu->name_));
     return status == std::cv_status::no_timeout;
   }
 
@@ -79,21 +131,49 @@ class CondVar {
   std::condition_variable cv_;
 };
 
-/// Annotated wrapper over std::shared_mutex (the Backend's
-/// readers-writer DIT lock).
+/// Annotated wrapper over std::shared_mutex. Shared (reader)
+/// acquisitions run the same lockdep ordering checks as exclusive
+/// ones: a reader blocking behind a writer deadlocks just as hard.
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+  explicit SharedMutex(LockRank rank, const char* name)
+#if METACOMM_LOCKDEP
+      : rank_(rank), name_(name) {
+  }
+#else
+  {
+    (void)rank;
+    (void)name;
+  }
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() ACQUIRE() {
+    METACOMM_LOCKDEP_HOOK(OnAcquire(this, rank_, name_));
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    METACOMM_LOCKDEP_HOOK(OnRelease(this));
+  }
+  void LockShared() ACQUIRE_SHARED() {
+    METACOMM_LOCKDEP_HOOK(OnAcquire(this, rank_, name_));
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+    METACOMM_LOCKDEP_HOOK(OnRelease(this));
+  }
 
  private:
   std::shared_mutex mu_;
+#if METACOMM_LOCKDEP
+  // Set once at construction; not const-qualified so containing
+  // objects stay asm-output-compatible (benchmark::DoNotOptimize).
+  LockRank rank_;
+  const char* name_;
+#endif
 };
 
 /// RAII exclusive (writer) hold on a SharedMutex.

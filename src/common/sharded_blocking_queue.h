@@ -178,7 +178,7 @@ class ShardedBlockingQueue {
 
  private:
   struct Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{LockRank::kUmQueueShard, "um.queue.shard"};
     CondVar cv;
     std::deque<T> queue GUARDED_BY(mutex);
   };

@@ -201,6 +201,45 @@ std::optional<int64_t> ParseInt64(std::string_view s) {
   return static_cast<int64_t>(*value);
 }
 
+std::optional<int64_t> ParseSignedInt64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  bool negative = false;
+  if (s.front() == '+' || s.front() == '-') {
+    negative = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  std::optional<uint64_t> magnitude = ParseUint64(s);
+  if (!magnitude.has_value()) return std::nullopt;
+  constexpr uint64_t kMaxPositive =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  if (negative) {
+    // |INT64_MIN| = INT64_MAX + 1 is representable only when negated.
+    if (*magnitude > kMaxPositive + 1) return std::nullopt;
+    return static_cast<int64_t>(0 - *magnitude);
+  }
+  if (*magnitude > kMaxPositive) return std::nullopt;
+  return static_cast<int64_t>(*magnitude);
+}
+
+std::optional<uint64_t> ParseHexUint64(std::string_view s) {
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
 namespace {
 
 bool GlobMatchImpl(std::string_view pattern, std::string_view text,

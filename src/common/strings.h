@@ -84,6 +84,15 @@ bool IsAllDigits(std::string_view s);
 std::optional<int64_t> ParseInt64(std::string_view s);
 std::optional<uint64_t> ParseUint64(std::string_view s);
 
+/// Like ParseInt64 but accepts one leading '+' or '-' (the lexpress
+/// int() builtin's accepted syntax). Handles INT64_MIN exactly.
+std::optional<int64_t> ParseSignedInt64(std::string_view s);
+
+/// Checked hexadecimal parse of the complete string (no "0x" prefix,
+/// no sign): nullopt unless `s` is 1..16 hex digits. Used by the
+/// error-log unescaper instead of strtol.
+std::optional<uint64_t> ParseHexUint64(std::string_view s);
+
 /// Simple glob match supporting '*' (any run) and '?' (any one char).
 /// Used by LDAP substring filters and lexpress patterns.
 bool GlobMatch(std::string_view pattern, std::string_view text);

@@ -84,7 +84,7 @@ class CircuitBreaker {
  private:
   const Options options_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kBreaker, "core.breaker"};
   State state_ GUARDED_BY(mutex_) = State::kClosed;
   int consecutive_failures_ GUARDED_BY(mutex_) = 0;
   uint64_t open_transitions_ GUARDED_BY(mutex_) = 0;

@@ -97,13 +97,15 @@ StatusOr<std::string> UnescapeErrorToken(const std::string& escaped) {
       out.push_back(escaped[i]);
       continue;
     }
-    if (i + 2 >= escaped.size() || !std::isxdigit(escaped[i + 1]) ||
-        !std::isxdigit(escaped[i + 2])) {
+    std::optional<uint64_t> byte =
+        i + 2 < escaped.size()
+            ? ParseHexUint64(std::string_view(escaped).substr(i + 1, 2))
+            : std::nullopt;
+    if (!byte.has_value()) {
       return Status::InvalidArgument("bad escape in error token: " +
                                      escaped);
     }
-    char hex[3] = {escaped[i + 1], escaped[i + 2], '\0'};
-    out.push_back(static_cast<char>(std::strtol(hex, nullptr, 16)));
+    out.push_back(static_cast<char>(*byte));
     i += 2;
   }
   return out;
@@ -142,7 +144,12 @@ StatusOr<LoggedFailure> ParseErrorEntry(const ldap::Entry& entry) {
                                    ": no errorSeq (audit-only entry)");
   }
   LoggedFailure failure;
-  failure.sequence = std::strtoull(seq_text.c_str(), nullptr, 10);
+  std::optional<uint64_t> sequence = ParseUint64(seq_text);
+  if (!sequence.has_value()) {
+    return Status::InvalidArgument(entry.dn().ToString() +
+                                   ": bad errorSeq '" + seq_text + "'");
+  }
+  failure.sequence = *sequence;
   failure.repository = entry.GetFirst("errorRepository");
   std::optional<ApplyOutcome> outcome =
       ParseApplyOutcome(entry.GetFirst("errorClass"));

@@ -491,20 +491,28 @@ class UpdateManager : public ltap::TriggerActionServer {
   /// worker's scan interval watch `stopping_`; Synchronize's record
   /// loops watch `stop_epoch_` instead (a post-Stop resync must run).
   /// Shutdown is prompt without abandoning LTAP locks.
-  mutable Mutex shutdown_mutex_;
+  mutable Mutex shutdown_mutex_{LockRank::kUmShutdown, "um.shutdown"};
   CondVar shutdown_cv_;
   bool stopping_ GUARDED_BY(shutdown_mutex_) = false;
   uint64_t stop_epoch_ GUARDED_BY(shutdown_mutex_) = 0;
 
-  mutable Mutex admin_mutex_;
+  mutable Mutex admin_mutex_{LockRank::kUmAdmin, "um.admin"};
   AdminCallback admin_callback_ GUARDED_BY(admin_mutex_);
-  mutable Mutex stats_mutex_;
+  // stats_mutex_ is held while sampling queue depths, breaker
+  // snapshots and repository health (stats()), so it ranks before the
+  // shard, breaker and fault-injector locks.
+  mutable Mutex stats_mutex_{LockRank::kUmStats, "um.stats"};
   Stats stats_ GUARDED_BY(stats_mutex_);
   /// Replayable error-log entries not yet replayed, per repository.
   std::map<std::string, uint64_t, CaseInsensitiveLess> replay_backlog_
       GUARDED_BY(stats_mutex_);
   std::atomic<uint64_t> error_sequence_{0};
-  Mutex sync_mutex_;  // One synchronization at a time.
+  /// One synchronization at a time. Held across gateway quiesce,
+  /// directory writes and the whole repository fan-out, so it is the
+  /// outermost lock of the core (see lock_rank.h).
+  Mutex sync_mutex_ ACQUIRED_BEFORE(shutdown_mutex_, admin_mutex_,
+                                    stats_mutex_){LockRank::kUmSync,
+                                                  "um.sync"};
 };
 
 }  // namespace metacomm::core

@@ -82,7 +82,8 @@ class DefinityPbx : public Device {
 
   PbxConfig config_;
   std::string schema_ = "pbx";
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kDeviceRecords,
+                       "devices.definity_pbx"};
   // by Extension
   std::map<std::string, lexpress::Record> stations_ GUARDED_BY(mutex_);
   NotificationHandler handler_ GUARDED_BY(mutex_);

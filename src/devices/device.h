@@ -136,7 +136,8 @@ class FaultInjector {
   std::atomic<uint64_t> mutations_seen_{0};
   std::atomic<uint64_t> injected_failures_{0};
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kFaultInjector,
+                       "devices.fault_injector"};
   /// Outage windows in absolute mutation counts [start, end).
   std::vector<std::pair<uint64_t, uint64_t>> outages_ GUARDED_BY(mutex_);
   double error_probability_ GUARDED_BY(mutex_) = 0.0;

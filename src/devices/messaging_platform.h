@@ -78,7 +78,8 @@ class MessagingPlatform : public Device {
 
   MpConfig config_;
   std::string schema_ = "mp";
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kDeviceRecords,
+                       "devices.messaging_platform"};
   // by MailboxNumber
   std::map<std::string, lexpress::Record> mailboxes_ GUARDED_BY(mutex_);
   NotificationHandler handler_ GUARDED_BY(mutex_);

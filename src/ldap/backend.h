@@ -192,8 +192,11 @@ class Backend {
 
   const Schema* schema_;
 
-  /// Serializes the write path; never taken by readers.
-  mutable Mutex write_mutex_;
+  /// Serializes the write path; never taken by readers. Listeners
+  /// (the replication changelog) fire under it, so everything they
+  /// lock must rank after kLdapBackendWrite.
+  mutable Mutex write_mutex_{LockRank::kLdapBackendWrite,
+                             "ldap.backend.write"};
   /// The published version. Readers copy the pointer through a cell
   /// whose spin bit covers only the refcount bump (see
   /// common/atomic_shared_ptr.h) — writers swap the pointer, they

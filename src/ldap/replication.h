@@ -38,7 +38,9 @@ class Changelog {
   size_t Size() const EXCLUDES(mutex_);
 
  private:
-  mutable Mutex mutex_;
+  // Commit notifies listeners while still holding the backend write
+  // lock, so the changelog must rank after ldap.backend.write.
+  mutable Mutex mutex_{LockRank::kLdapChangelog, "ldap.changelog"};
   std::deque<ChangeRecord> records_ GUARDED_BY(mutex_);
 };
 

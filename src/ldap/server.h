@@ -70,7 +70,7 @@ class LdapServer : public LdapService {
   Schema schema_;
   ServerConfig config_;
   Backend backend_;
-  Mutex users_mutex_;
+  Mutex users_mutex_{LockRank::kLdapServerUsers, "ldap.server.users"};
   // normalized DN -> password
   std::map<std::string, std::string> users_ GUARDED_BY(users_mutex_);
 };

@@ -61,15 +61,14 @@ StatusOr<int64_t> ToInt(const Value& v, const char* what) {
                                    " must be a single integer");
   }
   const std::string& s = v.front();
-  std::string_view digits = s;
-  if (!digits.empty() && (digits[0] == '-' || digits[0] == '+')) {
-    digits.remove_prefix(1);
-  }
-  if (!IsAllDigits(digits)) {
+  std::optional<int64_t> value = ParseSignedInt64(s);
+  if (!value.has_value()) {
+    // Rejects non-digits AND out-of-range magnitudes; the strtoll it
+    // replaced silently saturated on overflow.
     return Status::InvalidArgument(std::string("lexpress: ") + what +
                                    " is not an integer: " + s);
   }
-  return std::strtoll(s.c_str(), nullptr, 10);
+  return *value;
 }
 
 std::string SubstrOne(const std::string& s, int64_t start, int64_t len) {

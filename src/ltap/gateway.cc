@@ -131,6 +131,14 @@ void LtapGateway::ExitUpdate() {
   state_cv_.NotifyAll();
 }
 
+void LtapGateway::CountInternalOp() {
+  // The internal fast paths call straight into the backend; the
+  // counter bump must not hold stats_mutex_ (rank kGatewayStats)
+  // across that call — the backend write lock ranks before it.
+  MutexLock lock(&stats_mutex_);
+  ++stats_.internal_ops;
+}
+
 std::optional<ldap::Entry> LtapGateway::Snapshot(const ldap::Dn& dn) {
   ldap::OpContext internal_ctx;
   internal_ctx.internal = true;
@@ -171,8 +179,7 @@ Status LtapGateway::FireTriggers(TriggerTiming timing,
 Status LtapGateway::Add(const ldap::OpContext& ctx,
                         const ldap::AddRequest& request) {
   if (ctx.internal) {
-    MutexLock lock(&stats_mutex_);
-    ++stats_.internal_ops;
+    CountInternalOp();
     return backend_->Add(ctx, request);
   }
   METACOMM_RETURN_IF_ERROR(EnterUpdate(ctx.session_id));
@@ -214,8 +221,7 @@ Status LtapGateway::Add(const ldap::OpContext& ctx,
 Status LtapGateway::Delete(const ldap::OpContext& ctx,
                            const ldap::DeleteRequest& request) {
   if (ctx.internal) {
-    MutexLock lock(&stats_mutex_);
-    ++stats_.internal_ops;
+    CountInternalOp();
     return backend_->Delete(ctx, request);
   }
   METACOMM_RETURN_IF_ERROR(EnterUpdate(ctx.session_id));
@@ -260,8 +266,7 @@ Status LtapGateway::Delete(const ldap::OpContext& ctx,
 Status LtapGateway::Modify(const ldap::OpContext& ctx,
                            const ldap::ModifyRequest& request) {
   if (ctx.internal) {
-    MutexLock lock(&stats_mutex_);
-    ++stats_.internal_ops;
+    CountInternalOp();
     return backend_->Modify(ctx, request);
   }
   METACOMM_RETURN_IF_ERROR(EnterUpdate(ctx.session_id));
@@ -311,8 +316,7 @@ Status LtapGateway::Modify(const ldap::OpContext& ctx,
 Status LtapGateway::ModifyRdn(const ldap::OpContext& ctx,
                               const ldap::ModifyRdnRequest& request) {
   if (ctx.internal) {
-    MutexLock lock(&stats_mutex_);
-    ++stats_.internal_ops;
+    CountInternalOp();
     return backend_->ModifyRdn(ctx, request);
   }
   METACOMM_RETURN_IF_ERROR(EnterUpdate(ctx.session_id));

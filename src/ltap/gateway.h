@@ -125,6 +125,10 @@ class LtapGateway : public ldap::LdapService {
   Status EnterUpdate(uint64_t session) EXCLUDES(state_mutex_);
   void ExitUpdate() EXCLUDES(state_mutex_);
 
+  /// Counts an internal (Update-Manager fan-in) operation in its own
+  /// lock scope so stats_mutex_ is never held across the backend call.
+  void CountInternalOp() EXCLUDES(stats_mutex_);
+
   /// Fetches the current entry image at `dn` from the backend (using
   /// an internal read), or nullopt when absent.
   std::optional<ldap::Entry> Snapshot(const ldap::Dn& dn);
@@ -145,13 +149,15 @@ class LtapGateway : public ldap::LdapService {
 
   // state_mutex_ is acquired before stats_mutex_ (EnterUpdate counts a
   // quiesce wait while holding it); no path takes them in reverse.
-  mutable Mutex state_mutex_ ACQUIRED_BEFORE(stats_mutex_);
+  mutable Mutex state_mutex_ ACQUIRED_BEFORE(stats_mutex_){
+      LockRank::kGatewayState, "ltap.gateway.state"};
   CondVar state_cv_;
   uint64_t quiesced_by_ GUARDED_BY(state_mutex_) = 0;  // 0 = not quiesced.
   int in_flight_updates_ GUARDED_BY(state_mutex_) = 0;
 
   std::atomic<uint64_t> next_session_{1};
-  mutable Mutex stats_mutex_;
+  mutable Mutex stats_mutex_{LockRank::kGatewayStats,
+                             "ltap.gateway.stats"};
   /// Update-side counters; Stats::reads is unused here (see reads_).
   Stats stats_ GUARDED_BY(stats_mutex_);
   std::atomic<uint64_t> reads_{0};

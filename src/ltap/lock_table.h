@@ -47,7 +47,7 @@ class LockTable {
   bool CanTake(const std::string& key, uint64_t session) const
       REQUIRES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kLtapLockTable, "ltap.lock_table"};
   CondVar cv_;
   std::map<std::string, LockState> locks_ GUARDED_BY(mutex_);
   uint64_t contended_ GUARDED_BY(mutex_) = 0;

@@ -76,7 +76,7 @@ class EventLoop {
   // Callbacks are only touched on the loop thread once it runs;
   // registration before Start and the pending task queue need the
   // mutex.
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kNetEventLoop, "net.event_loop"};
   std::map<int, EventCallback> callbacks_ GUARDED_BY(mutex_);
   std::vector<Task> pending_ GUARDED_BY(mutex_);
 };

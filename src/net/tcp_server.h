@@ -108,7 +108,8 @@ class TcpServer {
   size_t next_loop_ = 0;  // Acceptor-thread only.
   bool started_ = false;
 
-  mutable Mutex conn_mutex_;
+  mutable Mutex conn_mutex_{LockRank::kNetServerConns,
+                            "net.tcp_server.conns"};
   std::map<int, std::unique_ptr<Connection>> connections_
       GUARDED_BY(conn_mutex_);
 

@@ -23,22 +23,24 @@ using ldap::ServerConfig;
 class RecordingServer : public TriggerActionServer {
  public:
   Status OnUpdate(const UpdateNotification& notification) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     notifications.push_back(notification);
     return next_status;
   }
 
   void OnPersistentConnection(uint64_t session, bool open) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Fired by Quiesce under the gateway state lock: the recorder's
+    // lock must rank after kGatewayState — kLeaf does.
+    MutexLock lock(&mutex_);
     connections.emplace_back(session, open);
   }
 
   size_t Count() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return notifications.size();
   }
 
-  std::mutex mutex_;
+  Mutex mutex_{LockRank::kLeaf, "test.recording_server"};
   std::vector<UpdateNotification> notifications;
   std::vector<std::pair<uint64_t, bool>> connections;
   Status next_status = Status::Ok();

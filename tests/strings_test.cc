@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <optional>
+
 #include "common/random.h"
 
 namespace metacomm {
@@ -75,6 +78,50 @@ TEST(StringsTest, IsAllDigits) {
   EXPECT_FALSE(IsAllDigits(""));
   EXPECT_FALSE(IsAllDigits("12a45"));
   EXPECT_FALSE(IsAllDigits("-123"));
+}
+
+TEST(StringsTest, ParseUint64Checked) {
+  EXPECT_EQ(ParseUint64("0"), uint64_t{0});
+  EXPECT_EQ(ParseUint64("18446744073709551615"),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(ParseUint64("18446744073709551616"), std::nullopt);
+  EXPECT_EQ(ParseUint64(""), std::nullopt);
+  EXPECT_EQ(ParseUint64("+1"), std::nullopt);
+  EXPECT_EQ(ParseUint64(" 1"), std::nullopt);
+  EXPECT_EQ(ParseUint64("1x"), std::nullopt);
+}
+
+TEST(StringsTest, ParseSignedInt64Checked) {
+  EXPECT_EQ(ParseSignedInt64("42"), int64_t{42});
+  EXPECT_EQ(ParseSignedInt64("+42"), int64_t{42});
+  EXPECT_EQ(ParseSignedInt64("-42"), int64_t{-42});
+  EXPECT_EQ(ParseSignedInt64("-0"), int64_t{0});
+  EXPECT_EQ(ParseSignedInt64("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  // |INT64_MIN| exceeds INT64_MAX by one; only valid when negative.
+  EXPECT_EQ(ParseSignedInt64("-9223372036854775808"),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(ParseSignedInt64("9223372036854775808"), std::nullopt);
+  EXPECT_EQ(ParseSignedInt64("-9223372036854775809"), std::nullopt);
+  EXPECT_EQ(ParseSignedInt64(""), std::nullopt);
+  EXPECT_EQ(ParseSignedInt64("-"), std::nullopt);
+  EXPECT_EQ(ParseSignedInt64("+"), std::nullopt);
+  EXPECT_EQ(ParseSignedInt64("--1"), std::nullopt);
+  EXPECT_EQ(ParseSignedInt64("1.5"), std::nullopt);
+}
+
+TEST(StringsTest, ParseHexUint64Checked) {
+  EXPECT_EQ(ParseHexUint64("0"), uint64_t{0});
+  EXPECT_EQ(ParseHexUint64("ff"), uint64_t{255});
+  EXPECT_EQ(ParseHexUint64("FF"), uint64_t{255});
+  EXPECT_EQ(ParseHexUint64("2a"), uint64_t{42});
+  EXPECT_EQ(ParseHexUint64("ffffffffffffffff"),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(ParseHexUint64("10000000000000000"), std::nullopt);  // 17 digits
+  EXPECT_EQ(ParseHexUint64(""), std::nullopt);
+  EXPECT_EQ(ParseHexUint64("0x2a"), std::nullopt);  // no prefix form
+  EXPECT_EQ(ParseHexUint64("2g"), std::nullopt);
+  EXPECT_EQ(ParseHexUint64("-1"), std::nullopt);
 }
 
 struct GlobCase {

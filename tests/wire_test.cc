@@ -84,7 +84,9 @@ std::optional<std::string> ReadFrame(int fd) {
     if (c < '0' || c > '9' || header.size() > 12) return std::nullopt;
     header.push_back(c);
   }
-  size_t length = static_cast<size_t>(std::stoull(header));
+  std::optional<uint64_t> parsed = ParseUint64(header);
+  if (!parsed.has_value()) return std::nullopt;
+  size_t length = static_cast<size_t>(*parsed);
   std::string payload(length, '\0');
   size_t got = 0;
   while (got < length) {

@@ -4,10 +4,21 @@
 #   tools/check.sh
 #
 # Stages:
-#   1. Clang thread-safety-analysis build (-Wthread-safety as error)
-#      — skipped with a notice when clang++ is not installed; the
-#      annotations compile as no-ops elsewhere.
-#   2. Regular build + full tier-1 ctest suite.
+#   0. metalint: the repo's own concurrency/robustness linter, built
+#      straight from tools/metalint.cc with no other dependencies so
+#      it gates even a tree that doesn't compile. The real tree must
+#      scan clean; every file in tools/metalint_fixtures/ must be
+#      flagged (the linter's own negative corpus).
+#   1. Clang thread-safety-analysis build (-Wthread-safety plus
+#      -Wthread-safety-beta for ACQUIRED_BEFORE ordering) — skipped
+#      with a notice when clang++ is not installed; the annotations
+#      compile as no-ops elsewhere.
+#   2. Regular build + full tier-1 ctest suite, with the runtime
+#      lock-order validator pinned on (-DMETACOMM_LOCKDEP=ON) so every
+#      threaded suite runs with acquisition-order checking live.
+#   2b. lockdep validator self-test: the seeded-inversion death tests
+#       (lockdep_test) run explicitly and must prove a deliberate
+#       A→B/B→A inversion aborts with both acquisition stacks.
 #   3. ThreadSanitizer build and run of the concurrency tests
 #      (threaded_test, parallel_um_test, snapshot_stress_test,
 #      wire_test — the epoll socket server under adversarial byte
@@ -19,7 +30,7 @@
 #   4. lexpress_check over the generated mappings and every example
 #      mapping file (defects.lex is the linter's own fixture and is
 #      expected to FAIL; it is checked for non-zero exit).
-#   5. clang-tidy over the core sources — skipped when absent.
+#   5. clang-tidy over src/, tools/ and bench/ — skipped when absent.
 #   6. Bench smoke: one quick pass of bench_batching with --json and a
 #      parse of the emitted BENCH_batching.json.
 #   6b. Wire bench smoke: bench_wire's 100-connection point (real
@@ -37,6 +48,25 @@ fail()  { printf 'FAIL: %s\n' "$*"; failures=$((failures + 1)); }
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+# -- 0. metalint ------------------------------------------------------
+# Built directly (standard library only, by design) so this stage
+# works even when the tree itself is broken.
+note "metalint"
+mkdir -p build-metalint
+if c++ -std=c++20 -O2 -o build-metalint/metalint tools/metalint.cc; then
+  build-metalint/metalint src tools bench tests \
+    || fail "metalint findings in the tree"
+  for fixture in tools/metalint_fixtures/*.cc; do
+    if build-metalint/metalint "$fixture" >/dev/null; then
+      fail "metalint missed the seeded defects in $fixture"
+    else
+      echo "$fixture: flagged as expected"
+    fi
+  done
+else
+  fail "metalint build"
+fi
+
 # -- 1. Clang thread-safety analysis ---------------------------------
 note "clang -Wthread-safety"
 if command -v clang++ >/dev/null 2>&1; then
@@ -49,12 +79,20 @@ else
   echo "clang++ not installed; skipping (annotations are no-ops under gcc)"
 fi
 
-# -- 2. Tier-1 build + tests -----------------------------------------
-note "tier-1 build + ctest"
-cmake -B build -S . >/dev/null \
+# -- 2. Tier-1 build + tests (lockdep pinned on) ---------------------
+note "tier-1 build + ctest (METACOMM_LOCKDEP=ON)"
+cmake -B build -S . -DMETACOMM_LOCKDEP=ON >/dev/null \
   && cmake --build build -j "$jobs" \
   && ctest --test-dir build --output-on-failure -j "$jobs" \
   || fail "tier-1 tests"
+
+# -- 2b. lockdep validator self-test ---------------------------------
+note "lockdep seeded-inversion death tests"
+if [ -x build/tests/lockdep_test ]; then
+  ./build/tests/lockdep_test || fail "lockdep_test"
+else
+  fail "lockdep_test not built"
+fi
 
 # -- 3. TSan concurrency tests ---------------------------------------
 note "ThreadSanitizer: threaded_test + parallel_um_test + snapshot_stress_test + wire_test"
@@ -116,7 +154,8 @@ fi
 note "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  run-clang-tidy -p build -quiet "src/.*" || fail "clang-tidy"
+  run-clang-tidy -p build -quiet "src/.*" "tools/.*" "bench/.*" \
+    || fail "clang-tidy"
 else
   echo "clang-tidy not installed; skipping (.clang-tidy documents the profile)"
 fi

@@ -1,0 +1,482 @@
+// metalint — MetaComm's repo-invariant linter.
+//
+// Encodes tree-wide conventions that clang-tidy's generic checks
+// cannot express, as hard gate failures (tools/check.sh):
+//
+//   ML001  naked standard synchronization primitive (std::mutex,
+//          std::lock_guard, std::condition_variable, ...) outside
+//          common/mutex.h. Everything locks through the annotated,
+//          rank-carrying common::Mutex wrapper — a naked primitive is
+//          invisible to both Clang TSA and the lockdep validator.
+//   ML002  unchecked numeric parse (atoi/atoll/strtol*/stoi/...).
+//          These saturate, wrap or throw on bad input; protocol and
+//          config parsing must use the checked common/strings parses
+//          (ParseInt64 / ParseUint64 / ParseSignedInt64 /
+//          ParseHexUint64), which return nullopt instead.
+//   ML003  NO_THREAD_SAFETY_ANALYSIS escape hatch. The annotation
+//          layer exists so the analysis covers everything; opting a
+//          function out hides exactly the code most likely to race.
+//   ML004  thread .detach(). A detached thread outlives the state it
+//          captured; every thread in the tree is joined on shutdown.
+//   ML005  common::Mutex / SharedMutex declaration without a
+//          LockRank. Unranked locks cannot participate in the
+//          deadlock-freedom hierarchy (src/common/lock_rank.h).
+//
+// Usage: metalint <file-or-dir>...
+//   Directories are walked recursively for *.h / *.cc / *.cpp /
+//   *.hpp; paths under a metalint_fixtures/ directory are skipped
+//   unless named explicitly (they are the deliberately-bad corpus
+//   this binary's own tests scan).
+//
+// Output: "file:line: [MLnnn] message" per finding; exit 1 when
+// anything was flagged, 0 on a clean tree.
+//
+// Matching runs on a stripped view of each file — comments, string
+// and character literals are blanked first — so banned tokens in
+// documentation (or in this file's own rule tables) never trip it.
+// Self-contained by design: standard library only, no repo headers,
+// so the gate can build it before anything else compiles.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  size_t line;
+  const char* id;
+  std::string message;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Replaces comments, string literals (including raw strings) and
+/// character literals with spaces, preserving offsets and newlines.
+std::string StripCommentsAndLiterals(const std::string& in) {
+  std::string out = in;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // ")delim" terminator of a raw string.
+  char prev_code = '\0';  // Last code char (digit-separator check).
+
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // Raw string? The quote follows R with an optional
+          // encoding prefix (u8R, uR, UR, LR).
+          size_t j = i;
+          bool raw = j > 0 && in[j - 1] == 'R' &&
+                     (j < 2 || !IsIdentChar(in[j - 2]) ||
+                      in[j - 2] == '8' || in[j - 2] == 'u' ||
+                      in[j - 2] == 'U' || in[j - 2] == 'L');
+          if (raw) {
+            raw_delim = ")";
+            size_t k = i + 1;
+            while (k < in.size() && in[k] != '(') {
+              raw_delim.push_back(in[k]);
+              out[k] = ' ';
+              ++k;
+            }
+            raw_delim.push_back('"');
+            i = k;  // At '(' (blanked next iteration via state).
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          out[i] = ' ';
+        } else if (c == '\'') {
+          // A quote directly after an identifier/digit char is a
+          // C++14 digit separator (1'000'000), not a literal.
+          if (IsIdentChar(prev_code)) {
+            out[i] = ' ';
+          } else {
+            state = State::kChar;
+            out[i] = ' ';
+          }
+        } else {
+          if (!std::isspace(static_cast<unsigned char>(c)))
+            prev_code = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+          prev_code = '"';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+          prev_code = '\'';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k)
+            out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+          prev_code = '"';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+size_t LineOf(const std::vector<size_t>& line_starts, size_t offset) {
+  size_t lo = 0, hi = line_starts.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (line_starts[mid] <= offset) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;  // 1-based.
+}
+
+/// Finds `token` at identifier boundaries (neither neighbour may be
+/// an identifier char, nor the preceding char a ':' — that would be
+/// the tail of a longer qualified name).
+std::vector<size_t> FindToken(const std::string& text,
+                              const std::string& token,
+                              bool forbid_scope_prefix) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    char before = pos > 0 ? text[pos - 1] : '\0';
+    size_t end = pos + token.size();
+    char after = end < text.size() ? text[end] : '\0';
+    bool boundary = !IsIdentChar(before) && !IsIdentChar(after);
+    if (forbid_scope_prefix && before == ':') boundary = false;
+    if (boundary) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+// --- Rule tables -----------------------------------------------------
+
+const char* kNakedPrimitives[] = {
+    "std::mutex",          "std::recursive_mutex",
+    "std::timed_mutex",    "std::recursive_timed_mutex",
+    "std::shared_mutex",   "std::shared_timed_mutex",
+    "std::lock_guard",     "std::unique_lock",
+    "std::scoped_lock",    "std::shared_lock",
+    "std::condition_variable",
+    "std::condition_variable_any",
+};
+
+const char* kUncheckedParses[] = {
+    "atoi",  "atol",  "atoll",  "atof",   "strtol", "strtoll",
+    "strtoul", "strtoull", "strtof", "strtod", "strtold",
+    "stoi",  "stol",  "stoll",  "stoul",  "stoull", "stof",
+    "stod",  "stold",
+};
+
+struct Allowlist {
+  const char* id;
+  const char* path_suffix;
+};
+
+// Files allowed to use a banned construct: the wrapper layer itself
+// and the one place each convention is implemented.
+const Allowlist kAllowlist[] = {
+    {"ML001", "src/common/mutex.h"},    // The wrapper over std::mutex.
+    {"ML001", "src/common/lockdep.cc"}, // Validator sits beneath it.
+    {"ML002", "src/common/strings.cc"}, // Implements the checked parses.
+    {"ML003", "src/common/thread_annotations.h"},  // Defines the macro.
+    {"ML005", "src/common/mutex.h"},    // Declares the Mutex types.
+};
+
+bool Allowed(const char* id, const std::string& path) {
+  for (const Allowlist& a : kAllowlist) {
+    if (std::string(a.id) == id && path.size() >= strlen(a.path_suffix) &&
+        path.compare(path.size() - strlen(a.path_suffix),
+                     strlen(a.path_suffix), a.path_suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Rules -----------------------------------------------------------
+
+void CheckNakedPrimitives(const std::string& path,
+                          const std::string& text,
+                          const std::vector<size_t>& lines,
+                          std::vector<Finding>* findings) {
+  for (const char* token : kNakedPrimitives) {
+    for (size_t pos : FindToken(text, token, false)) {
+      findings->push_back(
+          {path, LineOf(lines, pos), "ML001",
+           std::string("naked ") + token +
+               "; lock through common::Mutex / common::CondVar "
+               "(common/mutex.h) so TSA and lockdep can see it"});
+    }
+  }
+}
+
+void CheckUncheckedParses(const std::string& path,
+                          const std::string& text,
+                          const std::vector<size_t>& lines,
+                          std::vector<Finding>* findings) {
+  for (const char* name : kUncheckedParses) {
+    for (size_t pos : FindToken(text, name, false)) {
+      // Must be a call: next non-space char is '('.
+      size_t after = pos + strlen(name);
+      while (after < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[after]))) {
+        ++after;
+      }
+      if (after >= text.size() || text[after] != '(') continue;
+      findings->push_back(
+          {path, LineOf(lines, pos), "ML002",
+           std::string("unchecked numeric parse ") + name +
+               "(); use the checked common/strings parses "
+               "(ParseInt64 / ParseUint64 / ParseSignedInt64 / "
+               "ParseHexUint64)"});
+    }
+  }
+}
+
+void CheckTsaEscape(const std::string& path, const std::string& text,
+                    const std::vector<size_t>& lines,
+                    std::vector<Finding>* findings) {
+  for (size_t pos : FindToken(text, "NO_THREAD_SAFETY_ANALYSIS", false)) {
+    findings->push_back(
+        {path, LineOf(lines, pos), "ML003",
+         "NO_THREAD_SAFETY_ANALYSIS escape; restructure so the "
+         "analysis can verify the function instead of opting out"});
+  }
+}
+
+void CheckDetach(const std::string& path, const std::string& text,
+                 const std::vector<size_t>& lines,
+                 std::vector<Finding>* findings) {
+  for (size_t pos : FindToken(text, "detach", false)) {
+    // Member call: preceded by '.' or '->', followed by '('.
+    char before = pos > 0 ? text[pos - 1] : '\0';
+    bool member = before == '.' ||
+                  (before == '>' && pos > 1 && text[pos - 2] == '-');
+    size_t after = pos + 6;
+    while (after < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[after]))) {
+      ++after;
+    }
+    if (!member || after >= text.size() || text[after] != '(') continue;
+    findings->push_back({path, LineOf(lines, pos), "ML004",
+                         "thread detach(); every thread must be "
+                         "joined so shutdown cannot race teardown"});
+  }
+}
+
+void CheckUnrankedMutexDecls(const std::string& path,
+                             const std::string& text,
+                             const std::vector<size_t>& lines,
+                             std::vector<Finding>* findings) {
+  for (const char* type : {"Mutex", "SharedMutex"}) {
+    // Scope prefixes allowed: "common::Mutex mu_" is still our type.
+    for (size_t pos : FindToken(text, type, false)) {
+      // A declaration is the type name followed by whitespace and an
+      // identifier ("Mutex mu_"). Pointer/reference declarations and
+      // uses like "MutexLock lock(&mu_)" do not match.
+      size_t after = pos + strlen(type);
+      size_t ws = after;
+      while (ws < text.size() && (text[ws] == ' ' || text[ws] == '\t'))
+        ++ws;
+      if (ws == after || ws >= text.size() ||
+          !(std::isalpha(static_cast<unsigned char>(text[ws])) ||
+            text[ws] == '_')) {
+        continue;
+      }
+      // Skip type mentions in declarations of the types themselves
+      // ("class Mutex", "friend class Mutex") and expressions.
+      size_t before_ws = pos;
+      while (before_ws > 0 &&
+             (text[before_ws - 1] == ' ' || text[before_ws - 1] == '\t'))
+        --before_ws;
+      for (const char* kw : {"class", "struct", "typename", "new",
+                             "return", "co_return"}) {
+        size_t n = strlen(kw);
+        if (before_ws >= n &&
+            text.compare(before_ws - n, n, kw) == 0 &&
+            (before_ws == n || !IsIdentChar(text[before_ws - n - 1]))) {
+          goto next_hit;
+        }
+      }
+      {
+        // Collect the full declaration up to its terminating ';' and
+        // require a LockRank:: argument somewhere in it (initializers
+        // may wrap across lines).
+        size_t stmt_end = text.find(';', pos);
+        if (stmt_end == std::string::npos) stmt_end = text.size();
+        std::string stmt = text.substr(pos, stmt_end - pos);
+        if (stmt.find("LockRank::") == std::string::npos) {
+          findings->push_back(
+              {path, LineOf(lines, pos), "ML005",
+               std::string(type) +
+                   " declared without a LockRank; every lock joins "
+                   "the hierarchy in src/common/lock_rank.h"});
+        }
+      }
+    next_hit:;
+    }
+  }
+}
+
+// --- Driver ----------------------------------------------------------
+
+bool HasSourceExtension(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool UnderFixtures(const fs::path& p) {
+  for (const fs::path& part : p) {
+    if (part == "metalint_fixtures") return true;
+  }
+  return false;
+}
+
+void LintFile(const std::string& path, std::vector<Finding>* findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    findings->push_back({path, 0, "ML000", "cannot read file"});
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string raw = buffer.str();
+  std::string text = StripCommentsAndLiterals(raw);
+
+  std::vector<size_t> lines;
+  lines.push_back(0);
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') lines.push_back(i + 1);
+  }
+
+  std::vector<Finding> file_findings;
+  CheckNakedPrimitives(path, text, lines, &file_findings);
+  CheckUncheckedParses(path, text, lines, &file_findings);
+  CheckTsaEscape(path, text, lines, &file_findings);
+  CheckDetach(path, text, lines, &file_findings);
+  CheckUnrankedMutexDecls(path, text, lines, &file_findings);
+
+  for (Finding& f : file_findings) {
+    if (!Allowed(f.id, f.file)) findings->push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: metalint <file-or-dir>...\n");
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (auto it = fs::recursive_directory_iterator(arg);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && HasSourceExtension(it->path()) &&
+            !UnderFixtures(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      files.push_back(arg.string());
+    } else {
+      std::fprintf(stderr, "metalint: no such file or directory: %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) LintFile(file, &findings);
+
+  for (const Finding& f : findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.id,
+                f.message.c_str());
+  }
+  if (findings.empty()) {
+    std::fprintf(stderr, "metalint: %zu file(s) clean\n", files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "metalint: %zu finding(s) in %zu file(s)\n",
+               findings.size(), files.size());
+  return 1;
+}

@@ -1,0 +1,16 @@
+// metalint fixture: ML004 — detached threads. Both detach calls must
+// be flagged; the function *named* detach and the member access
+// without a call must not be.
+#include <thread>
+
+void detach() {}  // not a hit: plain function definition/call syntax
+struct HasField {
+  int detach = 0;  // not a hit: no call
+};
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();  // ML004
+  std::thread* heap = new std::thread([] {});
+  heap->detach();  // ML004
+}

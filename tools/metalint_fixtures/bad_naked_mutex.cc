@@ -1,0 +1,19 @@
+// metalint fixture: ML001 — naked standard synchronization
+// primitives. Every line below must be flagged; the commented and
+// quoted mentions must NOT be (the linter strips them first).
+#include <condition_variable>
+#include <mutex>
+
+// std::mutex in a comment is fine.
+const char* quoted = "std::lock_guard in a string is fine";
+
+struct BadCounter {
+  int Increment() {
+    std::lock_guard<std::mutex> lock(mu);  // ML001 x2 (guard + type)
+    return ++count;
+  }
+
+  std::mutex mu;                  // ML001
+  std::condition_variable cv;     // ML001
+  int count = 0;
+};

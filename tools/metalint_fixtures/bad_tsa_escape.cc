@@ -1,0 +1,9 @@
+// metalint fixture: ML003 — opting out of thread-safety analysis.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  __attribute__((no_thread_safety_analysis))  // ML003 (the define)
+
+struct Sneaky {
+  // A function that hides from the analysis: ML003.
+  void MutateWithoutLock() NO_THREAD_SAFETY_ANALYSIS { ++value; }
+  int value = 0;
+};

@@ -1,0 +1,18 @@
+// metalint fixture: ML002 — unchecked numeric parses. Each call must
+// be flagged; the identifier that merely *contains* a banned name
+// (my_atoi) and the call name in a string must not be.
+#include <cstdlib>
+#include <string>
+
+int my_atoi(const char* s) { return s[0] - '0'; }  // not a hit
+const char* doc = "atoi( in a string is fine";
+
+long ParseAll(const std::string& s) {
+  long total = std::atoi(s.c_str());            // ML002
+  total += std::atoll(s.c_str());               // ML002
+  total += std::strtol(s.c_str(), nullptr, 10); // ML002
+  total += std::strtoull(s.c_str(), nullptr, 16);  // ML002
+  total += static_cast<long>(std::stoi(s));     // ML002
+  total += my_atoi(s.c_str());
+  return total;
+}

@@ -1,0 +1,25 @@
+// metalint fixture: ML005 — common::Mutex declarations without a
+// LockRank. The unranked declarations must be flagged; the ranked
+// one, the pointer declaration and the MutexLock use must not be.
+#include "common/mutex.h"
+
+namespace metacomm {
+
+struct RankedOk {
+  Mutex mu{LockRank::kLeaf, "fixture.ok"};  // ranked: not a hit
+  Mutex* alias = &mu;                       // pointer: not a hit
+};
+
+struct UnrankedBad {
+  void Touch() {
+    MutexLock lock(&mu_);  // use, not declaration: not a hit
+    ++count_;
+  }
+
+  Mutex mu_;               // ML005
+  SharedMutex dit_lock_;   // ML005
+  common::Mutex other_;    // ML005 (qualified spelling)
+  int count_ = 0;
+};
+
+}  // namespace metacomm
