@@ -103,6 +103,35 @@ void BM_MapRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_MapRecord)->Arg(8)->Arg(32)->Arg(128);
 
+/// The pre-fast-path execution pipeline (per-instruction attribute map
+/// lookups, a fresh copying stack per program). Kept runnable so every
+/// BENCH_lexpress.json carries its own in-run before/after ratio —
+/// fast-vs-reference measured under identical load, immune to
+/// machine-to-machine drift.
+void BM_MapRecordReference(benchmark::State& state) {
+  auto mappings = CompileMappings(
+      SyntheticMapping(static_cast<int>(state.range(0))));
+  if (!mappings.ok()) {
+    state.SkipWithError(mappings.status().ToString().c_str());
+    return;
+  }
+  Record record("src");
+  record.SetOne("k", "key-1");
+  for (int i = 0; i < state.range(0); ++i) {
+    record.SetOne("a" + std::to_string(i), "value " + std::to_string(i));
+  }
+  for (auto _ : state) {
+    auto mapped = (*mappings)[0].MapRecordReference(record);
+    if (!mapped.ok()) {
+      state.SkipWithError(mapped.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(mapped);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MapRecordReference)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_TranslateWithPartitionRouting(benchmark::State& state) {
   std::string source = core::GeneratePbxMappings(core::PbxMappingParams{
       .name = "pbx9", .extension_prefix = "9"});
@@ -132,6 +161,70 @@ void BM_TranslateWithPartitionRouting(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TranslateWithPartitionRouting);
+
+/// Builds the steady-state Modify workload: a wide mapping (32 rules)
+/// and an update that changes exactly one source attribute — the shape
+/// of a production update stream, where a directory entry carries many
+/// mapped attributes and each modify touches few. Dirty-attribute rule
+/// selection re-evaluates only the touched rule group; everything else
+/// is carried over from the (single) old-image map.
+UpdateDescriptor SteadyStateModify() {
+  UpdateDescriptor update;
+  update.op = lexpress::DescriptorOp::kModify;
+  update.schema = "src";
+  Record record("src");
+  record.SetOne("k", "key-1");
+  for (int i = 0; i < 32; ++i) {
+    record.SetOne("a" + std::to_string(i), "value " + std::to_string(i));
+  }
+  update.old_record = record;
+  record.SetOne("a7", "changed");
+  update.new_record = std::move(record);
+  update.explicit_attrs.insert("a7");
+  return update;
+}
+
+void BM_TranslateSteadyStateModify(benchmark::State& state) {
+  auto mappings = CompileMappings(SyntheticMapping(32));
+  if (!mappings.ok()) {
+    state.SkipWithError(mappings.status().ToString().c_str());
+    return;
+  }
+  UpdateDescriptor update = SteadyStateModify();
+  lexpress::Vm vm;
+  for (auto _ : state) {
+    auto translated = (*mappings)[0].Translate(update, &vm);
+    if (!translated.ok()) {
+      state.SkipWithError(translated.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(translated);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranslateSteadyStateModify);
+
+/// The same workload through the reference pipeline: full remap of the
+/// old AND new images on the copying interpreter — what every Translate
+/// cost before the fast path.
+void BM_TranslateSteadyStateModifyReference(benchmark::State& state) {
+  auto mappings = CompileMappings(SyntheticMapping(32));
+  if (!mappings.ok()) {
+    state.SkipWithError(mappings.status().ToString().c_str());
+    return;
+  }
+  UpdateDescriptor update = SteadyStateModify();
+  for (auto _ : state) {
+    auto translated = (*mappings)[0].TranslateReference(update);
+    if (!translated.ok()) {
+      state.SkipWithError(translated.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(translated);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranslateSteadyStateModifyReference);
 
 /// Closure cost vs dependency-chain length: schema s0 -> s1 -> ... ->
 /// sN, each hop copying a value; the update enters at s0 and must

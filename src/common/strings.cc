@@ -103,6 +103,20 @@ bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix) {
          EqualsIgnoreCase(s.substr(0, prefix.size()), prefix);
 }
 
+bool EndsWithIgnoreCase(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         EqualsIgnoreCase(s.substr(s.size() - suffix.size()), suffix);
+}
+
+bool ContainsIgnoreCase(std::string_view s, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (s.size() < needle.size()) return false;
+  for (size_t i = 0; i + needle.size() <= s.size(); ++i) {
+    if (EqualsIgnoreCase(s.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
 std::vector<std::string> Split(std::string_view s, char sep) {
   std::vector<std::string> pieces;
   size_t start = 0;

@@ -52,6 +52,15 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// True if `s` begins with `prefix`, ignoring ASCII case.
 bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
 
+/// True if `s` ends with `suffix`, ignoring ASCII case. Allocation-free
+/// (the lexpress suffix() builtin used to lower-case both operands into
+/// temporaries per value per evaluation).
+bool EndsWithIgnoreCase(std::string_view s, std::string_view suffix);
+
+/// True if `needle` occurs anywhere in `s`, ignoring ASCII case.
+/// Allocation-free; an empty needle matches everything.
+bool ContainsIgnoreCase(std::string_view s, std::string_view needle);
+
 /// Splits `s` on every occurrence of `sep`; an empty input yields one
 /// empty piece, matching the behaviour of most split utilities.
 std::vector<std::string> Split(std::string_view s, char sep);

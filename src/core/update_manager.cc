@@ -136,6 +136,10 @@ void UpdateManager::Stop() {
 void UpdateManager::WorkerLoop(size_t shard) {
   const size_t max_batch =
       static_cast<size_t>(std::max(1, config_.max_batch_size));
+  // The worker's lexpress interpreter: its stack, value pool and record
+  // view persist across every item this worker ever processes, so the
+  // closure/translation hot path runs allocation-free in steady state.
+  lexpress::Vm vm;
   while (true) {
     std::vector<WorkItem> batch = queue_.PopBatch(shard, max_batch);
     if (batch.empty()) return;  // Closed; Stop() reclaims the rest.
@@ -145,11 +149,11 @@ void UpdateManager::WorkerLoop(size_t shard) {
       // The paper shape — and the max_batch_size=1 default — bypasses
       // the coalescer entirely.
       WorkItem& item = batch.front();
-      Status status = ProcessItem(item);
+      Status status = ProcessItem(item, &vm);
       if (item.done) item.done->set_value(status);
       continue;
     }
-    ProcessBatch(std::move(batch));
+    ProcessBatch(std::move(batch), &vm);
   }
 }
 
@@ -187,12 +191,15 @@ void UpdateManager::RecordDequeue(const WorkItem& item) {
 }
 
 size_t UpdateManager::Pump() {
+  // Synchronous assemblies drain on whatever thread calls Pump; a
+  // per-thread interpreter keeps its scratch warm across calls.
+  thread_local lexpress::Vm vm;
   size_t processed = 0;
   while (true) {
     std::optional<WorkItem> item = queue_.TryPopAny();
     if (!item.has_value()) break;
     RecordDequeue(*item);
-    Status status = ProcessItem(*item);
+    Status status = ProcessItem(*item, &vm);
     if (item->done) item->done->set_value(status);
     ++processed;
   }
@@ -233,7 +240,7 @@ void UpdateManager::SubmitDeviceUpdate(lexpress::UpdateDescriptor update) {
   // returns.
   WorkItem item;
   item.descriptor = std::move(update);
-  Status status = ProcessItem(item);
+  Status status = ProcessItem(item, /*vm=*/nullptr);
   (void)status;  // Failures were logged/notified by ProcessItem.
 }
 
@@ -256,7 +263,7 @@ Status UpdateManager::OnUpdate(
   if (!config_.threaded) {
     WorkItem item;
     item.descriptor = std::move(descriptor).value();
-    return ProcessItem(item);
+    return ProcessItem(item, /*vm=*/nullptr);
   }
   // Threaded: enqueue and wait — LTAP must not reply to the client
   // until the UM "completes the update sequence and notifies LTAP"
@@ -334,19 +341,19 @@ RepositoryFilter* UpdateManager::FindFilter(const std::string& name) const {
   return nullptr;
 }
 
-Status UpdateManager::ProcessItem(const WorkItem& item) {
-  if (item.prepared) return FinishDeviceUpdate(item);
+Status UpdateManager::ProcessItem(const WorkItem& item, lexpress::Vm* vm) {
+  if (item.prepared) return FinishDeviceUpdate(item, vm);
   if (EqualsIgnoreCase(item.descriptor.schema, "ldap")) {
-    return ProcessLdapOriginated(item.descriptor);
+    return ProcessLdapOriginated(item.descriptor, vm);
   }
-  return ProcessDeviceOriginated(item.descriptor);
+  return ProcessDeviceOriginated(item.descriptor, vm);
 }
 
 Status UpdateManager::ProcessLdapOriginated(
-    const lexpress::UpdateDescriptor& update) {
+    const lexpress::UpdateDescriptor& update, lexpress::Vm* vm) {
   // LTAP already applied the client's operation and holds the entry
   // lock for the duration of this call.
-  return Propagate(update, /*ldap_current=*/true);
+  return Propagate(update, /*ldap_current=*/true, vm);
 }
 
 StatusOr<std::optional<UpdateManager::WorkItem>>
@@ -508,22 +515,23 @@ void UpdateManager::ReleaseLocks(const std::vector<ldap::Dn>& locked,
   }
 }
 
-Status UpdateManager::FinishDeviceUpdate(const WorkItem& item) {
+Status UpdateManager::FinishDeviceUpdate(const WorkItem& item,
+                                         lexpress::Vm* vm) {
   Status status = Propagate(HydrateDeviceUpdate(item.descriptor),
-                            /*ldap_current=*/false);
+                            /*ldap_current=*/false, vm);
   ReleaseLocks(item.locked, item.lock_session);
   return status;
 }
 
 Status UpdateManager::ProcessDeviceOriginated(
-    const lexpress::UpdateDescriptor& update) {
+    const lexpress::UpdateDescriptor& update, lexpress::Vm* vm) {
   StatusOr<std::optional<WorkItem>> prepared = PrepareDeviceUpdate(update);
   if (!prepared.ok()) {
     HandleError(prepared.status(), update);
     return prepared.status();
   }
   if (!prepared->has_value()) return Status::Ok();
-  return FinishDeviceUpdate(**prepared);
+  return FinishDeviceUpdate(**prepared, vm);
 }
 
 std::string UpdatePlan::ToString() const {
@@ -539,6 +547,12 @@ std::string UpdatePlan::ToString() const {
 
 StatusOr<UpdatePlan> UpdateManager::PlanUpdate(
     const lexpress::UpdateDescriptor& ldap_update, bool ldap_current) {
+  return PlanUpdate(ldap_update, ldap_current, /*vm=*/nullptr);
+}
+
+StatusOr<UpdatePlan> UpdateManager::PlanUpdate(
+    const lexpress::UpdateDescriptor& ldap_update, bool ldap_current,
+    lexpress::Vm* vm) {
   UpdatePlan plan;
 
   if (ldap_update.op == lexpress::DescriptorOp::kDelete) {
@@ -552,7 +566,7 @@ StatusOr<UpdatePlan> UpdateManager::PlanUpdate(
     for (RepositoryFilter* filter : filters_) {
       METACOMM_ASSIGN_OR_RETURN(
           std::optional<lexpress::UpdateDescriptor> translated,
-          filter->from_ldap().Translate(ldap_update));
+          filter->from_ldap().Translate(ldap_update, vm));
       if (!translated.has_value()) continue;
       PlannedOp device_delete;
       device_delete.repository = filter->name();
@@ -571,10 +585,10 @@ StatusOr<UpdatePlan> UpdateManager::PlanUpdate(
   for (RepositoryFilter* filter : filters_) {
     if (base.count(filter->schema()) > 0) continue;
     StatusOr<bool> in_partition =
-        filter->from_ldap().PartitionAccepts(ldap_update.old_record);
+        filter->from_ldap().PartitionAccepts(ldap_update.old_record, vm);
     if (!in_partition.ok() || !*in_partition) continue;
     StatusOr<lexpress::Record> derived =
-        filter->from_ldap().MapRecord(ldap_update.old_record);
+        filter->from_ldap().MapRecord(ldap_update.old_record, vm);
     if (derived.ok()) base.emplace(filter->schema(), std::move(*derived));
   }
 
@@ -582,7 +596,7 @@ StatusOr<UpdatePlan> UpdateManager::PlanUpdate(
       lexpress::ClosureResult closure,
       mappings_.Propagate(base, "ldap", ldap_update.new_record,
                           ldap_update.explicit_attrs,
-                          config_.closure_max_iterations));
+                          config_.closure_max_iterations, vm));
   plan.closure_iterations = closure.iterations;
   plan.final_ldap = closure.records["ldap"];
   plan.final_ldap.set_schema("ldap");
@@ -601,7 +615,7 @@ StatusOr<UpdatePlan> UpdateManager::PlanUpdate(
   for (RepositoryFilter* filter : filters_) {
     METACOMM_ASSIGN_OR_RETURN(
         std::optional<lexpress::UpdateDescriptor> translated,
-        filter->from_ldap().Translate(fanout));
+        filter->from_ldap().Translate(fanout, vm));
     if (!translated.has_value()) continue;
     PlannedOp device_op;
     device_op.repository = filter->name();
@@ -612,8 +626,9 @@ StatusOr<UpdatePlan> UpdateManager::PlanUpdate(
 }
 
 Status UpdateManager::Propagate(
-    const lexpress::UpdateDescriptor& ldap_update, bool ldap_current) {
-  StatusOr<UpdatePlan> plan = PlanUpdate(ldap_update, ldap_current);
+    const lexpress::UpdateDescriptor& ldap_update, bool ldap_current,
+    lexpress::Vm* vm) {
+  StatusOr<UpdatePlan> plan = PlanUpdate(ldap_update, ldap_current, vm);
   if (!plan.ok()) {
     // Closure fixpoint failure (runtime cycle detection, §4.2) or a
     // mapping evaluation error.
@@ -796,13 +811,14 @@ void UpdateManager::SettleUnit(const UnitWork& unit,
   }
 }
 
-void UpdateManager::ProcessBatch(std::vector<WorkItem> items) {
+void UpdateManager::ProcessBatch(std::vector<WorkItem> items,
+                                 lexpress::Vm* vm) {
   if (config_.saga_undo) {
     // Saga compensation reasons about ONE update sequence at a time;
     // merged units have no single pre-image to restore. Fall back to
     // the sequential path rather than guess.
     for (WorkItem& item : items) {
-      Status status = ProcessItem(item);
+      Status status = ProcessItem(item, vm);
       if (item.done) item.done->set_value(status);
     }
     return;
@@ -882,13 +898,14 @@ void UpdateManager::ProcessBatch(std::vector<WorkItem> items) {
       for (const std::string& key : unit_keys) wave_keys.insert(key);
       wave.push_back(next);
     }
-    if (!wave.empty()) PropagateWave(units, wave, items);
+    if (!wave.empty()) PropagateWave(units, wave, items, vm);
   }
 }
 
 void UpdateManager::PropagateWave(std::vector<UnitWork>& units,
                                   const std::vector<size_t>& wave,
-                                  std::vector<WorkItem>& items) {
+                                  std::vector<WorkItem>& items,
+                                  lexpress::Vm* vm) {
   // One planned-and-alive propagation per unit in the wave.
   struct LiveUnit {
     UnitWork* unit;
@@ -906,7 +923,7 @@ void UpdateManager::PropagateWave(std::vector<UnitWork>& units,
     lu.unit = &unit;
     lu.update = unit.ldap_current ? unit.update
                                   : HydrateDeviceUpdate(unit.update);
-    StatusOr<UpdatePlan> plan = PlanUpdate(lu.update, unit.ldap_current);
+    StatusOr<UpdatePlan> plan = PlanUpdate(lu.update, unit.ldap_current, vm);
     if (!plan.ok()) {
       HandleError(plan.status(), lu.update);
       SettleUnit(unit, items, plan.status());
@@ -1527,7 +1544,8 @@ Status UpdateManager::Synchronize(const std::string& device_name) {
       upsert.explicit_attrs.insert(attr);
     }
     upsert.explicit_attrs.erase(kLastUpdaterAttr);
-    Status status = Propagate(upsert, /*ldap_current=*/false);
+    Status status = Propagate(upsert, /*ldap_current=*/false,
+                              /*vm=*/nullptr);
     if (!status.ok() && first_error.ok()) first_error = status;
   }
 

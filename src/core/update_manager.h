@@ -306,7 +306,7 @@ class UpdateManager : public ltap::TriggerActionServer {
       const lexpress::UpdateDescriptor& update);
 
   /// Propagates a prepared device update and releases its locks.
-  Status FinishDeviceUpdate(const WorkItem& item);
+  Status FinishDeviceUpdate(const WorkItem& item, lexpress::Vm* vm);
 
   /// Overlays a device update's partial images onto the directory's
   /// current entry so fan-out never clears attributes the source
@@ -326,21 +326,30 @@ class UpdateManager : public ltap::TriggerActionServer {
       const ltap::UpdateNotification& notification) const;
 
   /// Processes one queued item (dispatches on descriptor schema).
-  Status ProcessItem(const WorkItem& item);
+  /// `vm` is the calling worker's interpreter, reused across items.
+  Status ProcessItem(const WorkItem& item, lexpress::Vm* vm);
 
   /// Path A tail: descriptor is in the "ldap" schema and the directory
   /// already reflects the client's operation.
-  Status ProcessLdapOriginated(const lexpress::UpdateDescriptor& update);
+  Status ProcessLdapOriginated(const lexpress::UpdateDescriptor& update,
+                               lexpress::Vm* vm);
 
   /// Path B: descriptor is in a device schema; takes the LTAP entry
   /// lock, applies to the directory, propagates (§4.4).
-  Status ProcessDeviceOriginated(const lexpress::UpdateDescriptor& update);
+  Status ProcessDeviceOriginated(const lexpress::UpdateDescriptor& update,
+                                 lexpress::Vm* vm);
 
   /// Shared propagation tail: closure, directory diff, device fan-out,
   /// generated-information round. `ldap_current` tells whether the
   /// directory already reflects update.new_record's explicit changes.
   Status Propagate(const lexpress::UpdateDescriptor& ldap_update,
-                   bool ldap_current);
+                   bool ldap_current, lexpress::Vm* vm);
+
+  /// PlanUpdate with the worker's interpreter (the public overload
+  /// forwards with the per-thread fallback).
+  StatusOr<UpdatePlan> PlanUpdate(
+      const lexpress::UpdateDescriptor& ldap_update, bool ldap_current,
+      lexpress::Vm* vm);
 
   /// One device's answer to an update, kept for the §5.5 round.
   struct DeviceResult {
@@ -368,14 +377,14 @@ class UpdateManager : public ltap::TriggerActionServer {
   /// The batched path (max_batch_size > 1): coalesces the popped
   /// items, partitions the units into entity-disjoint waves, and
   /// propagates each wave with shared repository conversations.
-  void ProcessBatch(std::vector<WorkItem> items);
+  void ProcessBatch(std::vector<WorkItem> items, lexpress::Vm* vm);
 
   /// Plans and executes one wave of entity-disjoint units: one shared
   /// processing delay, one LTAP session for all directory writes, one
   /// device session per repository. Settles every constituent.
   void PropagateWave(std::vector<UnitWork>& units,
                      const std::vector<size_t>& wave,
-                     std::vector<WorkItem>& items);
+                     std::vector<WorkItem>& items, lexpress::Vm* vm);
 
   /// Releases each constituent's locks and completes its promise.
   void SettleUnit(const UnitWork& unit, std::vector<WorkItem>& items,

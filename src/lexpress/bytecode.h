@@ -74,8 +74,17 @@ struct Program {
   std::vector<Instruction> code;
   std::vector<Value> constants;
   std::vector<std::string> attr_names;
+  /// Slot index per attr_names entry, filled by ResolveSlots against
+  /// the owning mapping's SlotMap. When present, the fast interpreter
+  /// serves kLoadAttr from a RecordView array index; programs compiled
+  /// standalone (tests, analyzer probes) leave this empty and run on
+  /// the reference interpreter's name lookups.
+  std::vector<uint32_t> attr_slots;
 
   bool empty() const { return code.empty(); }
+  bool slot_resolved() const {
+    return attr_slots.size() == attr_names.size();
+  }
 };
 
 }  // namespace metacomm::lexpress

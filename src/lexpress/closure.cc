@@ -177,7 +177,7 @@ StatusOr<ClosureResult> MappingSet::Propagate(
     const std::map<std::string, Record, CaseInsensitiveLess>& base_images,
     const std::string& updated_schema, const Record& new_record,
     const std::set<std::string, CaseInsensitiveLess>& explicit_attrs,
-    int max_iterations) const {
+    int max_iterations, Vm* vm) const {
   ClosureResult result;
   result.records = base_images;
   for (auto& [schema, record] : result.records) {
@@ -217,6 +217,8 @@ StatusOr<ClosureResult> MappingSet::Propagate(
     return true;
   };
 
+  const Record empty_source;
+  std::vector<std::pair<std::string_view, Value>> derived;
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
     bool any_change = false;
     for (const Mapping& mapping : mappings_) {
@@ -226,12 +228,17 @@ StatusOr<ClosureResult> MappingSet::Propagate(
       }
       const auto& changed_src = changed_it->second;
 
+      // Evaluate only the rule groups reading a changed source
+      // attribute (dirty-attribute rule selection): work per sweep is
+      // proportional to the moving frontier. Evaluation finishes before
+      // any target mutation, so a self-mapping can read the source
+      // record in place — no per-sweep copy.
       auto src_it = result.records.find(mapping.source_schema());
-      Record source(mapping.source_schema());
-      if (src_it != result.records.end()) source = src_it->second;
-      source.set_schema(mapping.source_schema());
-
-      METACOMM_ASSIGN_OR_RETURN(Record computed, mapping.MapRecord(source));
+      const Record& source =
+          src_it != result.records.end() ? src_it->second : empty_source;
+      derived.clear();
+      METACOMM_RETURN_IF_ERROR(
+          mapping.MapDirtyGroups(source, changed_src, vm, &derived));
 
       Record& target =
           result.records
@@ -240,17 +247,7 @@ StatusOr<ClosureResult> MappingSet::Propagate(
               .first->second;
       target.set_schema(mapping.target_schema());
 
-      // Candidate target attributes: those depending on a changed
-      // source attribute.
-      for (const CompiledRule& rule : mapping.rules()) {
-        bool affected = std::any_of(
-            rule.source_attrs.begin(), rule.source_attrs.end(),
-            [&changed_src](const std::string& s) {
-              return changed_src.count(s) > 0;
-            });
-        if (!affected) continue;
-        const std::string& attr = rule.target_attr;
-        const Value& new_value = computed.Get(attr);
+      for (auto& [attr, new_value] : derived) {
         const Value& current = target.Get(attr);
         if (values_equal(new_value, current)) continue;
 
@@ -267,8 +264,11 @@ StatusOr<ClosureResult> MappingSet::Propagate(
           continue;
         }
         setter[node] = &mapping;
-        target.Set(attr, new_value);
-        result.changed[mapping.target_schema()].insert(attr);
+        // An empty derived value means no rule won: the attribute
+        // derives to nothing, and Set's empty-removes matches what a
+        // full remap would produce.
+        target.Set(attr, std::move(new_value));
+        result.changed[mapping.target_schema()].insert(std::string(attr));
         any_change = true;
       }
     }

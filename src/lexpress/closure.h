@@ -87,12 +87,17 @@ class MappingSet {
   /// Fails with kDeadlineExceeded when no fixpoint is reached within
   /// `max_iterations` sweeps ("at execution time (if a fixpoint will
   /// not be reached for a current update)").
+  ///
+  /// Each sweep evaluates only the rule groups whose source attributes
+  /// changed (Mapping::MapDirtyGroups) — work per sweep is proportional
+  /// to the moving frontier, not to the total rule count. Pass a
+  /// per-worker `vm` to reuse its scratch buffers.
   StatusOr<ClosureResult> Propagate(
       const std::map<std::string, Record, CaseInsensitiveLess>&
           base_images,
       const std::string& updated_schema, const Record& new_record,
       const std::set<std::string, CaseInsensitiveLess>& explicit_attrs,
-      int max_iterations = 16) const;
+      int max_iterations = 16, Vm* vm = nullptr) const;
 
  private:
   std::vector<Mapping> mappings_;

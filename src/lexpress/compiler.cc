@@ -146,6 +146,14 @@ void CollectAttrRefs(const Expr& expr,
   }
 }
 
+void ResolveSlots(SlotMap* slots, Program* program) {
+  program->attr_slots.clear();
+  program->attr_slots.reserve(program->attr_names.size());
+  for (const std::string& name : program->attr_names) {
+    program->attr_slots.push_back(slots->Intern(name));
+  }
+}
+
 StatusOr<Program> CompileExpr(const Expr& expr,
                               const std::vector<TableDef>& tables) {
   Program program;

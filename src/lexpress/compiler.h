@@ -26,6 +26,12 @@ struct CompiledRule {
   /// such edges always converge in cycles (the attribute just gets
   /// copied back unchanged), so cycle analysis treats them as benign.
   bool identity = false;
+  /// Slot of the single attribute an identity rule copies, resolved by
+  /// Mapping::Compile; -1 for non-identity rules (or before slot
+  /// resolution). Lets evaluation copy straight out of the RecordView
+  /// without entering the VM at all — identity copies are the most
+  /// common rule shape in deployment description files.
+  int32_t direct_slot = -1;
   int line = 0;
 };
 
@@ -41,6 +47,12 @@ void CollectAttrRefs(const Expr& expr,
 /// Compiles one rule against the mapping's tables.
 StatusOr<CompiledRule> CompileRule(const MapRule& rule,
                                    const std::vector<TableDef>& tables);
+
+/// Interns every attribute `program` reads into `slots` and fills
+/// program->attr_slots, enabling the VM's slot-resolved fast path.
+/// Mapping::Compile runs this over all rule and partition programs
+/// with the mapping's own SlotMap.
+void ResolveSlots(SlotMap* slots, Program* program);
 
 }  // namespace metacomm::lexpress
 

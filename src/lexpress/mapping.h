@@ -6,12 +6,14 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "lexpress/ast.h"
 #include "lexpress/compiler.h"
 #include "lexpress/record.h"
+#include "lexpress/vm.h"
 
 namespace metacomm::lexpress {
 
@@ -32,6 +34,18 @@ const char* RouteActionName(RouteAction action);
 ///
 /// "Mappings are specified from a source schema to a target schema, so
 /// two lexpress mappings are specified for each schema pair" (§4.2).
+///
+/// Compile() additionally precomputes the execution fast path
+/// (DESIGN.md "lexpress execution pipeline"):
+///  * a SlotMap interning every source attribute any rule or the
+///    partition reads, with all programs slot-resolved against it;
+///  * rule groups — the target-attribute → {rules, source slots}
+///    dependency index that drives dirty-attribute rule selection on
+///    Modify translation and in the closure engine.
+///
+/// Execution methods take an optional Vm*: pass a per-worker instance
+/// to reuse its scratch buffers across calls (the update manager's
+/// workers do); nullptr falls back to a per-thread Vm.
 class Mapping {
  public:
   /// Compiles a parsed declaration. Fails on unknown functions, bad
@@ -60,18 +74,55 @@ class Mapping {
   /// Target attribute of the first `key` rule; empty if none declared.
   const std::string& key_target_attr() const { return key_target_attr_; }
 
+  /// One target attribute's alternate-rule chain plus the union of
+  /// source slots its rules read — the compiled dependency index
+  /// behind SourcesOf and dirty-attribute rule selection.
+  struct RuleGroup {
+    std::string target_attr;
+    /// Indices into rules(), in declaration order (first rule wins).
+    std::vector<uint32_t> rules;
+    /// Union of slot_map() slots read by the group's guards + values.
+    std::vector<uint32_t> source_slots;
+  };
+  /// Groups ordered by first appearance of their target attribute.
+  const std::vector<RuleGroup>& rule_groups() const { return groups_; }
+
+  /// The mapping's interned source-attribute table.
+  const SlotMap& slot_map() const { return slot_map_; }
+
   /// Maps a full source record to a target record: runs every rule in
   /// declaration order; for each target attribute the first rule whose
   /// guard holds and whose value is non-empty wins (alternate attribute
   /// mappings, §4.2).
-  StatusOr<Record> MapRecord(const Record& source) const;
+  StatusOr<Record> MapRecord(const Record& source,
+                             Vm* vm = nullptr) const;
+
+  /// Reference implementation of MapRecord on the reference
+  /// interpreter — the oracle the differential test checks the slot
+  /// path against. Not for hot paths.
+  StatusOr<Record> MapRecordReference(const Record& source) const;
+
+  /// Evaluates only the rule groups reading at least one attribute in
+  /// `changed_src`, appending (target attr, value) per dirty group —
+  /// value empty when no rule won, which callers must treat as
+  /// "derives to nothing" (the closure engine removes the target
+  /// attribute). Groups reading no changed attribute are skipped
+  /// entirely: their result is provably identical to the previous
+  /// evaluation. This is the work-proportional core of the closure.
+  Status MapDirtyGroups(
+      const Record& source,
+      const std::set<std::string, CaseInsensitiveLess>& changed_src,
+      Vm* vm,
+      std::vector<std::pair<std::string_view, Value>>* out) const;
 
   /// Evaluates the partition predicate over a source record; mappings
   /// without a partition clause accept everything.
-  StatusOr<bool> PartitionAccepts(const Record& source) const;
+  StatusOr<bool> PartitionAccepts(const Record& source,
+                                  Vm* vm = nullptr) const;
 
   /// Routing decision for an update (see RouteAction).
-  StatusOr<RouteAction> Route(const UpdateDescriptor& update) const;
+  StatusOr<RouteAction> Route(const UpdateDescriptor& update,
+                              Vm* vm = nullptr) const;
 
   /// Translates a canonical update in the source schema into a
   /// canonical update against the target, or nullopt when the target
@@ -80,7 +131,17 @@ class Mapping {
   /// Sets `conditional` on the result when the update is headed back
   /// to the repository it originated from: the originator attribute of
   /// the source record names this mapping's target_name (§5.4).
+  ///
+  /// On a Modify, only rule groups whose source attributes actually
+  /// changed between the old and new images are re-evaluated for the
+  /// new target record (dirty-attribute rule selection); the result is
+  /// byte-identical to mapping both records in full.
   StatusOr<std::optional<UpdateDescriptor>> Translate(
+      const UpdateDescriptor& update, Vm* vm = nullptr) const;
+
+  /// Reference implementation of Translate: full remap of every image
+  /// on the reference interpreter. The differential-test oracle.
+  StatusOr<std::optional<UpdateDescriptor>> TranslateReference(
       const UpdateDescriptor& update) const;
 
   /// Source attributes read by any rule mapping into `target_attr`.
@@ -89,6 +150,21 @@ class Mapping {
 
  private:
   Mapping() = default;
+
+  /// Runs one group's first-wins chain against `view`; `*out` is left
+  /// empty when no rule wins.
+  Status EvalGroup(const RuleGroup& group, const RecordView& view,
+                   Vm& vm, Value* out) const;
+
+  /// Marks the slots of `changed` attrs in the vm's dirty bitmap;
+  /// returns false when no changed attribute is read by any program
+  /// (nothing to re-evaluate).
+  bool MarkDirtySlots(
+      const std::set<std::string, CaseInsensitiveLess>& changed,
+      std::vector<uint8_t>* dirty) const;
+
+  static bool AnySlotDirty(const std::vector<uint32_t>& slots,
+                           const std::vector<uint8_t>& dirty);
 
   std::string name_;
   std::string source_schema_;
@@ -100,6 +176,8 @@ class Mapping {
   std::vector<CompiledRule> rules_;
   Program partition_;  // Empty = accept all.
   std::string key_target_attr_;
+  SlotMap slot_map_;
+  std::vector<RuleGroup> groups_;
 };
 
 /// Compiles every mapping in a lexpress source file. This is the

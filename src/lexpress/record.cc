@@ -4,15 +4,105 @@
 
 namespace metacomm::lexpress {
 
+const Value& EmptyValue() {
+  static const Value* empty = new Value;
+  return *empty;
+}
+
+uint32_t SlotMap::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  uint32_t slot = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), slot);
+  return slot;
+}
+
+std::optional<uint32_t> SlotMap::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RecordView::Reset(const Record& record, const SlotMap& slots) {
+  slots_.assign(slots.size(), &EmptyValue());
+  // Record attributes and the slot index are sorted by the same
+  // comparator, so one merge walk resolves everything: O(attrs + slots)
+  // comparisons instead of a map lookup per attribute.
+  CaseInsensitiveLess less;
+  auto ir = record.attrs().begin();
+  auto is = slots.index().begin();
+  while (ir != record.attrs().end() && is != slots.index().end()) {
+    if (less(ir->first, is->first)) {
+      ++ir;
+    } else if (less(is->first, ir->first)) {
+      ++is;
+    } else {
+      slots_[is->second] = &ir->second;
+      ++ir;
+      ++is;
+    }
+  }
+}
+
+Record::Record(std::string schema, AttrMap attrs)
+    : schema_(std::move(schema)), attrs_(std::move(attrs)) {
+  attrs_.erase(std::remove_if(attrs_.begin(), attrs_.end(),
+                              [](const AttrMap::value_type& entry) {
+                                return entry.second.empty();
+                              }),
+               attrs_.end());
+  auto name_less = [](const AttrMap::value_type& a,
+                      const AttrMap::value_type& b) {
+    return CaseInsensitiveLess()(a.first, b.first);
+  };
+  // Builders that append in order (Mapping::MapRecord walks its groups
+  // in target order) pay one linear verification pass, nothing more.
+  if (!std::is_sorted(attrs_.begin(), attrs_.end(), name_less)) {
+    std::stable_sort(attrs_.begin(), attrs_.end(), name_less);
+  }
+  // Later entries win, matching what Set-ing them in order would do.
+  auto out = attrs_.begin();
+  for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+    if (out != attrs_.begin() &&
+        EqualsIgnoreCase(std::prev(out)->first, it->first)) {
+      *std::prev(out) = std::move(*it);
+    } else {
+      if (out != it) *out = std::move(*it);
+      ++out;
+    }
+  }
+  attrs_.erase(out, attrs_.end());
+}
+
+Record::AttrMap::iterator Record::LowerBound(std::string_view attr) {
+  return std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const AttrMap::value_type& entry, std::string_view name) {
+        return CaseInsensitiveLess()(entry.first, name);
+      });
+}
+
+Record::AttrMap::const_iterator Record::Find(std::string_view attr) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const AttrMap::value_type& entry, std::string_view name) {
+        return CaseInsensitiveLess()(entry.first, name);
+      });
+  if (it == attrs_.end() || !EqualsIgnoreCase(it->first, attr)) {
+    return attrs_.end();
+  }
+  return it;
+}
+
 bool Record::Has(std::string_view attr) const {
-  auto it = attrs_.find(attr);
+  auto it = Find(attr);
   return it != attrs_.end() && !it->second.empty();
 }
 
 const Value& Record::Get(std::string_view attr) const {
-  static const Value* empty = new Value;
-  auto it = attrs_.find(attr);
-  return it == attrs_.end() ? *empty : it->second;
+  auto it = Find(attr);
+  return it == attrs_.end() ? EmptyValue() : it->second;
 }
 
 std::string Record::GetFirst(std::string_view attr) const {
@@ -25,7 +115,12 @@ void Record::Set(std::string_view attr, Value value) {
     Remove(attr);
     return;
   }
-  attrs_[std::string(attr)] = std::move(value);
+  auto it = LowerBound(attr);
+  if (it != attrs_.end() && EqualsIgnoreCase(it->first, attr)) {
+    it->second = std::move(value);
+    return;
+  }
+  attrs_.emplace(it, std::string(attr), std::move(value));
 }
 
 void Record::SetOne(std::string_view attr, std::string value) {
@@ -33,8 +128,10 @@ void Record::SetOne(std::string_view attr, std::string value) {
 }
 
 void Record::Remove(std::string_view attr) {
-  auto it = attrs_.find(attr);
-  if (it != attrs_.end()) attrs_.erase(it);
+  auto it = LowerBound(attr);
+  if (it != attrs_.end() && EqualsIgnoreCase(it->first, attr)) {
+    attrs_.erase(it);
+  }
 }
 
 namespace {
@@ -52,12 +149,46 @@ bool ValueSetsEqual(const Value& a, const Value& b) {
 
 }  // namespace
 
+std::set<std::string, CaseInsensitiveLess> ChangedAttrs(const Record& a,
+                                                        const Record& b) {
+  // Exact (ordered, case-sensitive) value comparison, deliberately
+  // stricter than the set-equality Records compare with: a rule's
+  // OUTPUT can be case- and order-sensitive (concat, first, join), so
+  // "unchanged" must mean bit-identical input for the skipped
+  // re-evaluation to be provably identical too. Stricter only costs a
+  // spurious re-evaluation; looser would change results.
+  //
+  // Both attribute lists are sorted by the same comparator, so one
+  // linear merge walk finds every difference.
+  std::set<std::string, CaseInsensitiveLess> changed;
+  CaseInsensitiveLess less;
+  auto ia = a.attrs().begin();
+  auto ib = b.attrs().begin();
+  while (ia != a.attrs().end() && ib != b.attrs().end()) {
+    if (less(ia->first, ib->first)) {
+      changed.insert(ia->first);
+      ++ia;
+    } else if (less(ib->first, ia->first)) {
+      changed.insert(ib->first);
+      ++ib;
+    } else {
+      if (!(ia->second == ib->second)) changed.insert(ia->first);
+      ++ia;
+      ++ib;
+    }
+  }
+  for (; ia != a.attrs().end(); ++ia) changed.insert(ia->first);
+  for (; ib != b.attrs().end(); ++ib) changed.insert(ib->first);
+  return changed;
+}
+
 bool operator==(const Record& a, const Record& b) {
   if (!EqualsIgnoreCase(a.schema_, b.schema_)) return false;
   if (a.attrs_.size() != b.attrs_.size()) return false;
-  for (const auto& [name, value] : a.attrs_) {
-    auto it = b.attrs_.find(name);
-    if (it == b.attrs_.end() || !ValueSetsEqual(value, it->second)) {
+  // Same comparator, same size: equal records pair up positionally.
+  for (size_t i = 0; i < a.attrs_.size(); ++i) {
+    if (!EqualsIgnoreCase(a.attrs_[i].first, b.attrs_[i].first) ||
+        !ValueSetsEqual(a.attrs_[i].second, b.attrs_[i].second)) {
       return false;
     }
   }

@@ -1,7 +1,9 @@
 #ifndef METACOMM_LEXPRESS_RECORD_H_
 #define METACOMM_LEXPRESS_RECORD_H_
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -22,13 +24,26 @@ using Value = std::vector<std::string>;
 /// their repository's native form (LDAP entry, PBX station, mailbox).
 class Record {
  public:
+  /// Attributes, sorted case-insensitively by name. A flat sorted
+  /// vector rather than a node-based map: records are built once and
+  /// then copied and iterated constantly (every Translate materializes
+  /// two of them), and the flat layout makes a copy one contiguous
+  /// allocation instead of one tree node per attribute.
+  using AttrMap = std::vector<std::pair<std::string, Value>>;
+
   Record() = default;
   explicit Record(std::string schema) : schema_(std::move(schema)) {}
+
+  /// Bulk construction: adopts `attrs` wholesale (in any order), drops
+  /// empty value lists, sorts once. Equivalent to Set-ing every entry
+  /// in sequence (later duplicates win) but without the per-insert
+  /// binary search and shifting — the fast path for code that
+  /// materializes a whole record at once, like Mapping::MapRecord.
+  Record(std::string schema, AttrMap attrs);
 
   const std::string& schema() const { return schema_; }
   void set_schema(std::string schema) { schema_ = std::move(schema); }
 
-  using AttrMap = std::map<std::string, Value, CaseInsensitiveLess>;
   const AttrMap& attrs() const { return attrs_; }
 
   bool Has(std::string_view attr) const;
@@ -58,9 +73,81 @@ class Record {
   std::string ToString() const;
 
  private:
+  /// First entry not ordered before `attr`.
+  AttrMap::iterator LowerBound(std::string_view attr);
+  AttrMap::const_iterator Find(std::string_view attr) const;
+
   std::string schema_;
-  AttrMap attrs_;
+  AttrMap attrs_;  // Sorted by CaseInsensitiveLess over the name.
 };
+
+/// The canonical empty value list (what Record::Get returns for an
+/// absent attribute). Lets slot machinery hand out stable pointers for
+/// missing attributes without materializing empty lists.
+const Value& EmptyValue();
+
+/// A per-mapping interning table of attribute names. Built once at
+/// Mapping::Compile time: every attribute an expression reads is
+/// assigned a dense slot index, so the VM's kLoadAttr resolves to an
+/// array index instead of a case-insensitive map lookup per
+/// instruction.
+class SlotMap {
+ public:
+  /// Returns the slot of `name`, interning it on first sight.
+  uint32_t Intern(std::string_view name);
+
+  /// Slot of `name`, or nullopt when no expression reads it.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// Interned names, indexed by slot.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Name -> slot, iterable in case-insensitive name order. Record
+  /// attributes are sorted by the same comparator, so RecordView::Reset
+  /// resolves every attribute with one merge walk instead of a map
+  /// lookup per attribute.
+  const std::map<std::string, uint32_t, CaseInsensitiveLess>& index() const {
+    return index_;
+  }
+
+ private:
+  std::map<std::string, uint32_t, CaseInsensitiveLess> index_;
+  std::vector<std::string> names_;
+};
+
+/// A flat, slot-indexed view of one Record: slots_[i] points at the
+/// value list of the attribute SlotMap assigned slot i (EmptyValue()
+/// when the record lacks it). Built once per Translate/MapRecord in
+/// O(record attrs), then every kLoadAttr is one indexed load. Owns no
+/// values — the viewed record must outlive every use. Reusable: Reset
+/// keeps the slot vector's capacity across calls.
+class RecordView {
+ public:
+  void Reset(const Record& record, const SlotMap& slots);
+
+  /// Repoints one slot (e.g. at the value of the same attribute in a
+  /// different record). Lets a Modify reuse the old-image view: only
+  /// the dirty slots differ, and for those `value` must outlive the
+  /// view's next use just like the record Reset was given.
+  void Patch(uint32_t slot, const Value& value) { slots_[slot] = &value; }
+
+  const Value& at(uint32_t slot) const { return *slots_[slot]; }
+  size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<const Value*> slots_;
+};
+
+/// Attributes whose value lists differ between `a` and `b` (present in
+/// one but not the other, or not exactly equal — ordered and
+/// case-sensitive, see the implementation note). This is the "dirty
+/// attribute" set of a Modify: rules reading none of these evaluate
+/// bit-identically on both records.
+std::set<std::string, CaseInsensitiveLess> ChangedAttrs(const Record& a,
+                                                        const Record& b);
 
 /// The kind of a canonical update.
 enum class DescriptorOp { kAdd, kModify, kDelete };

@@ -10,7 +10,7 @@ namespace {
 const Value kTrue{"true"};
 const Value kFalse{"false"};
 
-Value Bool(bool b) { return b ? kTrue : kFalse; }
+const Value* Bool(bool b) { return b ? &kTrue : &kFalse; }
 
 bool Truthy(const Value& v) {
   return v.size() == 1 && EqualsIgnoreCase(v.front(), "true");
@@ -29,24 +29,22 @@ bool SetEquals(const Value& a, const Value& b) {
   return true;
 }
 
-/// Applies `fn` to each element; empty input stays empty (missing
-/// propagates — default() reintroduces values when wanted).
+/// Applies `fn` to each element into `out`; empty input stays empty
+/// (missing propagates — default() reintroduces values when wanted).
 template <typename Fn>
-Value Elementwise(const Value& in, Fn fn) {
-  Value out;
-  out.reserve(in.size());
-  for (const std::string& v : in) out.push_back(fn(v));
-  return out;
+void ElementwiseInto(const Value& in, Value* out, Fn fn) {
+  out->reserve(in.size());
+  for (const std::string& v : in) out->push_back(fn(v));
 }
 
 /// Broadcast length for multi-argument elementwise builtins: if any
 /// argument is empty the result is empty; otherwise the longest list
 /// wins and shorter lists repeat their last element.
-size_t BroadcastLength(const std::vector<Value>& args) {
+size_t BroadcastLength(const Value* const* args, size_t argc) {
   size_t n = 0;
-  for (const Value& arg : args) {
-    if (arg.empty()) return 0;
-    n = std::max(n, arg.size());
+  for (size_t i = 0; i < argc; ++i) {
+    if (args[i]->empty()) return 0;
+    n = std::max(n, args[i]->size());
   }
   return n;
 }
@@ -99,180 +97,339 @@ std::string GivenNameOf(const std::string& s) {
   return pos == std::string::npos ? t : t.substr(0, pos);
 }
 
-StatusOr<Value> CallBuiltin(Builtin builtin, std::vector<Value> args) {
+/// One builtin call over argument pointers. Returns either `out`
+/// (filled; the caller provides it cleared) or a pass-through pointer
+/// to an argument / a static boolean — so boolean guards and value
+/// plumbing (default, ifelse) move no data at all. Shared by the fast
+/// and reference interpreters, which differ only in how operands reach
+/// the stack. `out` never aliases an argument.
+StatusOr<const Value*> CallBuiltinInto(Builtin builtin,
+                                       const Value* const* args,
+                                       size_t argc, Value* out) {
   switch (builtin) {
     case Builtin::kAnd:
-      return Bool(Truthy(args[0]) && Truthy(args[1]));
+      return Bool(Truthy(*args[0]) && Truthy(*args[1]));
     case Builtin::kOr:
-      return Bool(Truthy(args[0]) || Truthy(args[1]));
+      return Bool(Truthy(*args[0]) || Truthy(*args[1]));
     case Builtin::kNot:
-      return Bool(!Truthy(args[0]));
+      return Bool(!Truthy(*args[0]));
     case Builtin::kEq:
-      return Bool(SetEquals(args[0], args[1]));
+      return Bool(SetEquals(*args[0], *args[1]));
     case Builtin::kNe:
-      return Bool(!SetEquals(args[0], args[1]));
+      return Bool(!SetEquals(*args[0], *args[1]));
     case Builtin::kPresent:
-      return Bool(!args[0].empty());
+      return Bool(!args[0]->empty());
     case Builtin::kAbsent:
-      return Bool(args[0].empty());
+      return Bool(args[0]->empty());
     case Builtin::kPrefix: {
-      if (args[1].empty()) return Bool(false);
-      const std::string& prefix = args[1].front();
-      for (const std::string& v : args[0]) {
+      if (args[1]->empty()) return Bool(false);
+      const std::string& prefix = args[1]->front();
+      for (const std::string& v : *args[0]) {
         if (StartsWithIgnoreCase(v, prefix)) return Bool(true);
       }
       return Bool(false);
     }
     case Builtin::kSuffix: {
-      if (args[1].empty()) return Bool(false);
-      std::string suffix = ToLower(args[1].front());
-      for (const std::string& v : args[0]) {
-        if (EndsWith(ToLower(v), suffix)) return Bool(true);
+      if (args[1]->empty()) return Bool(false);
+      const std::string& suffix = args[1]->front();
+      for (const std::string& v : *args[0]) {
+        if (EndsWithIgnoreCase(v, suffix)) return Bool(true);
       }
       return Bool(false);
     }
     case Builtin::kMatches: {
-      if (args[1].empty()) return Bool(false);
-      const std::string& pattern = args[1].front();
-      for (const std::string& v : args[0]) {
+      if (args[1]->empty()) return Bool(false);
+      const std::string& pattern = args[1]->front();
+      for (const std::string& v : *args[0]) {
         if (GlobMatchIgnoreCase(pattern, v)) return Bool(true);
       }
       return Bool(false);
     }
     case Builtin::kContains: {
-      if (args[1].empty()) return Bool(false);
-      std::string needle = ToLower(args[1].front());
-      for (const std::string& v : args[0]) {
-        if (ToLower(v).find(needle) != std::string::npos) {
-          return Bool(true);
-        }
+      if (args[1]->empty()) return Bool(false);
+      const std::string& needle = args[1]->front();
+      for (const std::string& v : *args[0]) {
+        if (ContainsIgnoreCase(v, needle)) return Bool(true);
       }
       return Bool(false);
     }
     case Builtin::kUpper:
-      return Elementwise(args[0], [](const std::string& v) {
-        return ToUpper(v);
-      });
+      ElementwiseInto(*args[0], out,
+                      [](const std::string& v) { return ToUpper(v); });
+      return out;
     case Builtin::kLower:
-      return Elementwise(args[0], [](const std::string& v) {
-        return ToLower(v);
-      });
+      ElementwiseInto(*args[0], out,
+                      [](const std::string& v) { return ToLower(v); });
+      return out;
     case Builtin::kTrim:
-      return Elementwise(args[0],
-                         [](const std::string& v) { return Trim(v); });
+      ElementwiseInto(*args[0], out,
+                      [](const std::string& v) { return Trim(v); });
+      return out;
     case Builtin::kNormalize:
-      return Elementwise(args[0], [](const std::string& v) {
+      ElementwiseInto(*args[0], out, [](const std::string& v) {
         return NormalizeSpace(v);
       });
+      return out;
     case Builtin::kDigits:
-      return Elementwise(args[0], [](const std::string& v) {
-        return DigitsOnly(v);
-      });
+      ElementwiseInto(*args[0], out,
+                      [](const std::string& v) { return DigitsOnly(v); });
+      return out;
     case Builtin::kSurname:
-      return Elementwise(args[0], [](const std::string& v) {
-        return SurnameOf(v);
-      });
+      ElementwiseInto(*args[0], out,
+                      [](const std::string& v) { return SurnameOf(v); });
+      return out;
     case Builtin::kGivenName:
-      return Elementwise(args[0], [](const std::string& v) {
-        return GivenNameOf(v);
-      });
+      ElementwiseInto(*args[0], out,
+                      [](const std::string& v) { return GivenNameOf(v); });
+      return out;
     case Builtin::kSubstr: {
       METACOMM_ASSIGN_OR_RETURN(int64_t start,
-                                ToInt(args[1], "substr start"));
-      METACOMM_ASSIGN_OR_RETURN(int64_t len, ToInt(args[2], "substr len"));
-      return Elementwise(args[0],
-                         [start, len](const std::string& v) {
-                           return SubstrOne(v, start, len);
-                         });
+                                ToInt(*args[1], "substr start"));
+      METACOMM_ASSIGN_OR_RETURN(int64_t len, ToInt(*args[2], "substr len"));
+      ElementwiseInto(*args[0], out, [start, len](const std::string& v) {
+        return SubstrOne(v, start, len);
+      });
+      return out;
     }
     case Builtin::kReplace: {
-      if (args[1].empty()) return args[0];
-      std::string from = args[1].front();
-      std::string to = args[2].empty() ? "" : args[2].front();
-      return Elementwise(args[0], [&from, &to](const std::string& v) {
-        return ReplaceAll(v, from, to);
+      if (args[1]->empty()) return args[0];
+      const std::string& from = args[1]->front();
+      const std::string* to = args[2]->empty() ? nullptr : &args[2]->front();
+      ElementwiseInto(*args[0], out, [&from, to](const std::string& v) {
+        return ReplaceAll(v, from, to == nullptr ? "" : *to);
       });
+      return out;
     }
     case Builtin::kSplit: {
-      if (args[1].empty() || args[1].front().empty()) {
+      if (args[1]->empty() || args[1]->front().empty()) {
         return Status::InvalidArgument("lexpress: split needs a separator");
       }
       METACOMM_ASSIGN_OR_RETURN(int64_t index,
-                                ToInt(args[2], "split index"));
-      char sep = args[1].front()[0];
-      Value out;
-      for (const std::string& v : args[0]) {
+                                ToInt(*args[2], "split index"));
+      char sep = args[1]->front()[0];
+      for (const std::string& v : *args[0]) {
         std::vector<std::string> pieces = Split(v, sep);
         int64_t i = index < 0
                         ? static_cast<int64_t>(pieces.size()) + index
                         : index;
         if (i >= 0 && i < static_cast<int64_t>(pieces.size())) {
-          out.push_back(pieces[static_cast<size_t>(i)]);
+          out->push_back(std::move(pieces[static_cast<size_t>(i)]));
         }
       }
       return out;
     }
     case Builtin::kConcat: {
-      size_t n = BroadcastLength(args);
-      Value out;
-      out.reserve(n);
+      size_t n = BroadcastLength(args, argc);
+      out->reserve(n);
       for (size_t i = 0; i < n; ++i) {
         std::string piece;
-        for (const Value& arg : args) piece += BroadcastAt(arg, i);
-        out.push_back(std::move(piece));
+        for (size_t a = 0; a < argc; ++a) piece += BroadcastAt(*args[a], i);
+        out->push_back(std::move(piece));
       }
       return out;
     }
     case Builtin::kFormat: {
-      if (args[0].empty()) return Value{};
-      std::string fmt = args[0].front();
-      std::vector<Value> rest(args.begin() + 1, args.end());
-      if (rest.empty()) return Value{FormatPercentS(fmt, {})};
-      size_t n = BroadcastLength(rest);
-      Value out;
-      out.reserve(n);
+      if (args[0]->empty()) return out;
+      const std::string& fmt = args[0]->front();
+      if (argc == 1) {
+        out->push_back(FormatPercentS(fmt, {}));
+        return out;
+      }
+      size_t n = BroadcastLength(args + 1, argc - 1);
+      out->reserve(n);
       for (size_t i = 0; i < n; ++i) {
         std::vector<std::string> row;
-        row.reserve(rest.size());
-        for (const Value& arg : rest) row.push_back(BroadcastAt(arg, i));
-        out.push_back(FormatPercentS(fmt, row));
+        row.reserve(argc - 1);
+        for (size_t a = 1; a < argc; ++a) {
+          row.push_back(BroadcastAt(*args[a], i));
+        }
+        out->push_back(FormatPercentS(fmt, row));
       }
       return out;
     }
     case Builtin::kFirst:
-      if (args[0].empty()) return Value{};
-      return Value{args[0].front()};
+      if (args[0]->empty()) return out;
+      out->push_back(args[0]->front());
+      return out;
     case Builtin::kLast:
-      if (args[0].empty()) return Value{};
-      return Value{args[0].back()};
+      if (args[0]->empty()) return out;
+      out->push_back(args[0]->back());
+      return out;
     case Builtin::kJoin: {
-      if (args[0].empty()) return Value{};
-      std::string sep = args[1].empty() ? "" : args[1].front();
-      return Value{Join(args[0], sep)};
+      if (args[0]->empty()) return out;
+      out->push_back(
+          Join(*args[0], args[1]->empty() ? "" : args[1]->front()));
+      return out;
     }
     case Builtin::kCount:
-      return Value{std::to_string(args[0].size())};
+      out->push_back(std::to_string(args[0]->size()));
+      return out;
     case Builtin::kDefault:
-      return args[0].empty() ? args[1] : args[0];
+      return args[0]->empty() ? args[1] : args[0];
     case Builtin::kIfElse:
-      return Truthy(args[0]) ? args[1] : args[2];
+      return Truthy(*args[0]) ? args[1] : args[2];
   }
   return Status::Internal("lexpress: unknown builtin");
 }
 
 }  // namespace
 
-StatusOr<Value> Vm::Execute(const Program& program,
-                            const std::vector<TableDef>& tables,
-                            const Record& record) {
-  std::vector<Value> stack;
-  stack.reserve(8);
+int32_t Vm::AcquireOwned() {
+  if (!free_.empty()) {
+    int32_t index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+  pool_.emplace_back();
+  return static_cast<int32_t>(pool_.size() - 1);
+}
+
+StatusOr<const Value*> Vm::Run(const Program& program,
+                               const std::vector<TableDef>& tables,
+                               const RecordView& view) {
+  if (!program.slot_resolved()) {
+    return Status::Internal("lexpress VM: program is not slot-resolved");
+  }
+  stack_.clear();
+  free_.clear();
+  for (size_t i = pool_.size(); i-- > 0;) {
+    free_.push_back(static_cast<int32_t>(i));
+  }
+
   for (const Instruction& inst : program.code) {
     switch (inst.op) {
       case OpCode::kPushConst:
+        // A corrupt Program must surface as a Status, not an
+        // out-of-range index (same contract kLookup always had).
+        if (inst.a >= program.constants.size()) {
+          return Status::Internal("lexpress VM bad constant index");
+        }
+        stack_.push_back({-1, &program.constants[inst.a]});
+        break;
+      case OpCode::kLoadAttr: {
+        if (inst.a >= program.attr_slots.size()) {
+          return Status::Internal("lexpress VM bad attribute index");
+        }
+        uint32_t slot = program.attr_slots[inst.a];
+        if (slot >= view.size()) {
+          return Status::Internal("lexpress VM bad attribute slot");
+        }
+        stack_.push_back({-1, &view.at(slot)});
+        break;
+      }
+      case OpCode::kCall: {
+        size_t argc = inst.b;
+        if (stack_.size() < argc) {
+          return Status::Internal("lexpress VM stack underflow");
+        }
+        // Acquire the result slot BEFORE resolving argument pointers:
+        // growing the pool may move it, and arguments can live there.
+        int32_t out_index = AcquireOwned();
+        Value* out = &pool_[out_index];
+        out->clear();
+        argv_.clear();
+        for (size_t i = stack_.size() - argc; i < stack_.size(); ++i) {
+          argv_.push_back(ValueOf(stack_[i]));
+        }
+        StatusOr<const Value*> result = CallBuiltinInto(
+            static_cast<Builtin>(inst.a), argv_.data(), argc, out);
+        if (!result.ok()) return result.status();
+        const Value* value = *result;
+        // Pop the arguments, recycling owned slots — except one the
+        // builtin passed straight through as its result.
+        int32_t value_owned = value == out ? out_index : -1;
+        for (size_t i = stack_.size() - argc; i < stack_.size(); ++i) {
+          const StackSlot& slot = stack_[i];
+          if (slot.owned < 0) continue;
+          if (&pool_[slot.owned] == value) {
+            value_owned = slot.owned;
+          } else {
+            free_.push_back(slot.owned);
+          }
+        }
+        if (value != out && value_owned != out_index) {
+          free_.push_back(out_index);
+        }
+        stack_.resize(stack_.size() - argc);
+        stack_.push_back(
+            {value_owned, value_owned >= 0 ? nullptr : value});
+        break;
+      }
+      case OpCode::kLookup: {
+        if (stack_.empty()) {
+          return Status::Internal("lexpress VM stack underflow");
+        }
+        if (inst.a >= tables.size()) {
+          return Status::Internal("lexpress VM bad table index");
+        }
+        const TableDef& table = tables[inst.a];
+        int32_t out_index = AcquireOwned();
+        Value* out = &pool_[out_index];
+        out->clear();
+        StackSlot in_slot = stack_.back();
+        stack_.pop_back();
+        const Value* in = ValueOf(in_slot);
+        for (const std::string& v : *in) {
+          auto it = table.entries.find(v);
+          if (it != table.entries.end()) {
+            out->push_back(it->second);
+          } else if (table.default_value.has_value()) {
+            out->push_back(*table.default_value);
+          }
+          // No match and no default: the value drops out, letting an
+          // alternate mapping or default() supply it.
+        }
+        if (in_slot.owned >= 0) free_.push_back(in_slot.owned);
+        stack_.push_back({out_index, nullptr});
+        break;
+      }
+    }
+  }
+  if (stack_.size() != 1) {
+    return Status::Internal("lexpress VM finished with bad stack depth");
+  }
+  return ValueOf(stack_.front());
+}
+
+StatusOr<Value> Vm::Execute(const Program& program,
+                            const std::vector<TableDef>& tables,
+                            const RecordView& view) {
+  METACOMM_ASSIGN_OR_RETURN(const Value* result,
+                            Run(program, tables, view));
+  // An owned result moves out (its buffers transfer to the caller);
+  // borrowed results (constants, attribute loads, booleans) copy.
+  const StackSlot& top = stack_.front();
+  if (top.owned >= 0) return std::move(pool_[top.owned]);
+  return *result;
+}
+
+StatusOr<bool> Vm::ExecuteGuard(const Program& program,
+                                const std::vector<TableDef>& tables,
+                                const RecordView& view) {
+  if (program.empty()) return true;
+  METACOMM_ASSIGN_OR_RETURN(const Value* result,
+                            Run(program, tables, view));
+  return result->size() == 1 && EqualsIgnoreCase(result->front(), "true");
+}
+
+StatusOr<Value> Vm::ExecuteReference(const Program& program,
+                                     const std::vector<TableDef>& tables,
+                                     const Record& record) {
+  std::vector<Value> stack;
+  stack.reserve(8);
+  std::vector<const Value*> argv;
+  for (const Instruction& inst : program.code) {
+    switch (inst.op) {
+      case OpCode::kPushConst:
+        if (inst.a >= program.constants.size()) {
+          return Status::Internal("lexpress VM bad constant index");
+        }
         stack.push_back(program.constants[inst.a]);
         break;
       case OpCode::kLoadAttr:
+        if (inst.a >= program.attr_names.size()) {
+          return Status::Internal("lexpress VM bad attribute index");
+        }
         stack.push_back(record.Get(program.attr_names[inst.a]));
         break;
       case OpCode::kCall: {
@@ -280,12 +437,18 @@ StatusOr<Value> Vm::Execute(const Program& program,
         if (stack.size() < argc) {
           return Status::Internal("lexpress VM stack underflow");
         }
-        std::vector<Value> args(stack.end() - argc, stack.end());
-        stack.resize(stack.size() - argc);
+        argv.clear();
+        for (size_t i = stack.size() - argc; i < stack.size(); ++i) {
+          argv.push_back(&stack[i]);
+        }
+        Value out;
         METACOMM_ASSIGN_OR_RETURN(
-            Value result,
-            CallBuiltin(static_cast<Builtin>(inst.a), std::move(args)));
-        stack.push_back(std::move(result));
+            const Value* result,
+            CallBuiltinInto(static_cast<Builtin>(inst.a), argv.data(),
+                            argc, &out));
+        Value value = result == &out ? std::move(out) : *result;
+        stack.resize(stack.size() - argc);
+        stack.push_back(std::move(value));
         break;
       }
       case OpCode::kLookup: {
@@ -306,8 +469,6 @@ StatusOr<Value> Vm::Execute(const Program& program,
           } else if (table.default_value.has_value()) {
             out.push_back(*table.default_value);
           }
-          // No match and no default: the value drops out, letting an
-          // alternate mapping or default() supply it.
         }
         stack.push_back(std::move(out));
         break;
@@ -320,12 +481,12 @@ StatusOr<Value> Vm::Execute(const Program& program,
   return std::move(stack.front());
 }
 
-StatusOr<bool> Vm::ExecuteGuard(const Program& program,
-                                const std::vector<TableDef>& tables,
-                                const Record& record) {
+StatusOr<bool> Vm::ExecuteGuardReference(const Program& program,
+                                         const std::vector<TableDef>& tables,
+                                         const Record& record) {
   if (program.empty()) return true;
   METACOMM_ASSIGN_OR_RETURN(Value result,
-                            Execute(program, tables, record));
+                            ExecuteReference(program, tables, record));
   return result.size() == 1 && EqualsIgnoreCase(result.front(), "true");
 }
 

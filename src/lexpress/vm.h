@@ -1,6 +1,7 @@
 #ifndef METACOMM_LEXPRESS_VM_H_
 #define METACOMM_LEXPRESS_VM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -11,19 +12,95 @@
 namespace metacomm::lexpress {
 
 /// The lexpress bytecode interpreter (paper §4.2: "an interpreter for
-/// executing the byte codes"). Stateless; safe to call from any thread.
+/// executing the byte codes").
+///
+/// Two execution paths share one builtin implementation:
+///
+///  * The fast path (`Execute`/`ExecuteGuard` on an instance) runs
+///    slot-resolved programs against a RecordView: kLoadAttr is an
+///    array index, constants and attribute loads are pushed by
+///    reference, and builtin results land in a pool of scratch Values
+///    the instance reuses across executions — steady-state execution
+///    performs no per-instruction allocation or name lookup. A Vm is
+///    NOT thread-safe; give each worker its own (the update manager's
+///    workers each hold one; callers without one fall back to a
+///    per-thread instance inside Mapping).
+///
+///  * The reference path (`ExecuteReference`, static) is the original
+///    interpreter: per-instruction case-insensitive attribute lookup
+///    on the Record, values copied through a fresh stack. It needs no
+///    slot resolution, and serves as the semantic oracle the
+///    differential test (lexpress_exec_test) checks the fast path
+///    against.
 class Vm {
  public:
-  /// Runs `program` against `record`. `tables` provides the mapping's
-  /// translation tables for kLookup instructions.
-  static StatusOr<Value> Execute(const Program& program,
-                                 const std::vector<TableDef>& tables,
-                                 const Record& record);
+  Vm() = default;
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  /// Runs a slot-resolved `program` against `view` (a RecordView built
+  /// with the SlotMap the program was resolved against). `tables`
+  /// provides the mapping's translation tables for kLookup.
+  StatusOr<Value> Execute(const Program& program,
+                          const std::vector<TableDef>& tables,
+                          const RecordView& view);
 
   /// Runs a guard program; holds when the result is exactly ["true"].
-  static StatusOr<bool> ExecuteGuard(const Program& program,
-                                     const std::vector<TableDef>& tables,
-                                     const Record& record);
+  /// Allocation-free for the common guard shapes (boolean builtins
+  /// return static values).
+  StatusOr<bool> ExecuteGuard(const Program& program,
+                              const std::vector<TableDef>& tables,
+                              const RecordView& view);
+
+  /// Reference interpreter: name-resolved attribute loads straight off
+  /// the Record. Works on any compiled program, slot-resolved or not.
+  static StatusOr<Value> ExecuteReference(const Program& program,
+                                          const std::vector<TableDef>& tables,
+                                          const Record& record);
+
+  /// Reference guard execution (empty program holds).
+  static StatusOr<bool> ExecuteGuardReference(
+      const Program& program, const std::vector<TableDef>& tables,
+      const Record& record);
+
+  /// Reusable scratch for callers that build a view per record
+  /// (Mapping::MapRecord/Translate). Owned here so the buffers live
+  /// exactly as long as the Vm's other scratch.
+  RecordView& scratch_view() { return view_; }
+
+  /// Reusable slot-indexed dirty bitmap for dirty-attribute rule
+  /// selection (Mapping marks changed source slots here).
+  std::vector<uint8_t>& scratch_dirty() { return dirty_; }
+
+ private:
+  /// A stack entry: either a borrowed pointer (program constant,
+  /// RecordView attribute, static boolean) or an owned scratch value
+  /// identified by pool index. Indices, not pointers, so pool growth
+  /// cannot dangle live entries.
+  struct StackSlot {
+    int32_t owned = -1;       // Pool index, or -1 when borrowed.
+    const Value* ref = nullptr;  // Set when owned < 0.
+  };
+
+  /// Core interpreter loop; returns a pointer valid until the next
+  /// Execute on this instance.
+  StatusOr<const Value*> Run(const Program& program,
+                             const std::vector<TableDef>& tables,
+                             const RecordView& view);
+
+  /// Takes a free pool slot (growing the pool when none are free).
+  int32_t AcquireOwned();
+
+  const Value* ValueOf(const StackSlot& slot) const {
+    return slot.owned >= 0 ? &pool_[slot.owned] : slot.ref;
+  }
+
+  std::vector<StackSlot> stack_;
+  std::vector<Value> pool_;       // Owned scratch values, capacity reused.
+  std::vector<int32_t> free_;     // Free pool indices.
+  std::vector<const Value*> argv_;  // Builtin argument pointers.
+  RecordView view_;
+  std::vector<uint8_t> dirty_;
 };
 
 }  // namespace metacomm::lexpress

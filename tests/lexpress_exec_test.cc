@@ -1,0 +1,476 @@
+// Differential test for the lexpress execution fast path.
+//
+// The slot-resolved, allocation-free pipeline (Mapping::MapRecord /
+// Translate on an instance Vm) must be byte-identical to the reference
+// copying interpreter (MapRecordReference / TranslateReference) on
+// every input. Seeded random mappings and records sweep the full
+// builtin surface — tables, guards, alternate rules, identity copies,
+// partitions, multi-valued and missing attributes, odd-case names —
+// and every output is compared via ToString so ordering and case
+// differences cannot hide.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lexpress/closure.h"
+#include "lexpress/compiler.h"
+#include "lexpress/mapping.h"
+
+namespace metacomm::lexpress {
+namespace {
+
+constexpr int kSourceAttrs = 8;
+constexpr int kTargetAttrs = 6;  // Fewer targets than rules: alternates.
+
+std::string Literal(Random& rng) {
+  static const std::vector<std::string> kPool = {
+      "",           "John Doe",     "  padded  ",  "+1 908 582 9000",
+      "a-b-c",      "9000",         "TRUE",        "x",
+      "Mixed Case", "one two three"};
+  return kPool[rng.Uniform(kPool.size())];
+}
+
+/// A source attribute reference, sometimes in scrambled case — the
+/// fast path resolves names at compile time, the reference path at
+/// execution time, and both must fold case identically.
+std::string AttrRef(Random& rng) {
+  std::string name = "a" + std::to_string(rng.Uniform(kSourceAttrs));
+  if (rng.Bernoulli(0.3)) name[0] = 'A';
+  return name;
+}
+
+std::string ValueExpr(Random& rng, int depth);
+
+std::string GuardExpr(Random& rng, int depth) {
+  if (depth <= 0) {
+    return rng.Bernoulli(0.5) ? "present(" + AttrRef(rng) + ")"
+                              : "absent(" + AttrRef(rng) + ")";
+  }
+  switch (rng.Uniform(10)) {
+    case 0:
+      return "and(" + GuardExpr(rng, depth - 1) + ", " +
+             GuardExpr(rng, depth - 1) + ")";
+    case 1:
+      return "or(" + GuardExpr(rng, depth - 1) + ", " +
+             GuardExpr(rng, depth - 1) + ")";
+    case 2:
+      return "not(" + GuardExpr(rng, depth - 1) + ")";
+    case 3:
+      return "eq(" + ValueExpr(rng, depth - 1) + ", \"" + Literal(rng) +
+             "\")";
+    case 4:
+      return "ne(" + AttrRef(rng) + ", \"" + Literal(rng) + "\")";
+    case 5:
+      return "prefix(" + AttrRef(rng) + ", \"" + Literal(rng) + "\")";
+    case 6:
+      return "suffix(" + AttrRef(rng) + ", \"" + Literal(rng) + "\")";
+    case 7:
+      return "contains(" + AttrRef(rng) + ", \"" + Literal(rng) + "\")";
+    case 8:
+      return "matches(" + AttrRef(rng) + ", \"*9*\")";
+    default:
+      return "present(" + AttrRef(rng) + ")";
+  }
+}
+
+std::string ValueExpr(Random& rng, int depth) {
+  if (depth <= 0) {
+    return rng.Bernoulli(0.7) ? AttrRef(rng) : "\"" + Literal(rng) + "\"";
+  }
+  switch (rng.Uniform(16)) {
+    case 0:
+      return "upper(" + ValueExpr(rng, depth - 1) + ")";
+    case 1:
+      return "lower(" + ValueExpr(rng, depth - 1) + ")";
+    case 2:
+      return "trim(" + ValueExpr(rng, depth - 1) + ")";
+    case 3:
+      return "normalize(" + ValueExpr(rng, depth - 1) + ")";
+    case 4:
+      return "digits(" + ValueExpr(rng, depth - 1) + ")";
+    case 5:
+      return rng.Bernoulli(0.5)
+                 ? "surname(" + ValueExpr(rng, depth - 1) + ")"
+                 : "givenname(" + ValueExpr(rng, depth - 1) + ")";
+    case 6:
+      return "concat(" + ValueExpr(rng, depth - 1) + ", \"-\", " +
+             ValueExpr(rng, depth - 1) + ")";
+    case 7:
+      return "format(\"<%s|%s>\", " + ValueExpr(rng, depth - 1) + ", " +
+             ValueExpr(rng, depth - 1) + ")";
+    case 8:
+      return "substr(" + ValueExpr(rng, depth - 1) + ", \"" +
+             std::to_string(static_cast<int>(rng.Uniform(7)) - 3) + "\", \"" +
+             std::to_string(rng.Uniform(5)) + "\")";
+    case 9:
+      return "replace(" + ValueExpr(rng, depth - 1) + ", \"o\", \"0\")";
+    case 10:
+      return "split(" + ValueExpr(rng, depth - 1) + ", \" \", \"" +
+             std::to_string(rng.Uniform(3)) + "\")";
+    case 11:
+      return rng.Bernoulli(0.5) ? "first(" + ValueExpr(rng, depth - 1) + ")"
+                                : "last(" + ValueExpr(rng, depth - 1) + ")";
+    case 12:
+      return rng.Bernoulli(0.5)
+                 ? "join(" + ValueExpr(rng, depth - 1) + ", \",\")"
+                 : "count(" + ValueExpr(rng, depth - 1) + ")";
+    case 13:
+      return "default(" + ValueExpr(rng, depth - 1) + ", \"" + Literal(rng) +
+             "\")";
+    case 14:
+      return "ifelse(" + GuardExpr(rng, depth - 1) + ", " +
+             ValueExpr(rng, depth - 1) + ", " + ValueExpr(rng, depth - 1) +
+             ")";
+    default:
+      return "lookup(T, " + ValueExpr(rng, depth - 1) + ")";
+  }
+}
+
+std::string RandomMappingSource(Random& rng) {
+  std::string out = "mapping Rand from src to dst {\n";
+  out +=
+      "  table T { \"9000\" -> \"ext-a\"; \"a-b-c\" -> \"list\"; "
+      "\"John Doe\" -> \"person\"; default -> \"other\"; }\n";
+  if (rng.Bernoulli(0.3)) {
+    out += "  partition when " + GuardExpr(rng, 1) + ";\n";
+  }
+  out += "  key a0 -> b0;\n";
+  int rules = 4 + static_cast<int>(rng.Uniform(8));
+  for (int i = 0; i < rules; ++i) {
+    std::string target = "b" + std::to_string(rng.Uniform(kTargetAttrs));
+    std::string body = rng.Bernoulli(0.25)
+                           ? AttrRef(rng)  // Identity: the direct-slot path.
+                           : ValueExpr(rng, 1 + rng.Uniform(2));
+    out += "  map " + body + " -> " + target;
+    if (rng.Bernoulli(0.4)) out += " when " + GuardExpr(rng, 1);
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+Record RandomRecord(Random& rng) {
+  Record record("src");
+  for (int i = 0; i < kSourceAttrs; ++i) {
+    if (!rng.Bernoulli(0.7)) continue;  // Missing attributes.
+    std::string name = "a" + std::to_string(i);
+    if (rng.Bernoulli(0.3)) name[0] = 'A';  // Odd-case names.
+    Value value;
+    int values = 1 + static_cast<int>(rng.Uniform(3));
+    for (int v = 0; v < values; ++v) {
+      std::string s = Literal(rng);
+      if (!s.empty() || rng.Bernoulli(0.5)) value.push_back(std::move(s));
+    }
+    if (!value.empty()) record.Set(name, std::move(value));
+  }
+  if (rng.Bernoulli(0.3)) record.SetOne("unmapped", "ignored");
+  return record;
+}
+
+/// Mutates `record` the way a Modify would: change, add, or drop a few
+/// attributes (sometimes none — the all-clean dirty path).
+Record Mutate(Random& rng, const Record& record) {
+  Record out = record;
+  int edits = static_cast<int>(rng.Uniform(3));
+  for (int e = 0; e < edits; ++e) {
+    std::string name = "a" + std::to_string(rng.Uniform(kSourceAttrs));
+    switch (rng.Uniform(3)) {
+      case 0:
+        out.SetOne(name, Literal(rng) + "!");
+        break;
+      case 1:
+        out.Remove(name);
+        break;
+      default:
+        out.SetOne(name, Literal(rng));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string DescriptorString(
+    const StatusOr<std::optional<UpdateDescriptor>>& result) {
+  if (!result.ok()) return "error: " + result.status().ToString();
+  if (!result->has_value()) return "skip";
+  return (*result)->ToString();
+}
+
+TEST(LexpressExecDifferentialTest, MapRecordMatchesReference) {
+  Vm vm;  // Reused across every mapping and record: scratch must reset.
+  for (uint64_t seed = 0; seed < 150; ++seed) {
+    Random rng(seed);
+    auto mappings = CompileMappings(RandomMappingSource(rng));
+    ASSERT_TRUE(mappings.ok()) << mappings.status().ToString();
+    const Mapping& mapping = (*mappings)[0];
+    for (int r = 0; r < 4; ++r) {
+      Record record = RandomRecord(rng);
+      auto fast = mapping.MapRecord(record, &vm);
+      auto reference = mapping.MapRecordReference(record);
+      ASSERT_EQ(fast.ok(), reference.ok()) << "seed " << seed;
+      if (!fast.ok()) continue;
+      EXPECT_EQ(fast->ToString(), reference->ToString())
+          << "seed " << seed << " record " << record.ToString();
+    }
+  }
+}
+
+TEST(LexpressExecDifferentialTest, TranslateMatchesReference) {
+  Vm vm;
+  for (uint64_t seed = 0; seed < 150; ++seed) {
+    Random rng(seed ^ 0xfeedULL);
+    auto mappings = CompileMappings(RandomMappingSource(rng));
+    ASSERT_TRUE(mappings.ok()) << mappings.status().ToString();
+    const Mapping& mapping = (*mappings)[0];
+    for (int r = 0; r < 3; ++r) {
+      UpdateDescriptor update;
+      update.schema = "src";
+      update.source = "test";
+      switch (rng.Uniform(3)) {
+        case 0:
+          update.op = DescriptorOp::kAdd;
+          update.new_record = RandomRecord(rng);
+          break;
+        case 1:
+          update.op = DescriptorOp::kDelete;
+          update.old_record = RandomRecord(rng);
+          break;
+        default:
+          update.op = DescriptorOp::kModify;
+          update.old_record = RandomRecord(rng);
+          update.new_record = Mutate(rng, update.old_record);
+          break;
+      }
+      auto fast = mapping.Translate(update, &vm);
+      auto reference = mapping.TranslateReference(update);
+      EXPECT_EQ(DescriptorString(fast), DescriptorString(reference))
+          << "seed " << seed << " update " << update.ToString();
+    }
+  }
+}
+
+// A modify that changes nothing must translate identically too — the
+// dirty set is empty and every rule group is carried over.
+TEST(LexpressExecDifferentialTest, NoOpModifyMatchesReference) {
+  Vm vm;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Random rng(seed ^ 0xabcULL);
+    auto mappings = CompileMappings(RandomMappingSource(rng));
+    ASSERT_TRUE(mappings.ok()) << mappings.status().ToString();
+    UpdateDescriptor update;
+    update.op = DescriptorOp::kModify;
+    update.schema = "src";
+    update.old_record = RandomRecord(rng);
+    update.new_record = update.old_record;
+    auto fast = (*mappings)[0].Translate(update, &vm);
+    auto reference = (*mappings)[0].TranslateReference(update);
+    EXPECT_EQ(DescriptorString(fast), DescriptorString(reference))
+        << "seed " << seed;
+  }
+}
+
+// Closure propagation with dirty-group selection must land on the same
+// fixpoint a full remap of every hop produces: chain src -> mid -> dst,
+// seed consistent base images, change the head, and compare each
+// derived image against a from-scratch reference remap.
+TEST(LexpressExecDifferentialTest, ClosureMatchesFullRemap) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Random rng(seed ^ 0x50fULL);
+    const std::string table =
+        "  table T { \"9000\" -> \"ext-a\"; default -> \"other\"; }\n";
+    std::string source = "mapping hop1 from src to mid {\n" + table;
+    int rules = 3 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < rules; ++i) {
+      source += "  map " + ValueExpr(rng, 1) + " -> m" +
+                std::to_string(rng.Uniform(4)) + ";\n";
+    }
+    source += "}\nmapping hop2 from mid to dst {\n" + table;
+    for (int i = 0; i < 3; ++i) {
+      std::string m = "m" + std::to_string(rng.Uniform(4));
+      source += "  map " + (rng.Bernoulli(0.5) ? m : "upper(" + m + ")") +
+                " -> d" + std::to_string(i) + ";\n";
+    }
+    source += "}\n";
+    MappingSet set;
+    ASSERT_TRUE(set.AddSource(source).ok()) << source;
+    const Mapping& hop1 = set.mappings()[0];
+    const Mapping& hop2 = set.mappings()[1];
+
+    Record base_src = RandomRecord(rng);
+    auto base_mid = hop1.MapRecordReference(base_src);
+    ASSERT_TRUE(base_mid.ok());
+    auto base_dst = hop2.MapRecordReference(*base_mid);
+    ASSERT_TRUE(base_dst.ok());
+    std::map<std::string, Record, CaseInsensitiveLess> base;
+    base.emplace("src", base_src);
+    base.emplace("mid", *base_mid);
+    base.emplace("dst", *base_dst);
+
+    Record updated = Mutate(rng, base_src);
+    auto closure = set.Propagate(base, "src", updated, {});
+    ASSERT_TRUE(closure.ok()) << closure.status().ToString();
+
+    auto want_mid = hop1.MapRecordReference(updated);
+    ASSERT_TRUE(want_mid.ok());
+    auto want_dst = hop2.MapRecordReference(*want_mid);
+    ASSERT_TRUE(want_dst.ok());
+    EXPECT_EQ(closure->records.at("mid").ToString(), want_mid->ToString())
+        << "seed " << seed;
+    EXPECT_EQ(closure->records.at("dst").ToString(), want_dst->ToString())
+        << "seed " << seed;
+  }
+}
+
+// One compiled Mapping shared across threads, one Vm per thread: the
+// supported concurrency model (mappings are immutable after Compile).
+// Run under TSan to prove the fast path shares no mutable state.
+TEST(LexpressExecThreadedTest, SharedMappingPerThreadVm) {
+  Random setup(42);
+  auto mappings = CompileMappings(RandomMappingSource(setup));
+  ASSERT_TRUE(mappings.ok()) << mappings.status().ToString();
+  const Mapping& mapping = (*mappings)[0];
+
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t, &mapping, &mismatches] {
+      Vm vm;
+      Random rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 50; ++i) {
+        Record record = RandomRecord(rng);
+        auto fast = mapping.MapRecord(record, &vm);
+        auto reference = mapping.MapRecordReference(record);
+        if (!fast.ok() || !reference.ok() ||
+            fast->ToString() != reference->ToString()) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches, std::vector<int>(4, 0));
+}
+
+// --- Corrupt-program hardening -------------------------------------
+//
+// Programs normally come out of the compiler, but both interpreters
+// must reject malformed bytecode with Status::Internal instead of
+// reading out of bounds.
+
+Program SingleInstruction(OpCode op, uint32_t a, uint32_t b = 0) {
+  Program program;
+  program.code.push_back(Instruction{op, a, b});
+  return program;
+}
+
+TEST(LexpressVmBoundsTest, BadConstantIndex) {
+  Program program = SingleInstruction(OpCode::kPushConst, 5);
+  auto reference = Vm::ExecuteReference(program, {}, Record("src"));
+  ASSERT_FALSE(reference.ok());
+  EXPECT_EQ(reference.status().code(), StatusCode::kInternal);
+
+  SlotMap slots;
+  ResolveSlots(&slots, &program);
+  RecordView view;
+  view.Reset(Record("src"), slots);
+  Vm vm;
+  auto fast = vm.Execute(program, {}, view);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kInternal);
+}
+
+TEST(LexpressVmBoundsTest, BadAttributeIndex) {
+  // kLoadAttr whose operand exceeds attr_names/attr_slots.
+  Program program = SingleInstruction(OpCode::kLoadAttr, 3);
+  auto reference = Vm::ExecuteReference(program, {}, Record("src"));
+  ASSERT_FALSE(reference.ok());
+  EXPECT_EQ(reference.status().code(), StatusCode::kInternal);
+
+  SlotMap slots;
+  ResolveSlots(&slots, &program);
+  RecordView view;
+  view.Reset(Record("src"), slots);
+  Vm vm;
+  auto fast = vm.Execute(program, {}, view);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kInternal);
+}
+
+TEST(LexpressVmBoundsTest, BadAttributeSlot) {
+  // Slot-resolved program whose recorded slot exceeds the view built
+  // for it (a program run against the wrong mapping's view).
+  Program program;
+  program.code.push_back(Instruction{OpCode::kLoadAttr, 0, 0});
+  program.attr_names.push_back("a0");
+  program.attr_slots.push_back(7);  // No SlotMap ever issued slot 7.
+  RecordView view;
+  view.Reset(Record("src"), SlotMap());
+  Vm vm;
+  auto fast = vm.Execute(program, {}, view);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kInternal);
+}
+
+TEST(LexpressVmBoundsTest, StackUnderflowOnCall) {
+  Program program = SingleInstruction(
+      OpCode::kCall, static_cast<uint32_t>(Builtin::kConcat), 2);
+  auto reference = Vm::ExecuteReference(program, {}, Record("src"));
+  ASSERT_FALSE(reference.ok());
+  EXPECT_EQ(reference.status().code(), StatusCode::kInternal);
+
+  SlotMap slots;
+  ResolveSlots(&slots, &program);
+  RecordView view;
+  view.Reset(Record("src"), slots);
+  Vm vm;
+  auto fast = vm.Execute(program, {}, view);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kInternal);
+}
+
+TEST(LexpressVmBoundsTest, BadTableIndex) {
+  Program program;
+  program.constants.push_back(Value{"x"});
+  program.code.push_back(Instruction{OpCode::kPushConst, 0, 0});
+  program.code.push_back(Instruction{OpCode::kLookup, 2, 0});
+  auto reference = Vm::ExecuteReference(program, {}, Record("src"));
+  ASSERT_FALSE(reference.ok());
+  EXPECT_EQ(reference.status().code(), StatusCode::kInternal);
+
+  SlotMap slots;
+  ResolveSlots(&slots, &program);
+  RecordView view;
+  view.Reset(Record("src"), slots);
+  Vm vm;
+  auto fast = vm.Execute(program, {}, view);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kInternal);
+}
+
+// A Vm that just returned an error must still execute correct
+// programs correctly afterwards (scratch state fully resets).
+TEST(LexpressVmBoundsTest, VmRecoversAfterError) {
+  Vm vm;
+  Program bad = SingleInstruction(OpCode::kPushConst, 5);
+  SlotMap bad_slots;
+  ResolveSlots(&bad_slots, &bad);
+  RecordView bad_view;
+  bad_view.Reset(Record("src"), bad_slots);
+  ASSERT_FALSE(vm.Execute(bad, {}, bad_view).ok());
+
+  auto mappings = CompileMappings(
+      "mapping M from src to dst { map upper(a0) -> b0; }");
+  ASSERT_TRUE(mappings.ok());
+  Record record("src");
+  record.SetOne("a0", "hello");
+  auto mapped = (*mappings)[0].MapRecord(record, &vm);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->GetFirst("b0"), "HELLO");
+}
+
+}  // namespace
+}  // namespace metacomm::lexpress

@@ -18,7 +18,7 @@ StatusOr<Value> Eval(const std::string& expr_text, const Record& record,
   if (!decls.ok()) return decls.status();
   auto program = CompileExpr((*decls)[0].rules[0].expr, tables);
   if (!program.ok()) return program.status();
-  return Vm::Execute(*program, tables, record);
+  return Vm::ExecuteReference(*program, tables, record);
 }
 
 Record SampleRecord() {
@@ -179,16 +179,16 @@ TEST(VmTest, GuardSemantics) {
   ASSERT_TRUE(decls.ok());
   auto rule = CompileRule((*decls)[0].rules[0], {});
   ASSERT_TRUE(rule.ok());
-  auto held = Vm::ExecuteGuard(rule->guard, {}, SampleRecord());
+  auto held = Vm::ExecuteGuardReference(rule->guard, {}, SampleRecord());
   ASSERT_TRUE(held.ok());
   EXPECT_TRUE(*held);
   Record empty("a");
-  held = Vm::ExecuteGuard(rule->guard, {}, empty);
+  held = Vm::ExecuteGuardReference(rule->guard, {}, empty);
   ASSERT_TRUE(held.ok());
   EXPECT_FALSE(*held);
   // An empty guard program always holds.
   Program none;
-  held = Vm::ExecuteGuard(none, {}, empty);
+  held = Vm::ExecuteGuardReference(none, {}, empty);
   ASSERT_TRUE(held.ok());
   EXPECT_TRUE(*held);
 }

@@ -47,6 +47,40 @@ TEST(StringsTest, StartsEndsWith) {
   EXPECT_TRUE(StartsWithIgnoreCase("ABCdef", "abc"));
 }
 
+TEST(StringsTest, EndsWithIgnoreCase) {
+  EXPECT_TRUE(EndsWithIgnoreCase("cn=John,o=Lucent", "O=LUCENT"));
+  EXPECT_TRUE(EndsWithIgnoreCase("MetaComm", "comm"));
+  EXPECT_FALSE(EndsWithIgnoreCase("MetaComm", "meta"));
+  // Empty suffix matches everything, including the empty string.
+  EXPECT_TRUE(EndsWithIgnoreCase("abc", ""));
+  EXPECT_TRUE(EndsWithIgnoreCase("", ""));
+  // A suffix longer than the string can never match.
+  EXPECT_FALSE(EndsWithIgnoreCase("abc", "zabc"));
+  EXPECT_FALSE(EndsWithIgnoreCase("", "a"));
+  // Whole-string match, either case.
+  EXPECT_TRUE(EndsWithIgnoreCase("abc", "ABC"));
+  // Case folding is ASCII-only: bytes above 0x7F compare verbatim.
+  EXPECT_TRUE(EndsWithIgnoreCase("caf\xc3\xa9", "\xc3\xa9"));
+  EXPECT_FALSE(EndsWithIgnoreCase("caf\xc3\xa9", "\xc3\x89"));
+}
+
+TEST(StringsTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("telephoneNumber", "PHONE"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", "abc"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abd"));
+  // Empty needle is found anywhere, even in the empty string.
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+  EXPECT_TRUE(ContainsIgnoreCase("", ""));
+  // A needle longer than the haystack can never match.
+  EXPECT_FALSE(ContainsIgnoreCase("ab", "abc"));
+  EXPECT_FALSE(ContainsIgnoreCase("", "a"));
+  // Matches at both boundaries.
+  EXPECT_TRUE(ContainsIgnoreCase("John Doe", "JOHN"));
+  EXPECT_TRUE(ContainsIgnoreCase("John Doe", "dOE"));
+  // Overlapping near-misses before the real match.
+  EXPECT_TRUE(ContainsIgnoreCase("aaab", "AAB"));
+}
+
 TEST(StringsTest, SplitAndJoin) {
   EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
   EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));

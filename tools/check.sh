@@ -22,7 +22,9 @@
 #   3. ThreadSanitizer build and run of the concurrency tests
 #      (threaded_test, parallel_um_test, snapshot_stress_test,
 #      wire_test — the epoll socket server under adversarial byte
-#      patterns and concurrent connections).
+#      patterns and concurrent connections — and lexpress_exec_test,
+#      whose shared-Mapping/per-thread-Vm section proves the lexpress
+#      fast path shares no mutable state).
 #   3b. Fault-injection stress under TSan: fault_tolerance_test (the
 #       breaker/repair end-to-end suite, including the threaded
 #       Stop-vs-repair-worker shutdown race) and the randomized
@@ -35,6 +37,9 @@
 #      parse of the emitted BENCH_batching.json.
 #   6b. Wire bench smoke: bench_wire's 100-connection point (real
 #       sockets end to end) with --json, parsing BENCH_wire.json.
+#   6c. lexpress bench smoke: bench_lexpress's MapRecord and
+#       steady-state Translate points (fast and reference pipelines)
+#       with --json, parsing BENCH_lexpress.json.
 #   7. Bench regression compare: quick reruns diffed against the
 #      committed BENCH_*.json baselines (>20% slowdowns flagged).
 #      Non-fatal — smoke-length runs are too noisy to gate on.
@@ -95,16 +100,18 @@ else
 fi
 
 # -- 3. TSan concurrency tests ---------------------------------------
-note "ThreadSanitizer: threaded_test + parallel_um_test + snapshot_stress_test + wire_test"
+note "ThreadSanitizer: threaded_test + parallel_um_test + snapshot_stress_test + wire_test + lexpress_exec_test"
 if cmake -B build-tsan -S . -DMETACOMM_SANITIZE=thread >/dev/null \
    && cmake --build build-tsan -j "$jobs" \
         --target threaded_test parallel_um_test snapshot_stress_test \
-                 wire_test; then
+                 wire_test lexpress_exec_test; then
   ./build-tsan/tests/threaded_test    || fail "threaded_test under TSan"
   ./build-tsan/tests/parallel_um_test || fail "parallel_um_test under TSan"
   ./build-tsan/tests/snapshot_stress_test \
     || fail "snapshot_stress_test under TSan"
   ./build-tsan/tests/wire_test || fail "wire_test under TSan"
+  ./build-tsan/tests/lexpress_exec_test \
+    || fail "lexpress_exec_test under TSan"
 else
   fail "TSan build"
 fi
@@ -196,6 +203,25 @@ if [ -x build/bench/bench_wire ]; then
   fi
 else
   fail "bench_wire not built"
+fi
+
+# -- 6c. lexpress bench smoke -----------------------------------------
+note "bench_lexpress smoke (fast + reference pipelines, --json)"
+if [ -x build/bench/bench_lexpress ]; then
+  rm -f BENCH_lexpress.json
+  if ./build/bench/bench_lexpress --json --benchmark_min_time=0.01 \
+       --benchmark_filter='MapRecord/32|SteadyState' >/dev/null; then
+    if python3 -c "import json; json.load(open('BENCH_lexpress.json'))" \
+         2>/dev/null; then
+      echo "BENCH_lexpress.json: valid JSON"
+    else
+      fail "BENCH_lexpress.json missing or unparsable"
+    fi
+  else
+    fail "bench_lexpress smoke run"
+  fi
+else
+  fail "bench_lexpress not built"
 fi
 
 # -- 7. Bench regression compare (non-fatal) -------------------------
